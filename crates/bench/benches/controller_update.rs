@@ -1,0 +1,129 @@
+//! Criterion micro-benchmark of the supercharger engine's update path
+//! (the §4 controller micro-benchmark, statistically rigorous form):
+//! Listing 1 per UPDATE message, for the common cases that dominate a
+//! feed — new-prefix announcements, second-candidate announcements that
+//! create/join backup-groups, and withdrawals.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use sc_bgp::attrs::{AsPath, RouteAttrs};
+use sc_bgp::msg::UpdateMsg;
+use sc_net::{Ipv4Prefix, MacAddr};
+use std::net::Ipv4Addr;
+use supercharger::engine::PeerSpec;
+use supercharger::{Engine, EngineConfig};
+
+const R2: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+const R3: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+
+fn engine() -> Engine {
+    Engine::new(EngineConfig::new(
+        "10.0.200.0/24".parse().unwrap(),
+        vec![
+            PeerSpec {
+                id: R2,
+                mac: MacAddr([2, 0, 0, 0, 0, 2]),
+                switch_port: 2,
+                local_pref: 200,
+                router_id: R2,
+            },
+            PeerSpec {
+                id: R3,
+                mac: MacAddr([2, 0, 0, 0, 0, 3]),
+                switch_port: 3,
+                local_pref: 100,
+                router_id: R3,
+            },
+        ],
+    ))
+}
+
+fn batch_update(peer: Ipv4Addr, base: u32, count: u32) -> UpdateMsg {
+    let attrs = RouteAttrs::ebgp(AsPath::sequence(vec![65002, 174, 3356]), peer).shared();
+    let nlri: Vec<Ipv4Prefix> = (0..count)
+        .map(|i| Ipv4Prefix::new(Ipv4Addr::from(0x0100_0000 + ((base + i) << 8)), 24))
+        .collect();
+    UpdateMsg::announce(attrs, nlri)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+
+    // Fresh announcements: 300 prefixes per UPDATE (feed-style).
+    g.throughput(Throughput::Elements(300));
+    g.bench_function("announce_300_new_prefixes", |b| {
+        let mut base = 0u32;
+        b.iter_batched(
+            || {
+                let e = engine();
+                base += 300;
+                (e, batch_update(R2, base, 300))
+            },
+            |(mut e, upd)| {
+                let actions = e.process_update(R2, &upd);
+                std::hint::black_box(actions.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // The group-forming case: second peer announces the same prefixes.
+    g.bench_function("announce_300_backup_candidates", |b| {
+        b.iter_batched(
+            || {
+                let mut e = engine();
+                e.process_update(R2, &batch_update(R2, 0, 300));
+                (e, batch_update(R3, 0, 300))
+            },
+            |(mut e, upd)| {
+                let actions = e.process_update(R3, &upd);
+                std::hint::black_box(actions.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Withdrawal of protected prefixes (regroup + re-announce).
+    g.bench_function("withdraw_300_protected", |b| {
+        b.iter_batched(
+            || {
+                let mut e = engine();
+                e.process_update(R2, &batch_update(R2, 0, 300));
+                e.process_update(R3, &batch_update(R3, 0, 300));
+                let nlri: Vec<Ipv4Prefix> = (0..300u32)
+                    .map(|i| Ipv4Prefix::new(Ipv4Addr::from(0x0100_0000 + (i << 8)), 24))
+                    .collect();
+                (e, UpdateMsg::withdraw(nlri))
+            },
+            |(mut e, upd)| {
+                let actions = e.process_update(R2, &upd);
+                std::hint::black_box(actions.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+
+    // Listing 2: the failover itself, on a 10k-prefix table.
+    let mut g = c.benchmark_group("failover");
+    g.bench_function("failover_plan_10k_prefixes", |b| {
+        b.iter_batched(
+            || {
+                let mut e = engine();
+                for chunk in 0..34u32 {
+                    e.process_update(R2, &batch_update(R2, chunk * 300, 300));
+                    e.process_update(R3, &batch_update(R3, chunk * 300, 300));
+                }
+                e
+            },
+            |mut e| {
+                let plan = e.failover_plan(R2);
+                std::hint::black_box(plan.rewrites.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmark of the backup-group machinery (§2 of the
+//! paper): group lookup/creation, VNH allocation, and ARP resolution —
+//! the per-update fixed costs of the supercharger.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sc_bgp::PeerId;
+use std::net::Ipv4Addr;
+use supercharger::{GroupTable, VnhAllocator};
+
+fn peer(i: u8) -> PeerId {
+    Ipv4Addr::new(10, 0, 1, i)
+}
+
+fn table_with_groups(n_peers: u8) -> GroupTable {
+    let mut t = GroupTable::new(VnhAllocator::new("10.0.200.0/24".parse().unwrap()));
+    for a in 1..=n_peers {
+        for b in 1..=n_peers {
+            if a != b {
+                let id = t.get_or_create(&[peer(a), peer(b)]).0.id;
+                t.add_ref(id);
+            }
+        }
+    }
+    t
+}
+
+fn bench_groups(c: &mut Criterion) {
+    let mut g = c.benchmark_group("groups");
+
+    g.bench_function("get_or_create_hit_10peers", |b| {
+        let mut t = table_with_groups(10);
+        let key = vec![peer(3), peer(7)];
+        b.iter(|| {
+            let (grp, created) = t.get_or_create(std::hint::black_box(&key));
+            assert!(!created);
+            std::hint::black_box(grp.vnh)
+        })
+    });
+
+    g.bench_function("create_90_groups", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                let t = table_with_groups(10);
+                std::hint::black_box(t.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("arp_lookup_by_vnh", |b| {
+        let t = table_with_groups(10);
+        let vnh = Ipv4Addr::new(10, 0, 200, 45);
+        b.iter(|| std::hint::black_box(t.by_vnh(std::hint::black_box(vnh)).map(|g| g.vmac)))
+    });
+
+    g.bench_function("groups_targeting_failed_peer", |b| {
+        let t = table_with_groups(10);
+        b.iter(|| std::hint::black_box(t.groups_targeting(peer(5)).len()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_groups);
+criterion_main!(benches);

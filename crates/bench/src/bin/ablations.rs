@@ -1,0 +1,164 @@
+//! **Ablations** — the design-choice sweeps DESIGN.md §4 calls out,
+//! beyond what the paper itself measures:
+//!
+//! 1. *BFD interval sweep* — how detection splits the supercharged
+//!    convergence budget (detection dominates: ~3× interval).
+//! 2. *Router FIB-walk-rate sensitivity* — how fast would the stock
+//!    router's hardware have to be before supercharging stops paying?
+//! 3. *Controller reaction-delay sweep* — the margin left for a slower
+//!    (e.g. Python) controller inside the 150 ms envelope.
+//! 4. *Replica determinism at scale* — N engine replicas fed a full
+//!    table agree bit-for-bit (the §3 reliability argument).
+//!
+//! ```text
+//! cargo run --release -p sc-bench --bin ablations [--prefixes N] [--flows N]
+//! ```
+
+use sc_bench::{fig5_label, Args, Table};
+use sc_lab::{run_convergence_trial, LabConfig, Mode};
+use sc_net::SimDuration;
+use sc_router::Calibration;
+
+fn main() {
+    let args = Args::parse();
+    let prefixes: u32 = args.value("--prefixes", 1_000);
+    let flows: usize = args.value("--flows", 30);
+    let base = LabConfig {
+        prefixes,
+        flows,
+        seed: 42,
+        ..LabConfig::default()
+    };
+
+    // ------------------------------------------------ 1. BFD interval
+    let mut t = Table::new(&[
+        "bfd interval",
+        "detection (measured)",
+        "median convergence",
+        "max convergence",
+    ]);
+    for interval_ms in [10u64, 30, 50, 100] {
+        let cfg = LabConfig {
+            mode: Mode::Supercharged,
+            bfd_interval: SimDuration::from_millis(interval_ms),
+            ..base.clone()
+        };
+        let r = run_convergence_trial(cfg);
+        let detect = r
+            .detected_at
+            .map(|d| fig5_label(d - r.fail_at))
+            .unwrap_or_else(|| "-".into());
+        let st = r.stats();
+        t.row(vec![
+            format!("{interval_ms}ms"),
+            detect,
+            fig5_label(st.median),
+            fig5_label(st.max),
+        ]);
+    }
+    println!("Ablation 1 — BFD interval vs supercharged convergence");
+    println!("(detection <= 3x interval dominates the budget; the paper uses 30ms)");
+    println!("{}", t.render());
+
+    // --------------------------------------- 2. FIB walk-rate sweep
+    let mut t = Table::new(&[
+        "per-entry cost",
+        "stock max",
+        "supercharged max",
+        "speedup",
+    ]);
+    for cost_us in [281u64, 100, 30, 10, 1] {
+        let cal = Calibration {
+            fib_entry_update: SimDuration::from_micros(cost_us),
+            ..Calibration::nexus7k()
+        };
+        let stock = run_convergence_trial(LabConfig {
+            mode: Mode::Stock,
+            cal,
+            ..base.clone()
+        });
+        let sup = run_convergence_trial(LabConfig {
+            mode: Mode::Supercharged,
+            cal,
+            ..base.clone()
+        });
+        let ratio = stock.stats().max.as_secs_f64() / sup.stats().max.as_secs_f64();
+        t.row(vec![
+            format!("{cost_us}us"),
+            fig5_label(stock.stats().max),
+            fig5_label(sup.stats().max),
+            format!("{ratio:.1}x"),
+        ]);
+    }
+    println!("Ablation 2 — how fast must the router's FIB update be before");
+    println!("supercharging stops paying? (paper hardware: 281us/entry; at");
+    println!("{prefixes} prefixes — the gap only closes when the whole walk");
+    println!("fits inside the detection+install budget)");
+    println!("{}", t.render());
+
+    // ------------------------------------ 3. controller reaction delay
+    let mut t = Table::new(&["reaction delay", "max convergence", "within 150ms?"]);
+    for delay_ms in [1u64, 3, 10, 30, 60] {
+        let cfg = LabConfig {
+            mode: Mode::Supercharged,
+            reaction_delay: SimDuration::from_millis(delay_ms),
+            ..base.clone()
+        };
+        let r = run_convergence_trial(cfg);
+        let max = r.stats().max;
+        t.row(vec![
+            format!("{delay_ms}ms"),
+            fig5_label(max),
+            if max <= SimDuration::from_millis(150) { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    println!("Ablation 3 — controller reaction delay inside the 150ms envelope");
+    println!("(detection ~90ms + install ~17ms leaves ~40ms of controller budget)");
+    println!("{}", t.render());
+
+    // ------------------------------------------ 4. replica determinism
+    use sc_lab::topology::{IP_R2, IP_R3};
+    use sc_routegen::{generate_feed_for, prefix_universe, FeedConfig};
+    use supercharger::replication::ReplicaSet;
+    let n_replicas = 5;
+    let universe = prefix_universe(prefixes, 42);
+    let feeds = [
+        (IP_R2, generate_feed_for(&FeedConfig::new(prefixes, 42, IP_R2, 65002), &universe)),
+        (IP_R3, generate_feed_for(&FeedConfig::new(prefixes, 42, IP_R3, 65003), &universe)),
+    ];
+    let engine_cfg = supercharger::EngineConfig::new(
+        "10.0.200.0/24".parse().unwrap(),
+        vec![
+            supercharger::engine::PeerSpec {
+                id: IP_R2,
+                mac: sc_lab::topology::MAC_R2,
+                switch_port: 2,
+                local_pref: 200,
+                router_id: IP_R2,
+            },
+            supercharger::engine::PeerSpec {
+                id: IP_R3,
+                mac: sc_lab::topology::MAC_R3,
+                switch_port: 3,
+                local_pref: 100,
+                router_id: IP_R3,
+            },
+        ],
+    );
+    let mut set = ReplicaSet::new(engine_cfg, n_replicas);
+    let mut steps = 0u64;
+    for (peer, feed) in &feeds {
+        for upd in feed {
+            set.process_update(*peer, upd).expect("replicas must agree");
+            steps += 1;
+        }
+    }
+    set.failover(IP_R2).expect("replicas agree on failover");
+    set.repair(IP_R2).expect("replicas agree on repair");
+    println!(
+        "Ablation 4 — replica determinism: {n_replicas} replicas x {steps} updates \
+         + failover + repair: digests identical (state 0x{:016x})",
+        set.primary().state_digest()
+    );
+    println!("-> the paper's SS3 no-synchronization failover is sound for this engine.");
+}

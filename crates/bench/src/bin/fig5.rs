@@ -1,0 +1,204 @@
+//! **Figure 5** — convergence time vs. number of prefixes, stock vs.
+//! supercharged.
+//!
+//! Reproduces the paper's headline experiment: R2 and R3 loaded with the
+//! same feed of N prefixes (N swept along the paper's x-axis), traffic
+//! to 100 monitored flows, R2 disconnected, per-flow convergence
+//! measured at the sink as the maximum inter-packet gap.
+//!
+//! ```text
+//! cargo run --release -p sc-bench --bin fig5 [--quick] [--full] \
+//!     [--trials N] [--flows N] [--csv out.csv]
+//! ```
+//!
+//! * default: the full paper x-axis (1k … 500k), 1 trial per point;
+//! * `--quick`: 1k/5k/10k/50k only (CI-sized);
+//! * `--full`: the paper's 3 trials per point;
+//! * `--csv`: also write the pooled samples summary as CSV.
+
+use sc_bench::{fig5_label, Args, Table};
+use sc_lab::{run_fig5_sweep, Csv, LabConfig, Mode, SweepRow, FIG5_PREFIX_COUNTS};
+use sc_net::SimDuration;
+
+/// Fig. 5's printed maxima for the non-supercharged router (seconds).
+const PAPER_STOCK_MAX_S: [(u32, f64); 9] = [
+    (1_000, 0.9),
+    (5_000, 1.6),
+    (10_000, 3.4),
+    (50_000, 13.8),
+    (100_000, 29.2),
+    (200_000, 56.9),
+    (300_000, 86.4),
+    (400_000, 113.1),
+    (500_000, 140.9),
+];
+
+fn paper_stock_max(prefixes: u32) -> Option<f64> {
+    PAPER_STOCK_MAX_S
+        .iter()
+        .find(|(p, _)| *p == prefixes)
+        .map(|(_, s)| *s)
+}
+
+fn main() {
+    let args = Args::parse();
+    let counts: Vec<u32> = if args.flag("--quick") {
+        vec![1_000, 5_000, 10_000, 50_000]
+    } else {
+        FIG5_PREFIX_COUNTS.to_vec()
+    };
+    let trials: usize = if args.flag("--full") {
+        3
+    } else {
+        args.value("--trials", 1)
+    };
+    let flows: usize = args.value("--flows", 100);
+
+    let base = LabConfig {
+        flows,
+        seed: args.value("--seed", 42),
+        ..LabConfig::default()
+    };
+
+    eprintln!(
+        "fig5: sweeping {:?} prefixes, {trials} trial(s) x {flows} flows per point, both modes",
+        counts
+    );
+    eprintln!(
+        "      probe load: 64-byte UDP frames, auto-rated (<=14kpps/flow, the paper's rate)\n"
+    );
+
+    let t0 = std::time::Instant::now();
+    let stock = run_fig5_sweep(Mode::Stock, &counts, trials, &base);
+    eprintln!("stock sweep done in {:.1}s", t0.elapsed().as_secs_f64());
+    let t1 = std::time::Instant::now();
+    let supercharged = run_fig5_sweep(Mode::Supercharged, &counts, trials, &base);
+    eprintln!("supercharged sweep done in {:.1}s\n", t1.elapsed().as_secs_f64());
+
+    let mut table = Table::new(&[
+        "prefixes", "mode", "n", "p5", "q1", "median", "q3", "p95", "max", "paper-max",
+    ]);
+    let mut csv = Csv::new(&[
+        "prefixes", "mode", "n", "p5_ms", "q1_ms", "median_ms", "q3_ms", "p95_ms", "max_ms",
+    ]);
+    let mut speedups = Vec::new();
+    for (s_row, u_row) in stock.iter().zip(&supercharged) {
+        for row in [s_row, u_row] {
+            let st = row.stats();
+            let paper = match row.mode {
+                Mode::Stock => paper_stock_max(row.prefixes)
+                    .map(|s| format!("{s:.1}s"))
+                    .unwrap_or_else(|| "-".into()),
+                Mode::Supercharged => "<=150ms".into(),
+            };
+            table.row(vec![
+                row.prefixes.to_string(),
+                row.mode.label().into(),
+                st.n.to_string(),
+                fig5_label(st.p5),
+                fig5_label(st.q1),
+                fig5_label(st.median),
+                fig5_label(st.q3),
+                fig5_label(st.p95),
+                fig5_label(st.max),
+                paper,
+            ]);
+            csv.row(&[
+                row.prefixes.to_string(),
+                row.mode.label().into(),
+                st.n.to_string(),
+                st.p5.as_millis().to_string(),
+                st.q1.as_millis().to_string(),
+                st.median.as_millis().to_string(),
+                st.q3.as_millis().to_string(),
+                st.p95.as_millis().to_string(),
+                st.max.as_millis().to_string(),
+            ]);
+        }
+        let ratio = s_row.stats().max.as_secs_f64() / u_row.stats().max.as_secs_f64().max(1e-9);
+        speedups.push((s_row.prefixes, ratio));
+    }
+
+    println!("Figure 5 — convergence time distribution per flow (box stats)");
+    println!("{}", table.render());
+
+    let mut sp = Table::new(&["prefixes", "speedup (stock max / supercharged max)"]);
+    for (p, r) in &speedups {
+        sp.row(vec![p.to_string(), format!("{r:.0}x")]);
+    }
+    println!("Improvement factor (paper: 900x at 500k)");
+    println!("{}", sp.render());
+
+    check_shape(&stock, &supercharged);
+
+    if let Some(path) = std::env::args()
+        .skip(1)
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--csv")
+        .map(|w| w[1].clone())
+    {
+        std::fs::write(&path, csv.finish()).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Assert the qualitative shape the paper reports; print PASS/FAIL so a
+/// full run doubles as a reproduction check.
+fn check_shape(stock: &[SweepRow], supercharged: &[SweepRow]) {
+    let mut ok = true;
+    // 1. Supercharged is flat and ≤ ~150ms everywhere.
+    for row in supercharged {
+        let max = row.stats().max;
+        if max > SimDuration::from_millis(150) {
+            ok = false;
+            println!("FAIL supercharged max at {} prefixes: {}", row.prefixes, fig5_label(max));
+        }
+    }
+    // 2. Stock grows monotonically (allowing 5% noise).
+    for pair in stock.windows(2) {
+        let a = pair[0].stats().max.as_secs_f64();
+        let b = pair[1].stats().max.as_secs_f64();
+        if b < a * 0.95 {
+            ok = false;
+            println!(
+                "FAIL stock max not growing: {} -> {} prefixes",
+                pair[0].prefixes, pair[1].prefixes
+            );
+        }
+    }
+    // 3. Stock is within 25% of the paper's printed maxima (40% below
+    //    10k prefixes: the paper's own small-scale points sit above its
+    //    linear trend — 375ms best case + 1k x 281us/entry puts the 1k
+    //    worst case at ~0.66s, yet Fig. 5 prints 0.9s; see
+    //    EXPERIMENTS.md for the discussion).
+    for row in stock {
+        if let Some(paper) = paper_stock_max(row.prefixes) {
+            let got = row.stats().max.as_secs_f64();
+            let tolerance = if row.prefixes < 10_000 { 0.40 } else { 0.25 };
+            if (got / paper - 1.0).abs() > tolerance {
+                ok = false;
+                println!(
+                    "FAIL stock max at {} prefixes: got {got:.1}s, paper {paper:.1}s",
+                    row.prefixes
+                );
+            }
+        }
+    }
+    // 4. The supercharged worst case beats the stock *best* case (the
+    //    paper: 150ms < 375ms first-entry best case).
+    if let (Some(s), Some(u)) = (stock.first(), supercharged.first()) {
+        if u.stats().max >= s.stats().min {
+            ok = false;
+            println!(
+                "FAIL supercharged worst ({}) must beat stock best ({})",
+                fig5_label(u.stats().max),
+                fig5_label(s.stats().min)
+            );
+        }
+    }
+    println!(
+        "shape check: {}",
+        if ok { "PASS (matches the paper)" } else { "FAIL (see above)" }
+    );
+}

@@ -1,0 +1,20 @@
+//! Bidirectional Forwarding Detection (RFC 5880), asynchronous mode.
+//!
+//! BFD is the failure detector of the paper: FreeBFD announces peer
+//! failure to the controller, which then performs the constant-time
+//! data-plane failover. The detection time — `detect_mult ×` the
+//! negotiated interval — is the first term of the supercharged router's
+//! ~150 ms convergence budget, so this substrate is implemented for real:
+//! the RFC 5880 control-packet wire format, the Down/Init/Up three-way
+//! handshake, timer negotiation, mandated transmit jitter, and the
+//! detection timeout.
+//!
+//! Like every protocol here it is a poll-based state machine
+//! ([`BfdSession`]): the owner feeds received control packets in, drains
+//! packets to transmit, and asks when to wake up next.
+
+pub mod packet;
+pub mod session;
+
+pub use packet::{BfdDiag, BfdPacket, BfdState};
+pub use session::{BfdConfig, BfdEvent, BfdSession};

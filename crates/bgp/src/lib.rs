@@ -1,0 +1,38 @@
+//! BGP-4 substrate (RFC 4271).
+//!
+//! The paper's controller interposes on real BGP sessions (ExaBGP in the
+//! prototype), so this crate implements the protocol for real rather than
+//! abstracting it away:
+//!
+//! * [`msg`] — OPEN / UPDATE / KEEPALIVE / NOTIFICATION wire formats with
+//!   the 19-byte marker header, prefix encoding, and strict validation;
+//! * [`attrs`] — path attributes (ORIGIN, AS_PATH, NEXT_HOP, MED,
+//!   LOCAL_PREF, COMMUNITIES) with flag checking;
+//! * [`decision`] — the full BGP decision process as a total order over
+//!   candidate routes (the controller *must* rank routes exactly like the
+//!   router would, otherwise its backup-groups are wrong);
+//! * [`rib`] — per-prefix ranked candidate lists ([`rib::LocRib`]) with
+//!   change tracking: every update yields the old and new top-two
+//!   candidates, which is precisely the input of the paper's Listing 1;
+//! * [`session`] — a poll-based session state machine (Idle → OpenSent →
+//!   OpenConfirm → Established) with hold/keepalive timers.
+//!
+//! Known simplifications (documented in `DESIGN.md`): 2-byte AS numbers
+//! (no AS4 capability), no route reflection, MED compared across
+//! neighboring ASes, and sessions run over the workspace's reliable
+//! channel instead of TCP.
+
+pub mod attrs;
+pub mod decision;
+pub mod msg;
+pub mod rib;
+pub mod session;
+
+pub use attrs::{AsPath, Origin, RouteAttrs};
+pub use decision::{compare_routes, PeerInfo, Route};
+pub use msg::{BgpMessage, NotificationMsg, OpenMsg, UpdateMsg};
+pub use rib::{Change, LocRib, TopTwo};
+pub use session::{Session, SessionConfig, SessionEvent, SessionState};
+
+/// A BGP peer is identified by its session IP address.
+pub type PeerId = std::net::Ipv4Addr;

@@ -1,0 +1,360 @@
+//! The Loc-RIB: per-prefix ranked candidate lists with change tracking.
+//!
+//! This is the shared engine under both sides of the paper:
+//! * the **router model** feeds updates in and reacts to best-route
+//!   changes (FIB updates);
+//! * the **supercharged controller** feeds the same updates in and reacts
+//!   to changes of the *top-two* candidates (backup-group changes —
+//!   Listing 1's `routing_table`).
+//!
+//! Every mutation returns a [`Change`] carrying the old and new top-two
+//! snapshot, so callers never re-scan the table.
+
+use crate::decision::{compare_routes, Route};
+use crate::PeerId;
+use sc_net::{Ipv4Prefix, PrefixTrie};
+
+/// Snapshot of the two best candidates for a prefix.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct TopTwo {
+    pub best: Option<Route>,
+    pub second: Option<Route>,
+}
+
+impl TopTwo {
+    fn of(ranked: &[Route]) -> TopTwo {
+        TopTwo {
+            best: ranked.first().cloned(),
+            second: ranked.get(1).cloned(),
+        }
+    }
+
+    /// The (primary NH peer, backup NH peer) pair — the backup-group key
+    /// of the paper, when both exist.
+    pub fn nh_pair(&self) -> (Option<PeerId>, Option<PeerId>) {
+        (
+            self.best.as_ref().map(|r| r.from.peer),
+            self.second.as_ref().map(|r| r.from.peer),
+        )
+    }
+}
+
+/// The outcome of one RIB mutation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Change {
+    pub prefix: Ipv4Prefix,
+    pub old: TopTwo,
+    pub new: TopTwo,
+}
+
+impl Change {
+    /// Did the best route change (what a classic router reacts to)?
+    pub fn best_changed(&self) -> bool {
+        !route_eq(&self.old.best, &self.new.best)
+    }
+
+    /// Did the (best, second) pair change (what Listing 1 reacts to)?
+    pub fn top_two_changed(&self) -> bool {
+        self.best_changed() || !route_eq(&self.old.second, &self.new.second)
+    }
+
+    /// Did the top-two *next-hop peers* change? (VNH reassignment is only
+    /// needed when the peers change, not when e.g. the AS path mutates.)
+    pub fn nh_pair_changed(&self) -> bool {
+        self.old.nh_pair() != self.new.nh_pair()
+    }
+}
+
+fn route_eq(a: &Option<Route>, b: &Option<Route>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Per-prefix ranked candidate lists over all peers.
+#[derive(Default)]
+pub struct LocRib {
+    entries: PrefixTrie<Vec<Route>>,
+    routes: usize,
+}
+
+impl LocRib {
+    pub fn new() -> LocRib {
+        LocRib {
+            entries: PrefixTrie::new(),
+            routes: 0,
+        }
+    }
+
+    /// Number of prefixes with at least one candidate.
+    pub fn prefix_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total candidate routes across all prefixes.
+    pub fn route_count(&self) -> usize {
+        self.routes
+    }
+
+    /// Insert or replace the candidate from `route.from.peer` for
+    /// `route.prefix`, keeping the list ranked by the decision process.
+    pub fn update(&mut self, route: Route) -> Change {
+        let prefix = route.prefix;
+        match self.entries.get_mut(prefix) {
+            None => {
+                let change = Change {
+                    prefix,
+                    old: TopTwo::default(),
+                    new: TopTwo {
+                        best: Some(route.clone()),
+                        second: None,
+                    },
+                };
+                self.entries.insert(prefix, vec![route]);
+                self.routes += 1;
+                change
+            }
+            Some(list) => {
+                let old = TopTwo::of(list);
+                if let Some(pos) = list.iter().position(|r| r.from.peer == route.from.peer) {
+                    list.remove(pos);
+                    self.routes -= 1;
+                }
+                let pos = list
+                    .binary_search_by(|probe| compare_routes(probe, &route))
+                    .unwrap_or_else(|e| e);
+                list.insert(pos, route);
+                self.routes += 1;
+                let new = TopTwo::of(list);
+                Change { prefix, old, new }
+            }
+        }
+    }
+
+    /// Remove the candidate learned from `peer` for `prefix`, if any.
+    pub fn withdraw(&mut self, prefix: Ipv4Prefix, peer: PeerId) -> Option<Change> {
+        let list = self.entries.get_mut(prefix)?;
+        let pos = list.iter().position(|r| r.from.peer == peer)?;
+        let old = TopTwo::of(list);
+        list.remove(pos);
+        self.routes -= 1;
+        let new = TopTwo::of(list);
+        if list.is_empty() {
+            self.entries.remove(prefix);
+        }
+        Some(Change { prefix, old, new })
+    }
+
+    /// Purge every candidate learned from `peer` (session down). Returns
+    /// the changes for every affected prefix, in FIB walk order.
+    pub fn withdraw_peer(&mut self, peer: PeerId) -> Vec<Change> {
+        let mut changes = Vec::new();
+        let mut emptied = Vec::new();
+        self.entries.for_each_mut(|prefix, list| {
+            if let Some(pos) = list.iter().position(|r| r.from.peer == peer) {
+                let old = TopTwo::of(list);
+                list.remove(pos);
+                let new = TopTwo::of(list);
+                changes.push(Change { prefix, old, new });
+                if list.is_empty() {
+                    emptied.push(prefix);
+                }
+            }
+        });
+        self.routes -= changes.len();
+        for p in emptied {
+            self.entries.remove(p);
+        }
+        changes
+    }
+
+    /// The ranked candidates for `prefix` (best first).
+    pub fn candidates(&self, prefix: Ipv4Prefix) -> &[Route] {
+        self.entries.get(prefix).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The best route for `prefix`.
+    pub fn best(&self, prefix: Ipv4Prefix) -> Option<&Route> {
+        self.candidates(prefix).first()
+    }
+
+    /// The current top-two snapshot for `prefix`.
+    pub fn top_two(&self, prefix: Ipv4Prefix) -> TopTwo {
+        TopTwo::of(self.candidates(prefix))
+    }
+
+    /// Iterate `(prefix, ranked candidates)` in FIB walk order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Prefix, &[Route])> {
+        self.entries.iter().map(|(p, v)| (p, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{AsPath, RouteAttrs};
+    use crate::decision::{PeerInfo, DEFAULT_LOCAL_PREF};
+    use std::net::Ipv4Addr;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn route(prefix: &str, peer_octet: u8, local_pref: u32) -> Route {
+        Route {
+            prefix: p(prefix),
+            attrs: RouteAttrs::ebgp(
+                AsPath::sequence(vec![100 + peer_octet as u16, 200]),
+                Ipv4Addr::new(10, 0, peer_octet, 1),
+            )
+            .shared(),
+            from: PeerInfo {
+                peer: Ipv4Addr::new(10, 0, peer_octet, 1),
+                router_id: Ipv4Addr::new(peer_octet, 0, 0, 1),
+                ebgp: true,
+                igp_cost: 0,
+            },
+            local_pref,
+        }
+    }
+
+    #[test]
+    fn first_route_becomes_best() {
+        let mut rib = LocRib::new();
+        let c = rib.update(route("1.0.0.0/24", 2, 200));
+        assert!(c.best_changed());
+        assert_eq!(c.old.best, None);
+        assert_eq!(c.new.best.as_ref().unwrap().from.peer, Ipv4Addr::new(10, 0, 2, 1));
+        assert_eq!(rib.prefix_count(), 1);
+        assert_eq!(rib.route_count(), 1);
+    }
+
+    #[test]
+    fn second_route_ranks_below_preferred() {
+        let mut rib = LocRib::new();
+        rib.update(route("1.0.0.0/24", 2, 200)); // R2 preferred
+        let c = rib.update(route("1.0.0.0/24", 3, 100)); // R3 backup
+        assert!(!c.best_changed(), "best stays R2");
+        assert!(c.top_two_changed(), "second appeared");
+        let (best, second) = c.new.nh_pair();
+        assert_eq!(best, Some(Ipv4Addr::new(10, 0, 2, 1)));
+        assert_eq!(second, Some(Ipv4Addr::new(10, 0, 3, 1)));
+    }
+
+    #[test]
+    fn better_route_takes_over() {
+        let mut rib = LocRib::new();
+        rib.update(route("1.0.0.0/24", 3, 100));
+        let c = rib.update(route("1.0.0.0/24", 2, 200));
+        assert!(c.best_changed());
+        assert_eq!(
+            c.new.best.as_ref().unwrap().from.peer,
+            Ipv4Addr::new(10, 0, 2, 1)
+        );
+        assert_eq!(
+            c.new.second.as_ref().unwrap().from.peer,
+            Ipv4Addr::new(10, 0, 3, 1)
+        );
+    }
+
+    #[test]
+    fn implicit_replace_from_same_peer() {
+        let mut rib = LocRib::new();
+        rib.update(route("1.0.0.0/24", 2, 200));
+        // Same peer re-announces with a worse preference: implicit
+        // withdraw of its previous route.
+        let c = rib.update(route("1.0.0.0/24", 2, 50));
+        assert_eq!(rib.route_count(), 1);
+        assert!(c.best_changed());
+        assert_eq!(c.new.best.as_ref().unwrap().local_pref, 50);
+    }
+
+    #[test]
+    fn withdraw_promotes_backup() {
+        let mut rib = LocRib::new();
+        rib.update(route("1.0.0.0/24", 2, 200));
+        rib.update(route("1.0.0.0/24", 3, 100));
+        let c = rib.withdraw(p("1.0.0.0/24"), Ipv4Addr::new(10, 0, 2, 1)).unwrap();
+        assert!(c.best_changed());
+        assert_eq!(
+            c.new.best.as_ref().unwrap().from.peer,
+            Ipv4Addr::new(10, 0, 3, 1)
+        );
+        assert_eq!(c.new.second, None);
+        // Withdrawing a non-existent candidate is a no-op.
+        assert!(rib.withdraw(p("1.0.0.0/24"), Ipv4Addr::new(9, 9, 9, 9)).is_none());
+        // Withdraw the last: prefix disappears.
+        rib.withdraw(p("1.0.0.0/24"), Ipv4Addr::new(10, 0, 3, 1)).unwrap();
+        assert_eq!(rib.prefix_count(), 0);
+        assert_eq!(rib.route_count(), 0);
+    }
+
+    #[test]
+    fn withdraw_peer_purges_everything_in_order() {
+        let mut rib = LocRib::new();
+        for (i, pfx) in ["1.0.0.0/24", "2.0.0.0/16", "3.0.0.0/8"].iter().enumerate() {
+            rib.update(route(pfx, 2, 200));
+            if i != 1 {
+                rib.update(route(pfx, 3, 100));
+            }
+        }
+        let changes = rib.withdraw_peer(Ipv4Addr::new(10, 0, 2, 1));
+        assert_eq!(changes.len(), 3);
+        // FIB walk order = sorted prefix order.
+        let order: Vec<Ipv4Prefix> = changes.iter().map(|c| c.prefix).collect();
+        assert_eq!(order, vec![p("1.0.0.0/24"), p("2.0.0.0/16"), p("3.0.0.0/8")]);
+        // 2.0.0.0/16 had only R2: gone entirely.
+        assert_eq!(rib.prefix_count(), 2);
+        assert!(rib.best(p("2.0.0.0/16")).is_none());
+        assert_eq!(
+            rib.best(p("1.0.0.0/24")).unwrap().from.peer,
+            Ipv4Addr::new(10, 0, 3, 1)
+        );
+        assert_eq!(rib.route_count(), 2);
+    }
+
+    #[test]
+    fn nh_pair_changed_distinguishes_attr_churn() {
+        let mut rib = LocRib::new();
+        rib.update(route("1.0.0.0/24", 2, 200));
+        rib.update(route("1.0.0.0/24", 3, 100));
+        // Same peers, new attrs (longer path, still ranked the same):
+        let mut r = route("1.0.0.0/24", 2, 200);
+        r.attrs = RouteAttrs::ebgp(
+            AsPath::sequence(vec![102, 200, 300]),
+            Ipv4Addr::new(10, 0, 2, 1),
+        )
+        .shared();
+        let c = rib.update(r);
+        assert!(c.top_two_changed(), "attrs changed");
+        assert!(!c.nh_pair_changed(), "but the NH peers did not");
+    }
+
+    #[test]
+    fn three_peers_rank_fully() {
+        let mut rib = LocRib::new();
+        rib.update(route("1.0.0.0/24", 3, 100));
+        rib.update(route("1.0.0.0/24", 1, DEFAULT_LOCAL_PREF));
+        rib.update(route("1.0.0.0/24", 2, 200));
+        let ranked: Vec<u8> = rib
+            .candidates(p("1.0.0.0/24"))
+            .iter()
+            .map(|r| r.from.peer.octets()[2])
+            .collect();
+        // 200 > 100 == 100; tie between peer1 (lp 100) and peer3 (lp 100)
+        // broken by router-id (1 < 3).
+        assert_eq!(ranked, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn iter_is_in_fib_walk_order() {
+        let mut rib = LocRib::new();
+        for pfx in ["9.0.0.0/8", "1.0.0.0/24", "5.5.0.0/16"] {
+            rib.update(route(pfx, 2, 200));
+        }
+        let order: Vec<Ipv4Prefix> = rib.iter().map(|(p, _)| p).collect();
+        assert_eq!(order, vec![p("1.0.0.0/24"), p("5.5.0.0/16"), p("9.0.0.0/8")]);
+    }
+}

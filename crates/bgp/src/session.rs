@@ -1,0 +1,471 @@
+//! The BGP session finite-state machine (RFC 4271 §8, simplified to the
+//! states a point-to-point session over a reliable transport traverses:
+//! Idle → OpenSent → OpenConfirm → Established).
+//!
+//! Poll-based, like every protocol state machine in this workspace: the
+//! owner feeds decoded messages in with [`Session::on_message`], pumps
+//! timers with [`Session::poll`], and drains outgoing messages with
+//! [`Session::poll_transmit`]. `next_wakeup` tells the owner when to call
+//! back — the discrete-event node arms exactly one timer from it.
+//!
+//! The transport (connection establishment, retransmission) is the
+//! workspace's reliable channel; `Connect`/`Active` states therefore
+//! collapse into the channel's own handshake.
+
+use crate::msg::{BgpMessage, NotificationMsg, OpenMsg, UpdateMsg};
+use sc_net::{SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+/// FSM states.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionState {
+    Idle,
+    OpenSent,
+    OpenConfirm,
+    Established,
+}
+
+/// Why a session went down.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DownReason {
+    /// The hold timer expired (no message from the peer in time).
+    HoldTimerExpired,
+    /// The peer sent a NOTIFICATION.
+    NotificationReceived(NotificationMsg),
+    /// We sent a NOTIFICATION because of an FSM/message error.
+    FsmError(&'static str),
+    /// The owner tore the session down (transport lost, admin down).
+    AdminDown,
+}
+
+/// Events surfaced to the session owner.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SessionEvent {
+    /// The session reached Established; carries the peer's OPEN.
+    Established(OpenMsg),
+    /// The session left Established (or failed to get there).
+    Down(DownReason),
+    /// An UPDATE arrived (only in Established).
+    Update(UpdateMsg),
+}
+
+/// Static session configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    pub local_as: u16,
+    pub router_id: Ipv4Addr,
+    /// Proposed hold time; the negotiated value is the minimum of both
+    /// sides. Keepalives go out every third of it.
+    pub hold_time: SimDuration,
+}
+
+impl SessionConfig {
+    pub fn new(local_as: u16, router_id: Ipv4Addr) -> SessionConfig {
+        SessionConfig {
+            local_as,
+            router_id,
+            hold_time: SimDuration::from_secs(90),
+        }
+    }
+}
+
+/// One BGP session endpoint.
+#[derive(Debug)]
+pub struct Session {
+    cfg: SessionConfig,
+    state: SessionState,
+    out: VecDeque<BgpMessage>,
+    peer_open: Option<OpenMsg>,
+    negotiated_hold: SimDuration,
+    hold_deadline: Option<SimTime>,
+    keepalive_at: Option<SimTime>,
+    /// Count of UPDATEs received (diagnostics).
+    pub updates_in: u64,
+    /// Count of UPDATEs queued for sending (diagnostics).
+    pub updates_out: u64,
+}
+
+impl Session {
+    pub fn new(cfg: SessionConfig) -> Session {
+        Session {
+            cfg,
+            state: SessionState::Idle,
+            out: VecDeque::new(),
+            peer_open: None,
+            negotiated_hold: cfg.hold_time,
+            hold_deadline: None,
+            keepalive_at: None,
+            updates_in: 0,
+            updates_out: 0,
+        }
+    }
+
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// The peer's OPEN message, once received.
+    pub fn peer_open(&self) -> Option<&OpenMsg> {
+        self.peer_open.as_ref()
+    }
+
+    /// The negotiated hold time (min of both proposals).
+    pub fn negotiated_hold(&self) -> SimDuration {
+        self.negotiated_hold
+    }
+
+    /// Transport is up: send our OPEN. Idempotent while not Idle.
+    pub fn start(&mut self, now: SimTime) {
+        if self.state != SessionState::Idle {
+            return;
+        }
+        let hold_secs = (self.cfg.hold_time.as_nanos() / 1_000_000_000).min(u16::MAX as u64) as u16;
+        self.out.push_back(BgpMessage::Open(OpenMsg::new(
+            self.cfg.local_as,
+            hold_secs,
+            self.cfg.router_id,
+        )));
+        self.state = SessionState::OpenSent;
+        // Use a generous "open hold" until negotiation completes.
+        self.hold_deadline = Some(now + self.cfg.hold_time);
+    }
+
+    /// Tear the session down locally (transport lost, admin shutdown).
+    pub fn stop(&mut self, reason: DownReason) -> Option<SessionEvent> {
+        if self.state == SessionState::Idle {
+            return None;
+        }
+        self.reset();
+        Some(SessionEvent::Down(reason))
+    }
+
+    fn reset(&mut self) {
+        self.state = SessionState::Idle;
+        self.out.clear();
+        self.peer_open = None;
+        self.hold_deadline = None;
+        self.keepalive_at = None;
+    }
+
+    fn refresh_hold(&mut self, now: SimTime) {
+        if !self.negotiated_hold.is_zero() {
+            self.hold_deadline = Some(now + self.negotiated_hold);
+        } else {
+            self.hold_deadline = None;
+        }
+    }
+
+    fn schedule_keepalive(&mut self, now: SimTime) {
+        if !self.negotiated_hold.is_zero() {
+            self.keepalive_at = Some(now + self.negotiated_hold / 3);
+        }
+    }
+
+    fn fsm_error(&mut self, what: &'static str) -> Vec<SessionEvent> {
+        self.out.clear();
+        self.out.push_back(BgpMessage::Notification(NotificationMsg {
+            code: 5, // FSM error
+            subcode: 0,
+            data: Vec::new(),
+        }));
+        let ev = SessionEvent::Down(DownReason::FsmError(what));
+        // Keep the NOTIFICATION queued for transmission, then idle.
+        self.state = SessionState::Idle;
+        self.peer_open = None;
+        self.hold_deadline = None;
+        self.keepalive_at = None;
+        vec![ev]
+    }
+
+    /// Feed a decoded message from the peer.
+    pub fn on_message(&mut self, msg: BgpMessage, now: SimTime) -> Vec<SessionEvent> {
+        match (self.state, msg) {
+            (SessionState::OpenSent, BgpMessage::Open(open)) => {
+                self.negotiated_hold = self
+                    .cfg
+                    .hold_time
+                    .min(SimDuration::from_secs(open.hold_time as u64));
+                self.peer_open = Some(open);
+                self.out.push_back(BgpMessage::Keepalive);
+                self.state = SessionState::OpenConfirm;
+                self.refresh_hold(now);
+                Vec::new()
+            }
+            (SessionState::OpenConfirm, BgpMessage::Keepalive) => {
+                self.state = SessionState::Established;
+                self.refresh_hold(now);
+                self.schedule_keepalive(now);
+                vec![SessionEvent::Established(self.peer_open.unwrap())]
+            }
+            (SessionState::Established, BgpMessage::Keepalive) => {
+                self.refresh_hold(now);
+                Vec::new()
+            }
+            (SessionState::Established, BgpMessage::Update(u)) => {
+                self.refresh_hold(now);
+                self.updates_in += 1;
+                vec![SessionEvent::Update(u)]
+            }
+            (_, BgpMessage::Notification(n)) => {
+                self.reset();
+                vec![SessionEvent::Down(DownReason::NotificationReceived(n))]
+            }
+            (SessionState::Idle, _) => Vec::new(), // stale transport traffic
+            (_, BgpMessage::Open(_)) => self.fsm_error("unexpected OPEN"),
+            (_, BgpMessage::Update(_)) => self.fsm_error("UPDATE before Established"),
+            (SessionState::OpenSent, BgpMessage::Keepalive) => {
+                self.fsm_error("KEEPALIVE before OPEN")
+            }
+        }
+    }
+
+    /// Queue an UPDATE for the peer (meaningful only when Established;
+    /// earlier queueing is a logic error in the caller).
+    pub fn queue_update(&mut self, update: UpdateMsg) {
+        debug_assert_eq!(
+            self.state,
+            SessionState::Established,
+            "UPDATE queued outside Established"
+        );
+        self.updates_out += 1;
+        self.out.push_back(BgpMessage::Update(update));
+    }
+
+    /// Pump timers: hold expiry and keepalive generation.
+    pub fn poll(&mut self, now: SimTime) -> Vec<SessionEvent> {
+        let mut events = Vec::new();
+        if let Some(deadline) = self.hold_deadline {
+            if now >= deadline {
+                self.out.clear();
+                self.out
+                    .push_back(BgpMessage::Notification(NotificationMsg::hold_timer_expired()));
+                self.state = SessionState::Idle;
+                self.peer_open = None;
+                self.hold_deadline = None;
+                self.keepalive_at = None;
+                events.push(SessionEvent::Down(DownReason::HoldTimerExpired));
+                return events;
+            }
+        }
+        if self.state == SessionState::Established {
+            if let Some(at) = self.keepalive_at {
+                if now >= at {
+                    self.out.push_back(BgpMessage::Keepalive);
+                    self.schedule_keepalive(now);
+                }
+            }
+        }
+        events
+    }
+
+    /// Drain the next outgoing message.
+    pub fn poll_transmit(&mut self) -> Option<BgpMessage> {
+        self.out.pop_front()
+    }
+
+    /// When the owner must call [`Session::poll`] again.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        match (self.hold_deadline, self.keepalive_at) {
+            (Some(h), Some(k)) => Some(h.min(k)),
+            (Some(h), None) => Some(h),
+            (None, Some(k)) => Some(k),
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{AsPath, RouteAttrs};
+    use sc_net::Ipv4Prefix;
+
+    fn cfg(asn: u16, id: u8) -> SessionConfig {
+        SessionConfig {
+            local_as: asn,
+            router_id: Ipv4Addr::new(id, id, id, id),
+            hold_time: SimDuration::from_secs(90),
+        }
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Shuttle messages between two sessions until quiescent.
+    fn pump(a: &mut Session, b: &mut Session, now: SimTime) -> (Vec<SessionEvent>, Vec<SessionEvent>) {
+        let (mut ea, mut eb) = (Vec::new(), Vec::new());
+        loop {
+            let mut progress = false;
+            while let Some(m) = a.poll_transmit() {
+                progress = true;
+                eb.extend(b.on_message(m, now));
+            }
+            while let Some(m) = b.poll_transmit() {
+                progress = true;
+                ea.extend(a.on_message(m, now));
+            }
+            if !progress {
+                return (ea, eb);
+            }
+        }
+    }
+
+    #[test]
+    fn handshake_reaches_established() {
+        let mut a = Session::new(cfg(65001, 1));
+        let mut b = Session::new(cfg(65002, 2));
+        a.start(t(0));
+        b.start(t(0));
+        let (ea, eb) = pump(&mut a, &mut b, t(0));
+        assert_eq!(a.state(), SessionState::Established);
+        assert_eq!(b.state(), SessionState::Established);
+        assert!(matches!(ea[..], [SessionEvent::Established(o)] if o.my_as == 65002));
+        assert!(matches!(eb[..], [SessionEvent::Established(o)] if o.my_as == 65001));
+        assert_eq!(a.negotiated_hold(), SimDuration::from_secs(90));
+    }
+
+    #[test]
+    fn hold_time_negotiates_to_minimum() {
+        let mut a = Session::new(SessionConfig {
+            hold_time: SimDuration::from_secs(30),
+            ..cfg(65001, 1)
+        });
+        let mut b = Session::new(cfg(65002, 2));
+        a.start(t(0));
+        b.start(t(0));
+        pump(&mut a, &mut b, t(0));
+        assert_eq!(a.negotiated_hold(), SimDuration::from_secs(30));
+        assert_eq!(b.negotiated_hold(), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn updates_flow_only_when_established() {
+        let mut a = Session::new(cfg(65001, 1));
+        let mut b = Session::new(cfg(65002, 2));
+        a.start(t(0));
+        b.start(t(0));
+        pump(&mut a, &mut b, t(0));
+        let upd = UpdateMsg::announce(
+            RouteAttrs::ebgp(AsPath::sequence(vec![65001]), Ipv4Addr::new(10, 0, 0, 1)).shared(),
+            vec!["1.0.0.0/24".parse::<Ipv4Prefix>().unwrap()],
+        );
+        a.queue_update(upd.clone());
+        let (_, eb) = pump(&mut a, &mut b, t(1));
+        assert!(matches!(&eb[..], [SessionEvent::Update(u)] if *u == upd));
+        assert_eq!(b.updates_in, 1);
+        assert_eq!(a.updates_out, 1);
+    }
+
+    #[test]
+    fn keepalives_keep_session_alive() {
+        let mut a = Session::new(cfg(65001, 1));
+        let mut b = Session::new(cfg(65002, 2));
+        a.start(t(0));
+        b.start(t(0));
+        pump(&mut a, &mut b, t(0));
+        // Pump keepalives every 30s (hold/3) for 10 virtual minutes.
+        for step in 1..20u64 {
+            let now = t(step * 30);
+            assert!(a.poll(now).is_empty(), "a stays up at {now}");
+            assert!(b.poll(now).is_empty(), "b stays up at {now}");
+            pump(&mut a, &mut b, now);
+        }
+        assert_eq!(a.state(), SessionState::Established);
+    }
+
+    #[test]
+    fn hold_timer_expires_without_keepalives() {
+        let mut a = Session::new(cfg(65001, 1));
+        let mut b = Session::new(cfg(65002, 2));
+        a.start(t(0));
+        b.start(t(0));
+        pump(&mut a, &mut b, t(0));
+        // b goes silent; a must declare the peer dead after 90s.
+        assert!(a.poll(t(89)).is_empty());
+        let ev = a.poll(t(90));
+        assert!(matches!(&ev[..], [SessionEvent::Down(DownReason::HoldTimerExpired)]));
+        assert_eq!(a.state(), SessionState::Idle);
+        // A hold-expired NOTIFICATION is queued for the (possibly dead) peer.
+        assert!(matches!(
+            a.poll_transmit(),
+            Some(BgpMessage::Notification(n)) if n.code == 4
+        ));
+    }
+
+    #[test]
+    fn notification_tears_down() {
+        let mut a = Session::new(cfg(65001, 1));
+        let mut b = Session::new(cfg(65002, 2));
+        a.start(t(0));
+        b.start(t(0));
+        pump(&mut a, &mut b, t(0));
+        let ev = a.on_message(
+            BgpMessage::Notification(NotificationMsg::cease()),
+            t(1),
+        );
+        assert!(matches!(
+            &ev[..],
+            [SessionEvent::Down(DownReason::NotificationReceived(n))] if n.code == 6
+        ));
+        assert_eq!(a.state(), SessionState::Idle);
+    }
+
+    #[test]
+    fn unexpected_open_is_fsm_error() {
+        let mut a = Session::new(cfg(65001, 1));
+        let mut b = Session::new(cfg(65002, 2));
+        a.start(t(0));
+        b.start(t(0));
+        pump(&mut a, &mut b, t(0));
+        let ev = a.on_message(
+            BgpMessage::Open(OpenMsg::new(65002, 90, Ipv4Addr::new(2, 2, 2, 2))),
+            t(1),
+        );
+        assert!(matches!(&ev[..], [SessionEvent::Down(DownReason::FsmError(_))]));
+        // The FSM-error NOTIFICATION goes out.
+        assert!(matches!(a.poll_transmit(), Some(BgpMessage::Notification(n)) if n.code == 5));
+    }
+
+    #[test]
+    fn next_wakeup_is_min_of_timers() {
+        let mut a = Session::new(cfg(65001, 1));
+        let mut b = Session::new(cfg(65002, 2));
+        a.start(t(0));
+        b.start(t(0));
+        pump(&mut a, &mut b, t(0));
+        // keepalive at 30s, hold at 90s → wakeup 30s.
+        assert_eq!(a.next_wakeup(), Some(t(30)));
+        a.poll(t(30));
+        assert_eq!(a.next_wakeup(), Some(t(60)), "next keepalive");
+    }
+
+    #[test]
+    fn restart_after_down() {
+        let mut a = Session::new(cfg(65001, 1));
+        let mut b = Session::new(cfg(65002, 2));
+        a.start(t(0));
+        b.start(t(0));
+        pump(&mut a, &mut b, t(0));
+        a.poll(t(100)); // hold expiry
+        assert_eq!(a.state(), SessionState::Idle);
+        // The old transport is gone: its queued NOTIFICATION dies with it.
+        while a.poll_transmit().is_some() {}
+        // Both sides restart: must re-establish cleanly.
+        let mut b2 = Session::new(cfg(65002, 2));
+        a.start(t(101));
+        b2.start(t(101));
+        let (ea, _) = pump(&mut a, &mut b2, t(101));
+        assert!(ea.iter().any(|e| matches!(e, SessionEvent::Established(_))));
+    }
+
+    #[test]
+    fn stop_reports_admin_down() {
+        let mut a = Session::new(cfg(65001, 1));
+        a.start(t(0));
+        let ev = a.stop(DownReason::AdminDown);
+        assert!(matches!(ev, Some(SessionEvent::Down(DownReason::AdminDown))));
+        assert!(a.stop(DownReason::AdminDown).is_none(), "idempotent");
+    }
+}

@@ -1,0 +1,239 @@
+//! Property tests for the BGP substrate: wire-format identity for
+//! arbitrary UPDATEs, the decision process as a strict total order, and
+//! the Loc-RIB against a naive model.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sc_bgp::attrs::{AsPath, AsSegment, Origin, RouteAttrs};
+use sc_bgp::msg::{BgpMessage, UpdateMsg};
+use sc_bgp::rib::LocRib;
+use sc_bgp::{compare_routes, PeerInfo, Route};
+use sc_net::Ipv4Prefix;
+use std::cmp::Ordering;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Ipv4Prefix::new(Ipv4Addr::from(a), l))
+}
+
+fn arb_as_path() -> impl Strategy<Value = AsPath> {
+    vec(
+        prop_oneof![
+            vec(any::<u16>(), 1..8).prop_map(AsSegment::Sequence),
+            vec(any::<u16>(), 1..5).prop_map(AsSegment::Set),
+        ],
+        0..4,
+    )
+    .prop_map(|segments| AsPath { segments })
+}
+
+fn arb_attrs() -> impl Strategy<Value = RouteAttrs> {
+    (
+        0u8..3,
+        arb_as_path(),
+        any::<u32>(),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of(any::<u32>()),
+        vec(any::<u32>(), 0..4),
+    )
+        .prop_map(|(origin, as_path, nh, med, local_pref, communities)| RouteAttrs {
+            origin: match origin {
+                0 => Origin::Igp,
+                1 => Origin::Egp,
+                _ => Origin::Incomplete,
+            },
+            as_path,
+            next_hop: Ipv4Addr::from(nh),
+            med,
+            local_pref,
+            communities,
+        })
+}
+
+fn arb_route() -> impl Strategy<Value = Route> {
+    (arb_prefix(), arb_attrs(), any::<u32>(), any::<u32>(), any::<bool>(), any::<u32>(), 0u32..1000)
+        .prop_map(|(prefix, attrs, peer, router_id, ebgp, igp_cost, local_pref)| Route {
+            prefix,
+            attrs: Arc::new(attrs),
+            from: PeerInfo {
+                peer: Ipv4Addr::from(peer),
+                router_id: Ipv4Addr::from(router_id),
+                ebgp,
+                igp_cost,
+            },
+            local_pref,
+        })
+}
+
+proptest! {
+    /// Arbitrary UPDATE messages survive encode→decode unchanged.
+    #[test]
+    fn update_roundtrip(
+        withdrawn in vec(arb_prefix(), 0..40),
+        attrs in arb_attrs(),
+        nlri in vec(arb_prefix(), 0..40),
+    ) {
+        // Dedup (BGP NLRI is a set; duplicates are legal on the wire but
+        // equality after reparse needs set semantics — keep it simple).
+        let mut withdrawn = withdrawn;
+        withdrawn.sort();
+        withdrawn.dedup();
+        let mut nlri = nlri;
+        nlri.sort();
+        nlri.dedup();
+        let upd = UpdateMsg {
+            withdrawn,
+            attrs: if nlri.is_empty() { None } else { Some(Arc::new(attrs)) },
+            nlri,
+        };
+        let msg = BgpMessage::Update(upd);
+        let enc = msg.encode();
+        if enc.len() <= sc_bgp::msg::MAX_MESSAGE_LEN {
+            prop_assert_eq!(BgpMessage::decode(&enc).unwrap(), msg);
+        }
+    }
+
+    /// split_to_fit never loses or reorders NLRI and every part fits.
+    #[test]
+    fn split_preserves_nlri(attrs in arb_attrs(), n in 1usize..3000) {
+        let nlri: Vec<Ipv4Prefix> = (0..n as u32)
+            .map(|i| Ipv4Prefix::new(Ipv4Addr::from(0x0100_0000u32.wrapping_add(i << 8)), 24))
+            .collect();
+        let mut nlri = nlri;
+        nlri.sort();
+        nlri.dedup();
+        let parts = UpdateMsg::announce(Arc::new(attrs), nlri.clone()).split_to_fit();
+        let mut collected = Vec::new();
+        for p in &parts {
+            let enc = BgpMessage::Update(p.clone()).encode();
+            prop_assert!(enc.len() <= sc_bgp::msg::MAX_MESSAGE_LEN);
+            collected.extend(p.nlri.iter().copied());
+        }
+        prop_assert_eq!(collected, nlri);
+    }
+
+    /// The decision process is a strict weak order: antisymmetric,
+    /// transitive, and total — two routes from distinct peers never tie.
+    /// (A tie would make the controller's backup-groups nondeterministic
+    /// across replicas, breaking §3 of the paper.)
+    #[test]
+    fn decision_is_total_order(routes in vec(arb_route(), 2..12)) {
+        for a in &routes {
+            prop_assert_eq!(compare_routes(a, a), Ordering::Equal);
+            for b in &routes {
+                let ab = compare_routes(a, b);
+                let ba = compare_routes(b, a);
+                prop_assert_eq!(ab, ba.reverse(), "antisymmetry");
+                if a.from.peer != b.from.peer {
+                    prop_assert_ne!(ab, Ordering::Equal, "distinct peers must not tie");
+                }
+                for c in &routes {
+                    if ab != Ordering::Greater && compare_routes(b, c) != Ordering::Greater {
+                        prop_assert_ne!(
+                            compare_routes(a, c),
+                            Ordering::Greater,
+                            "transitivity"
+                        );
+                    }
+                }
+            }
+        }
+        // Sorting is therefore stable and deterministic: two shuffles
+        // agree.
+        let mut v1 = routes.clone();
+        let mut v2: Vec<Route> = routes.iter().rev().cloned().collect();
+        v1.sort_by(compare_routes);
+        v2.sort_by(compare_routes);
+        let key = |r: &Route| (r.from.peer, r.prefix);
+        prop_assert_eq!(v1.iter().map(key).collect::<Vec<_>>(),
+                        v2.iter().map(key).collect::<Vec<_>>());
+    }
+
+    /// LocRib against a naive model: after arbitrary update/withdraw
+    /// interleavings, the ranked candidate lists agree with brute-force
+    /// sorting, and every reported Change old/new snapshot is truthful.
+    #[test]
+    fn locrib_matches_naive_model(
+        ops in vec((arb_route(), any::<bool>()), 1..80),
+    ) {
+        let mut rib = LocRib::new();
+        // Model: Vec of (prefix, peer) -> Route.
+        let mut model: Vec<Route> = Vec::new();
+        for (route, is_update) in ops {
+            let naive_top2 = |model: &[Route], pfx| {
+                let mut cands: Vec<&Route> =
+                    model.iter().filter(|r| r.prefix == pfx).collect();
+                cands.sort_by(|a, b| compare_routes(a, b));
+                (
+                    cands.first().map(|r| r.from.peer),
+                    cands.get(1).map(|r| r.from.peer),
+                )
+            };
+            let before = naive_top2(&model, route.prefix);
+            if is_update {
+                model.retain(|r| !(r.prefix == route.prefix && r.from.peer == route.from.peer));
+                model.push(route.clone());
+                let change = rib.update(route.clone());
+                prop_assert_eq!(change.old.nh_pair(), before);
+                prop_assert_eq!(
+                    change.new.nh_pair(),
+                    naive_top2(&model, route.prefix)
+                );
+            } else {
+                let existed = model
+                    .iter()
+                    .any(|r| r.prefix == route.prefix && r.from.peer == route.from.peer);
+                model.retain(|r| !(r.prefix == route.prefix && r.from.peer == route.from.peer));
+                let change = rib.withdraw(route.prefix, route.from.peer);
+                prop_assert_eq!(change.is_some(), existed);
+                if let Some(c) = change {
+                    prop_assert_eq!(c.old.nh_pair(), before);
+                    prop_assert_eq!(c.new.nh_pair(), naive_top2(&model, route.prefix));
+                }
+            }
+            prop_assert_eq!(rib.route_count(), model.len());
+        }
+        // Final state: every prefix's ranked list matches brute force.
+        let mut prefixes: Vec<Ipv4Prefix> = model.iter().map(|r| r.prefix).collect();
+        prefixes.sort();
+        prefixes.dedup();
+        for pfx in prefixes {
+            let mut want: Vec<&Route> = model.iter().filter(|r| r.prefix == pfx).collect();
+            want.sort_by(|a, b| compare_routes(a, b));
+            let got = rib.candidates(pfx);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(want) {
+                prop_assert_eq!(g.from.peer, w.from.peer);
+            }
+        }
+    }
+
+    /// withdraw_peer ≡ withdrawing each of the peer's prefixes one by
+    /// one, and leaves no trace of the peer.
+    #[test]
+    fn withdraw_peer_purges_completely(routes in vec(arb_route(), 1..60)) {
+        let mut rib = LocRib::new();
+        for r in &routes {
+            rib.update(r.clone());
+        }
+        let victim = routes[0].from.peer;
+        let changes = rib.withdraw_peer(victim);
+        // No candidate from the victim remains.
+        for (_, cands) in rib.iter() {
+            prop_assert!(cands.iter().all(|r| r.from.peer != victim));
+        }
+        // Change list covers exactly the prefixes the victim served.
+        let mut served: Vec<Ipv4Prefix> = routes
+            .iter()
+            .filter(|r| r.from.peer == victim)
+            .map(|r| r.prefix)
+            .collect();
+        served.sort();
+        served.dedup();
+        let mut changed: Vec<Ipv4Prefix> = changes.iter().map(|c| c.prefix).collect();
+        changed.sort();
+        changed.dedup();
+        prop_assert_eq!(changed, served);
+    }
+}

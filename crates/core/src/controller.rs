@@ -1,0 +1,786 @@
+//! The supercharger controller as a simulation node.
+//!
+//! This is the reproduction of the paper's ExaBGP + FreeBFD + Floodlight
+//! stack (§3), collapsed into one deterministic node:
+//!
+//! * **BGP interposition**: it terminates the peers' sessions (R2, R3,
+//!   …) and runs one session toward the supercharged router, feeding
+//!   every update through the [`Engine`] (Listing 1) and forwarding the
+//!   rewritten announcements;
+//! * **BFD**: one session per peer; a `Down` event triggers the
+//!   data-plane convergence procedure (Listing 2) — the constant-size
+//!   set of FLOW_MODs — after a configurable controller reaction delay,
+//!   then queues the control-plane repair at router pace;
+//! * **OpenFlow client**: drives the switch (HELLO/FEATURES handshake,
+//!   ARP punt rule, per-group VMAC rules, barriers);
+//! * **ARP responder**: answers PACKET_IN ARP requests for virtual
+//!   next-hops with the owning group's VMAC via PACKET_OUT.
+
+use crate::engine::{Engine, EngineAction, EngineConfig, FailoverPlan, PeerSpec};
+use sc_bfd::{BfdConfig, BfdEvent, BfdSession};
+use sc_bgp::msg::BgpMessage;
+use sc_bgp::session::{DownReason, Session, SessionConfig, SessionEvent};
+use sc_bgp::PeerId;
+use sc_net::channel::{ChannelConfig, ChannelEvent};
+use sc_net::wire::udp::port as udp_port;
+use sc_net::wire::{
+    open_udp_frame, udp_frame, ArpOp, ArpRepr, EtherType, EthernetRepr, UdpEndpoints,
+};
+use sc_net::{MacAddr, SimDuration, SimTime};
+use sc_openflow::msg::{FlowModCommand, OfMessage};
+use sc_openflow::{Action, FlowMatch};
+use sc_sim::{ChannelPort, Ctx, Node, PortId, TimerToken};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+const TIMER_SWITCH_CHAN: TimerToken = TimerToken(10);
+const TIMER_ROUTER_CHAN: TimerToken = TimerToken(11);
+const TIMER_ROUTER_SESSION: TimerToken = TimerToken(12);
+const TIMER_REACTION: TimerToken = TimerToken(13);
+const TIMER_RETIRE: TimerToken = TimerToken(14);
+const PEER_TIMER_BASE: u64 = 100;
+const PEER_TIMER_STRIDE: u64 = 10;
+
+/// Priority of per-group VMAC rules.
+const VMAC_RULE_PRIORITY: u16 = 100;
+/// Priority of the ARP punt rule.
+const ARP_RULE_PRIORITY: u16 = 50;
+/// Cookie marking all supercharger-owned rules.
+const SC_COOKIE: u64 = 0x5c;
+
+/// The session toward the supercharged router.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterLink {
+    pub router_ip: Ipv4Addr,
+    pub router_mac: MacAddr,
+    /// We are the passive side; the router connects to us.
+    pub local_port: u16,
+    pub remote_port: u16,
+    pub hold_time: SimDuration,
+}
+
+/// One interposed peer session (plus optional BFD).
+#[derive(Clone, Copy, Debug)]
+pub struct PeerLink {
+    pub spec: PeerSpec,
+    pub local_port: u16,
+    pub remote_port: u16,
+    pub hold_time: SimDuration,
+    pub bfd: Option<BfdConfig>,
+}
+
+/// The OpenFlow control channel to the switch.
+#[derive(Clone, Copy, Debug)]
+pub struct SwitchLink {
+    pub switch_ip: Ipv4Addr,
+    pub switch_mac: MacAddr,
+    pub local_port: u16,
+}
+
+/// Full controller configuration.
+#[derive(Clone, Debug)]
+pub struct ControllerConfig {
+    pub name: String,
+    pub asn: u16,
+    pub router_id: Ipv4Addr,
+    pub ip: Ipv4Addr,
+    pub mac: MacAddr,
+    pub engine: EngineConfig,
+    pub router: RouterLink,
+    pub peers: Vec<PeerLink>,
+    pub switch: SwitchLink,
+    /// Modeled controller compute/REST latency between the BFD event and
+    /// the FLOW_MODs leaving the box (the paper's prototype measured a
+    /// few ms on this path).
+    pub reaction_delay: SimDuration,
+    /// How long a retired group's rule stays installed. Must exceed the
+    /// router's worst-case FIB walk, or traffic still tagged with the
+    /// old VMAC would blackhole (see `groups::BackupGroup::retired`).
+    pub rule_grace: SimDuration,
+    /// React to switch PORT_STATUS (carrier loss) in addition to BFD —
+    /// an ablation beyond the paper: when the failed peer hangs directly
+    /// off the supercharged switch, carrier detection beats BFD's
+    /// detect-mult x interval by an order of magnitude.
+    pub portstatus_failover: bool,
+}
+
+/// Timestamped controller events, for the experiment harness.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ControllerEvent {
+    SwitchReady,
+    RouterSessionUp,
+    PeerSessionUp(PeerId),
+    PeerDown(PeerId),
+    FailoverIssued { peer: PeerId, rewrites: usize },
+    RepairQueued { peer: PeerId, announcements: usize },
+    ArpAnswered { vnh: Ipv4Addr },
+}
+
+struct PeerSessionState {
+    link: PeerLink,
+    chan: ChannelPort,
+    session: Session,
+    bfd: Option<BfdSession>,
+    session_armed: Option<SimTime>,
+    bfd_armed: Option<SimTime>,
+    failed_over: bool,
+}
+
+/// The controller node.
+pub struct Controller {
+    cfg: ControllerConfig,
+    engine: Engine,
+    switch_chan: ChannelPort,
+    switch_ready: bool,
+    router_chan: ChannelPort,
+    router_session: Session,
+    router_session_armed: Option<SimTime>,
+    router_backlog: VecDeque<BgpMessage>,
+    peers: Vec<PeerSessionState>,
+    xid: u32,
+    /// FLOW_MODs waiting out the reaction delay.
+    pending_flowmods: VecDeque<OfMessage>,
+    reaction_armed: bool,
+    /// Retired groups awaiting the rule-grace purge: (eligible_at, group).
+    retire_queue: VecDeque<(SimTime, sc_net::Ipv4Prefix, crate::groups::GroupId)>,
+    retire_armed: Option<SimTime>,
+    pub events: Vec<(SimTime, ControllerEvent)>,
+}
+
+impl Controller {
+    /// Build the controller. `port` is the node's single attachment (to
+    /// the switch); all sessions run through it.
+    pub fn new(cfg: ControllerConfig, port: PortId) -> Controller {
+        let engine = Engine::new(cfg.engine.clone());
+        let switch_chan = ChannelPort::connect(
+            ChannelConfig::default(),
+            UdpEndpoints {
+                src_mac: cfg.mac,
+                dst_mac: cfg.switch.switch_mac,
+                src_ip: cfg.ip,
+                dst_ip: cfg.switch.switch_ip,
+                src_port: cfg.switch.local_port,
+                dst_port: udp_port::OPENFLOW,
+            },
+            port,
+            TIMER_SWITCH_CHAN,
+        );
+        let router_chan = ChannelPort::listen(
+            ChannelConfig::default(),
+            UdpEndpoints {
+                src_mac: cfg.mac,
+                dst_mac: cfg.router.router_mac,
+                src_ip: cfg.ip,
+                dst_ip: cfg.router.router_ip,
+                src_port: cfg.router.local_port,
+                dst_port: cfg.router.remote_port,
+            },
+            port,
+            TIMER_ROUTER_CHAN,
+        );
+        let router_session = Session::new(SessionConfig {
+            local_as: cfg.asn,
+            router_id: cfg.router_id,
+            hold_time: cfg.router.hold_time,
+        });
+        let peers = cfg
+            .peers
+            .iter()
+            .enumerate()
+            .map(|(i, link)| PeerSessionState {
+                link: *link,
+                chan: ChannelPort::connect(
+                    ChannelConfig::default(),
+                    UdpEndpoints {
+                        src_mac: cfg.mac,
+                        dst_mac: link.spec.mac,
+                        src_ip: cfg.ip,
+                        dst_ip: link.spec.id,
+                        src_port: link.local_port,
+                        dst_port: link.remote_port,
+                    },
+                    port,
+                    TimerToken(PEER_TIMER_BASE + i as u64 * PEER_TIMER_STRIDE),
+                ),
+                session: Session::new(SessionConfig {
+                    local_as: cfg.asn,
+                    router_id: cfg.router_id,
+                    hold_time: link.hold_time,
+                }),
+                bfd: link.bfd.map(BfdSession::new),
+                session_armed: None,
+                bfd_armed: None,
+                failed_over: false,
+            })
+            .collect();
+        Controller {
+            engine,
+            switch_chan,
+            switch_ready: false,
+            router_chan,
+            router_session,
+            router_session_armed: None,
+            router_backlog: VecDeque::new(),
+            peers,
+            xid: 1,
+            pending_flowmods: VecDeque::new(),
+            reaction_armed: false,
+            retire_queue: VecDeque::new(),
+            retire_armed: None,
+            events: Vec::new(),
+            cfg,
+        }
+    }
+
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// BFD state and negotiated detection time toward a peer.
+    pub fn bfd_snapshot(&self, peer: PeerId) -> Option<(sc_bfd::BfdState, SimDuration)> {
+        let p = self.peers.iter().find(|p| p.link.spec.id == peer)?;
+        let bfd = p.bfd.as_ref()?;
+        Some((bfd.state(), bfd.detection_time()))
+    }
+
+    /// BFD packet counters toward a peer (diagnostics).
+    pub fn bfd_counters(&self, peer: PeerId) -> Option<(u64, u64)> {
+        let p = self.peers.iter().find(|p| p.link.spec.id == peer)?;
+        let bfd = p.bfd.as_ref()?;
+        Some((bfd.packets_sent, bfd.packets_received))
+    }
+
+    /// Is the router-facing session Established?
+    pub fn router_session_up(&self) -> bool {
+        self.router_session.state() == sc_bgp::SessionState::Established
+    }
+
+    fn next_xid(&mut self) -> u32 {
+        self.xid += 1;
+        self.xid
+    }
+
+    fn of_send(&mut self, ctx: &mut Ctx, msg: OfMessage) {
+        let xid = self.next_xid();
+        self.switch_chan.send(msg.encode(xid));
+        self.switch_chan.flush(ctx);
+    }
+
+    fn flow_mod(command: FlowModCommand, vmac: MacAddr, actions: Vec<Action>) -> OfMessage {
+        OfMessage::FlowMod {
+            command,
+            priority: VMAC_RULE_PRIORITY,
+            cookie: SC_COOKIE,
+            matcher: FlowMatch::dst_mac(vmac),
+            actions,
+        }
+    }
+
+    /// Execute a batch of engine actions.
+    fn run_actions(&mut self, ctx: &mut Ctx, actions: Vec<EngineAction>) {
+        // Routing side, packed like a real speaker.
+        for update in Engine::pack_for_router(&actions) {
+            let msg = BgpMessage::Update(update);
+            if self.router_session.state() == sc_bgp::SessionState::Established {
+                if let BgpMessage::Update(u) = msg {
+                    self.router_session.queue_update(u);
+                }
+            } else {
+                self.router_backlog.push_back(msg);
+            }
+        }
+        // Switch side.
+        for action in actions {
+            let msg = match action {
+                EngineAction::FlowAdd { vmac, dst_mac, port } => Some(Self::flow_mod(
+                    FlowModCommand::Add,
+                    vmac,
+                    vec![Action::SetDstMac(dst_mac), Action::Output(port)],
+                )),
+                EngineAction::FlowModify { vmac, dst_mac, port } => Some(Self::flow_mod(
+                    FlowModCommand::Modify,
+                    vmac,
+                    vec![Action::SetDstMac(dst_mac), Action::Output(port)],
+                )),
+                EngineAction::FlowDelete { vmac } => {
+                    Some(Self::flow_mod(FlowModCommand::Delete, vmac, Vec::new()))
+                }
+                EngineAction::FlowRetire { group, .. } => {
+                    let eligible = ctx.now() + self.cfg.rule_grace;
+                    self.retire_queue
+                        .push_back((eligible, sc_net::Ipv4Prefix::DEFAULT, group));
+                    self.arm_retire_timer(ctx);
+                    None
+                }
+                EngineAction::Announce { .. } | EngineAction::Withdraw { .. } => None,
+            };
+            if let Some(m) = msg {
+                self.of_send(ctx, m);
+            }
+        }
+        self.pump_router(ctx);
+    }
+
+    fn arm_retire_timer(&mut self, ctx: &mut Ctx) {
+        if let Some((at, _, _)) = self.retire_queue.front() {
+            let at = *at;
+            if self.retire_armed != Some(at) {
+                self.retire_armed = Some(at);
+                ctx.set_timer_at(at, TIMER_RETIRE);
+            }
+        }
+    }
+
+    fn drain_retired(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        while let Some((at, _, group)) = self.retire_queue.front().copied() {
+            if at > now {
+                break;
+            }
+            self.retire_queue.pop_front();
+            if let Some(vmac) = self.engine.purge_retired(group) {
+                let msg = Self::flow_mod(FlowModCommand::Delete, vmac, Vec::new());
+                self.of_send(ctx, msg);
+            }
+        }
+        self.retire_armed = None;
+        self.arm_retire_timer(ctx);
+    }
+
+    fn pump_router(&mut self, ctx: &mut Ctx) {
+        while let Some(msg) = self.router_session.poll_transmit() {
+            self.router_chan.send(msg.encode());
+        }
+        self.router_chan.flush(ctx);
+        if let Some(at) = self.router_session.next_wakeup() {
+            if self.router_session_armed != Some(at) {
+                self.router_session_armed = Some(at);
+                ctx.set_timer_at(at, TIMER_ROUTER_SESSION);
+            }
+        }
+    }
+
+    fn pump_peer(&mut self, idx: usize, ctx: &mut Ctx) {
+        let peer = &mut self.peers[idx];
+        while let Some(msg) = peer.session.poll_transmit() {
+            peer.chan.send(msg.encode());
+        }
+        peer.chan.flush(ctx);
+        if let Some(at) = peer.session.next_wakeup() {
+            if peer.session_armed != Some(at) {
+                peer.session_armed = Some(at);
+                ctx.set_timer_at(
+                    at,
+                    TimerToken(PEER_TIMER_BASE + idx as u64 * PEER_TIMER_STRIDE + 1),
+                );
+            }
+        }
+    }
+
+    fn pump_bfd(&mut self, idx: usize, ctx: &mut Ctx) {
+        let now = ctx.now();
+        let Some(bfd) = self.peers[idx].bfd.as_mut() else {
+            return;
+        };
+        let (events, packets) = bfd.poll(now);
+        let next = bfd.next_wakeup();
+        let link = self.peers[idx].link;
+        for pkt in packets {
+            let frame = udp_frame(
+                UdpEndpoints {
+                    src_mac: self.cfg.mac,
+                    dst_mac: link.spec.mac,
+                    src_ip: self.cfg.ip,
+                    dst_ip: link.spec.id,
+                    src_port: udp_port::BFD_CONTROL,
+                    dst_port: udp_port::BFD_CONTROL,
+                },
+                255,
+                &pkt.to_bytes(),
+            );
+            ctx.send_frame(self.switch_port(), frame);
+        }
+        if let Some(at) = next {
+            if self.peers[idx].bfd_armed != Some(at) {
+                self.peers[idx].bfd_armed = Some(at);
+                ctx.set_timer_at(
+                    at,
+                    TimerToken(PEER_TIMER_BASE + idx as u64 * PEER_TIMER_STRIDE + 2),
+                );
+            }
+        }
+        for ev in events {
+            self.on_bfd_event(idx, ev, ctx);
+        }
+    }
+
+    fn switch_port(&self) -> PortId {
+        self.switch_chan.port
+    }
+
+    fn on_bfd_event(&mut self, idx: usize, ev: BfdEvent, ctx: &mut Ctx) {
+        let peer_id = self.peers[idx].link.spec.id;
+        match ev {
+            BfdEvent::Up => {
+                self.peers[idx].failed_over = false;
+                self.engine.peer_up(peer_id);
+            }
+            BfdEvent::Down(_diag) => {
+                if self.peers[idx].failed_over {
+                    return;
+                }
+                self.peers[idx].failed_over = true;
+                self.events.push((ctx.now(), ControllerEvent::PeerDown(peer_id)));
+                ctx.trace("supercharger", || format!("BFD: peer {peer_id} down"));
+                // Fast path: Listing 2, after the modeled reaction delay.
+                let plan = self.engine.failover_plan(peer_id);
+                self.issue_failover(ctx, peer_id, &plan);
+                // Tear the BGP session (it would hold-time out anyway).
+                self.peers[idx].session.stop(DownReason::AdminDown);
+                // Slow path: control-plane repair toward the router.
+                let actions = self.engine.peer_down_repair(peer_id);
+                self.events.push((
+                    ctx.now(),
+                    ControllerEvent::RepairQueued { peer: peer_id, announcements: actions.len() },
+                ));
+                self.run_actions(ctx, actions);
+            }
+        }
+    }
+
+    fn issue_failover(&mut self, ctx: &mut Ctx, peer: PeerId, plan: &FailoverPlan) {
+        self.events.push((
+            ctx.now(),
+            ControllerEvent::FailoverIssued { peer, rewrites: plan.rewrites.len() },
+        ));
+        for rw in &plan.rewrites {
+            let msg = Self::flow_mod(
+                FlowModCommand::Modify,
+                rw.vmac,
+                vec![Action::SetDstMac(rw.new_dst_mac), Action::Output(rw.out_port)],
+            );
+            self.pending_flowmods.push_back(msg);
+        }
+        self.pending_flowmods.push_back(OfMessage::BarrierRequest);
+        if !self.reaction_armed {
+            self.reaction_armed = true;
+            ctx.set_timer_after(self.cfg.reaction_delay, TIMER_REACTION);
+        }
+    }
+
+    fn handle_of_message(&mut self, ctx: &mut Ctx, msg: OfMessage) {
+        match msg {
+            OfMessage::Hello => {
+                if !self.switch_ready {
+                    self.switch_ready = true;
+                    self.events.push((ctx.now(), ControllerEvent::SwitchReady));
+                    self.of_send(ctx, OfMessage::FeaturesRequest);
+                    // Punt broadcast ARP (requests) to us; keep flooding
+                    // them too so ordinary hosts still resolve each
+                    // other.
+                    let arp_rule = OfMessage::FlowMod {
+                        command: FlowModCommand::Add,
+                        priority: ARP_RULE_PRIORITY,
+                        cookie: SC_COOKIE,
+                        matcher: FlowMatch {
+                            eth_type: Some(EtherType::Arp.to_u16()),
+                            eth_dst: Some(MacAddr::BROADCAST),
+                            ..FlowMatch::default()
+                        },
+                        actions: vec![Action::ToController, Action::Flood],
+                    };
+                    self.of_send(ctx, arp_rule);
+                }
+            }
+            OfMessage::PacketIn { in_port, frame } => {
+                self.handle_packet_in(ctx, in_port, &frame);
+            }
+            OfMessage::EchoRequest(d) => {
+                self.of_send(ctx, OfMessage::EchoReply(d));
+            }
+            OfMessage::PortStatus { port, up } => {
+                if self.cfg.portstatus_failover && !up {
+                    // Carrier loss on a port a peer hangs off: run the
+                    // Listing 2 fast path immediately (the BFD event,
+                    // arriving up to detect-time later, dedups on
+                    // `failed_over`).
+                    if let Some(idx) = self
+                        .peers
+                        .iter()
+                        .position(|p| p.link.spec.switch_port == port)
+                    {
+                        self.on_bfd_event(idx, BfdEvent::Down(sc_bfd::BfdDiag::None), ctx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The Floodlight ARP-resolver extension: answer requests for VNHs
+    /// with the group's VMAC.
+    fn handle_packet_in(&mut self, ctx: &mut Ctx, in_port: u16, frame: &[u8]) {
+        let Ok((eth, payload)) = EthernetRepr::parse(frame) else {
+            return;
+        };
+        if eth.ethertype != EtherType::Arp {
+            return;
+        }
+        let Ok(arp) = ArpRepr::parse(payload) else {
+            return;
+        };
+        if arp.op != ArpOp::Request || !self.engine.owns_vnh(arp.target_ip) {
+            return;
+        }
+        let Some(vmac) = self.engine.arp_lookup(arp.target_ip) else {
+            return; // unallocated VNH: nobody should be asking
+        };
+        self.events
+            .push((ctx.now(), ControllerEvent::ArpAnswered { vnh: arp.target_ip }));
+        let reply = ArpRepr::reply_to(&arp, vmac);
+        let reply_frame = EthernetRepr {
+            dst: arp.sender_mac,
+            src: vmac,
+            ethertype: EtherType::Arp,
+        }
+        .to_frame(&reply.to_bytes());
+        let out = OfMessage::PacketOut {
+            actions: vec![Action::Output(in_port)],
+            frame: reply_frame,
+        };
+        self.of_send(ctx, out);
+    }
+
+    fn handle_router_session_events(&mut self, events: Vec<SessionEvent>, ctx: &mut Ctx) {
+        for ev in events {
+            match ev {
+                SessionEvent::Established(_) => {
+                    self.events.push((ctx.now(), ControllerEvent::RouterSessionUp));
+                    while let Some(BgpMessage::Update(u)) = self.router_backlog.pop_front() {
+                        self.router_session.queue_update(u);
+                    }
+                }
+                SessionEvent::Down(_) => {
+                    // The router will reconnect; announcements will be
+                    // replayed from engine state on next establishment.
+                    // (Re-announce everything: simplest correct policy.)
+                }
+                SessionEvent::Update(_) => {
+                    // The supercharged router does not originate routes
+                    // in this lab; ignore.
+                }
+            }
+        }
+    }
+
+    fn handle_peer_session_events(
+        &mut self,
+        idx: usize,
+        events: Vec<SessionEvent>,
+        ctx: &mut Ctx,
+    ) {
+        for ev in events {
+            let peer_id = self.peers[idx].link.spec.id;
+            match ev {
+                SessionEvent::Established(_) => {
+                    self.events
+                        .push((ctx.now(), ControllerEvent::PeerSessionUp(peer_id)));
+                    self.peers[idx].failed_over = false;
+                    self.engine.peer_up(peer_id);
+                }
+                SessionEvent::Down(_) => {
+                    // Without BFD this is the detection path (hold
+                    // timer); with BFD it usually arrives after the
+                    // failover already ran — failed_over dedups.
+                    if !self.peers[idx].failed_over {
+                        self.peers[idx].failed_over = true;
+                        self.events.push((ctx.now(), ControllerEvent::PeerDown(peer_id)));
+                        let plan = self.engine.failover_plan(peer_id);
+                        self.issue_failover(ctx, peer_id, &plan);
+                        let actions = self.engine.peer_down_repair(peer_id);
+                        self.events.push((
+                            ctx.now(),
+                            ControllerEvent::RepairQueued {
+                                peer: peer_id,
+                                announcements: actions.len(),
+                            },
+                        ));
+                        self.run_actions(ctx, actions);
+                    }
+                }
+                SessionEvent::Update(upd) => {
+                    let actions = self.engine.process_update(peer_id, &upd);
+                    self.run_actions(ctx, actions);
+                }
+            }
+        }
+    }
+}
+
+impl Node for Controller {
+    fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        // Kick the OpenFlow handshake and all active transports.
+        self.of_send(ctx, OfMessage::Hello);
+        for idx in 0..self.peers.len() {
+            self.peers[idx].chan.flush(ctx);
+            if let Some(bfd) = self.peers[idx].bfd.as_mut() {
+                bfd.start(ctx.now());
+            }
+            self.pump_bfd(idx, ctx);
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx, _port: PortId, frame: Vec<u8>) {
+        // NIC filter: the switch floods unknown-unicast frames (e.g. a
+        // peer's BFD packets addressed to a *dead* controller replica
+        // after its L2 entry was purged); without this filter those
+        // flooded `your_discr = 0` Down packets would be mis-demuxed
+        // into our own healthy sessions (RFC 5880 §6.8.6 demultiplexing
+        // respects addressing).
+        if let Ok(dst) = EthernetRepr::peek_dst(&frame) {
+            if dst != self.cfg.mac && !dst.is_broadcast() {
+                return;
+            }
+        }
+        let Ok(Some(d)) = open_udp_frame(&frame) else {
+            return;
+        };
+        if d.ip.dst != self.cfg.ip {
+            return;
+        }
+        let now = ctx.now();
+        // 1. Switch control channel.
+        if self.switch_chan.matches(&d) {
+            let events = self.switch_chan.on_datagram(&d, now);
+            self.switch_chan.flush(ctx);
+            for ev in events {
+                match ev {
+                    ChannelEvent::Connected => {}
+                    ChannelEvent::Delivered(bytes) => {
+                        if let Ok((_xid, msg)) = OfMessage::decode(&bytes) {
+                            self.handle_of_message(ctx, msg);
+                        }
+                    }
+                    ChannelEvent::PeerClosed => {}
+                }
+            }
+            return;
+        }
+        // 2. BFD.
+        if d.udp.dst_port == udp_port::BFD_CONTROL {
+            if let Some(idx) = self
+                .peers
+                .iter()
+                .position(|p| p.link.spec.id == d.ip.src && p.bfd.is_some())
+            {
+                if let Ok(pkt) = sc_bfd::BfdPacket::parse(&d.payload) {
+                    let events = self.peers[idx].bfd.as_mut().unwrap().on_packet(&pkt, now);
+                    for ev in events {
+                        self.on_bfd_event(idx, ev, ctx);
+                    }
+                    self.pump_bfd(idx, ctx);
+                }
+            }
+            return;
+        }
+        // 3. Router-facing BGP session.
+        if self.router_chan.matches(&d) {
+            let events = self.router_chan.on_datagram(&d, now);
+            let mut session_events = Vec::new();
+            for ev in events {
+                match ev {
+                    ChannelEvent::Connected => self.router_session.start(now),
+                    ChannelEvent::Delivered(bytes) => {
+                        if let Ok(msg) = BgpMessage::decode(&bytes) {
+                            session_events.extend(self.router_session.on_message(msg, now));
+                        }
+                    }
+                    ChannelEvent::PeerClosed => {
+                        if let Some(ev) = self.router_session.stop(DownReason::AdminDown) {
+                            session_events.push(ev);
+                        }
+                    }
+                }
+            }
+            self.handle_router_session_events(session_events, ctx);
+            self.pump_router(ctx);
+            return;
+        }
+        // 4. Peer BGP sessions.
+        if let Some(idx) = self.peers.iter().position(|p| p.chan.matches(&d)) {
+            let events = self.peers[idx].chan.on_datagram(&d, now);
+            let mut session_events = Vec::new();
+            for ev in events {
+                match ev {
+                    ChannelEvent::Connected => self.peers[idx].session.start(now),
+                    ChannelEvent::Delivered(bytes) => {
+                        if let Ok(msg) = BgpMessage::decode(&bytes) {
+                            session_events.extend(self.peers[idx].session.on_message(msg, now));
+                        }
+                    }
+                    ChannelEvent::PeerClosed => {
+                        if let Some(ev) = self.peers[idx].session.stop(DownReason::AdminDown) {
+                            session_events.push(ev);
+                        }
+                    }
+                }
+            }
+            self.handle_peer_session_events(idx, session_events, ctx);
+            self.pump_peer(idx, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: TimerToken) {
+        match token {
+            TIMER_SWITCH_CHAN => self.switch_chan.on_timer(ctx),
+            TIMER_ROUTER_CHAN => self.router_chan.on_timer(ctx),
+            TIMER_ROUTER_SESSION => {
+                self.router_session_armed = None;
+                let events = self.router_session.poll(ctx.now());
+                self.handle_router_session_events(events, ctx);
+                self.pump_router(ctx);
+            }
+            TIMER_REACTION => {
+                self.reaction_armed = false;
+                while let Some(msg) = self.pending_flowmods.pop_front() {
+                    self.of_send(ctx, msg);
+                }
+            }
+            TIMER_RETIRE => self.drain_retired(ctx),
+            TimerToken(t) if t >= PEER_TIMER_BASE => {
+                let idx = ((t - PEER_TIMER_BASE) / PEER_TIMER_STRIDE) as usize;
+                if idx >= self.peers.len() {
+                    return;
+                }
+                match (t - PEER_TIMER_BASE) % PEER_TIMER_STRIDE {
+                    0 => self.peers[idx].chan.on_timer(ctx),
+                    1 => {
+                        self.peers[idx].session_armed = None;
+                        let events = self.peers[idx].session.poll(ctx.now());
+                        self.handle_peer_session_events(idx, events, ctx);
+                        self.pump_peer(idx, ctx);
+                    }
+                    2 => {
+                        self.peers[idx].bfd_armed = None;
+                        self.pump_bfd(idx, ctx);
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

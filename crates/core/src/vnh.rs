@@ -1,0 +1,198 @@
+//! Deterministic allocation of virtual next-hops and virtual MACs.
+//!
+//! Determinism is load-bearing: the paper's reliability story (§3) runs
+//! two controller replicas *without* state synchronization, arguing that
+//! the same BGP input yields the same outcome. That only holds if the
+//! (VNH, VMAC) assigned to the i-th newly seen backup-group is a pure
+//! function of allocation order — which a free-list allocator over a
+//! configured pool provides (and property tests verify).
+
+use sc_net::{Ipv4Prefix, MacAddr};
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// Allocates (VNH, VMAC) pairs from a configured IP pool.
+///
+/// VNHs are drawn sequentially from inside `pool` (skipping the network
+/// and broadcast addresses); VMACs use the locally-administered
+/// [`MacAddr::virtual_mac`] scheme indexed by the same slot, so a pair
+/// can be reconstructed from either half.
+#[derive(Clone, Debug)]
+pub struct VnhAllocator {
+    pool: Ipv4Prefix,
+    next: u32,
+    /// Released slots, reused lowest-first for determinism.
+    free: BTreeSet<u32>,
+    allocated: u32,
+}
+
+impl VnhAllocator {
+    /// Create an allocator over `pool`. The pool must leave room for at
+    /// least one host (a /30 or wider).
+    pub fn new(pool: Ipv4Prefix) -> VnhAllocator {
+        assert!(pool.len() <= 30, "VNH pool too small: {pool}");
+        VnhAllocator {
+            pool,
+            next: 0,
+            free: BTreeSet::new(),
+            allocated: 0,
+        }
+    }
+
+    /// Capacity of the pool (usable host addresses).
+    pub fn capacity(&self) -> u32 {
+        (self.pool.size() as u32).saturating_sub(2)
+    }
+
+    /// Currently allocated count.
+    pub fn in_use(&self) -> u32 {
+        self.allocated
+    }
+
+    /// Allocate the next (VNH, VMAC) pair. Returns `None` when the pool
+    /// is exhausted.
+    pub fn allocate(&mut self) -> Option<(Ipv4Addr, MacAddr)> {
+        let slot = match self.free.iter().next().copied() {
+            Some(s) => {
+                self.free.remove(&s);
+                s
+            }
+            None => {
+                if self.next >= self.capacity() {
+                    return None;
+                }
+                let s = self.next;
+                self.next += 1;
+                s
+            }
+        };
+        self.allocated += 1;
+        Some((self.vnh_for_slot(slot), MacAddr::virtual_mac(slot)))
+    }
+
+    /// Return a pair to the pool (by its VNH).
+    ///
+    /// # Panics
+    /// Panics if the address is not a currently allocated VNH — that is
+    /// a bookkeeping bug, not a runtime condition.
+    pub fn release(&mut self, vnh: Ipv4Addr) {
+        let slot = self
+            .slot_for_vnh(vnh)
+            .expect("released address is not from this pool");
+        assert!(slot < self.next && !self.free.contains(&slot), "double release of {vnh}");
+        self.free.insert(slot);
+        self.allocated -= 1;
+    }
+
+    /// Is this address one of ours (allocated or not)?
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        self.pool.contains(ip)
+    }
+
+    fn vnh_for_slot(&self, slot: u32) -> Ipv4Addr {
+        // +1 skips the network address; capacity() keeps us below the
+        // broadcast address.
+        Ipv4Addr::from(self.pool.raw_bits() + 1 + slot)
+    }
+
+    fn slot_for_vnh(&self, vnh: Ipv4Addr) -> Option<u32> {
+        if !self.pool.contains(vnh) {
+            return None;
+        }
+        let off = u32::from(vnh).checked_sub(self.pool.raw_bits() + 1)?;
+        (off < self.capacity()).then_some(off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> VnhAllocator {
+        VnhAllocator::new("10.0.200.0/24".parse().unwrap())
+    }
+
+    #[test]
+    fn sequential_deterministic_allocation() {
+        let mut a = pool();
+        let mut b = pool();
+        for _ in 0..100 {
+            assert_eq!(a.allocate(), b.allocate(), "two allocators agree");
+        }
+        let (first_vnh, first_vmac) = {
+            let mut c = pool();
+            c.allocate().unwrap()
+        };
+        assert_eq!(first_vnh, Ipv4Addr::new(10, 0, 200, 1));
+        assert_eq!(first_vmac, MacAddr::virtual_mac(0));
+    }
+
+    #[test]
+    fn vnh_and_vmac_are_paired_by_slot() {
+        let mut a = pool();
+        for i in 0..10u32 {
+            let (vnh, vmac) = a.allocate().unwrap();
+            assert_eq!(vmac.virtual_index(), Some(i));
+            assert_eq!(u32::from(vnh), u32::from(Ipv4Addr::new(10, 0, 200, 1)) + i);
+        }
+        assert_eq!(a.in_use(), 10);
+    }
+
+    #[test]
+    fn release_reuses_lowest_slot_first() {
+        let mut a = pool();
+        let pairs: Vec<_> = (0..5).map(|_| a.allocate().unwrap()).collect();
+        a.release(pairs[3].0);
+        a.release(pairs[1].0);
+        // Lowest released slot (1) comes back first.
+        assert_eq!(a.allocate().unwrap(), pairs[1]);
+        assert_eq!(a.allocate().unwrap(), pairs[3]);
+        // Then fresh slots continue.
+        let (vnh, _) = a.allocate().unwrap();
+        assert_eq!(vnh, Ipv4Addr::new(10, 0, 200, 6));
+    }
+
+    #[test]
+    fn pool_exhaustion_returns_none() {
+        let mut a = VnhAllocator::new("10.0.200.0/29".parse().unwrap()); // 6 hosts
+        for _ in 0..6 {
+            assert!(a.allocate().is_some());
+        }
+        assert_eq!(a.allocate(), None);
+        assert_eq!(a.in_use(), 6);
+        assert_eq!(a.capacity(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_is_a_bug() {
+        let mut a = pool();
+        let (vnh, _) = a.allocate().unwrap();
+        a.release(vnh);
+        a.release(vnh);
+    }
+
+    #[test]
+    #[should_panic(expected = "not from this pool")]
+    fn foreign_release_is_a_bug() {
+        let mut a = pool();
+        a.release(Ipv4Addr::new(8, 8, 8, 8));
+    }
+
+    #[test]
+    fn contains_checks_pool_membership() {
+        let a = pool();
+        assert!(a.contains(Ipv4Addr::new(10, 0, 200, 77)));
+        assert!(!a.contains(Ipv4Addr::new(10, 0, 201, 1)));
+    }
+
+    #[test]
+    fn paper_scale_ninety_groups_fit() {
+        // §2: 10 peers → 90 backup-groups; a /24 pool fits comfortably.
+        let mut a = pool();
+        for _ in 0..90 {
+            assert!(a.allocate().is_some());
+        }
+        assert_eq!(a.in_use(), 90);
+    }
+}

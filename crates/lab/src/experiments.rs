@@ -1,0 +1,204 @@
+//! Experiment drivers: one function per paper result.
+//!
+//! [`run_convergence_trial`] is the workhorse behind Fig. 5: build the
+//! lab, converge, start traffic, cut R2, measure per-flow recovery at
+//! the sink — the paper's §4 methodology, phase by phase.
+
+use crate::stats::BoxStats;
+use crate::topology::{expected_convergence, suggested_flow_rate, ConvergenceLab, LabConfig, Mode};
+use sc_net::{SimDuration, SimTime};
+use sc_router::LegacyRouter;
+use sc_traffic::{TrafficSink, TrafficSource};
+use supercharger::controller::ControllerEvent;
+use supercharger::Controller;
+
+/// The outcome of one convergence trial.
+#[derive(Clone, Debug)]
+pub struct TrialResult {
+    pub mode: Mode,
+    pub prefixes: u32,
+    pub seed: u64,
+    /// Probe rate per flow actually used.
+    pub rate_pps: u64,
+    /// Per-flow convergence time: the maximum inter-packet gap measured
+    /// across the failure (the paper's metric), one entry per flow.
+    pub per_flow: Vec<SimDuration>,
+    /// Flows that never recovered within the measurement window.
+    pub unrecovered: usize,
+    /// When the failure was injected.
+    pub fail_at: SimTime,
+    /// Detection instant (BFD down at the converging party), if observed.
+    pub detected_at: Option<SimTime>,
+    /// Virtual time consumed by setup (table load).
+    pub setup_time: SimTime,
+    /// Flow rewrites issued by the controller (supercharged only).
+    pub flow_rewrites: Option<usize>,
+}
+
+impl TrialResult {
+    pub fn stats(&self) -> BoxStats {
+        BoxStats::of(&self.per_flow)
+    }
+}
+
+/// Run one full convergence experiment (one Fig. 5 data point's worth of
+/// flows).
+pub fn run_convergence_trial(cfg: LabConfig) -> TrialResult {
+    let mut lab = ConvergenceLab::build(cfg.clone());
+    let rate = suggested_flow_rate(&cfg);
+
+    // Phase 1: load the table and converge the control plane.
+    let converged_at = lab.run_until_converged();
+
+    // Phase 2: start traffic, let every flow deliver a few packets.
+    let gap = SimDuration::from_nanos(1_000_000_000 / rate);
+    let t_start = lab.world.now() + SimDuration::from_millis(100);
+    let warmup = (gap * 20).max(SimDuration::from_millis(200));
+    let t_fail = t_start + warmup;
+    let budget = expected_convergence(&cfg);
+    let t_end = t_fail + budget + budget / 2 + SimDuration::from_secs(1);
+    {
+        let src = lab.world.node_mut::<TrafficSource>(lab.source);
+        src.set_window(t_start, t_end + SimDuration::from_secs(5));
+    }
+    lab.world.wake_node(t_start, lab.source, sc_sim::TimerToken(1));
+
+    // Phase 3: open the measurement window just before the cut, then
+    // pull R2's cable (the paper disconnects R2 from the switch).
+    let sink_id = lab.sink;
+    lab.world
+        .schedule(t_fail - SimDuration::from_millis(1), move |w| {
+            let now = w.now();
+            w.node_mut::<TrafficSink>(sink_id).reset_window(now);
+        });
+    let link = lab.r2_link;
+    lab.world.schedule(t_fail, move |w| w.set_link_up(link, false));
+
+    // Phase 4: run out the measurement window and harvest.
+    lab.world.run_until(t_end);
+    let end = lab.world.now();
+    lab.world.node_mut::<TrafficSink>(sink_id).close_window(end);
+
+    let sink = lab.world.node::<TrafficSink>(sink_id);
+    assert_eq!(
+        sink.active_flows(),
+        cfg.flows,
+        "every monitored flow must have delivered before the cut"
+    );
+    let reports = sink.report();
+    let per_flow: Vec<SimDuration> = reports.iter().map(|r| r.max_gap).collect();
+    let unrecovered = reports.iter().filter(|r| r.recovered_at.is_none()).count();
+
+    // Detection instant.
+    let detected_at = match cfg.mode {
+        Mode::Stock => lab
+            .world
+            .node::<LegacyRouter>(lab.r1)
+            .events
+            .iter()
+            .find_map(|(t, e)| match e {
+                sc_router::node::RouterEvent::PeerDown(ip)
+                    if *ip == crate::topology::IP_R2 && *t >= t_fail =>
+                {
+                    Some(*t)
+                }
+                _ => None,
+            }),
+        Mode::Supercharged => lab
+            .world
+            .node::<Controller>(lab.controllers[0])
+            .events
+            .iter()
+            .find_map(|(t, e)| match e {
+                ControllerEvent::PeerDown(ip)
+                    if *ip == crate::topology::IP_R2 && *t >= t_fail =>
+                {
+                    Some(*t)
+                }
+                _ => None,
+            }),
+    };
+    let flow_rewrites = match cfg.mode {
+        Mode::Stock => None,
+        Mode::Supercharged => lab
+            .world
+            .node::<Controller>(lab.controllers[0])
+            .events
+            .iter()
+            .find_map(|(_, e)| match e {
+                ControllerEvent::FailoverIssued { rewrites, .. } => Some(*rewrites),
+                _ => None,
+            }),
+    };
+
+    TrialResult {
+        mode: cfg.mode,
+        prefixes: cfg.prefixes,
+        seed: cfg.seed,
+        rate_pps: rate,
+        per_flow,
+        unrecovered,
+        fail_at: t_fail,
+        detected_at,
+        setup_time: converged_at,
+        flow_rewrites,
+    }
+}
+
+/// One row of the Fig. 5 sweep: a prefix count with the pooled per-flow
+/// distribution over all trials (the paper pools 3 × 100 flows).
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    pub mode: Mode,
+    pub prefixes: u32,
+    pub samples: Vec<SimDuration>,
+    pub trials: usize,
+}
+
+impl SweepRow {
+    pub fn stats(&self) -> BoxStats {
+        BoxStats::of(&self.samples)
+    }
+}
+
+/// The paper's x-axis.
+pub const FIG5_PREFIX_COUNTS: [u32; 9] =
+    [1_000, 5_000, 10_000, 50_000, 100_000, 200_000, 300_000, 400_000, 500_000];
+
+/// Run the Fig. 5 sweep for one mode over the given prefix counts,
+/// pooling `trials` repetitions (the paper: 3 × 100 flows = 300 points
+/// per count). Trials run on parallel threads (each owns its world).
+pub fn run_fig5_sweep(
+    mode: Mode,
+    prefix_counts: &[u32],
+    trials: usize,
+    base: &LabConfig,
+) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for &prefixes in prefix_counts {
+        let samples = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for t in 0..trials {
+                let base = base.clone();
+                let samples = &samples;
+                scope.spawn(move || {
+                    let cfg = LabConfig {
+                        mode,
+                        prefixes,
+                        seed: base.seed + t as u64 * 1000 + prefixes as u64,
+                        ..base
+                    };
+                    let result = run_convergence_trial(cfg);
+                    samples.lock().unwrap().extend(result.per_flow);
+                });
+            }
+        });
+        rows.push(SweepRow {
+            mode,
+            prefixes,
+            samples: samples.into_inner().unwrap(),
+            trials,
+        });
+    }
+    rows
+}

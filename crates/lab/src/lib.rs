@@ -1,0 +1,23 @@
+//! The evaluation harness: the paper's Fig. 4 lab, experiment drivers,
+//! and statistics.
+//!
+//! * [`topology`] — the lab builder ([`ConvergenceLab`]): one switch,
+//!   three routers, the traffic boards, and optionally the
+//!   supercharger controller(s), wired exactly like the paper's
+//!   hardware testbed;
+//! * [`experiments`] — phase-by-phase drivers reproducing §4's
+//!   methodology (converge → stream → cut → measure) and the Fig. 5
+//!   sweep;
+//! * [`stats`] — box-plot summaries and CSV emission.
+
+pub mod experiments;
+pub mod stats;
+pub mod topology;
+
+pub use experiments::{
+    run_convergence_trial, run_fig5_sweep, SweepRow, TrialResult, FIG5_PREFIX_COUNTS,
+};
+pub use stats::{percentile, BoxStats, Csv};
+pub use topology::{
+    expected_convergence, suggested_flow_rate, ConvergenceLab, LabConfig, Mode,
+};

@@ -1,0 +1,187 @@
+//! Statistics for the experiment harness: the box-plot summaries Fig. 5
+//! reports (median, inter-quartile range, 5th/95th whiskers, max) and
+//! simple CSV emission.
+
+use sc_net::SimDuration;
+use std::fmt;
+
+/// A box-plot summary of a sample of durations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoxStats {
+    pub n: usize,
+    pub min: SimDuration,
+    pub p5: SimDuration,
+    pub q1: SimDuration,
+    pub median: SimDuration,
+    pub q3: SimDuration,
+    pub p95: SimDuration,
+    pub max: SimDuration,
+    pub mean: SimDuration,
+}
+
+impl BoxStats {
+    /// Summarize a sample. Panics on an empty sample (an experiment that
+    /// measured nothing is a harness bug).
+    pub fn of(samples: &[SimDuration]) -> BoxStats {
+        assert!(!samples.is_empty(), "no samples to summarize");
+        let mut sorted = samples.to_vec();
+        sorted.sort();
+        let total: u64 = sorted.iter().map(|d| d.as_nanos()).sum();
+        BoxStats {
+            n: sorted.len(),
+            min: sorted[0],
+            p5: percentile(&sorted, 5.0),
+            q1: percentile(&sorted, 25.0),
+            median: percentile(&sorted, 50.0),
+            q3: percentile(&sorted, 75.0),
+            p95: percentile(&sorted, 95.0),
+            max: *sorted.last().unwrap(),
+            mean: SimDuration::from_nanos(total / sorted.len() as u64),
+        }
+    }
+}
+
+impl fmt::Display for BoxStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={} p5={} q1={} med={} q3={} p95={} max={}",
+            self.n, self.min, self.p5, self.q1, self.median, self.q3, self.p95, self.max
+        )
+    }
+}
+
+/// Nearest-rank (inclusive linear interpolation) percentile of a
+/// *sorted* sample.
+pub fn percentile(sorted: &[SimDuration], pct: f64) -> SimDuration {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=100.0).contains(&pct));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return sorted[lo];
+    }
+    let frac = rank - lo as f64;
+    let a = sorted[lo].as_nanos() as f64;
+    let b = sorted[hi].as_nanos() as f64;
+    SimDuration::from_nanos((a + (b - a) * frac).round() as u64)
+}
+
+/// Minimal CSV emission (we deliberately avoid a serialization
+/// dependency; see DESIGN.md §8).
+pub struct Csv {
+    out: String,
+    columns: usize,
+}
+
+impl Csv {
+    pub fn new(header: &[&str]) -> Csv {
+        let mut c = Csv {
+            out: String::new(),
+            columns: header.len(),
+        };
+        c.push_raw(header.iter().map(|s| s.to_string()));
+        c
+    }
+
+    pub fn row(&mut self, fields: &[String]) {
+        assert_eq!(fields.len(), self.columns, "ragged CSV row");
+        self.push_raw(fields.iter().cloned());
+    }
+
+    fn push_raw(&mut self, fields: impl Iterator<Item = String>) {
+        let escaped: Vec<String> = fields
+            .map(|f| {
+                if f.contains(',') || f.contains('"') || f.contains('\n') {
+                    format!("\"{}\"", f.replace('"', "\"\""))
+                } else {
+                    f
+                }
+            })
+            .collect();
+        self.out.push_str(&escaped.join(","));
+        self.out.push('\n');
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s: Vec<SimDuration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&s, 0.0), ms(1));
+        assert_eq!(percentile(&s, 100.0), ms(100));
+        let med = percentile(&s, 50.0);
+        assert_eq!(med.as_micros(), 50_500); // between 50 and 51
+        let p95 = percentile(&s, 95.0);
+        assert!(p95 >= ms(95) && p95 <= ms(96));
+    }
+
+    #[test]
+    fn box_stats_of_uniform_walk() {
+        // A uniform spread like the stock router's per-flow recovery:
+        // median ≈ half the worst case.
+        let s: Vec<SimDuration> = (1..=1000).map(ms).collect();
+        let b = BoxStats::of(&s);
+        assert_eq!(b.n, 1000);
+        assert_eq!(b.min, ms(1));
+        assert_eq!(b.max, ms(1000));
+        let ratio = b.median.as_nanos() as f64 / b.max.as_nanos() as f64;
+        assert!((0.45..0.55).contains(&ratio));
+        assert!(b.q1 < b.median && b.median < b.q3);
+        assert!(b.p5 < b.q1 && b.q3 < b.p95);
+    }
+
+    #[test]
+    fn box_stats_of_constant_sample() {
+        // The supercharged router: every flow ≈150ms.
+        let s = vec![ms(150); 300];
+        let b = BoxStats::of(&s);
+        assert_eq!(b.min, b.max);
+        assert_eq!(b.median, ms(150));
+        assert_eq!(b.mean, ms(150));
+    }
+
+    #[test]
+    fn single_sample() {
+        let b = BoxStats::of(&[ms(7)]);
+        assert_eq!(b.median, ms(7));
+        assert_eq!(b.p95, ms(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_sample_panics() {
+        let _ = BoxStats::of(&[]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut c = Csv::new(&["a", "b"]);
+        c.row(&["1".into(), "plain".into()]);
+        c.row(&["2".into(), "with,comma".into()]);
+        let out = c.finish();
+        assert_eq!(out, "a,b\n1,plain\n2,\"with,comma\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn csv_rejects_ragged_rows() {
+        let mut c = Csv::new(&["a", "b"]);
+        c.row(&["only-one".into()]);
+    }
+}

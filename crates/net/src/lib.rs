@@ -1,0 +1,40 @@
+//! Base networking types and wire formats for the supercharged-router
+//! workspace.
+//!
+//! This crate is the bottom of the dependency DAG. It provides:
+//!
+//! * [`time`] — virtual time ([`SimTime`], [`SimDuration`]) shared by the
+//!   whole workspace. The discrete-event simulator, every protocol state
+//!   machine, and every measurement use these types, so they live here
+//!   rather than in the simulator crate.
+//! * [`mac`] — Ethernet MAC addresses, including the locally-administered
+//!   range used for the paper's *virtual MAC* (VMAC) tags.
+//! * [`prefix`] — IPv4 CIDR prefixes with canonicalization.
+//! * [`trie`] — a binary radix trie implementing longest-prefix match, the
+//!   data structure backing every RIB/FIB in the workspace.
+//! * [`wire`] — parse/emit for Ethernet II, ARP, IPv4 and UDP, in the
+//!   two-level style of `smoltcp`: raw accessors over byte slices plus a
+//!   high-level `Repr` with `parse`/`emit`.
+//! * [`checksum`] — the internet checksum (RFC 1071).
+//! * [`channel`] — a poll-based reliable, in-order message transport state
+//!   machine (a deliberately simplified TCP; see `DESIGN.md` §2).
+//!
+//! Everything here is deterministic and allocation-conscious; nothing
+//! performs I/O.
+
+pub mod channel;
+pub mod checksum;
+pub mod mac;
+pub mod prefix;
+pub mod time;
+pub mod trie;
+pub mod wire;
+
+pub use mac::MacAddr;
+pub use prefix::{Ipv4Prefix, PrefixParseError};
+pub use time::{SimDuration, SimTime};
+pub use trie::PrefixTrie;
+
+/// Re-export of the standard IPv4 address type used throughout the
+/// workspace (we do not wrap it; `std`'s type is already exactly right).
+pub use std::net::Ipv4Addr;

@@ -1,0 +1,198 @@
+//! Ethernet MAC addresses.
+//!
+//! The supercharger tags traffic with *virtual* MAC addresses (VMACs): the
+//! router writes the VMAC of a backup-group into outgoing frames and the
+//! SDN switch matches on it. VMACs are allocated from the
+//! locally-administered, unicast range (`x2:xx:...`), which is guaranteed
+//! never to collide with burned-in hardware addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address (invalid as a source; used as "unset").
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Construct from the six octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8) -> Self {
+        MacAddr([a, b, c, d, e, f])
+    }
+
+    /// The raw octets.
+    pub const fn octets(self) -> [u8; 6] {
+        self.0
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+
+    /// True if the group bit (I/G, least-significant bit of the first
+    /// octet) is set — broadcast or multicast.
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True for unicast (neither broadcast nor multicast).
+    pub fn is_unicast(self) -> bool {
+        !self.is_multicast()
+    }
+
+    /// True if the locally-administered bit (U/L, second-least-significant
+    /// bit of the first octet) is set. All VMACs are locally administered.
+    pub fn is_locally_administered(self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// Build the `index`-th virtual MAC: locally-administered unicast,
+    /// `02:5c:` ("sc") prefix, with the index in the low 32 bits.
+    ///
+    /// This is the allocation scheme the supercharger's VMAC pool uses;
+    /// it supports 2^32 distinct backup-groups, far more than the
+    /// `n(n-1)` any real deployment needs.
+    pub const fn virtual_mac(index: u32) -> MacAddr {
+        let i = index.to_be_bytes();
+        MacAddr([0x02, 0x5c, i[0], i[1], i[2], i[3]])
+    }
+
+    /// If this address is a VMAC produced by [`MacAddr::virtual_mac`],
+    /// return its index.
+    pub fn virtual_index(self) -> Option<u32> {
+        if self.0[0] == 0x02 && self.0[1] == 0x5c {
+            Some(u32::from_be_bytes([self.0[2], self.0[3], self.0[4], self.0[5]]))
+        } else {
+            None
+        }
+    }
+
+    /// Parse from a 6-byte slice.
+    pub fn from_bytes(b: &[u8]) -> Option<MacAddr> {
+        if b.len() == 6 {
+            let mut o = [0u8; 6];
+            o.copy_from_slice(b);
+            Some(MacAddr(o))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error parsing a textual MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacParseError;
+
+impl fmt::Display for MacParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address syntax (expected aa:bb:cc:dd:ee:ff)")
+    }
+}
+
+impl std::error::Error for MacParseError {}
+
+impl FromStr for MacAddr {
+    type Err = MacParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 6];
+        let mut parts = s.split(':');
+        for o in octets.iter_mut() {
+            let part = parts.next().ok_or(MacParseError)?;
+            if part.len() != 2 {
+                return Err(MacParseError);
+            }
+            *o = u8::from_str_radix(part, 16).map_err(|_| MacParseError)?;
+        }
+        if parts.next().is_some() {
+            return Err(MacParseError);
+        }
+        Ok(MacAddr(octets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let m = MacAddr::new(0x01, 0xaa, 0x00, 0xff, 0x02, 0xbb);
+        assert_eq!(m.to_string(), "01:aa:00:ff:02:bb");
+        assert_eq!("01:aa:00:ff:02:bb".parse::<MacAddr>().unwrap(), m);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("01:aa".parse::<MacAddr>().is_err());
+        assert!("01:aa:00:ff:02:bb:cc".parse::<MacAddr>().is_err());
+        assert!("01:aa:00:ff:02:zz".parse::<MacAddr>().is_err());
+        assert!("1:aa:00:ff:02:bb".parse::<MacAddr>().is_err());
+        assert!("".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn broadcast_and_multicast_bits() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::BROADCAST.is_unicast());
+        let mcast = MacAddr::new(0x01, 0x00, 0x5e, 0x00, 0x00, 0x01);
+        assert!(mcast.is_multicast());
+        assert!(!mcast.is_broadcast());
+        let ucast = MacAddr::new(0x00, 0x11, 0x22, 0x33, 0x44, 0x55);
+        assert!(ucast.is_unicast());
+    }
+
+    #[test]
+    fn virtual_mac_scheme() {
+        let v0 = MacAddr::virtual_mac(0);
+        let v1 = MacAddr::virtual_mac(1);
+        let vbig = MacAddr::virtual_mac(0xdead_beef);
+        assert_ne!(v0, v1);
+        assert!(v0.is_locally_administered());
+        assert!(v0.is_unicast());
+        assert_eq!(v0.virtual_index(), Some(0));
+        assert_eq!(v1.virtual_index(), Some(1));
+        assert_eq!(vbig.virtual_index(), Some(0xdead_beef));
+        // A hardware-looking address is not a VMAC.
+        assert_eq!(MacAddr::new(0x00, 0x1b, 0x21, 0x00, 0x00, 0x01).virtual_index(), None);
+    }
+
+    #[test]
+    fn virtual_macs_are_dense_and_distinct() {
+        let macs: Vec<MacAddr> = (0..1000).map(MacAddr::virtual_mac).collect();
+        let mut dedup = macs.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), macs.len());
+    }
+
+    #[test]
+    fn from_bytes_checks_length() {
+        assert!(MacAddr::from_bytes(&[1, 2, 3, 4, 5, 6]).is_some());
+        assert!(MacAddr::from_bytes(&[1, 2, 3]).is_none());
+        assert!(MacAddr::from_bytes(&[0; 7]).is_none());
+    }
+}

@@ -1,0 +1,667 @@
+//! A path-compressed binary radix trie over [`Ipv4Prefix`] keys.
+//!
+//! This is the structure behind every RIB and FIB in the workspace: the
+//! router's forwarding table, the controller's routing table, and the
+//! traffic sink's expected-destination CAM. It supports exact-match
+//! insert/remove/get, **longest-prefix match** on addresses, and ordered
+//! iteration (the order in which the legacy router walks its FIB during
+//! convergence).
+//!
+//! Nodes live in a `Vec` arena addressed by `u32` indices with a free
+//! list, so a 512k-entry full table costs a few tens of megabytes and no
+//! per-node allocations.
+
+use crate::prefix::Ipv4Prefix;
+use std::net::Ipv4Addr;
+
+const NO_NODE: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<T> {
+    /// The key bits accumulated on the path down to (and including) this
+    /// node. Inner (split) nodes may carry no value.
+    prefix: Ipv4Prefix,
+    value: Option<T>,
+    /// Child whose next bit after `prefix.len()` is 0 / 1.
+    left: u32,
+    right: u32,
+}
+
+/// A map from IPv4 prefixes to `T` with longest-prefix-match lookup.
+#[derive(Clone, Debug)]
+pub struct PrefixTrie<T> {
+    nodes: Vec<Node<T>>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NO_NODE,
+            len: 0,
+        }
+    }
+
+    /// Number of stored (prefix, value) entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NO_NODE;
+        self.len = 0;
+    }
+
+    fn alloc(&mut self, node: Node<T>) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            assert!(idx < NO_NODE, "trie node arena exhausted");
+            self.nodes.push(node);
+            idx
+        }
+    }
+
+    /// Insert `value` under `prefix`, returning the previous value if the
+    /// prefix was already present.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
+        if self.root == NO_NODE {
+            self.root = self.alloc(Node {
+                prefix,
+                value: Some(value),
+                left: NO_NODE,
+                right: NO_NODE,
+            });
+            self.len += 1;
+            return None;
+        }
+
+        let mut cur = self.root;
+        loop {
+            let cur_prefix = self.nodes[cur as usize].prefix;
+            let common = common_prefix_len(prefix, cur_prefix);
+
+            if common < cur_prefix.len() {
+                // The new key diverges inside this node's edge: split.
+                let split_prefix = Ipv4Prefix::new(Ipv4Addr::from(prefix.raw_bits()), common);
+                // Which side does the existing node go to?
+                let cur_bit = cur_prefix.bit(common);
+                let old_node = cur;
+                let split = self.alloc(Node {
+                    prefix: split_prefix,
+                    value: None,
+                    left: NO_NODE,
+                    right: NO_NODE,
+                });
+                // Move the old node's slot content under the split node.
+                // `split` replaces `old_node` in the parent, so swap their
+                // arena positions to avoid tracking parents.
+                self.nodes.swap(old_node as usize, split as usize);
+                // After the swap: `old_node` slot holds the split node,
+                // `split` slot holds the original node.
+                if cur_bit {
+                    self.nodes[old_node as usize].right = split;
+                } else {
+                    self.nodes[old_node as usize].left = split;
+                }
+                let split_node_idx = old_node;
+
+                if common == prefix.len() {
+                    // The new prefix *is* the split point.
+                    self.nodes[split_node_idx as usize].value = Some(value);
+                    self.len += 1;
+                    return None;
+                }
+                // Attach a fresh leaf for the new prefix on the other side.
+                let leaf = self.alloc(Node {
+                    prefix,
+                    value: Some(value),
+                    left: NO_NODE,
+                    right: NO_NODE,
+                });
+                if prefix.bit(common) {
+                    debug_assert!(!cur_bit);
+                    self.nodes[split_node_idx as usize].right = leaf;
+                } else {
+                    debug_assert!(cur_bit);
+                    self.nodes[split_node_idx as usize].left = leaf;
+                }
+                self.len += 1;
+                return None;
+            }
+
+            // cur_prefix is fully a prefix of the new key.
+            if prefix.len() == cur_prefix.len() {
+                // Exact node.
+                let slot = &mut self.nodes[cur as usize].value;
+                let old = slot.replace(value);
+                if old.is_none() {
+                    self.len += 1;
+                }
+                return old;
+            }
+
+            // Descend.
+            let bit = prefix.bit(cur_prefix.len());
+            let child = if bit {
+                self.nodes[cur as usize].right
+            } else {
+                self.nodes[cur as usize].left
+            };
+            if child == NO_NODE {
+                let leaf = self.alloc(Node {
+                    prefix,
+                    value: Some(value),
+                    left: NO_NODE,
+                    right: NO_NODE,
+                });
+                if bit {
+                    self.nodes[cur as usize].right = leaf;
+                } else {
+                    self.nodes[cur as usize].left = leaf;
+                }
+                self.len += 1;
+                return None;
+            }
+            cur = child;
+        }
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: Ipv4Prefix) -> Option<&T> {
+        let idx = self.find_exact(prefix)?;
+        self.nodes[idx as usize].value.as_ref()
+    }
+
+    /// Exact-match mutable lookup.
+    pub fn get_mut(&mut self, prefix: Ipv4Prefix) -> Option<&mut T> {
+        let idx = self.find_exact(prefix)?;
+        self.nodes[idx as usize].value.as_mut()
+    }
+
+    /// True if the exact prefix is stored.
+    pub fn contains_prefix(&self, prefix: Ipv4Prefix) -> bool {
+        self.get(prefix).is_some()
+    }
+
+    fn find_exact(&self, prefix: Ipv4Prefix) -> Option<u32> {
+        let mut cur = self.root;
+        while cur != NO_NODE {
+            let node = &self.nodes[cur as usize];
+            let np = node.prefix;
+            if !np.covers(prefix) {
+                return None;
+            }
+            if np.len() == prefix.len() {
+                return Some(cur);
+            }
+            cur = if prefix.bit(np.len()) { node.right } else { node.left };
+        }
+        None
+    }
+
+    /// Longest-prefix match: the most specific stored prefix containing
+    /// `addr`, with its value.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<(Ipv4Prefix, &T)> {
+        let key = Ipv4Prefix::host(addr);
+        let mut best: Option<(Ipv4Prefix, &T)> = None;
+        let mut cur = self.root;
+        while cur != NO_NODE {
+            let node = &self.nodes[cur as usize];
+            let np = node.prefix;
+            if !np.covers(key) {
+                break;
+            }
+            if let Some(v) = &node.value {
+                best = Some((np, v));
+            }
+            if np.len() == 32 {
+                break;
+            }
+            cur = if key.bit(np.len()) { node.right } else { node.left };
+        }
+        best
+    }
+
+    /// All stored prefixes containing `addr`, shortest first (for
+    /// diagnostics and tests).
+    pub fn matches(&self, addr: Ipv4Addr) -> Vec<(Ipv4Prefix, &T)> {
+        let key = Ipv4Prefix::host(addr);
+        let mut out = Vec::new();
+        let mut cur = self.root;
+        while cur != NO_NODE {
+            let node = &self.nodes[cur as usize];
+            let np = node.prefix;
+            if !np.covers(key) {
+                break;
+            }
+            if let Some(v) = &node.value {
+                out.push((np, v));
+            }
+            if np.len() == 32 {
+                break;
+            }
+            cur = if key.bit(np.len()) { node.right } else { node.left };
+        }
+        out
+    }
+
+    /// Remove a prefix, returning its value. Prunes and re-merges nodes so
+    /// the structure stays compact under churn.
+    pub fn remove(&mut self, prefix: Ipv4Prefix) -> Option<T> {
+        // Walk down, remembering the path for pruning.
+        let mut path: Vec<u32> = Vec::with_capacity(8);
+        let mut cur = self.root;
+        loop {
+            if cur == NO_NODE {
+                return None;
+            }
+            let node = &self.nodes[cur as usize];
+            let np = node.prefix;
+            if !np.covers(prefix) {
+                return None;
+            }
+            if np.len() == prefix.len() {
+                break;
+            }
+            path.push(cur);
+            cur = if prefix.bit(np.len()) { node.right } else { node.left };
+        }
+        let value = self.nodes[cur as usize].value.take()?;
+        self.len -= 1;
+        self.prune(cur, &path);
+        Some(value)
+    }
+
+    /// Remove node `idx` if it has become useless (no value), merging
+    /// single-child pass-through nodes upward along `path`.
+    fn prune(&mut self, idx: u32, path: &[u32]) {
+        let mut idx = idx;
+        let mut path_end = path.len();
+        loop {
+            let node = &self.nodes[idx as usize];
+            if node.value.is_some() {
+                return;
+            }
+            let (l, r) = (node.left, node.right);
+            let replacement = match (l != NO_NODE, r != NO_NODE) {
+                (true, true) => return, // genuine split point, keep
+                (true, false) => l,
+                (false, true) => r,
+                (false, false) => NO_NODE,
+            };
+            // Unlink idx from its parent (or root), replacing with child.
+            let parent = if path_end == 0 { None } else { Some(path[path_end - 1]) };
+            match parent {
+                None => {
+                    self.root = replacement;
+                    self.free.push(idx);
+                    return;
+                }
+                Some(p) => {
+                    let pnode = &mut self.nodes[p as usize];
+                    if pnode.left == idx {
+                        pnode.left = replacement;
+                    } else {
+                        debug_assert_eq!(pnode.right, idx);
+                        pnode.right = replacement;
+                    }
+                    self.free.push(idx);
+                    // The parent may itself have become a valueless
+                    // pass-through node.
+                    idx = p;
+                    path_end -= 1;
+                }
+            }
+        }
+    }
+
+    /// Iterate entries in ascending `(network bits, length)` order — the
+    /// order in which the modeled router walks its FIB.
+    pub fn iter(&self) -> Iter<'_, T> {
+        let mut stack = Vec::new();
+        if self.root != NO_NODE {
+            stack.push(self.root);
+        }
+        Iter { trie: self, stack }
+    }
+
+    /// Iterate just the stored prefixes, in order.
+    pub fn keys(&self) -> impl Iterator<Item = Ipv4Prefix> + '_ {
+        self.iter().map(|(p, _)| p)
+    }
+
+    /// Apply `f` to every value (iteration order as [`PrefixTrie::iter`]).
+    pub fn for_each_mut(&mut self, mut f: impl FnMut(Ipv4Prefix, &mut T)) {
+        let mut stack = Vec::new();
+        if self.root != NO_NODE {
+            stack.push(self.root);
+        }
+        while let Some(idx) = stack.pop() {
+            let (l, r) = {
+                let n = &self.nodes[idx as usize];
+                (n.left, n.right)
+            };
+            // Visit own value, then left subtree, then right: push right
+            // first so left pops first.
+            let node = &mut self.nodes[idx as usize];
+            let prefix = node.prefix;
+            if let Some(v) = node.value.as_mut() {
+                f(prefix, v);
+            }
+            if r != NO_NODE {
+                stack.push(r);
+            }
+            if l != NO_NODE {
+                stack.push(l);
+            }
+        }
+    }
+}
+
+/// Ordered iterator over trie entries.
+pub struct Iter<'a, T> {
+    trie: &'a PrefixTrie<T>,
+    stack: Vec<u32>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = (Ipv4Prefix, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(idx) = self.stack.pop() {
+            let node = &self.trie.nodes[idx as usize];
+            // Pre-order: a node's own prefix sorts before both subtrees
+            // (same leading bits, shorter length) and the left subtree's
+            // bits sort below the right's.
+            if node.right != NO_NODE {
+                self.stack.push(node.right);
+            }
+            if node.left != NO_NODE {
+                self.stack.push(node.left);
+            }
+            if let Some(v) = &node.value {
+                return Some((node.prefix, v));
+            }
+        }
+        None
+    }
+}
+
+impl<'a, T> IntoIterator for &'a PrefixTrie<T> {
+    type Item = (Ipv4Prefix, &'a T);
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<T> FromIterator<(Ipv4Prefix, T)> for PrefixTrie<T> {
+    fn from_iter<I: IntoIterator<Item = (Ipv4Prefix, T)>>(iter: I) -> Self {
+        let mut t = PrefixTrie::new();
+        for (p, v) in iter {
+            t.insert(p, v);
+        }
+        t
+    }
+}
+
+/// Length of the common prefix of two prefixes, capped at both lengths.
+fn common_prefix_len(a: Ipv4Prefix, b: Ipv4Prefix) -> u8 {
+    let diff = a.raw_bits() ^ b.raw_bits();
+    let common = diff.leading_zeros() as u8;
+    common.min(a.len()).min(b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_exact() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/16"), 2), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 3), Some(1));
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&3));
+        assert_eq!(t.get(p("10.0.0.0/16")), Some(&2));
+        assert_eq!(t.get(p("10.0.0.0/24")), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn longest_prefix_match_prefers_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "default");
+        t.insert(p("10.0.0.0/8"), "eight");
+        t.insert(p("10.1.0.0/16"), "sixteen");
+        t.insert(p("10.1.2.0/24"), "twentyfour");
+
+        let lookup = |a: [u8; 4]| t.lookup(Ipv4Addr::from(a)).map(|(_, v)| *v);
+        assert_eq!(lookup([10, 1, 2, 3]), Some("twentyfour"));
+        assert_eq!(lookup([10, 1, 9, 9]), Some("sixteen"));
+        assert_eq!(lookup([10, 200, 0, 1]), Some("eight"));
+        assert_eq!(lookup([192, 168, 0, 1]), Some("default"));
+    }
+
+    #[test]
+    fn lookup_on_empty_and_miss() {
+        let t: PrefixTrie<u32> = PrefixTrie::new();
+        assert!(t.lookup(Ipv4Addr::new(1, 2, 3, 4)).is_none());
+
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        assert!(t.lookup(Ipv4Addr::new(11, 0, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn split_nodes_hold_no_phantom_values() {
+        let mut t = PrefixTrie::new();
+        // 10.0.0.0/8 and 10.128.0.0/9 share a /8 split... insert siblings
+        // that force an inner split node at /15.
+        t.insert(p("10.2.0.0/16"), 1);
+        t.insert(p("10.3.0.0/16"), 2);
+        assert_eq!(t.len(), 2);
+        // The split point /15 must not match.
+        assert_eq!(t.get(p("10.2.0.0/15")), None);
+        assert_eq!(
+            t.lookup(Ipv4Addr::new(10, 2, 0, 1)).map(|(pf, v)| (pf, *v)),
+            Some((p("10.2.0.0/16"), 1))
+        );
+        assert_eq!(
+            t.lookup(Ipv4Addr::new(10, 3, 0, 1)).map(|(pf, v)| (pf, *v)),
+            Some((p("10.3.0.0/16"), 2))
+        );
+        assert!(t.lookup(Ipv4Addr::new(10, 4, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn remove_and_prune() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.2.0.0/16"), 1);
+        t.insert(p("10.3.0.0/16"), 2);
+        t.insert(p("10.0.0.0/8"), 0);
+        assert_eq!(t.remove(p("10.2.0.0/16")), Some(1));
+        assert_eq!(t.remove(p("10.2.0.0/16")), None);
+        assert_eq!(t.len(), 2);
+        assert!(t.lookup(Ipv4Addr::new(10, 2, 0, 1)).is_some()); // /8 still covers
+        assert_eq!(t.remove(p("10.0.0.0/8")), Some(0));
+        assert_eq!(t.remove(p("10.3.0.0/16")), Some(2));
+        assert!(t.is_empty());
+        assert!(t.lookup(Ipv4Addr::new(10, 3, 0, 1)).is_none());
+        // Arena fully recycled: inserting again must not grow unboundedly.
+        let before = t.nodes.len();
+        t.insert(p("10.2.0.0/16"), 9);
+        assert!(t.nodes.len() <= before.max(1));
+    }
+
+    #[test]
+    fn removing_inner_value_keeps_children() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 0);
+        t.insert(p("10.2.0.0/16"), 1);
+        t.insert(p("10.3.0.0/16"), 2);
+        assert_eq!(t.remove(p("10.0.0.0/8")), Some(0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(p("10.2.0.0/16")), Some(&1));
+        assert_eq!(t.get(p("10.3.0.0/16")), Some(&2));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut t = PrefixTrie::new();
+        let prefixes = [
+            "99.0.0.0/8",
+            "1.0.0.0/24",
+            "1.0.0.0/16",
+            "1.0.1.0/24",
+            "0.0.0.0/0",
+            "128.0.0.0/1",
+        ];
+        for (i, s) in prefixes.iter().enumerate() {
+            t.insert(p(s), i);
+        }
+        let keys: Vec<Ipv4Prefix> = t.keys().collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), prefixes.len());
+        assert_eq!(keys[0], p("0.0.0.0/0"));
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(Ipv4Prefix::DEFAULT, 42);
+        assert_eq!(t.lookup(Ipv4Addr::new(0, 0, 0, 0)).map(|(_, v)| *v), Some(42));
+        assert_eq!(
+            t.lookup(Ipv4Addr::new(255, 255, 255, 255)).map(|(_, v)| *v),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn matches_returns_all_covering() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), 0);
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("10.1.0.0/16"), 2);
+        t.insert(p("11.0.0.0/8"), 3);
+        let m: Vec<u32> = t
+            .matches(Ipv4Addr::new(10, 1, 2, 3))
+            .into_iter()
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(m, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn for_each_mut_visits_all() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("10.1.0.0/16"), 10);
+        t.insert(p("20.0.0.0/8"), 100);
+        t.for_each_mut(|_, v| *v *= 2);
+        let sum: u32 = t.iter().map(|(_, v)| *v).sum();
+        assert_eq!(sum, 222);
+    }
+
+    #[test]
+    fn host_routes_at_32_bits() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("1.2.3.4/32"), 1);
+        t.insert(p("1.2.3.5/32"), 2);
+        t.insert(p("1.2.3.0/24"), 0);
+        assert_eq!(t.lookup(Ipv4Addr::new(1, 2, 3, 4)).map(|(_, v)| *v), Some(1));
+        assert_eq!(t.lookup(Ipv4Addr::new(1, 2, 3, 5)).map(|(_, v)| *v), Some(2));
+        assert_eq!(t.lookup(Ipv4Addr::new(1, 2, 3, 6)).map(|(_, v)| *v), Some(0));
+    }
+
+    /// Differential test against a naive model on a deterministic
+    /// pseudo-random workload (the proptest version lives in
+    /// `tests/trie_model.rs` of this crate).
+    #[test]
+    fn differential_against_btreemap_model() {
+        let mut model: BTreeMap<Ipv4Prefix, u64> = BTreeMap::new();
+        let mut t = PrefixTrie::new();
+        // Simple deterministic LCG so the test needs no rand dependency.
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        for i in 0..4000u64 {
+            let r = next();
+            let addr = Ipv4Addr::from((r >> 16) as u32);
+            let len = (r % 33) as u8;
+            let pfx = Ipv4Prefix::new(addr, len);
+            match r % 3 {
+                0 | 1 => {
+                    assert_eq!(t.insert(pfx, i), model.insert(pfx, i), "insert {pfx}");
+                }
+                _ => {
+                    assert_eq!(t.remove(pfx), model.remove(&pfx), "remove {pfx}");
+                }
+            }
+            assert_eq!(t.len(), model.len());
+        }
+        // Compare LPM on a batch of addresses.
+        for _ in 0..2000 {
+            let addr = Ipv4Addr::from(next() as u32);
+            let expect = model
+                .iter()
+                .filter(|(pfx, _)| pfx.contains(addr))
+                .max_by_key(|(pfx, _)| pfx.len())
+                .map(|(pfx, v)| (*pfx, *v));
+            let got = t.lookup(addr).map(|(pfx, v)| (pfx, *v));
+            assert_eq!(got, expect, "lpm {addr}");
+        }
+        // Ordered iteration equals the model's.
+        let got: Vec<_> = t.iter().map(|(pfx, v)| (pfx, *v)).collect();
+        let expect: Vec<_> = model.iter().map(|(pfx, v)| (*pfx, *v)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn full_table_scale_smoke() {
+        // 100k synthetic /24s: insert, LPM, iterate — exercises arena
+        // growth and ordered-walk performance assumptions.
+        let mut t = PrefixTrie::new();
+        for i in 0..100_000u32 {
+            let base = 0x0100_0000u32 + (i << 8); // 1.0.0.0 onward, /24 apart
+            t.insert(Ipv4Prefix::new(Ipv4Addr::from(base), 24), i);
+        }
+        assert_eq!(t.len(), 100_000);
+        let (pfx, v) = t.lookup(Ipv4Addr::from(0x0100_0001u32)).unwrap();
+        assert_eq!((pfx.len(), *v), (24, 0));
+        assert_eq!(t.iter().count(), 100_000);
+        let first = t.iter().next().unwrap().0;
+        assert_eq!(first, Ipv4Prefix::new(Ipv4Addr::new(1, 0, 0, 0), 24));
+    }
+}

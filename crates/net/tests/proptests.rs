@@ -1,0 +1,203 @@
+//! Property tests for the base crate: the trie against a naive model,
+//! parse∘emit identity for every wire format, and channel delivery
+//! under arbitrary loss.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sc_net::channel::{ChannelConfig, ChannelEvent, Endpoint};
+use sc_net::wire::{
+    open_udp_frame, udp_frame, ArpOp, ArpRepr, EtherType, EthernetRepr, Ipv4Repr, UdpEndpoints,
+    UdpRepr,
+};
+use sc_net::{Ipv4Prefix, MacAddr, PrefixTrie, SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Prefix::new(Ipv4Addr::from(addr), len))
+}
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+proptest! {
+    /// Trie ≡ BTreeMap model under arbitrary insert/remove interleaving,
+    /// for exact match, LPM, and ordered iteration.
+    #[test]
+    fn trie_matches_model(
+        ops in vec((arb_prefix(), any::<bool>(), any::<u16>()), 1..200),
+        lookups in vec(arb_ip(), 1..50),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut model: BTreeMap<Ipv4Prefix, u16> = BTreeMap::new();
+        for (pfx, insert, val) in ops {
+            if insert {
+                prop_assert_eq!(trie.insert(pfx, val), model.insert(pfx, val));
+            } else {
+                prop_assert_eq!(trie.remove(pfx), model.remove(&pfx));
+            }
+            prop_assert_eq!(trie.len(), model.len());
+        }
+        for ip in lookups {
+            let expect = model
+                .iter()
+                .filter(|(p, _)| p.contains(ip))
+                .max_by_key(|(p, _)| p.len())
+                .map(|(p, v)| (*p, *v));
+            prop_assert_eq!(trie.lookup(ip).map(|(p, v)| (p, *v)), expect);
+        }
+        let got: Vec<_> = trie.iter().map(|(p, v)| (p, *v)).collect();
+        let want: Vec<_> = model.iter().map(|(p, v)| (*p, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Ethernet parse∘emit identity, and rewrite touches only dst.
+    #[test]
+    fn ethernet_roundtrip(dst in arb_mac(), src in arb_mac(), ty in any::<u16>(),
+                          payload in vec(any::<u8>(), 0..256), new_dst in arb_mac()) {
+        let repr = EthernetRepr { dst, src, ethertype: EtherType::from_u16(ty) };
+        let mut frame = repr.to_frame(&payload);
+        let (parsed, pl) = EthernetRepr::parse(&frame).unwrap();
+        prop_assert_eq!(parsed, repr);
+        prop_assert_eq!(pl, &payload[..]);
+        EthernetRepr::rewrite_dst(&mut frame, new_dst).unwrap();
+        let (parsed2, pl2) = EthernetRepr::parse(&frame).unwrap();
+        prop_assert_eq!(parsed2.dst, new_dst);
+        prop_assert_eq!(parsed2.src, src);
+        prop_assert_eq!(pl2, &payload[..]);
+    }
+
+    /// ARP parse∘emit identity over arbitrary field values.
+    #[test]
+    fn arp_roundtrip(smac in arb_mac(), sip in arb_ip(), tmac in arb_mac(),
+                     tip in arb_ip(), reply in any::<bool>()) {
+        let repr = ArpRepr {
+            op: if reply { ArpOp::Reply } else { ArpOp::Request },
+            sender_mac: smac,
+            sender_ip: sip,
+            target_mac: tmac,
+            target_ip: tip,
+        };
+        prop_assert_eq!(ArpRepr::parse(&repr.to_bytes()).unwrap(), repr);
+    }
+
+    /// IPv4 parse∘emit identity; corrupting any single byte of the
+    /// header must be detected (checksum or field validation).
+    #[test]
+    fn ipv4_roundtrip_and_detection(
+        src in arb_ip(), dst in arb_ip(), proto in any::<u8>(), ttl in 1u8..255,
+        tos in any::<u8>(), ident in any::<u16>(),
+        payload in vec(any::<u8>(), 0..64),
+        corrupt_at in 0usize..20, corrupt_bit in 0u8..8,
+    ) {
+        let repr = Ipv4Repr { src, dst, protocol: proto, ttl, tos, ident };
+        let pkt = repr.to_packet(&payload);
+        let (parsed, pl) = Ipv4Repr::parse(&pkt).unwrap();
+        prop_assert_eq!(parsed, repr);
+        prop_assert_eq!(pl, &payload[..]);
+
+        let mut bad = pkt.clone();
+        bad[corrupt_at] ^= 1 << corrupt_bit;
+        if bad != pkt {
+            prop_assert!(Ipv4Repr::parse(&bad).is_err(),
+                "single-bit header corruption at {corrupt_at} must be detected");
+        }
+    }
+
+    /// UDP parse∘emit identity with pseudo-header checksum.
+    #[test]
+    fn udp_roundtrip(src in arb_ip(), dst in arb_ip(), sp in any::<u16>(),
+                     dp in any::<u16>(), payload in vec(any::<u8>(), 0..128)) {
+        let repr = UdpRepr { src_port: sp, dst_port: dp };
+        let seg = repr.to_segment(src, dst, &payload);
+        let (parsed, pl) = UdpRepr::parse(src, dst, &seg).unwrap();
+        prop_assert_eq!(parsed, repr);
+        prop_assert_eq!(pl, &payload[..]);
+    }
+
+    /// Full-stack encap/decap identity.
+    #[test]
+    fn stack_roundtrip(smac in arb_mac(), dmac in arb_mac(), sip in arb_ip(),
+                       dip in arb_ip(), sp in any::<u16>(), dp in any::<u16>(),
+                       payload in vec(any::<u8>(), 0..64)) {
+        let ep = UdpEndpoints {
+            src_mac: smac, dst_mac: dmac, src_ip: sip, dst_ip: dip,
+            src_port: sp, dst_port: dp,
+        };
+        let frame = udp_frame(ep, 64, &payload);
+        let d = open_udp_frame(&frame).unwrap().unwrap();
+        prop_assert_eq!(d.payload, payload);
+        prop_assert_eq!(d.ip.src, sip);
+        prop_assert_eq!(d.udp.dst_port, dp);
+        prop_assert_eq!(d.eth.src, smac);
+    }
+
+    /// The reliable channel delivers every message exactly once, in
+    /// order, under an arbitrary loss pattern (as long as loss is not
+    /// total) — the property BGP and OpenFlow sessions rely on.
+    #[test]
+    fn channel_delivers_in_order_under_loss(
+        msgs in vec(vec(any::<u8>(), 0..32), 1..40),
+        loss_pattern in vec(any::<bool>(), 64),
+    ) {
+        let cfg = ChannelConfig { rto: SimDuration::from_millis(50), window: 8 };
+        let mut a = Endpoint::connect(cfg);
+        let mut b = Endpoint::listen(cfg);
+        for m in &msgs {
+            a.send(m.clone());
+        }
+        let mut delivered: Vec<Vec<u8>> = Vec::new();
+        let mut drop_idx = 0usize;
+        'outer: for round in 0..400u64 {
+            let now = SimTime::from_millis(round * 60);
+            loop {
+                let mut progressed = false;
+                while let Some(seg) = a.poll_transmit(now) {
+                    progressed = true;
+                    let lose = loss_pattern[drop_idx % loss_pattern.len()];
+                    drop_idx += 1;
+                    // Never lose everything: deliver every 3rd regardless.
+                    if !(lose && drop_idx % 3 != 0) {
+                        for ev in b.on_segment(&seg, now).unwrap() {
+                            if let ChannelEvent::Delivered(m) = ev {
+                                delivered.push(m);
+                            }
+                        }
+                    }
+                }
+                while let Some(seg) = b.poll_transmit(now) {
+                    progressed = true;
+                    let lose = loss_pattern[drop_idx % loss_pattern.len()];
+                    drop_idx += 1;
+                    if !(lose && drop_idx % 3 != 0) {
+                        let _ = a.on_segment(&seg, now).unwrap();
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            if delivered.len() == msgs.len() {
+                break 'outer;
+            }
+        }
+        prop_assert_eq!(delivered, msgs);
+    }
+
+    /// Quantization never shrinks a duration and always lands on a
+    /// multiple of the quantum.
+    #[test]
+    fn quantize_up_properties(ns in any::<u32>(), quantum_us in 1u64..1000) {
+        let d = SimDuration::from_nanos(ns as u64);
+        let q = SimDuration::from_micros(quantum_us);
+        let out = d.quantize_up(q);
+        prop_assert!(out >= d);
+        prop_assert_eq!(out.as_nanos() % q.as_nanos(), 0);
+        prop_assert!(out - d < q);
+    }
+}

@@ -1,0 +1,485 @@
+//! The SDN switch as a simulation node.
+//!
+//! Models the paper's HP E3800 in hybrid mode:
+//!
+//! * a hardware flow table (priority match + rewrite actions) with
+//!   realistic **install latency** — programming a TCAM entry is not
+//!   free, and this cost is part of the supercharged router's 150 ms
+//!   convergence budget (see `sc-router::calibration`);
+//! * an **L2-learning fallback** for table-miss frames, so ordinary
+//!   traffic (BGP sessions, probe packets toward the router) is switched
+//!   like on any Ethernet switch;
+//! * a reliable **control channel** carrying [`OfMessage`]s: FLOW_MOD
+//!   (queued behind the install latency), BARRIER (completes only after
+//!   the installs that preceded it), PACKET_IN/OUT (the controller's ARP
+//!   resolver path), PORT_STATUS on carrier changes, FEATURES, ECHO and
+//!   STATS.
+
+use crate::msg::{FlowModCommand, FlowStatsRow, OfMessage};
+use crate::table::{FlowEntry, FlowStats, FlowTable};
+use crate::types::{Action, FlowKey, FlowMatch};
+use sc_net::channel::ChannelEvent;
+use sc_net::wire::{open_udp_frame, EthernetRepr};
+use sc_net::{MacAddr, SimDuration, SimTime};
+use sc_sim::{ChannelPort, Ctx, Node, PortId, TimerToken};
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+
+/// Timer token for the flow-install completion queue.
+const TIMER_INSTALL: TimerToken = TimerToken(2);
+/// Timer tokens for controller channels: BASE + index.
+const TIMER_CHANNEL_BASE: u64 = 10;
+
+/// What to do with a frame no flow entry matches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TableMiss {
+    /// Drop silently (pure OpenFlow switch without a default rule).
+    Drop,
+    /// Flood out every data port except the ingress.
+    Flood,
+    /// Behave like a learning L2 switch (the paper's hybrid mode).
+    L2Learn,
+    /// Punt to the controller as PACKET_IN.
+    PacketIn,
+}
+
+/// Static switch configuration.
+#[derive(Clone, Debug)]
+pub struct SwitchConfig {
+    pub name: String,
+    pub datapath_id: u64,
+    /// Install latency for the first FLOW_MOD of a burst (TCAM program
+    /// setup).
+    pub install_base: SimDuration,
+    /// Install latency for each subsequent back-to-back FLOW_MOD.
+    pub install_per_rule: SimDuration,
+    pub table_miss: TableMiss,
+}
+
+impl SwitchConfig {
+    /// The paper's calibration for an HP E3800-class switch.
+    pub fn paper_defaults(name: &str) -> SwitchConfig {
+        SwitchConfig {
+            name: name.to_string(),
+            datapath_id: 0xe3800,
+            install_base: SimDuration::from_millis(15),
+            install_per_rule: SimDuration::from_millis(2),
+            table_miss: TableMiss::L2Learn,
+        }
+    }
+}
+
+/// Data-plane counters.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct SwitchStats {
+    pub frames_in: u64,
+    pub frames_out: u64,
+    pub flooded: u64,
+    pub dropped: u64,
+    pub packet_ins: u64,
+    pub flow_mods_applied: u64,
+}
+
+/// A queued hardware operation (FLOW_MOD waiting for TCAM programming,
+/// or a barrier fencing the operations before it).
+#[derive(Debug)]
+enum PendingOp {
+    Install {
+        done_at: SimTime,
+        command: FlowModCommand,
+        priority: u16,
+        cookie: u64,
+        matcher: FlowMatch,
+        actions: Vec<Action>,
+    },
+    Barrier {
+        done_at: SimTime,
+        xid: u32,
+        controller: usize,
+    },
+}
+
+impl PendingOp {
+    fn done_at(&self) -> SimTime {
+        match self {
+            PendingOp::Install { done_at, .. } | PendingOp::Barrier { done_at, .. } => *done_at,
+        }
+    }
+}
+
+/// The switch node.
+pub struct OfSwitch {
+    cfg: SwitchConfig,
+    table: FlowTable,
+    l2: HashMap<MacAddr, PortId>,
+    data_ports: Vec<PortId>,
+    /// Control channels — redundant controllers each get one (§3 of the
+    /// paper: data-plane reliability via redundant switches, control
+    /// reliability via redundant controllers).
+    controllers: Vec<ChannelPort>,
+    pending: VecDeque<PendingOp>,
+    install_busy_until: SimTime,
+    install_timer_armed: Option<SimTime>,
+    xid_counter: u32,
+    pub stats: SwitchStats,
+}
+
+impl OfSwitch {
+    pub fn new(cfg: SwitchConfig) -> OfSwitch {
+        OfSwitch {
+            cfg,
+            table: FlowTable::new(),
+            l2: HashMap::new(),
+            data_ports: Vec::new(),
+            controllers: Vec::new(),
+            pending: VecDeque::new(),
+            install_busy_until: SimTime::ZERO,
+            install_timer_armed: None,
+            xid_counter: 1,
+            stats: SwitchStats::default(),
+        }
+    }
+
+    /// Register a port as a data port (done by the topology builder after
+    /// `World::connect`).
+    pub fn register_data_port(&mut self, port: PortId) {
+        if !self.data_ports.contains(&port) {
+            self.data_ports.push(port);
+        }
+    }
+
+    /// Attach a controller's reliable channel (listening side; the
+    /// controller initiates). May be called multiple times for
+    /// redundant controllers.
+    pub fn attach_controller(&mut self, mut chan: ChannelPort) {
+        chan.timer = TimerToken(TIMER_CHANNEL_BASE + self.controllers.len() as u64);
+        self.controllers.push(chan);
+    }
+
+    /// Read-only view of the flow table (for tests/experiments).
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// The learned L2 table (for tests).
+    pub fn l2_table(&self) -> &HashMap<MacAddr, PortId> {
+        &self.l2
+    }
+
+    /// Number of hardware operations still pending.
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn next_xid(&mut self) -> u32 {
+        self.xid_counter += 1;
+        self.xid_counter
+    }
+
+    /// Asynchronous switch-to-controller notifications go to *every*
+    /// attached controller (PACKET_IN, PORT_STATUS).
+    fn send_to_controllers(&mut self, ctx: &mut Ctx, msg: OfMessage) {
+        let xid = self.next_xid();
+        for chan in &mut self.controllers {
+            chan.send(msg.encode(xid));
+            chan.flush(ctx);
+        }
+    }
+
+    /// Replies go only to the controller that asked.
+    fn reply_to_controller(&mut self, ctx: &mut Ctx, idx: usize, xid: u32, msg: OfMessage) {
+        if let Some(chan) = self.controllers.get_mut(idx) {
+            chan.send(msg.encode(xid));
+            chan.flush(ctx);
+        }
+    }
+
+    /// Process a control message from controller `idx`.
+    fn on_control(&mut self, ctx: &mut Ctx, idx: usize, xid: u32, msg: OfMessage) {
+        match msg {
+            OfMessage::Hello => {
+                self.reply_to_controller(ctx, idx, xid, OfMessage::Hello);
+            }
+            OfMessage::EchoRequest(d) => {
+                self.reply_to_controller(ctx, idx, xid, OfMessage::EchoReply(d));
+            }
+            OfMessage::FeaturesRequest => {
+                let reply = OfMessage::FeaturesReply {
+                    datapath_id: self.cfg.datapath_id,
+                    n_ports: self.data_ports.len() as u16,
+                };
+                self.reply_to_controller(ctx, idx, xid, reply);
+            }
+            OfMessage::FlowMod { command, priority, cookie, matcher, actions } => {
+                // Queue behind the TCAM programming latency. The first
+                // rule of a burst pays the base latency; back-to-back
+                // rules pipeline at the per-rule cost.
+                let now = ctx.now();
+                let start = self.install_busy_until.max(now);
+                let cost = if start == now && self.pending.is_empty() {
+                    self.cfg.install_base
+                } else {
+                    self.cfg.install_per_rule
+                };
+                let done_at = start + cost;
+                self.install_busy_until = done_at;
+                self.pending.push_back(PendingOp::Install {
+                    done_at,
+                    command,
+                    priority,
+                    cookie,
+                    matcher,
+                    actions,
+                });
+                self.arm_install_timer(ctx);
+            }
+            OfMessage::BarrierRequest => {
+                let done_at = self.install_busy_until.max(ctx.now());
+                self.pending.push_back(PendingOp::Barrier { done_at, xid, controller: idx });
+                self.arm_install_timer(ctx);
+            }
+            OfMessage::PacketOut { actions, frame } => {
+                // Controller-injected frame (e.g. an ARP reply). No
+                // ingress port; flood excludes nothing but the controller
+                // channel.
+                self.execute_actions(ctx, None, &actions, frame);
+            }
+            OfMessage::StatsRequest => {
+                let flows = self
+                    .table
+                    .entries()
+                    .iter()
+                    .map(|e| FlowStatsRow {
+                        priority: e.priority,
+                        cookie: e.cookie,
+                        packets: e.stats.packets,
+                        bytes: e.stats.bytes,
+                    })
+                    .collect();
+                let reply = OfMessage::StatsReply {
+                    lookups: self.table.lookups,
+                    misses: self.table.misses,
+                    flows,
+                };
+                self.reply_to_controller(ctx, idx, xid, reply);
+            }
+            // Switch-to-controller messages arriving at the switch are
+            // protocol errors; ignore them rather than crash the lab.
+            OfMessage::FeaturesReply { .. }
+            | OfMessage::PacketIn { .. }
+            | OfMessage::PortStatus { .. }
+            | OfMessage::BarrierReply
+            | OfMessage::StatsReply { .. }
+            | OfMessage::EchoReply(_) => {}
+        }
+    }
+
+    fn arm_install_timer(&mut self, ctx: &mut Ctx) {
+        if let Some(front) = self.pending.front() {
+            let at = front.done_at();
+            if self.install_timer_armed != Some(at) {
+                self.install_timer_armed = Some(at);
+                ctx.set_timer_at(at, TIMER_INSTALL);
+            }
+        }
+    }
+
+    fn drain_installs(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        while let Some(front) = self.pending.front() {
+            if front.done_at() > now {
+                break;
+            }
+            match self.pending.pop_front().unwrap() {
+                PendingOp::Install { command, priority, cookie, matcher, actions, .. } => {
+                    self.stats.flow_mods_applied += 1;
+                    match command {
+                        FlowModCommand::Add => self.table.add(FlowEntry {
+                            priority,
+                            cookie,
+                            matcher,
+                            actions,
+                            stats: FlowStats::default(),
+                        }),
+                        FlowModCommand::Modify => {
+                            // Modify-or-add: the controller's failover
+                            // path must work even if the add was lost.
+                            if self.table.modify(priority, &matcher, actions.clone()) == 0 {
+                                self.table.add(FlowEntry {
+                                    priority,
+                                    cookie,
+                                    matcher,
+                                    actions,
+                                    stats: FlowStats::default(),
+                                });
+                            }
+                        }
+                        FlowModCommand::Delete => {
+                            self.table.delete(Some(priority), &matcher);
+                        }
+                    }
+                }
+                PendingOp::Barrier { xid, controller, .. } => {
+                    self.reply_to_controller(ctx, controller, xid, OfMessage::BarrierReply);
+                }
+            }
+        }
+        self.install_timer_armed = None;
+        self.arm_install_timer(ctx);
+    }
+
+    /// Run the data-plane pipeline on a frame.
+    fn forward(&mut self, ctx: &mut Ctx, in_port: PortId, frame: Vec<u8>) {
+        self.stats.frames_in += 1;
+        let Some(key) = FlowKey::extract(in_port.0 as u16, &frame) else {
+            self.stats.dropped += 1;
+            return;
+        };
+        // Hybrid mode learns source MACs from every frame.
+        if self.cfg.table_miss == TableMiss::L2Learn && key.eth_src.is_unicast() {
+            self.l2.insert(key.eth_src, in_port);
+        }
+        if let Some(entry) = self.table.lookup(&key, frame.len()) {
+            let actions = entry.actions.clone();
+            self.execute_actions(ctx, Some(in_port), &actions, frame);
+            return;
+        }
+        // Table miss.
+        match self.cfg.table_miss {
+            TableMiss::Drop => {
+                self.stats.dropped += 1;
+            }
+            TableMiss::Flood => {
+                self.flood(ctx, Some(in_port), frame);
+            }
+            TableMiss::L2Learn => {
+                if key.eth_dst.is_unicast() {
+                    if let Some(&out) = self.l2.get(&key.eth_dst) {
+                        if out != in_port {
+                            self.stats.frames_out += 1;
+                            ctx.send_frame(out, frame);
+                        } else {
+                            self.stats.dropped += 1;
+                        }
+                        return;
+                    }
+                }
+                self.flood(ctx, Some(in_port), frame);
+            }
+            TableMiss::PacketIn => {
+                self.stats.packet_ins += 1;
+                let msg = OfMessage::PacketIn { in_port: in_port.0 as u16, frame };
+                self.send_to_controllers(ctx, msg);
+            }
+        }
+    }
+
+    fn flood(&mut self, ctx: &mut Ctx, except: Option<PortId>, frame: Vec<u8>) {
+        self.stats.flooded += 1;
+        for &p in &self.data_ports {
+            if Some(p) != except {
+                self.stats.frames_out += 1;
+                ctx.send_frame(p, frame.clone());
+            }
+        }
+    }
+
+    fn execute_actions(
+        &mut self,
+        ctx: &mut Ctx,
+        in_port: Option<PortId>,
+        actions: &[Action],
+        mut frame: Vec<u8>,
+    ) {
+        for action in actions {
+            match action {
+                Action::SetDstMac(m) => {
+                    let _ = EthernetRepr::rewrite_dst(&mut frame, *m);
+                }
+                Action::SetSrcMac(m) => {
+                    let _ = EthernetRepr::rewrite_src(&mut frame, *m);
+                }
+                Action::Output(p) => {
+                    self.stats.frames_out += 1;
+                    ctx.send_frame(PortId(*p as usize), frame.clone());
+                }
+                Action::Flood => {
+                    self.flood(ctx, in_port, frame.clone());
+                }
+                Action::ToController => {
+                    self.stats.packet_ins += 1;
+                    let msg = OfMessage::PacketIn {
+                        in_port: in_port.map(|p| p.0 as u16).unwrap_or(u16::MAX),
+                        frame: frame.clone(),
+                    };
+                    self.send_to_controllers(ctx, msg);
+                }
+                Action::Drop => {
+                    self.stats.dropped += 1;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Node for OfSwitch {
+    fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx, port: PortId, frame: Vec<u8>) {
+        // Control-channel traffic is any UDP datagram matching one of
+        // the controller channels' 5-tuples; everything else is data
+        // plane.
+        if !self.controllers.is_empty() {
+            if let Ok(Some(d)) = open_udp_frame(&frame) {
+                if let Some(idx) = self.controllers.iter().position(|c| c.matches(&d)) {
+                    let chan = &mut self.controllers[idx];
+                    let events = chan.on_datagram(&d, ctx.now());
+                    chan.flush(ctx);
+                    for ev in events {
+                        if let ChannelEvent::Delivered(bytes) = ev {
+                            match OfMessage::decode(&bytes) {
+                                Ok((xid, msg)) => self.on_control(ctx, idx, xid, msg),
+                                Err(_) => { /* malformed control message */ }
+                            }
+                        }
+                    }
+                    self.controllers[idx].flush(ctx);
+                    return;
+                }
+            }
+        }
+        self.forward(ctx, port, frame);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: TimerToken) {
+        match token {
+            TIMER_INSTALL => self.drain_installs(ctx),
+            TimerToken(t) if t >= TIMER_CHANNEL_BASE => {
+                let idx = (t - TIMER_CHANNEL_BASE) as usize;
+                if let Some(chan) = self.controllers.get_mut(idx) {
+                    chan.on_timer(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_link_status(&mut self, ctx: &mut Ctx, port: PortId, up: bool) {
+        // Carrier change: purge L2 entries learned on that port and tell
+        // the controller (PORT_STATUS) — real switches do both.
+        self.l2.retain(|_, &mut p| p != port || up);
+        let msg = OfMessage::PortStatus { port: port.0 as u16, up };
+        self.send_to_controllers(ctx, msg);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,311 @@
+//! The flat FIB and the entry-by-entry FIB walker.
+//!
+//! In the paper's stock router every FIB entry holds its own L2 next-hop
+//! information (Fig. 1), so a peer failure forces the router to rewrite
+//! *each* affected entry; the rewrite is serialized in hardware. The
+//! walker models exactly that: a FIFO of pending operations drained at
+//! the calibrated per-entry cost, with the data plane reading only the
+//! already-updated state. What the traffic sink then measures per flow
+//! is the paper's convergence distribution.
+
+use crate::calibration::Calibration;
+use rand::Rng;
+use sc_net::{Ipv4Prefix, PrefixTrie, SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+/// One installed FIB entry: where traffic for a prefix goes *right now*.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FibEntry {
+    /// The IP next-hop (possibly a virtual next-hop in supercharged
+    /// mode); resolved to L2 via ARP at forwarding time.
+    pub next_hop: Ipv4Addr,
+}
+
+/// A pending FIB operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FibOp {
+    /// Install or overwrite the entry for `prefix`.
+    Set { prefix: Ipv4Prefix, next_hop: Ipv4Addr },
+    /// Remove the entry (no route left).
+    Remove { prefix: Ipv4Prefix },
+}
+
+impl FibOp {
+    pub fn prefix(&self) -> Ipv4Prefix {
+        match self {
+            FibOp::Set { prefix, .. } | FibOp::Remove { prefix } => *prefix,
+        }
+    }
+}
+
+/// The installed table (what the data plane consults).
+pub type Fib = PrefixTrie<FibEntry>;
+
+/// The serialized hardware-update engine.
+#[derive(Debug)]
+pub struct FibWalker {
+    cal: Calibration,
+    queue: VecDeque<FibOp>,
+    /// When the hardware becomes free for the next entry.
+    busy_until: SimTime,
+    /// Stats.
+    pub ops_applied: u64,
+    pub bursts: u64,
+    /// Completion time of the most recently applied op (for tests).
+    pub last_apply_at: Option<SimTime>,
+}
+
+impl FibWalker {
+    pub fn new(cal: Calibration) -> FibWalker {
+        FibWalker {
+            cal,
+            queue: VecDeque::new(),
+            busy_until: SimTime::ZERO,
+            ops_applied: 0,
+            bursts: 0,
+            last_apply_at: None,
+        }
+    }
+
+    /// Number of operations still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is queued (the FIB reflects the RIB).
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Queue a burst of operations produced by one control-plane event.
+    /// `session_loss` bursts pay the (large) peer-down processing delay
+    /// before the walk starts; ordinary update churn pays the small
+    /// per-update cost.
+    ///
+    /// Returns the time the *first* queued op will complete, if any were
+    /// queued — the caller arms its timer from [`FibWalker::next_apply_at`].
+    pub fn enqueue_burst(
+        &mut self,
+        now: SimTime,
+        ops: impl IntoIterator<Item = FibOp>,
+        session_loss: bool,
+    ) {
+        let delay = if session_loss {
+            self.cal.peer_down_processing
+        } else {
+            self.cal.update_processing
+        };
+        let start = self.busy_until.max(now) + delay;
+        let was_empty = self.queue.is_empty();
+        let mut queued_any = false;
+        for op in ops {
+            self.queue.push_back(op);
+            queued_any = true;
+        }
+        if queued_any {
+            self.bursts += 1;
+            if was_empty {
+                self.busy_until = start;
+            } else {
+                // Already walking: the new ops join the tail; the delay
+                // models CPU work that overlaps the walk, so no extra
+                // stall is added.
+                self.busy_until = self.busy_until.max(start);
+            }
+        }
+    }
+
+    /// When the next op completes (the owner arms a timer at this time),
+    /// or `None` when quiescent.
+    pub fn next_apply_at(&self, rng: &mut impl Rng) -> Option<SimTime> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        Some(self.busy_until + self.jittered_entry_cost(rng))
+    }
+
+    /// Apply exactly one pending op to `fib` at time `now` (the owner's
+    /// timer fired). Returns the op applied.
+    pub fn apply_one(&mut self, fib: &mut Fib, now: SimTime) -> Option<FibOp> {
+        let op = self.queue.pop_front()?;
+        match op {
+            FibOp::Set { prefix, next_hop } => {
+                fib.insert(prefix, FibEntry { next_hop });
+            }
+            FibOp::Remove { prefix } => {
+                fib.remove(prefix);
+            }
+        }
+        self.ops_applied += 1;
+        self.busy_until = now;
+        self.last_apply_at = Some(now);
+        Some(op)
+    }
+
+    fn jittered_entry_cost(&self, rng: &mut impl Rng) -> SimDuration {
+        let base = self.cal.fib_entry_update.as_nanos();
+        if base == 0 {
+            return SimDuration::ZERO;
+        }
+        let pct = self.cal.fib_entry_jitter_pct as u64;
+        if pct == 0 {
+            return self.cal.fib_entry_update;
+        }
+        let span = base * pct / 100;
+        let lo = base - span;
+        let hi = base + span;
+        SimDuration::from_nanos(rng.gen_range(lo..=hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn nh(n: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, n, 1)
+    }
+
+    /// Drive the walker to quiescence, returning (prefix, completion
+    /// time) per applied op.
+    fn drain(walker: &mut FibWalker, fib: &mut Fib, rng: &mut SmallRng) -> Vec<(Ipv4Prefix, SimTime)> {
+        let mut out = Vec::new();
+        while let Some(at) = walker.next_apply_at(rng) {
+            let op = walker.apply_one(fib, at).unwrap();
+            out.push((op.prefix(), at));
+        }
+        out
+    }
+
+    #[test]
+    fn ops_apply_in_order_with_per_entry_cost() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cal = Calibration {
+            fib_entry_jitter_pct: 0,
+            ..Calibration::nexus7k()
+        };
+        let mut w = FibWalker::new(cal);
+        let mut fib = Fib::new();
+        let ops = vec![
+            FibOp::Set { prefix: p("1.0.0.0/24"), next_hop: nh(2) },
+            FibOp::Set { prefix: p("2.0.0.0/24"), next_hop: nh(2) },
+            FibOp::Set { prefix: p("3.0.0.0/24"), next_hop: nh(2) },
+        ];
+        w.enqueue_burst(SimTime::from_secs(1), ops, true);
+        let log = drain(&mut w, &mut fib, &mut rng);
+        assert_eq!(log.len(), 3);
+        // First completes after peer-down processing + one entry.
+        let first_expected = SimTime::from_secs(1)
+            + cal.peer_down_processing
+            + cal.fib_entry_update;
+        assert_eq!(log[0].1, first_expected);
+        // Subsequent entries are spaced exactly one entry cost apart.
+        assert_eq!(log[1].1 - log[0].1, cal.fib_entry_update);
+        assert_eq!(log[2].1 - log[1].1, cal.fib_entry_update);
+        assert_eq!(fib.len(), 3);
+        assert!(w.is_quiescent());
+    }
+
+    #[test]
+    fn linear_walk_matches_fig5_model() {
+        // 10k entries must take ≈ 285ms + 10k × 281µs ≈ 3.1s.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut w = FibWalker::new(Calibration::nexus7k());
+        let mut fib = Fib::new();
+        let ops: Vec<FibOp> = (0..10_000u32)
+            .map(|i| FibOp::Set {
+                prefix: Ipv4Prefix::new(Ipv4Addr::from(0x0a00_0000 + (i << 8)), 24),
+                next_hop: nh(3),
+            })
+            .collect();
+        w.enqueue_burst(SimTime::ZERO, ops, true);
+        let log = drain(&mut w, &mut fib, &mut rng);
+        let total = log.last().unwrap().1;
+        let expect = Calibration::nexus7k().expected_full_walk(10_000);
+        let ratio = total.as_nanos() as f64 / expect.as_nanos() as f64;
+        assert!((0.95..=1.05).contains(&ratio), "total {total} vs expected {expect}");
+    }
+
+    #[test]
+    fn remove_ops_delete_entries() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut w = FibWalker::new(Calibration::instant());
+        let mut fib = Fib::new();
+        w.enqueue_burst(
+            SimTime::ZERO,
+            vec![FibOp::Set { prefix: p("1.0.0.0/24"), next_hop: nh(2) }],
+            false,
+        );
+        drain(&mut w, &mut fib, &mut rng);
+        assert_eq!(fib.len(), 1);
+        w.enqueue_burst(
+            SimTime::from_secs(1),
+            vec![FibOp::Remove { prefix: p("1.0.0.0/24") }],
+            false,
+        );
+        drain(&mut w, &mut fib, &mut rng);
+        assert!(fib.is_empty());
+    }
+
+    #[test]
+    fn burst_while_walking_joins_tail() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let cal = Calibration {
+            fib_entry_jitter_pct: 0,
+            ..Calibration::nexus7k()
+        };
+        let mut w = FibWalker::new(cal);
+        let mut fib = Fib::new();
+        w.enqueue_burst(
+            SimTime::ZERO,
+            vec![
+                FibOp::Set { prefix: p("1.0.0.0/24"), next_hop: nh(2) },
+                FibOp::Set { prefix: p("2.0.0.0/24"), next_hop: nh(2) },
+            ],
+            true,
+        );
+        // Apply the first, then a second burst lands mid-walk.
+        let t1 = w.next_apply_at(&mut rng).unwrap();
+        w.apply_one(&mut fib, t1);
+        w.enqueue_burst(t1, vec![FibOp::Set { prefix: p("3.0.0.0/24"), next_hop: nh(3) }], false);
+        let log = drain(&mut w, &mut fib, &mut rng);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].0, p("2.0.0.0/24"), "FIFO preserved");
+        assert_eq!(log[1].0, p("3.0.0.0/24"));
+        assert_eq!(fib.len(), 3);
+    }
+
+    #[test]
+    fn jitter_bounds_respected() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let cal = Calibration::nexus7k(); // 10% jitter
+        let w = FibWalker::new(cal);
+        for _ in 0..1000 {
+            let c = w.jittered_entry_cost(&mut rng);
+            let base = cal.fib_entry_update.as_nanos();
+            assert!(c.as_nanos() >= base * 90 / 100);
+            assert!(c.as_nanos() <= base * 110 / 100);
+        }
+    }
+
+    #[test]
+    fn instant_calibration_applies_immediately() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut w = FibWalker::new(Calibration::instant());
+        let mut fib = Fib::new();
+        w.enqueue_burst(
+            SimTime::from_millis(5),
+            vec![FibOp::Set { prefix: p("1.0.0.0/24"), next_hop: nh(2) }],
+            true,
+        );
+        let at = w.next_apply_at(&mut rng).unwrap();
+        assert_eq!(at, SimTime::from_millis(5));
+    }
+}

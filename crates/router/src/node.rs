@@ -1,0 +1,802 @@
+//! The legacy router as a simulation node.
+//!
+//! One type models all three routers of the paper's lab (Fig. 4):
+//!
+//! * **R1** — the router being supercharged: BGP sessions (to its peers
+//!   directly, or to the interposed controller), a flat FIB updated by
+//!   the calibrated walker, dynamic ARP for (virtual) next-hops;
+//! * **R2 / R3** — provider routers: originate a full feed, run BFD,
+//!   forward delivered traffic to the measurement sink via a static
+//!   route.
+//!
+//! The node wires together the substrates: BGP sessions ride reliable
+//! channels over UDP, BFD rides raw UDP (port 3784), ARP rides Ethernet,
+//! and the data plane does LPM → ARP → rewrite → forward with TTL and
+//! checksum handling.
+
+use crate::arp::{ArpClient, Resolution};
+use crate::calibration::Calibration;
+use crate::fib::{Fib, FibOp, FibWalker};
+use sc_bfd::{BfdConfig, BfdEvent, BfdSession};
+use sc_bgp::msg::{BgpMessage, UpdateMsg};
+use sc_bgp::session::{DownReason, Session, SessionConfig, SessionEvent};
+use sc_bgp::{LocRib, PeerInfo, Route};
+use sc_net::channel::{ChannelConfig, ChannelEvent};
+use sc_net::wire::udp::port as udp_port;
+use sc_net::wire::{
+    open_udp_frame, udp_frame, ArpOp, ArpRepr, EtherType, EthernetRepr, Ipv4Repr, UdpDatagram,
+    UdpEndpoints,
+};
+use sc_net::{Ipv4Prefix, MacAddr, SimDuration, SimTime};
+use sc_sim::{ChannelPort, Ctx, Node, PortId, TimerToken};
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+const TIMER_WALKER: TimerToken = TimerToken(0);
+const TIMER_ARP: TimerToken = TimerToken(1);
+const PEER_TIMER_BASE: u64 = 100;
+const PEER_TIMER_STRIDE: u64 = 10;
+const PEER_TIMER_CHANNEL: u64 = 0;
+const PEER_TIMER_SESSION: u64 = 1;
+const PEER_TIMER_BFD: u64 = 2;
+
+/// A router interface: one attachment to the network.
+#[derive(Clone, Copy, Debug)]
+pub struct Interface {
+    pub port: PortId,
+    pub ip: Ipv4Addr,
+    pub mac: MacAddr,
+    /// The connected subnet (next-hops inside it are reachable here).
+    pub subnet: Ipv4Prefix,
+}
+
+/// A static route (installed at start, bypassing BGP).
+#[derive(Clone, Copy, Debug)]
+pub struct StaticRoute {
+    pub prefix: Ipv4Prefix,
+    pub next_hop: Ipv4Addr,
+}
+
+/// Per-peer configuration.
+#[derive(Clone, Debug)]
+pub struct PeerConfig {
+    pub peer_ip: Ipv4Addr,
+    /// Static L2 mapping for the peer's address (infrastructure MACs are
+    /// configured, not discovered, in the paper's lab).
+    pub peer_mac: MacAddr,
+    /// LOCAL_PREF assigned by import policy to routes from this peer
+    /// (how the paper makes R1 prefer R2 over R3).
+    pub local_pref: u32,
+    /// True if we initiate the transport connection.
+    pub transport_active: bool,
+    pub local_port: u16,
+    pub remote_port: u16,
+    /// BGP hold time for this session.
+    pub hold_time: SimDuration,
+    /// Run BFD with this peer.
+    pub bfd: Option<BfdConfig>,
+    /// Updates to announce once the session establishes (the provider
+    /// routers originate the RIS feed through this).
+    pub originate: Vec<UpdateMsg>,
+    /// Which interface the peer is reached through.
+    pub iface: usize,
+}
+
+impl PeerConfig {
+    /// A plain eBGP peer on interface 0 with default preferences.
+    pub fn ebgp(peer_ip: Ipv4Addr, peer_mac: MacAddr, active: bool) -> PeerConfig {
+        PeerConfig {
+            peer_ip,
+            peer_mac,
+            local_pref: sc_bgp::decision::DEFAULT_LOCAL_PREF,
+            transport_active: active,
+            local_port: if active { 40000 } else { udp_port::BGP },
+            remote_port: if active { udp_port::BGP } else { 40000 },
+            hold_time: SimDuration::from_secs(90),
+            bfd: None,
+            originate: Vec::new(),
+            iface: 0,
+        }
+    }
+}
+
+/// Router-wide configuration.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    pub name: String,
+    pub asn: u16,
+    pub router_id: Ipv4Addr,
+    pub cal: Calibration,
+}
+
+/// Observable events, for tests and experiment drivers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RouterEvent {
+    PeerUp(Ipv4Addr),
+    PeerDown(Ipv4Addr),
+    FeedAnnounced { peer: Ipv4Addr, messages: usize },
+}
+
+/// Data-plane and control-plane counters.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct RouterStats {
+    pub forwarded: u64,
+    pub local_delivered: u64,
+    pub dropped_no_route: u64,
+    pub dropped_ttl: u64,
+    pub dropped_malformed: u64,
+    pub dropped_no_iface: u64,
+    pub arp_replies_sent: u64,
+    pub updates_processed: u64,
+}
+
+struct PeerState {
+    cfg: PeerConfig,
+    chan: ChannelPort,
+    session: Session,
+    bfd: Option<BfdSession>,
+    session_wakeup_armed: Option<SimTime>,
+    bfd_wakeup_armed: Option<SimTime>,
+    feed_sent: bool,
+    /// RIB already purged for the current down event (avoid double
+    /// withdrawal when BFD and the hold timer both fire).
+    purged: bool,
+}
+
+/// The router node.
+pub struct LegacyRouter {
+    cfg: RouterConfig,
+    interfaces: Vec<Interface>,
+    static_routes: Vec<StaticRoute>,
+    peers: Vec<PeerState>,
+    rib: LocRib,
+    fib: Fib,
+    walker: FibWalker,
+    walker_armed: bool,
+    arp: ArpClient,
+    arp_timer_armed: bool,
+    pub stats: RouterStats,
+    pub events: Vec<(SimTime, RouterEvent)>,
+}
+
+impl LegacyRouter {
+    pub fn new(cfg: RouterConfig) -> LegacyRouter {
+        let cal = cfg.cal;
+        LegacyRouter {
+            cfg,
+            interfaces: Vec::new(),
+            static_routes: Vec::new(),
+            peers: Vec::new(),
+            rib: LocRib::new(),
+            fib: Fib::new(),
+            walker: FibWalker::new(cal),
+            walker_armed: false,
+            arp: ArpClient::new(),
+            arp_timer_armed: false,
+            stats: RouterStats::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Attach an interface (topology builder, after `World::connect`).
+    pub fn add_interface(&mut self, iface: Interface) -> usize {
+        self.interfaces.push(iface);
+        self.interfaces.len() - 1
+    }
+
+    /// Install a static route (takes effect at start, no walker delay —
+    /// statics are part of the boot configuration).
+    pub fn add_static_route(&mut self, route: StaticRoute) {
+        self.static_routes.push(route);
+    }
+
+    /// Configure a permanent ARP entry (infrastructure neighbors like
+    /// the measurement sink).
+    pub fn add_static_arp(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.arp.add_static(ip, mac);
+    }
+
+    /// Configure a BGP peer. Must be called before the world starts.
+    pub fn add_peer(&mut self, cfg: PeerConfig) {
+        let iface = self.interfaces[cfg.iface];
+        let addr = UdpEndpoints {
+            src_mac: iface.mac,
+            dst_mac: cfg.peer_mac,
+            src_ip: iface.ip,
+            dst_ip: cfg.peer_ip,
+            src_port: cfg.local_port,
+            dst_port: cfg.remote_port,
+        };
+        let idx = self.peers.len();
+        let timer = TimerToken(
+            PEER_TIMER_BASE + idx as u64 * PEER_TIMER_STRIDE + PEER_TIMER_CHANNEL,
+        );
+        let chan = if cfg.transport_active {
+            ChannelPort::connect(ChannelConfig::default(), addr, iface.port, timer)
+        } else {
+            ChannelPort::listen(ChannelConfig::default(), addr, iface.port, timer)
+        };
+        let session = Session::new(SessionConfig {
+            local_as: self.cfg.asn,
+            router_id: self.cfg.router_id,
+            hold_time: cfg.hold_time,
+        });
+        let bfd = cfg.bfd.map(BfdSession::new);
+        // Infrastructure MACs are statically configured.
+        self.arp.add_static(cfg.peer_ip, cfg.peer_mac);
+        self.peers.push(PeerState {
+            cfg,
+            chan,
+            session,
+            bfd,
+            session_wakeup_armed: None,
+            bfd_wakeup_armed: None,
+            feed_sent: false,
+            purged: false,
+        });
+    }
+
+    // ------------------------------------------------------ inspection
+
+    pub fn fib(&self) -> &Fib {
+        &self.fib
+    }
+
+    pub fn rib(&self) -> &LocRib {
+        &self.rib
+    }
+
+    pub fn walker(&self) -> &FibWalker {
+        &self.walker
+    }
+
+    /// True when every configured session is Established and the FIB
+    /// walker is quiescent (the lab's "fully converged" predicate).
+    pub fn is_quiescent(&self) -> bool {
+        self.walker.is_quiescent()
+    }
+
+    /// BFD state and currently negotiated detection time for a peer
+    /// (experiments wait for `Up` with a fast detection time before
+    /// injecting failures, as a long-running lab would be).
+    pub fn bfd_snapshot(&self, peer_ip: Ipv4Addr) -> Option<(sc_bfd::BfdState, sc_net::SimDuration)> {
+        let p = self.peers.iter().find(|p| p.cfg.peer_ip == peer_ip)?;
+        let bfd = p.bfd.as_ref()?;
+        Some((bfd.state(), bfd.detection_time()))
+    }
+
+    /// BFD packet counters toward a peer (diagnostics).
+    pub fn bfd_counters(&self, peer_ip: Ipv4Addr) -> Option<(u64, u64)> {
+        let p = self.peers.iter().find(|p| p.cfg.peer_ip == peer_ip)?;
+        let bfd = p.bfd.as_ref()?;
+        Some((bfd.packets_sent, bfd.packets_received))
+    }
+
+    pub fn peer_session_state(&self, peer_ip: Ipv4Addr) -> Option<sc_bgp::SessionState> {
+        self.peers
+            .iter()
+            .find(|p| p.cfg.peer_ip == peer_ip)
+            .map(|p| p.session.state())
+    }
+
+    // --------------------------------------------------------- helpers
+
+    fn iface_for_nexthop(&self, nh: Ipv4Addr) -> Option<usize> {
+        self.interfaces
+            .iter()
+            .position(|i| i.subnet.contains(nh))
+    }
+
+    fn is_local_ip(&self, ip: Ipv4Addr) -> bool {
+        self.interfaces.iter().any(|i| i.ip == ip)
+    }
+
+    fn arm_walker(&mut self, ctx: &mut Ctx) {
+        if self.walker_armed {
+            return;
+        }
+        if let Some(at) = self.walker.next_apply_at(ctx.rng()) {
+            self.walker_armed = true;
+            ctx.set_timer_at(at, TIMER_WALKER);
+        }
+    }
+
+    fn arm_arp_timer(&mut self, ctx: &mut Ctx) {
+        if !self.arp_timer_armed && self.arp.pending_count() > 0 {
+            self.arp_timer_armed = true;
+            ctx.set_timer_after(SimDuration::from_secs(1), TIMER_ARP);
+        }
+    }
+
+    fn send_arp_request(&mut self, ctx: &mut Ctx, iface_idx: usize, target: Ipv4Addr) {
+        let iface = self.interfaces[iface_idx];
+        let req = ArpRepr::request(iface.mac, iface.ip, target);
+        let frame = EthernetRepr {
+            dst: MacAddr::BROADCAST,
+            src: iface.mac,
+            ethertype: EtherType::Arp,
+        }
+        .to_frame(&req.to_bytes());
+        ctx.send_frame(iface.port, frame);
+    }
+
+    /// Drain a peer's session output into its channel and re-arm timers.
+    fn pump_peer(&mut self, idx: usize, ctx: &mut Ctx) {
+        let peer = &mut self.peers[idx];
+        while let Some(msg) = peer.session.poll_transmit() {
+            peer.chan.send(msg.encode());
+        }
+        peer.chan.flush(ctx);
+        if let Some(at) = peer.session.next_wakeup() {
+            if peer.session_wakeup_armed != Some(at) {
+                peer.session_wakeup_armed = Some(at);
+                let token = TimerToken(
+                    PEER_TIMER_BASE + idx as u64 * PEER_TIMER_STRIDE + PEER_TIMER_SESSION,
+                );
+                ctx.set_timer_at(at, token);
+            }
+        }
+    }
+
+    fn pump_bfd(&mut self, idx: usize, ctx: &mut Ctx) {
+        let now = ctx.now();
+        let Some(bfd) = self.peers[idx].bfd.as_mut() else {
+            return;
+        };
+        let (events, packets) = bfd.poll(now);
+        let next = bfd.next_wakeup();
+        let (peer_ip, peer_mac, iface_idx) = {
+            let c = &self.peers[idx].cfg;
+            (c.peer_ip, c.peer_mac, c.iface)
+        };
+        let iface = self.interfaces[iface_idx];
+        for pkt in packets {
+            let frame = udp_frame(
+                UdpEndpoints {
+                    src_mac: iface.mac,
+                    dst_mac: peer_mac,
+                    src_ip: iface.ip,
+                    dst_ip: peer_ip,
+                    src_port: udp_port::BFD_CONTROL,
+                    dst_port: udp_port::BFD_CONTROL,
+                },
+                255,
+                &pkt.to_bytes(),
+            );
+            ctx.send_frame(iface.port, frame);
+        }
+        if let Some(at) = next {
+            if self.peers[idx].bfd_wakeup_armed != Some(at) {
+                self.peers[idx].bfd_wakeup_armed = Some(at);
+                let token =
+                    TimerToken(PEER_TIMER_BASE + idx as u64 * PEER_TIMER_STRIDE + PEER_TIMER_BFD);
+                ctx.set_timer_at(at, token);
+            }
+        }
+        for ev in events {
+            self.on_bfd_event(idx, ev, ctx);
+        }
+    }
+
+    fn on_bfd_event(&mut self, idx: usize, ev: BfdEvent, ctx: &mut Ctx) {
+        match ev {
+            BfdEvent::Up => {}
+            BfdEvent::Down(_diag) => {
+                // BFD says the peer's forwarding plane is gone: declare
+                // the BGP session down without waiting for the hold
+                // timer (that is BFD's whole purpose).
+                let peer_ip = self.peers[idx].cfg.peer_ip;
+                ctx.trace("bfd", || format!("peer {peer_ip} down (bfd)"));
+                self.peers[idx].session.stop(DownReason::AdminDown);
+                self.peer_down(idx, ctx);
+            }
+        }
+    }
+
+    fn handle_session_events(&mut self, idx: usize, events: Vec<SessionEvent>, ctx: &mut Ctx) {
+        for ev in events {
+            match ev {
+                SessionEvent::Established(_open) => {
+                    let peer_ip = self.peers[idx].cfg.peer_ip;
+                    self.peers[idx].purged = false;
+                    self.events.push((ctx.now(), RouterEvent::PeerUp(peer_ip)));
+                    ctx.trace("bgp", || format!("session with {peer_ip} established"));
+                    if !self.peers[idx].feed_sent && !self.peers[idx].cfg.originate.is_empty() {
+                        self.peers[idx].feed_sent = true;
+                        let feed = self.peers[idx].cfg.originate.clone();
+                        let n = feed.len();
+                        for upd in feed {
+                            for part in upd.split_to_fit() {
+                                self.peers[idx].session.queue_update(part);
+                            }
+                        }
+                        self.events.push((
+                            ctx.now(),
+                            RouterEvent::FeedAnnounced { peer: peer_ip, messages: n },
+                        ));
+                    }
+                }
+                SessionEvent::Down(_reason) => {
+                    self.peer_down(idx, ctx);
+                }
+                SessionEvent::Update(upd) => {
+                    self.process_update(idx, upd, ctx);
+                }
+            }
+        }
+    }
+
+    /// Apply one received UPDATE to the RIB and queue FIB work.
+    fn process_update(&mut self, idx: usize, upd: UpdateMsg, ctx: &mut Ctx) {
+        self.stats.updates_processed += 1;
+        let (peer_ip, local_pref, ebgp, peer_router_id) = {
+            let p = &self.peers[idx];
+            let open = p.session.peer_open();
+            (
+                p.cfg.peer_ip,
+                p.cfg.local_pref,
+                open.map(|o| o.my_as != self.cfg.asn).unwrap_or(true),
+                open.map(|o| o.router_id).unwrap_or(p.cfg.peer_ip),
+            )
+        };
+        let mut ops = Vec::new();
+        for prefix in &upd.withdrawn {
+            if let Some(change) = self.rib.withdraw(*prefix, peer_ip) {
+                if change.best_changed() {
+                    ops.push(match change.new.best {
+                        Some(r) => FibOp::Set { prefix: *prefix, next_hop: r.next_hop() },
+                        None => FibOp::Remove { prefix: *prefix },
+                    });
+                }
+            }
+        }
+        if let Some(attrs) = &upd.attrs {
+            for prefix in &upd.nlri {
+                let route = Route {
+                    prefix: *prefix,
+                    attrs: attrs.clone(),
+                    from: PeerInfo {
+                        peer: peer_ip,
+                        router_id: peer_router_id,
+                        ebgp,
+                        igp_cost: 0,
+                    },
+                    local_pref: attrs.local_pref.unwrap_or(local_pref),
+                };
+                let change = self.rib.update(route);
+                if change.best_changed() {
+                    let nh = change.new.best.as_ref().unwrap().next_hop();
+                    ops.push(FibOp::Set { prefix: *prefix, next_hop: nh });
+                    // Glean: resolve the (possibly virtual) next-hop
+                    // proactively, like the paper's router does on route
+                    // reception.
+                    if self.arp.lookup(nh, ctx.now()).is_none() {
+                        if let Some(iface_idx) = self.iface_for_nexthop(nh) {
+                            if self.arp.prefetch(nh, ctx.now()) {
+                                self.send_arp_request(ctx, iface_idx, nh);
+                            }
+                            self.arm_arp_timer(ctx);
+                        }
+                    }
+                }
+            }
+        }
+        if !ops.is_empty() {
+            self.walker.enqueue_burst(ctx.now(), ops, false);
+            self.arm_walker(ctx);
+        }
+    }
+
+    /// A peer is gone (BFD, hold timer, or notification): purge its
+    /// routes and queue the (potentially enormous) FIB walk.
+    fn peer_down(&mut self, idx: usize, ctx: &mut Ctx) {
+        if self.peers[idx].purged {
+            return;
+        }
+        self.peers[idx].purged = true;
+        let peer_ip = self.peers[idx].cfg.peer_ip;
+        self.events.push((ctx.now(), RouterEvent::PeerDown(peer_ip)));
+        let changes = self.rib.withdraw_peer(peer_ip);
+        ctx.trace("bgp", || {
+            format!("peer {peer_ip} down; {} prefixes affected", changes.len())
+        });
+        let ops: Vec<FibOp> = changes
+            .into_iter()
+            .filter(|c| c.best_changed())
+            .map(|c| match c.new.best {
+                Some(r) => FibOp::Set { prefix: c.prefix, next_hop: r.next_hop() },
+                None => FibOp::Remove { prefix: c.prefix },
+            })
+            .collect();
+        if !ops.is_empty() {
+            self.walker.enqueue_burst(ctx.now(), ops, true);
+            self.arm_walker(ctx);
+        }
+    }
+
+    // ------------------------------------------------------ data plane
+
+    fn handle_arp(&mut self, ctx: &mut Ctx, port: PortId, payload: &[u8]) {
+        let Ok(arp) = ArpRepr::parse(payload) else {
+            self.stats.dropped_malformed += 1;
+            return;
+        };
+        let iface_idx = self.interfaces.iter().position(|i| i.port == port);
+        let Some(iface_idx) = iface_idx else { return };
+        let iface = self.interfaces[iface_idx];
+        match arp.op {
+            ArpOp::Request => {
+                // Learn the sender opportunistically, reply if it asks
+                // for one of our addresses.
+                let released = self.arp.learn(arp.sender_ip, arp.sender_mac, ctx.now());
+                self.release_frames(ctx, released, arp.sender_ip);
+                if arp.target_ip == iface.ip {
+                    self.stats.arp_replies_sent += 1;
+                    let reply = ArpRepr::reply_to(&arp, iface.mac);
+                    let frame = EthernetRepr {
+                        dst: arp.sender_mac,
+                        src: iface.mac,
+                        ethertype: EtherType::Arp,
+                    }
+                    .to_frame(&reply.to_bytes());
+                    ctx.send_frame(iface.port, frame);
+                }
+            }
+            ArpOp::Reply => {
+                let released = self.arp.learn(arp.sender_ip, arp.sender_mac, ctx.now());
+                self.release_frames(ctx, released, arp.sender_ip);
+            }
+        }
+    }
+
+    fn release_frames(&mut self, ctx: &mut Ctx, frames: Vec<Vec<u8>>, nh: Ipv4Addr) {
+        if frames.is_empty() {
+            return;
+        }
+        let Some(mac) = self.arp.lookup(nh, ctx.now()) else {
+            return;
+        };
+        let Some(iface_idx) = self.iface_for_nexthop(nh) else {
+            return;
+        };
+        let port = self.interfaces[iface_idx].port;
+        for mut frame in frames {
+            if EthernetRepr::rewrite_dst(&mut frame, mac).is_ok() {
+                self.stats.forwarded += 1;
+                ctx.send_frame(port, frame);
+            }
+        }
+    }
+
+    fn forward_ipv4(&mut self, ctx: &mut Ctx, mut frame: Vec<u8>) {
+        // frame = eth header + ipv4 packet. Parse (validates checksum).
+        let parsed = {
+            let (_, eth_payload) = EthernetRepr::parse(&frame).unwrap();
+            Ipv4Repr::parse(eth_payload)
+        };
+        let Ok((ip, _)) = parsed else {
+            self.stats.dropped_malformed += 1;
+            return;
+        };
+        if ip.ttl <= 1 {
+            self.stats.dropped_ttl += 1;
+            return;
+        }
+        // LPM in the *installed* FIB — the data plane sees exactly what
+        // the walker has applied so far.
+        let Some((_, entry)) = self.fib.lookup(ip.dst) else {
+            self.stats.dropped_no_route += 1;
+            return;
+        };
+        let nh = if entry.next_hop == Ipv4Addr::UNSPECIFIED {
+            ip.dst // connected route: deliver directly
+        } else {
+            entry.next_hop
+        };
+        let Some(iface_idx) = self.iface_for_nexthop(nh) else {
+            self.stats.dropped_no_iface += 1;
+            return;
+        };
+        let iface = self.interfaces[iface_idx];
+        // Rewrite L2 source and decrement TTL in place.
+        let _ = EthernetRepr::rewrite_src(&mut frame, iface.mac);
+        let ip_off = sc_net::wire::ethernet::HEADER_LEN;
+        if Ipv4Repr::decrement_ttl(&mut frame[ip_off..]).is_err() {
+            self.stats.dropped_ttl += 1;
+            return;
+        }
+        let now = ctx.now();
+        // Fast path: resolved next-hop (static or cached).
+        if let Some(mac) = self.arp.lookup(nh, now) {
+            let _ = EthernetRepr::rewrite_dst(&mut frame, mac);
+            self.stats.forwarded += 1;
+            ctx.send_frame(iface.port, frame);
+            return;
+        }
+        // Slow path: park the frame until ARP resolves.
+        match self.arp.resolve(nh, frame, now) {
+            Resolution::Ready(_) => unreachable!("lookup above missed"),
+            Resolution::QueuedSendRequest(target) => {
+                self.send_arp_request(ctx, iface_idx, target);
+                self.arm_arp_timer(ctx);
+            }
+            Resolution::Queued => {
+                self.arm_arp_timer(ctx);
+            }
+            Resolution::Dropped => {}
+        }
+    }
+
+    fn deliver_local(&mut self, ctx: &mut Ctx, d: &UdpDatagram) {
+        self.stats.local_delivered += 1;
+        let now = ctx.now();
+        // BFD control (RFC 5881 single-hop): demux by source address.
+        if d.udp.dst_port == udp_port::BFD_CONTROL {
+            if let Some(idx) = self
+                .peers
+                .iter()
+                .position(|p| p.cfg.peer_ip == d.ip.src && p.bfd.is_some())
+            {
+                if let Ok(pkt) = sc_bfd::BfdPacket::parse(&d.payload) {
+                    let events = self.peers[idx]
+                        .bfd
+                        .as_mut()
+                        .unwrap()
+                        .on_packet(&pkt, now);
+                    for ev in events {
+                        self.on_bfd_event(idx, ev, ctx);
+                    }
+                    self.pump_bfd(idx, ctx);
+                }
+            }
+            return;
+        }
+        // BGP transport: find the matching channel.
+        if let Some(idx) = self.peers.iter().position(|p| p.chan.matches(d)) {
+            let events = self.peers[idx].chan.on_datagram(d, now);
+            let mut session_events = Vec::new();
+            for ev in events {
+                match ev {
+                    ChannelEvent::Connected => {
+                        self.peers[idx].session.start(now);
+                    }
+                    ChannelEvent::Delivered(bytes) => match BgpMessage::decode(&bytes) {
+                        Ok(msg) => {
+                            session_events
+                                .extend(self.peers[idx].session.on_message(msg, now));
+                        }
+                        Err(_) => {
+                            self.stats.dropped_malformed += 1;
+                        }
+                    },
+                    ChannelEvent::PeerClosed => {
+                        if let Some(ev) =
+                            self.peers[idx].session.stop(DownReason::AdminDown)
+                        {
+                            session_events.push(ev);
+                        }
+                    }
+                }
+            }
+            self.handle_session_events(idx, session_events, ctx);
+            self.pump_peer(idx, ctx);
+        }
+    }
+}
+
+impl Node for LegacyRouter {
+    fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        // Install static routes instantly (boot configuration) along
+        // with connected subnets.
+        for iface in self.interfaces.clone() {
+            self.fib.insert(
+                iface.subnet,
+                crate::fib::FibEntry { next_hop: Ipv4Addr::UNSPECIFIED },
+            );
+        }
+        for r in self.static_routes.clone() {
+            self.fib
+                .insert(r.prefix, crate::fib::FibEntry { next_hop: r.next_hop });
+        }
+        // Kick off transports (active sides emit their SYN) and BFD.
+        for idx in 0..self.peers.len() {
+            if self.peers[idx].cfg.transport_active {
+                self.peers[idx].chan.flush(ctx);
+            }
+            if let Some(bfd) = self.peers[idx].bfd.as_mut() {
+                bfd.start(ctx.now());
+            }
+            self.pump_bfd(idx, ctx);
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx, port: PortId, frame: Vec<u8>) {
+        let Ok((eth, payload)) = EthernetRepr::parse(&frame) else {
+            self.stats.dropped_malformed += 1;
+            return;
+        };
+        // NIC filter: our MAC on that interface, or broadcast.
+        let our_mac = self
+            .interfaces
+            .iter()
+            .find(|i| i.port == port)
+            .map(|i| i.mac);
+        let Some(our_mac) = our_mac else { return };
+        if eth.dst != our_mac && !eth.dst.is_broadcast() {
+            return;
+        }
+        match eth.ethertype {
+            EtherType::Arp => self.handle_arp(ctx, port, payload),
+            EtherType::Ipv4 => {
+                // Local delivery or forwarding?
+                let Ok((ip, _)) = Ipv4Repr::parse(payload) else {
+                    self.stats.dropped_malformed += 1;
+                    return;
+                };
+                if self.is_local_ip(ip.dst) {
+                    match open_udp_frame(&frame) {
+                        Ok(Some(d)) => self.deliver_local(ctx, &d),
+                        _ => self.stats.dropped_malformed += 1,
+                    }
+                } else {
+                    self.forward_ipv4(ctx, frame);
+                }
+            }
+            EtherType::Other(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: TimerToken) {
+        match token {
+            TIMER_WALKER => {
+                self.walker_armed = false;
+                self.walker.apply_one(&mut self.fib, ctx.now());
+                self.arm_walker(ctx);
+            }
+            TIMER_ARP => {
+                self.arp_timer_armed = false;
+                for target in self.arp.retries_due(ctx.now()) {
+                    if let Some(iface_idx) = self.iface_for_nexthop(target) {
+                        self.send_arp_request(ctx, iface_idx, target);
+                    }
+                }
+                self.arm_arp_timer(ctx);
+            }
+            TimerToken(t) if t >= PEER_TIMER_BASE => {
+                let idx = ((t - PEER_TIMER_BASE) / PEER_TIMER_STRIDE) as usize;
+                if idx >= self.peers.len() {
+                    return;
+                }
+                match (t - PEER_TIMER_BASE) % PEER_TIMER_STRIDE {
+                    PEER_TIMER_CHANNEL => {
+                        self.peers[idx].chan.on_timer(ctx);
+                    }
+                    PEER_TIMER_SESSION => {
+                        self.peers[idx].session_wakeup_armed = None;
+                        let events = self.peers[idx].session.poll(ctx.now());
+                        self.handle_session_events(idx, events, ctx);
+                        self.pump_peer(idx, ctx);
+                    }
+                    PEER_TIMER_BFD => {
+                        self.peers[idx].bfd_wakeup_armed = None;
+                        self.pump_bfd(idx, ctx);
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,32 @@
+//! Deterministic discrete-event network simulation kernel.
+//!
+//! The paper's evaluation is a hardware lab; this crate is the substrate
+//! that replaces it. Design follows the event-driven, poll-based
+//! architecture of the networking guides (smoltcp): **no threads, no
+//! wall-clock, no hidden state** — a single ordered event queue over
+//! virtual time ([`sc_net::SimTime`]), so every experiment is exactly
+//! reproducible from its seed.
+//!
+//! * [`node::Node`] — anything attached to the network (router, switch,
+//!   controller, traffic source/sink). Nodes react to frames, timers and
+//!   link status changes through a [`node::Ctx`] that collects actions.
+//! * [`link`] — point-to-point links with latency, optional bandwidth
+//!   (serialization + FIFO queueing), probabilistic loss and corruption
+//!   (fault injection, as the guides' examples recommend).
+//! * [`world::World`] — the kernel: owns nodes, links, the event queue
+//!   and the RNG; provides failure injection (link down, node crash) and
+//!   scripted control events for experiment drivers.
+//! * [`trace`] — a bounded in-memory trace of annotated events for tests
+//!   and debugging.
+
+pub mod link;
+pub mod netutil;
+pub mod node;
+pub mod trace;
+pub mod world;
+
+pub use link::{LinkId, LinkParams};
+pub use netutil::ChannelPort;
+pub use node::{Ctx, Node, NodeId, PortId, TimerToken};
+pub use trace::{Trace, TraceRecord};
+pub use world::{World, WorldStats};

@@ -1,0 +1,175 @@
+//! Point-to-point links.
+//!
+//! A link connects one port on each of two nodes and models:
+//!
+//! * propagation **latency** (fixed),
+//! * optional **bandwidth**: serialization delay plus FIFO queueing per
+//!   direction (`busy_until` bookkeeping),
+//! * fault injection: probabilistic **loss** and byte **corruption**
+//!   (the corrupted frame is still delivered — receivers must detect it
+//!   via checksums, which is exactly what the wire formats do).
+
+use crate::node::{NodeId, PortId};
+use sc_net::{SimDuration, SimTime};
+
+/// Index of a link within a [`crate::World`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub usize);
+
+/// Link characteristics.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkParams {
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+    /// Bits per second; `None` = infinite (no serialization delay).
+    pub bandwidth_bps: Option<u64>,
+    /// Probability in `[0,1]` that a frame is silently dropped.
+    pub loss: f64,
+    /// Probability in `[0,1]` that one byte of a frame is flipped.
+    pub corrupt: f64,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams {
+            latency: SimDuration::from_micros(10), // LAN-scale
+            bandwidth_bps: None,
+            loss: 0.0,
+            corrupt: 0.0,
+        }
+    }
+}
+
+impl LinkParams {
+    /// A LAN link with the given latency and otherwise default behavior.
+    pub fn with_latency(latency: SimDuration) -> LinkParams {
+        LinkParams {
+            latency,
+            ..LinkParams::default()
+        }
+    }
+
+    /// 1 Gb/s Ethernet (the paper's lab links).
+    pub fn gigabit(latency: SimDuration) -> LinkParams {
+        LinkParams {
+            latency,
+            bandwidth_bps: Some(1_000_000_000),
+            loss: 0.0,
+            corrupt: 0.0,
+        }
+    }
+
+    /// Serialization delay for a frame of `len` bytes.
+    pub fn serialization_delay(&self, len: usize) -> SimDuration {
+        match self.bandwidth_bps {
+            None => SimDuration::ZERO,
+            Some(bps) => {
+                // ns = bytes * 8 * 1e9 / bps, computed without overflow
+                // for realistic frame sizes.
+                let bits = (len as u64) * 8;
+                SimDuration::from_nanos(bits.saturating_mul(1_000_000_000) / bps.max(1))
+            }
+        }
+    }
+}
+
+/// One endpoint of a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Endpoint {
+    pub node: NodeId,
+    pub port: PortId,
+}
+
+/// Internal link state.
+#[derive(Debug)]
+pub(crate) struct Link {
+    pub a: Endpoint,
+    pub b: Endpoint,
+    pub params: LinkParams,
+    pub up: bool,
+    /// Per-direction transmitter-busy horizon: [a->b, b->a].
+    pub busy_until: [SimTime; 2],
+}
+
+impl Link {
+    pub(crate) fn new(a: Endpoint, b: Endpoint, params: LinkParams) -> Link {
+        Link {
+            a,
+            b,
+            params,
+            up: true,
+            busy_until: [SimTime::ZERO; 2],
+        }
+    }
+
+    /// Given the sending endpoint, the direction index and the receiver.
+    pub(crate) fn direction_from(&self, from: Endpoint) -> Option<(usize, Endpoint)> {
+        if from == self.a {
+            Some((0, self.b))
+        } else if from == self.b {
+            Some((1, self.a))
+        } else {
+            None
+        }
+    }
+
+    /// Compute the arrival time of a frame of `len` bytes entering the
+    /// link in direction `dir` at time `now`, updating queue occupancy.
+    pub(crate) fn schedule_arrival(&mut self, dir: usize, now: SimTime, len: usize) -> SimTime {
+        let start = if self.busy_until[dir] > now {
+            self.busy_until[dir]
+        } else {
+            now
+        };
+        let ser = self.params.serialization_delay(len);
+        let done = start + ser;
+        self.busy_until[dir] = done;
+        done + self.params.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_delay_gigabit() {
+        let p = LinkParams::gigabit(SimDuration::ZERO);
+        // 64-byte frame on 1 Gb/s = 512 ns.
+        assert_eq!(p.serialization_delay(64), SimDuration::from_nanos(512));
+        // 1500 bytes = 12 us.
+        assert_eq!(p.serialization_delay(1500), SimDuration::from_nanos(12_000));
+        // Infinite bandwidth: zero.
+        assert_eq!(
+            LinkParams::default().serialization_delay(1500),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn fifo_queueing_accumulates() {
+        let a = Endpoint { node: NodeId(0), port: PortId(0) };
+        let b = Endpoint { node: NodeId(1), port: PortId(0) };
+        let mut link = Link::new(a, b, LinkParams::gigabit(SimDuration::from_micros(10)));
+        let now = SimTime::from_micros(100);
+        // Two back-to-back 64B frames: second starts when first finishes.
+        let t1 = link.schedule_arrival(0, now, 64);
+        let t2 = link.schedule_arrival(0, now, 64);
+        assert_eq!(t1, now + SimDuration::from_nanos(512) + SimDuration::from_micros(10));
+        assert_eq!(t2, t1 + SimDuration::from_nanos(512));
+        // Opposite direction is independent (full duplex).
+        let t3 = link.schedule_arrival(1, now, 64);
+        assert_eq!(t3, t1);
+    }
+
+    #[test]
+    fn direction_resolution() {
+        let a = Endpoint { node: NodeId(0), port: PortId(3) };
+        let b = Endpoint { node: NodeId(7), port: PortId(1) };
+        let link = Link::new(a, b, LinkParams::default());
+        assert_eq!(link.direction_from(a), Some((0, b)));
+        assert_eq!(link.direction_from(b), Some((1, a)));
+        let stranger = Endpoint { node: NodeId(9), port: PortId(0) };
+        assert_eq!(link.direction_from(stranger), None);
+    }
+}

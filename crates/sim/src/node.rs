@@ -1,0 +1,143 @@
+//! The [`Node`] trait and the action-collecting [`Ctx`] handed to nodes.
+//!
+//! Nodes are pure state machines: a handler receives a [`Ctx`], inspects
+//! `ctx.now()`, and *requests* effects (send a frame, arm a timer). The
+//! kernel applies those effects after the handler returns, which keeps
+//! borrow structure simple and event ordering explicit.
+
+use rand::rngs::SmallRng;
+use sc_net::{SimDuration, SimTime};
+use std::any::Any;
+use std::fmt;
+
+/// Index of a node within a [`crate::World`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// Index of a port local to one node (allocated in connection order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PortId(pub usize);
+
+/// An opaque timer cookie chosen by the node; delivered back verbatim.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerToken(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Effects a node handler requests; applied by the kernel afterwards.
+#[derive(Debug)]
+pub(crate) enum Action {
+    /// Transmit `frame` on `port` at time `at` (>= now).
+    SendFrame {
+        port: PortId,
+        frame: Vec<u8>,
+        at: SimTime,
+    },
+    /// Deliver a timer event carrying `token` at time `at`.
+    SetTimer { at: SimTime, token: TimerToken },
+}
+
+/// The per-invocation context handed to node handlers.
+pub struct Ctx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) actions: Vec<Action>,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) trace: &'a mut crate::trace::Trace,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node being invoked.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Transmit an encoded frame on one of this node's ports, now.
+    pub fn send_frame(&mut self, port: PortId, frame: Vec<u8>) {
+        self.actions.push(Action::SendFrame {
+            port,
+            frame,
+            at: self.now,
+        });
+    }
+
+    /// Transmit a frame after a local processing delay (e.g. hardware
+    /// table-programming latency before a notification leaves the box).
+    pub fn send_frame_after(&mut self, port: PortId, frame: Vec<u8>, delay: SimDuration) {
+        self.actions.push(Action::SendFrame {
+            port,
+            frame,
+            at: self.now + delay,
+        });
+    }
+
+    /// Arm a timer that fires at absolute time `at`.
+    pub fn set_timer_at(&mut self, at: SimTime, token: TimerToken) {
+        debug_assert!(at >= self.now, "timer armed in the past");
+        self.actions.push(Action::SetTimer { at, token });
+    }
+
+    /// Arm a timer that fires after `delay`.
+    pub fn set_timer_after(&mut self, delay: SimDuration, token: TimerToken) {
+        self.actions.push(Action::SetTimer {
+            at: self.now + delay,
+            token,
+        });
+    }
+
+    /// The kernel's deterministic RNG (seeded per-world).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Record a trace line (no-op unless tracing is enabled on the world).
+    pub fn trace(&mut self, category: &'static str, message: impl FnOnce() -> String) {
+        let node = self.node;
+        let now = self.now;
+        self.trace.record(now, node, category, message);
+    }
+}
+
+/// A device attached to the simulated network.
+///
+/// Implementations must be `'static` so the kernel can own them and tests
+/// can downcast via [`Node::as_any`].
+pub trait Node: Any {
+    /// Human-readable name for traces and panics.
+    fn name(&self) -> &str;
+
+    /// Called once, at the time the world starts running.
+    fn on_start(&mut self, _ctx: &mut Ctx) {}
+
+    /// An encoded Ethernet frame arrived on `port`.
+    fn on_frame(&mut self, ctx: &mut Ctx, port: PortId, frame: Vec<u8>);
+
+    /// A previously armed timer fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx, _token: TimerToken) {}
+
+    /// The link attached to `port` changed carrier state.
+    ///
+    /// Real switches see carrier loss when a cable is pulled; the paper's
+    /// detection path is BFD instead, so most nodes ignore this.
+    fn on_link_status(&mut self, _ctx: &mut Ctx, _port: PortId, _up: bool) {}
+
+    /// Downcast support for inspection from tests and experiment drivers.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}

@@ -1,0 +1,145 @@
+//! Bounded in-memory event tracing.
+//!
+//! Tracing is opt-in: when disabled (the default for large sweeps) the
+//! record call is a branch and nothing else, so hot paths stay cheap.
+
+use crate::node::NodeId;
+use sc_net::SimTime;
+use std::collections::VecDeque;
+
+/// One trace line.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    pub time: SimTime,
+    pub node: NodeId,
+    pub category: &'static str,
+    pub message: String,
+}
+
+/// A bounded ring of trace records.
+#[derive(Debug)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A disabled trace (records are discarded).
+    pub fn disabled() -> Trace {
+        Trace {
+            enabled: false,
+            capacity: 0,
+            records: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// An enabled trace keeping the most recent `capacity` records.
+    pub fn bounded(capacity: usize) -> Trace {
+        Trace {
+            enabled: true,
+            capacity,
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a line; `message` is only rendered when enabled.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        node: NodeId,
+        category: &'static str,
+        message: impl FnOnce() -> String,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            time,
+            node,
+            category,
+            message: message(),
+        });
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Records in a category, oldest first.
+    pub fn in_category<'a>(
+        &'a self,
+        category: &'a str,
+    ) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| r.category == category)
+    }
+
+    /// Number of records evicted by the bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render all retained records as lines (for debugging dumps).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&format!(
+                "[{}] {} {}: {}\n",
+                r.time, r.node, r.category, r.message
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_discards() {
+        let mut t = Trace::disabled();
+        let mut rendered = false;
+        t.record(SimTime::ZERO, NodeId(0), "x", || {
+            rendered = true;
+            "msg".into()
+        });
+        assert!(!rendered, "message closure must not run when disabled");
+        assert_eq!(t.records().count(), 0);
+    }
+
+    #[test]
+    fn bounded_trace_evicts_oldest() {
+        let mut t = Trace::bounded(2);
+        for i in 0..4u64 {
+            t.record(SimTime::from_millis(i), NodeId(0), "c", || format!("{i}"));
+        }
+        let msgs: Vec<&str> = t.records().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["2", "3"]);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn category_filter() {
+        let mut t = Trace::bounded(10);
+        t.record(SimTime::ZERO, NodeId(1), "bgp", || "a".into());
+        t.record(SimTime::ZERO, NodeId(1), "arp", || "b".into());
+        t.record(SimTime::ZERO, NodeId(2), "bgp", || "c".into());
+        assert_eq!(t.in_category("bgp").count(), 2);
+        assert_eq!(t.in_category("arp").count(), 1);
+        assert!(t.render().contains("arp"));
+    }
+}

@@ -1,0 +1,699 @@
+//! The simulation kernel: event queue, nodes, links, failure injection.
+//!
+//! Determinism contract: given the same seed and the same sequence of
+//! API calls, two [`World`]s process identical event sequences. Events
+//! are totally ordered by `(time, insertion sequence)`, so simultaneous
+//! events keep FIFO order.
+
+use crate::link::{Endpoint, Link, LinkId, LinkParams};
+use crate::node::{Action, Ctx, Node, NodeId, PortId, TimerToken};
+use crate::trace::Trace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sc_net::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Kernel counters (cheap, always on).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct WorldStats {
+    pub events_processed: u64,
+    pub frames_delivered: u64,
+    pub frames_dropped_loss: u64,
+    pub frames_dropped_link_down: u64,
+    pub frames_dropped_no_link: u64,
+    pub frames_dropped_dead_node: u64,
+    pub frames_corrupted: u64,
+    pub timers_fired: u64,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    /// A frame finishing its flight, to be handed to the receiver.
+    Deliver { to: Endpoint, frame: Vec<u8> },
+    /// A frame leaving a node after a processing delay.
+    Emit { from: Endpoint, frame: Vec<u8> },
+    Timer { node: NodeId, token: TimerToken },
+    LinkStatus { to: Endpoint, up: bool },
+    Control(usize),
+}
+
+struct Queued {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct Slot {
+    node: Option<Box<dyn Node>>,
+    name: String,
+    alive: bool,
+    /// Port index -> link attached there.
+    ports: Vec<Option<LinkId>>,
+}
+
+type ControlFn = Box<dyn FnOnce(&mut World)>;
+
+/// The discrete-event world.
+pub struct World {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Queued>>,
+    nodes: Vec<Slot>,
+    links: Vec<Link>,
+    rng: SmallRng,
+    trace: Trace,
+    stats: WorldStats,
+    started: bool,
+    controls: Vec<Option<ControlFn>>,
+}
+
+impl World {
+    /// A fresh world with the given RNG seed and tracing disabled.
+    pub fn new(seed: u64) -> World {
+        World {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            trace: Trace::disabled(),
+            stats: WorldStats::default(),
+            started: false,
+            controls: Vec::new(),
+        }
+    }
+
+    /// Enable a bounded trace (keep the most recent `capacity` records).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Trace::bounded(capacity);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Kernel counters.
+    pub fn stats(&self) -> WorldStats {
+        self.stats
+    }
+
+    /// The trace buffer.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Attach a node; returns its id.
+    pub fn add_node(&mut self, node: impl Node) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Slot {
+            name: node.name().to_string(),
+            node: Some(Box::new(node)),
+            alive: true,
+            ports: Vec::new(),
+        });
+        id
+    }
+
+    /// The node's configured name.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0].name
+    }
+
+    /// Whether the node is alive (not crashed).
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.nodes[id.0].alive
+    }
+
+    /// Immutable typed access to a node (panics on wrong type — that is
+    /// a bug in the experiment driver, not a runtime condition).
+    pub fn node<T: Node>(&self, id: NodeId) -> &T {
+        self.nodes[id.0]
+            .node
+            .as_ref()
+            .expect("node is currently being dispatched")
+            .as_any()
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("node {} is not a {}", id, std::any::type_name::<T>()))
+    }
+
+    /// Mutable typed access to a node.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id.0]
+            .node
+            .as_mut()
+            .expect("node is currently being dispatched")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("node {} is not a {}", id, std::any::type_name::<T>()))
+    }
+
+    /// Connect two nodes with a new link; allocates the next free port on
+    /// each side and returns `(link, port on a, port on b)`.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        params: LinkParams,
+    ) -> (LinkId, PortId, PortId) {
+        let pa = PortId(self.nodes[a.0].ports.len());
+        let pb = PortId(self.nodes[b.0].ports.len());
+        let id = LinkId(self.links.len());
+        self.nodes[a.0].ports.push(Some(id));
+        self.nodes[b.0].ports.push(Some(id));
+        self.links.push(Link::new(
+            Endpoint { node: a, port: pa },
+            Endpoint { node: b, port: pb },
+            params,
+        ));
+        (id, pa, pb)
+    }
+
+    /// Bring a link up or down. Both endpoints receive an
+    /// [`Node::on_link_status`] callback (carrier signal). Idempotent.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        if self.links[link.0].up == up {
+            return;
+        }
+        self.links[link.0].up = up;
+        let (a, b) = (self.links[link.0].a, self.links[link.0].b);
+        self.push(self.now, EventKind::LinkStatus { to: a, up });
+        self.push(self.now, EventKind::LinkStatus { to: b, up });
+    }
+
+    /// Whether a link is currently up.
+    pub fn is_link_up(&self, link: LinkId) -> bool {
+        self.links[link.0].up
+    }
+
+    /// Crash a node: it stops receiving frames and timers, and all its
+    /// links go down (peers see carrier loss).
+    pub fn crash_node(&mut self, id: NodeId) {
+        self.nodes[id.0].alive = false;
+        let attached: Vec<LinkId> = self.nodes[id.0].ports.iter().flatten().copied().collect();
+        for l in attached {
+            self.set_link_up(l, false);
+        }
+    }
+
+    /// Deliver a timer event to a node at `at` from outside (experiment
+    /// drivers use this to kick nodes whose schedule is decided after
+    /// the world started, e.g. the traffic source's start time).
+    pub fn wake_node(&mut self, at: SimTime, node: NodeId, token: TimerToken) {
+        assert!(at >= self.now, "wake_node scheduled in the past");
+        self.push(at, EventKind::Timer { node, token });
+    }
+
+    /// Schedule a scripted control action (e.g. "fail R2 at t=Y") with
+    /// full access to the world.
+    pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
+        assert!(at >= self.now, "control event scheduled in the past");
+        let idx = self.controls.len();
+        self.controls.push(Some(Box::new(f)));
+        self.push(at, EventKind::Control(idx));
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Queued { time, seq, kind }));
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "event queue went backwards");
+        self.now = ev.time;
+        self.stats.events_processed += 1;
+        self.handle(ev.kind);
+        true
+    }
+
+    /// Run until the queue is empty or `deadline` is reached; `now` ends
+    /// at `min(deadline, drained)`. Events *at* the deadline run.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.ensure_started();
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.time <= deadline => {
+                    let Reverse(ev) = self.queue.pop().unwrap();
+                    self.now = ev.time;
+                    self.stats.events_processed += 1;
+                    self.handle(ev.kind);
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Run for a further `d` of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Drain the queue completely (panics after `max_events` as a
+    /// runaway-loop guard). Returns the final virtual time.
+    pub fn run_until_idle(&mut self, max_events: u64) -> SimTime {
+        self.ensure_started();
+        let mut n = 0u64;
+        while self.step() {
+            n += 1;
+            assert!(n <= max_events, "run_until_idle exceeded {max_events} events");
+        }
+        self.now
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.dispatch(NodeId(i), |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    fn handle(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Deliver { to, frame } => {
+                if !self.nodes[to.node.0].alive {
+                    self.stats.frames_dropped_dead_node += 1;
+                    return;
+                }
+                self.stats.frames_delivered += 1;
+                self.dispatch(to.node, |node, ctx| node.on_frame(ctx, to.port, frame));
+            }
+            EventKind::Emit { from, frame } => {
+                self.emit(from, frame);
+            }
+            EventKind::Timer { node, token } => {
+                if !self.nodes[node.0].alive {
+                    return;
+                }
+                self.stats.timers_fired += 1;
+                self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
+            }
+            EventKind::LinkStatus { to, up } => {
+                if !self.nodes[to.node.0].alive {
+                    return;
+                }
+                self.dispatch(to.node, |n, ctx| n.on_link_status(ctx, to.port, up));
+            }
+            EventKind::Control(idx) => {
+                let f = self.controls[idx]
+                    .take()
+                    .expect("control event executed twice");
+                f(self);
+            }
+        }
+    }
+
+    /// Put a frame onto the wire from `from`, applying link faults and
+    /// timing. Called at the frame's emission time.
+    fn emit(&mut self, from: Endpoint, frame: Vec<u8>) {
+        let Some(Some(link_id)) = self.nodes[from.node.0].ports.get(from.port.0).copied() else {
+            self.stats.frames_dropped_no_link += 1;
+            return;
+        };
+        let link = &mut self.links[link_id.0];
+        if !link.up {
+            self.stats.frames_dropped_link_down += 1;
+            return;
+        }
+        let (dir, peer) = link
+            .direction_from(from)
+            .expect("port/link wiring inconsistent");
+        // Fault injection.
+        let mut frame = frame;
+        if link.params.loss > 0.0 && self.rng.gen::<f64>() < link.params.loss {
+            self.stats.frames_dropped_loss += 1;
+            return;
+        }
+        if link.params.corrupt > 0.0 && self.rng.gen::<f64>() < link.params.corrupt {
+            if !frame.is_empty() {
+                let idx = self.rng.gen_range(0..frame.len());
+                frame[idx] ^= 1 << self.rng.gen_range(0..8);
+                self.stats.frames_corrupted += 1;
+            }
+        }
+        let arrival = link.schedule_arrival(dir, self.now, frame.len());
+        self.push(arrival, EventKind::Deliver { to: peer, frame });
+    }
+
+    /// Invoke a node handler and apply the actions it requested.
+    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx)) {
+        let mut node = self.nodes[id.0]
+            .node
+            .take()
+            .expect("re-entrant dispatch on one node");
+        let mut ctx = Ctx {
+            now: self.now,
+            node: id,
+            actions: Vec::new(),
+            rng: &mut self.rng,
+            trace: &mut self.trace,
+        };
+        f(node.as_mut(), &mut ctx);
+        let actions = std::mem::take(&mut ctx.actions);
+        self.nodes[id.0].node = Some(node);
+        for action in actions {
+            match action {
+                Action::SendFrame { port, frame, at } => {
+                    let from = Endpoint { node: id, port };
+                    if at <= self.now {
+                        self.emit(from, frame);
+                    } else {
+                        self.push(at, EventKind::Emit { from, frame });
+                    }
+                }
+                Action::SetTimer { at, token } => {
+                    self.push(at.max(self.now), EventKind::Timer { node: id, token });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    /// A node that echoes every frame back out the same port after a
+    /// configurable delay and counts what it saw.
+    struct Echo {
+        name: String,
+        delay: SimDuration,
+        seen: Vec<(SimTime, PortId, Vec<u8>)>,
+        link_events: Vec<(PortId, bool)>,
+        timer_log: Vec<(SimTime, u64)>,
+    }
+
+    impl Echo {
+        fn new(name: &str, delay: SimDuration) -> Echo {
+            Echo {
+                name: name.into(),
+                delay,
+                seen: Vec::new(),
+                link_events: Vec::new(),
+                timer_log: Vec::new(),
+            }
+        }
+    }
+
+    impl Node for Echo {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn on_frame(&mut self, ctx: &mut Ctx, port: PortId, frame: Vec<u8>) {
+            self.seen.push((ctx.now(), port, frame.clone()));
+            if !frame.is_empty() && frame[0] == b'E' {
+                ctx.send_frame_after(port, frame, self.delay);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx, token: TimerToken) {
+            self.timer_log.push((ctx.now(), token.0));
+        }
+        fn on_link_status(&mut self, _ctx: &mut Ctx, port: PortId, up: bool) {
+            self.link_events.push((port, up));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// A node that fires a frame at start and re-arms a periodic timer.
+    struct Ticker {
+        name: String,
+        period: SimDuration,
+        ticks: u32,
+        max_ticks: u32,
+        out_port: PortId,
+    }
+
+    impl Node for Ticker {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer_after(self.period, TimerToken(1));
+        }
+        fn on_frame(&mut self, _ctx: &mut Ctx, _port: PortId, _frame: Vec<u8>) {}
+        fn on_timer(&mut self, ctx: &mut Ctx, _token: TimerToken) {
+            self.ticks += 1;
+            ctx.send_frame(self.out_port, vec![b'T', self.ticks as u8]);
+            if self.ticks < self.max_ticks {
+                ctx.set_timer_after(self.period, TimerToken(1));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn frame_flies_with_latency() {
+        let mut w = World::new(1);
+        let a = w.add_node(Echo::new("a", SimDuration::ZERO));
+        let b = w.add_node(Echo::new("b", SimDuration::ZERO));
+        let (_l, pa, _pb) = w.connect(a, b, LinkParams::with_latency(SimDuration::from_micros(10)));
+        w.schedule(SimTime::from_millis(1), move |w| {
+            // Inject a frame as if `a` sent it.
+            let from = Endpoint { node: a, port: pa };
+            w.emit(from, vec![b'X']);
+        });
+        w.run_until_idle(1000);
+        let b_node = w.node::<Echo>(b);
+        assert_eq!(b_node.seen.len(), 1);
+        assert_eq!(
+            b_node.seen[0].0,
+            SimTime::from_millis(1) + SimDuration::from_micros(10)
+        );
+    }
+
+    #[test]
+    fn ping_pong_terminates_and_orders() {
+        let mut w = World::new(2);
+        let t = w.add_node(Ticker {
+            name: "ticker".into(),
+            period: SimDuration::from_millis(10),
+            ticks: 0,
+            max_ticks: 5,
+            out_port: PortId(0),
+        });
+        let sink = w.add_node(Echo::new("sink", SimDuration::ZERO));
+        w.connect(t, sink, LinkParams::default());
+        w.run_until_idle(10_000);
+        let s = w.node::<Echo>(sink);
+        assert_eq!(s.seen.len(), 5);
+        // Strictly increasing arrival times, FIFO payload order.
+        for pair in s.seen.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+        }
+        let seq: Vec<u8> = s.seen.iter().map(|(_, _, f)| f[1]).collect();
+        assert_eq!(seq, vec![1, 2, 3, 4, 5]);
+        assert_eq!(w.node::<Ticker>(t).ticks, 5);
+    }
+
+    #[test]
+    fn link_down_drops_and_signals_carrier() {
+        let mut w = World::new(3);
+        let a = w.add_node(Ticker {
+            name: "ticker".into(),
+            period: SimDuration::from_millis(10),
+            ticks: 0,
+            max_ticks: 10,
+            out_port: PortId(0),
+        });
+        let b = w.add_node(Echo::new("sink", SimDuration::ZERO));
+        let (l, _pa, _pb) = w.connect(a, b, LinkParams::default());
+        // Cut the link mid-run.
+        w.schedule(SimTime::from_millis(45), move |w| w.set_link_up(l, false));
+        w.run_until_idle(10_000);
+        let s = w.node::<Echo>(b);
+        assert_eq!(s.seen.len(), 4, "ticks at 10,20,30,40 arrive; later ones dropped");
+        assert_eq!(s.link_events, vec![(PortId(0), false)]);
+        assert_eq!(w.stats().frames_dropped_link_down, 6);
+    }
+
+    #[test]
+    fn crash_node_stops_delivery_and_downs_links() {
+        let mut w = World::new(4);
+        let a = w.add_node(Ticker {
+            name: "ticker".into(),
+            period: SimDuration::from_millis(10),
+            ticks: 0,
+            max_ticks: 3,
+            out_port: PortId(0),
+        });
+        let b = w.add_node(Echo::new("victim", SimDuration::ZERO));
+        let c = w.add_node(Echo::new("peer-of-victim", SimDuration::ZERO));
+        w.connect(a, b, LinkParams::default());
+        let (_l2, _pb2, _pc) = w.connect(b, c, LinkParams::default());
+        w.schedule(SimTime::from_millis(15), move |w| w.crash_node(b));
+        w.run_until_idle(10_000);
+        assert!(!w.is_alive(b));
+        // Victim saw only the first tick.
+        assert_eq!(w.node::<Echo>(b).seen.len(), 1);
+        // The victim's peer observed carrier loss on their shared link.
+        assert_eq!(w.node::<Echo>(c).link_events, vec![(PortId(0), false)]);
+    }
+
+    #[test]
+    fn loss_and_corruption_are_seeded_and_counted() {
+        let run = |seed: u64| {
+            let mut w = World::new(seed);
+            let a = w.add_node(Ticker {
+                name: "ticker".into(),
+                period: SimDuration::from_millis(1),
+                ticks: 0,
+                max_ticks: 1000,
+                out_port: PortId(0),
+            });
+            let b = w.add_node(Echo::new("sink", SimDuration::ZERO));
+            w.connect(
+                a,
+                b,
+                LinkParams {
+                    loss: 0.2,
+                    corrupt: 0.1,
+                    ..LinkParams::default()
+                },
+            );
+            w.run_until_idle(100_000);
+            let delivered = w.node::<Echo>(b).seen.len();
+            (delivered, w.stats())
+        };
+        let (d1, s1) = run(42);
+        let (d2, s2) = run(42);
+        assert_eq!(d1, d2, "same seed, same outcome");
+        assert_eq!(s1, s2);
+        assert!(s1.frames_dropped_loss > 100 && s1.frames_dropped_loss < 300);
+        assert!(s1.frames_corrupted > 30 && s1.frames_corrupted < 200);
+        let (d3, _) = run(43);
+        assert_ne!(d1, d3, "different seed, different fault pattern");
+    }
+
+    #[test]
+    fn bandwidth_serialization_orders_backlog() {
+        // Two frames sent simultaneously on a 1 Gb/s link arrive
+        // back-to-back, separated by the serialization delay.
+        let mut w = World::new(5);
+        let a = w.add_node(Echo::new("a", SimDuration::ZERO));
+        let b = w.add_node(Echo::new("b", SimDuration::ZERO));
+        let (_l, pa, _pb) =
+            w.connect(a, b, LinkParams::gigabit(SimDuration::from_micros(5)));
+        w.schedule(SimTime::from_millis(1), move |w| {
+            let from = Endpoint { node: a, port: pa };
+            w.emit(from, vec![0u8; 64]);
+            w.emit(from, vec![1u8; 64]);
+        });
+        w.run_until_idle(100);
+        let seen = &w.node::<Echo>(b).seen;
+        assert_eq!(seen.len(), 2);
+        let gap = seen[1].0 - seen[0].0;
+        assert_eq!(gap, SimDuration::from_nanos(512));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut w = World::new(6);
+        let _t = w.add_node(Ticker {
+            name: "ticker".into(),
+            period: SimDuration::from_millis(10),
+            ticks: 0,
+            max_ticks: 100,
+            out_port: PortId(0),
+        });
+        w.run_until(SimTime::from_millis(35));
+        assert_eq!(w.now(), SimTime::from_millis(35));
+        // Only ticks at 10,20,30 processed so far.
+        assert_eq!(w.stats().timers_fired, 3);
+        w.run_until(SimTime::from_millis(100));
+        assert_eq!(w.stats().timers_fired, 10);
+    }
+
+    #[test]
+    fn control_events_interleave_deterministically() {
+        let mut w = World::new(7);
+        let order = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        for i in 0..5u64 {
+            let order = order.clone();
+            w.schedule(SimTime::from_millis(10), move |_w| {
+                order.borrow_mut().push(i);
+            });
+        }
+        w.run_until_idle(100);
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4], "FIFO at equal time");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn runaway_guard_trips() {
+        struct Forever;
+        impl Node for Forever {
+            fn name(&self) -> &str {
+                "forever"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer_after(SimDuration::from_nanos(1), TimerToken(0));
+            }
+            fn on_frame(&mut self, _: &mut Ctx, _: PortId, _: Vec<u8>) {}
+            fn on_timer(&mut self, ctx: &mut Ctx, _: TimerToken) {
+                ctx.set_timer_after(SimDuration::from_nanos(1), TimerToken(0));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(8);
+        w.add_node(Forever);
+        w.run_until_idle(100);
+    }
+
+    #[test]
+    fn frames_to_unconnected_port_are_counted() {
+        let mut w = World::new(9);
+        let a = w.add_node(Echo::new("lonely", SimDuration::ZERO));
+        w.schedule(SimTime::from_millis(1), move |w| {
+            w.emit(Endpoint { node: a, port: PortId(0) }, vec![1, 2, 3]);
+        });
+        w.run_until_idle(10);
+        assert_eq!(w.stats().frames_dropped_no_link, 1);
+    }
+}

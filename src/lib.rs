@@ -1,0 +1,45 @@
+//! # supercharged-router
+//!
+//! A full reproduction of *"Supercharge me: Boost Router Convergence with
+//! SDN"* (Chang, Holterbach, Happe, Vanbever — SIGCOMM 2015,
+//! arXiv:1505.06630) as a Rust workspace.
+//!
+//! This facade crate re-exports every workspace crate under one roof so
+//! examples and downstream users can depend on a single package:
+//!
+//! * [`net`] — base types and wire formats (Ethernet, ARP, IPv4, UDP),
+//!   prefix trie, virtual time, reliable channel.
+//! * [`sim`] — the deterministic discrete-event simulation kernel.
+//! * [`bgp`] — BGP-4: messages, session FSM, RIBs, decision process.
+//! * [`bfd`] — RFC 5880 failure detection.
+//! * [`openflow`] — the SDN switch substrate.
+//! * [`router`] — the legacy router model with calibrated FIB timing.
+//! * [`supercharger`] — **the paper's contribution**: backup-group
+//!   computation, VNH/VMAC provisioning, ARP responder, and the
+//!   data-plane failover procedure.
+//! * [`traffic`] — FPGA-like traffic source/sink and gap measurement.
+//! * [`routegen`] — synthetic RIPE-RIS-style route feeds.
+//! * [`lab`] — the Fig. 4 evaluation topology and experiment drivers.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! ```no_run
+//! use supercharged_router::lab::{ConvergenceLab, LabConfig, Mode};
+//!
+//! let cfg = LabConfig { prefixes: 10_000, mode: Mode::Supercharged, ..LabConfig::default() };
+//! let report = ConvergenceLab::build(cfg).run();
+//! println!("median convergence: {}", report.per_flow.median());
+//! ```
+
+pub use sc_bfd as bfd;
+pub use sc_bgp as bgp;
+pub use sc_lab as lab;
+pub use sc_net as net;
+pub use sc_openflow as openflow;
+pub use sc_router as router;
+pub use sc_routegen as routegen;
+pub use sc_sim as sim;
+pub use sc_traffic as traffic;
+pub use supercharger;
