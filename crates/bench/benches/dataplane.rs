@@ -16,7 +16,11 @@ fn full_fib(n: u32) -> (PrefixTrie<u32>, Vec<Ipv4Addr>) {
     for (i, p) in universe.iter().enumerate() {
         t.insert(*p, i as u32);
     }
-    let probes: Vec<Ipv4Addr> = universe.iter().step_by(97).map(|p| p.sample_host()).collect();
+    let probes: Vec<Ipv4Addr> = universe
+        .iter()
+        .step_by(97)
+        .map(|p| p.sample_host())
+        .collect();
     (t, probes)
 }
 

@@ -61,12 +61,7 @@ fn main() {
     println!("{}", t.render());
 
     // --------------------------------------- 2. FIB walk-rate sweep
-    let mut t = Table::new(&[
-        "per-entry cost",
-        "stock max",
-        "supercharged max",
-        "speedup",
-    ]);
+    let mut t = Table::new(&["per-entry cost", "stock max", "supercharged max", "speedup"]);
     for cost_us in [281u64, 100, 30, 10, 1] {
         let cal = Calibration {
             fib_entry_update: SimDuration::from_micros(cost_us),
@@ -109,7 +104,12 @@ fn main() {
         t.row(vec![
             format!("{delay_ms}ms"),
             fig5_label(max),
-            if max <= SimDuration::from_millis(150) { "yes" } else { "NO" }.into(),
+            if max <= SimDuration::from_millis(150) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .into(),
         ]);
     }
     println!("Ablation 3 — controller reaction delay inside the 150ms envelope");
@@ -123,8 +123,14 @@ fn main() {
     let n_replicas = 5;
     let universe = prefix_universe(prefixes, 42);
     let feeds = [
-        (IP_R2, generate_feed_for(&FeedConfig::new(prefixes, 42, IP_R2, 65002), &universe)),
-        (IP_R3, generate_feed_for(&FeedConfig::new(prefixes, 42, IP_R3, 65003), &universe)),
+        (
+            IP_R2,
+            generate_feed_for(&FeedConfig::new(prefixes, 42, IP_R2, 65002), &universe),
+        ),
+        (
+            IP_R3,
+            generate_feed_for(&FeedConfig::new(prefixes, 42, IP_R3, 65003), &universe),
+        ),
     ];
     let engine_cfg = supercharger::EngineConfig::new(
         "10.0.200.0/24".parse().unwrap(),

@@ -68,7 +68,9 @@ fn main() {
                 }
                 for k in 0..prefixes_per_pair {
                     let pfx = Ipv4Prefix::new(
-                        Ipv4Addr::from(0x0100_0000u32 + ((prefix_block * prefixes_per_pair + k) << 8)),
+                        Ipv4Addr::from(
+                            0x0100_0000u32 + ((prefix_block * prefixes_per_pair + k) << 8),
+                        ),
                         24,
                     );
                     // Announce from every peer; rank via path length:

@@ -73,13 +73,33 @@ fn main() {
     eprintln!("stock sweep done in {:.1}s", t0.elapsed().as_secs_f64());
     let t1 = std::time::Instant::now();
     let supercharged = run_fig5_sweep(Mode::Supercharged, &counts, trials, &base);
-    eprintln!("supercharged sweep done in {:.1}s\n", t1.elapsed().as_secs_f64());
+    eprintln!(
+        "supercharged sweep done in {:.1}s\n",
+        t1.elapsed().as_secs_f64()
+    );
 
     let mut table = Table::new(&[
-        "prefixes", "mode", "n", "p5", "q1", "median", "q3", "p95", "max", "paper-max",
+        "prefixes",
+        "mode",
+        "n",
+        "p5",
+        "q1",
+        "median",
+        "q3",
+        "p95",
+        "max",
+        "paper-max",
     ]);
     let mut csv = Csv::new(&[
-        "prefixes", "mode", "n", "p5_ms", "q1_ms", "median_ms", "q3_ms", "p95_ms", "max_ms",
+        "prefixes",
+        "mode",
+        "n",
+        "p5_ms",
+        "q1_ms",
+        "median_ms",
+        "q3_ms",
+        "p95_ms",
+        "max_ms",
     ]);
     let mut speedups = Vec::new();
     for (s_row, u_row) in stock.iter().zip(&supercharged) {
@@ -152,7 +172,11 @@ fn check_shape(stock: &[SweepRow], supercharged: &[SweepRow]) {
         let max = row.stats().max;
         if max > SimDuration::from_millis(150) {
             ok = false;
-            println!("FAIL supercharged max at {} prefixes: {}", row.prefixes, fig5_label(max));
+            println!(
+                "FAIL supercharged max at {} prefixes: {}",
+                row.prefixes,
+                fig5_label(max)
+            );
         }
     }
     // 2. Stock grows monotonically (allowing 5% noise).
@@ -199,6 +223,10 @@ fn check_shape(stock: &[SweepRow], supercharged: &[SweepRow]) {
     }
     println!(
         "shape check: {}",
-        if ok { "PASS (matches the paper)" } else { "FAIL (see above)" }
+        if ok {
+            "PASS (matches the paper)"
+        } else {
+            "FAIL (see above)"
+        }
     );
 }

@@ -1,0 +1,100 @@
+//! **Scenario matrix** — the full evaluation beyond the paper's lab:
+//! every topology family × a library of failure scripts × both modes,
+//! at paper-scale prefix counts.
+//!
+//! ```text
+//! cargo run --release -p sc-bench --bin scenarios [--prefixes N] \
+//!     [--flows N] [--seed N] [--quick] [--csv out.csv] [--json out.json]
+//! ```
+//!
+//! * default: 10k prefixes, the full 6-topology × 4-script matrix;
+//! * `--quick`: 1k prefixes and the cut/flap scripts only (CI-sized).
+
+use sc_bench::{fig5_label, Args, Table};
+use sc_lab::Mode;
+use sc_net::SimDuration;
+use sc_scenarios::{run_suite, EventScript, ScenarioConfig, SuiteConfig, TopologySpec};
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("--quick");
+    let prefixes: u32 = args.value("--prefixes", if quick { 1_000 } else { 10_000 });
+    let flows: usize = args.value("--flows", 50);
+    let seed: u64 = args.value("--seed", 42);
+
+    let topologies = vec![
+        TopologySpec::Fig4Lab,
+        TopologySpec::Chain {
+            providers: 3,
+            hops: 2,
+        },
+        TopologySpec::Ring {
+            providers: 3,
+            ring: 6,
+        },
+        TopologySpec::FatTreePod { k: 4 },
+        TopologySpec::IxpHub { peers: 6 },
+        TopologySpec::Random { seed },
+    ];
+    let mut scripts = vec![
+        EventScript::primary_cut(),
+        EventScript::primary_flap(SimDuration::from_millis(250), 3),
+    ];
+    if !quick {
+        scripts.push(EventScript::primary_crash());
+        scripts.push(EventScript::withdraw_burst(prefixes / 4));
+    }
+    let suite = SuiteConfig {
+        topologies,
+        scripts,
+        modes: vec![Mode::Stock, Mode::Supercharged],
+        base: ScenarioConfig {
+            prefixes,
+            flows,
+            seed,
+            ..ScenarioConfig::default()
+        },
+    };
+    let trials = suite.topologies.len() * suite.scripts.len() * suite.modes.len();
+    println!("scenario matrix: {trials} trials at {prefixes} prefixes, {flows} flows\n");
+
+    let t0 = std::time::Instant::now();
+    let report = run_suite(&suite);
+
+    let mut table = Table::new(&[
+        "topology", "script", "mode", "median", "p95", "max", "lost", "detect", "rewrites",
+    ]);
+    for row in &report.rows {
+        let s = row.stats();
+        table.row(vec![
+            row.topology.clone(),
+            row.script.clone(),
+            sc_scenarios::mode_label(row.mode).to_string(),
+            fig5_label(s.median),
+            fig5_label(s.p95),
+            fig5_label(s.max),
+            row.unrecovered.to_string(),
+            row.detected_at
+                .map(|t| fig5_label(t - row.fail_at))
+                .unwrap_or_else(|| "-".into()),
+            row.flow_rewrites
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    for (topo, script, x) in report.speedups() {
+        println!("{topo:<12} {script:<16} {x:>7.0}x median speedup");
+    }
+    println!("\nwall time: {:.1}s", t0.elapsed().as_secs_f64());
+
+    if let Some(path) = args.raw_value("--csv") {
+        std::fs::write(&path, report.to_csv()).expect("write CSV");
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.raw_value("--json") {
+        std::fs::write(&path, report.to_json()).expect("write JSON");
+        println!("wrote {path}");
+    }
+}

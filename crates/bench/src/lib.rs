@@ -76,12 +76,18 @@ impl Args {
     }
 
     pub fn value<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.raw_value(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The raw value following `--key`, if present.
+    pub fn raw_value(&self, name: &str) -> Option<String> {
         self.raw
             .iter()
             .position(|a| a == name)
             .and_then(|i| self.raw.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+            .cloned()
     }
 }
 

@@ -97,9 +97,8 @@ impl BfdPacket {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = vec![0u8; PACKET_LEN];
         buf[0] = (1 << 5) | (self.diag as u8);
-        buf[1] = ((self.state as u8) << 6)
-            | ((self.poll as u8) << 5)
-            | ((self.final_bit as u8) << 4);
+        buf[1] =
+            ((self.state as u8) << 6) | ((self.poll as u8) << 5) | ((self.final_bit as u8) << 4);
         buf[2] = self.detect_mult;
         buf[3] = PACKET_LEN as u8;
         put32(&mut buf, 4, self.my_discr);
@@ -171,14 +170,23 @@ mod tests {
 
     #[test]
     fn roundtrip_all_states() {
-        for state in [BfdState::AdminDown, BfdState::Down, BfdState::Init, BfdState::Up] {
+        for state in [
+            BfdState::AdminDown,
+            BfdState::Down,
+            BfdState::Init,
+            BfdState::Up,
+        ] {
             for diag in [
                 BfdDiag::None,
                 BfdDiag::DetectionTimeExpired,
                 BfdDiag::NeighborSignaledDown,
                 BfdDiag::AdministrativelyDown,
             ] {
-                let p = BfdPacket { state, diag, ..sample() };
+                let p = BfdPacket {
+                    state,
+                    diag,
+                    ..sample()
+                };
                 let parsed = BfdPacket::parse(&p.to_bytes()).unwrap();
                 assert_eq!(parsed, p);
             }
@@ -187,7 +195,11 @@ mod tests {
 
     #[test]
     fn poll_final_flags_roundtrip() {
-        let p = BfdPacket { poll: true, final_bit: true, ..sample() };
+        let p = BfdPacket {
+            poll: true,
+            final_bit: true,
+            ..sample()
+        };
         let parsed = BfdPacket::parse(&p.to_bytes()).unwrap();
         assert!(parsed.poll && parsed.final_bit);
     }
@@ -196,7 +208,10 @@ mod tests {
     fn rejects_bad_version_and_fields() {
         let mut b = sample().to_bytes();
         b[0] = (2 << 5) | (b[0] & 0x1f); // version 2
-        assert_eq!(BfdPacket::parse(&b), Err(WireError::Unsupported("bfd version")));
+        assert_eq!(
+            BfdPacket::parse(&b),
+            Err(WireError::Unsupported("bfd version"))
+        );
 
         let mut b = sample().to_bytes();
         b[2] = 0; // detect mult zero

@@ -484,7 +484,10 @@ mod tests {
         for p in &pkts {
             a_events.extend(a.on_packet(p, SimTime::from_secs(5) + SimDuration::from_millis(41)));
         }
-        assert_eq!(a_events, vec![BfdEvent::Down(BfdDiag::NeighborSignaledDown)]);
+        assert_eq!(
+            a_events,
+            vec![BfdEvent::Down(BfdDiag::NeighborSignaledDown)]
+        );
         assert_eq!(a.state(), BfdState::Down);
     }
 
@@ -492,7 +495,11 @@ mod tests {
     fn tx_interval_slow_while_down_fast_while_up() {
         let mut s = BfdSession::new(BfdConfig::paper_defaults(7));
         assert_eq!(s.state(), BfdState::Down);
-        assert_eq!(s.tx_interval(), SimDuration::from_secs(1), "floored at 1s while Down");
+        assert_eq!(
+            s.tx_interval(),
+            SimDuration::from_secs(1),
+            "floored at 1s while Down"
+        );
         // Fake reaching Up via handshake packets.
         let peer = BfdPacket {
             diag: BfdDiag::None,
@@ -507,7 +514,11 @@ mod tests {
         };
         s.on_packet(&peer, SimTime::ZERO);
         assert_eq!(s.state(), BfdState::Init);
-        let peer_init = BfdPacket { state: BfdState::Init, your_discr: 7, ..peer };
+        let peer_init = BfdPacket {
+            state: BfdState::Init,
+            your_discr: 7,
+            ..peer
+        };
         let ev = s.on_packet(&peer_init, SimTime::from_millis(10));
         assert_eq!(ev, vec![BfdEvent::Up]);
         assert_eq!(s.tx_interval(), SimDuration::from_millis(30));

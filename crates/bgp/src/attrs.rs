@@ -69,7 +69,9 @@ impl AsPath {
 
     /// The empty path (locally originated).
     pub fn empty() -> AsPath {
-        AsPath { segments: Vec::new() }
+        AsPath {
+            segments: Vec::new(),
+        }
     }
 
     /// Path length for the decision process: each AS in a SEQUENCE counts
@@ -478,10 +480,7 @@ mod tests {
         let long: Vec<u16> = (0..200).collect();
         let a = RouteAttrs {
             as_path: AsPath {
-                segments: vec![
-                    AsSegment::Sequence(long.clone()),
-                    AsSegment::Sequence(long),
-                ],
+                segments: vec![AsSegment::Sequence(long.clone()), AsSegment::Sequence(long)],
             },
             ..RouteAttrs::ebgp(AsPath::empty(), Ipv4Addr::new(1, 1, 1, 1))
         };

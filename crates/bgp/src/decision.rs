@@ -135,11 +135,8 @@ mod tests {
     fn route(n: u8, f: impl FnOnce(&mut Route)) -> Route {
         let mut r = Route {
             prefix: "1.0.0.0/24".parse().unwrap(),
-            attrs: RouteAttrs::ebgp(
-                AsPath::sequence(vec![100, 200]),
-                Ipv4Addr::new(10, 0, n, 1),
-            )
-            .shared(),
+            attrs: RouteAttrs::ebgp(AsPath::sequence(vec![100, 200]), Ipv4Addr::new(10, 0, n, 1))
+                .shared(),
             from: peer(n),
             local_pref: DEFAULT_LOCAL_PREF,
         };

@@ -111,7 +111,11 @@ impl UpdateMsg {
             return vec![self];
         }
         // Conservative split: halve the larger list recursively.
-        let UpdateMsg { withdrawn, attrs, nlri } = self;
+        let UpdateMsg {
+            withdrawn,
+            attrs,
+            nlri,
+        } = self;
         let mut out = Vec::new();
         if withdrawn.len() > 1 || nlri.len() > 1 {
             if nlri.len() >= withdrawn.len() {
@@ -119,22 +123,40 @@ impl UpdateMsg {
                 let (a, b) = nlri.split_at(mid);
                 if !withdrawn.is_empty() || !a.is_empty() {
                     out.extend(
-                        UpdateMsg { withdrawn, attrs: attrs.clone(), nlri: a.to_vec() }
-                            .split_to_fit(),
+                        UpdateMsg {
+                            withdrawn,
+                            attrs: attrs.clone(),
+                            nlri: a.to_vec(),
+                        }
+                        .split_to_fit(),
                     );
                 }
                 out.extend(
-                    UpdateMsg { withdrawn: Vec::new(), attrs, nlri: b.to_vec() }.split_to_fit(),
+                    UpdateMsg {
+                        withdrawn: Vec::new(),
+                        attrs,
+                        nlri: b.to_vec(),
+                    }
+                    .split_to_fit(),
                 );
             } else {
                 let mid = withdrawn.len() / 2;
                 let (a, b) = withdrawn.split_at(mid);
                 out.extend(
-                    UpdateMsg { withdrawn: a.to_vec(), attrs: None, nlri: Vec::new() }
-                        .split_to_fit(),
+                    UpdateMsg {
+                        withdrawn: a.to_vec(),
+                        attrs: None,
+                        nlri: Vec::new(),
+                    }
+                    .split_to_fit(),
                 );
                 out.extend(
-                    UpdateMsg { withdrawn: b.to_vec(), attrs, nlri }.split_to_fit(),
+                    UpdateMsg {
+                        withdrawn: b.to_vec(),
+                        attrs,
+                        nlri,
+                    }
+                    .split_to_fit(),
                 );
             }
         } else {
@@ -284,7 +306,11 @@ impl BgpMessage {
                 if attrs.is_none() && !nlri.is_empty() {
                     return Err(WireError::BadField("NLRI without attributes"));
                 }
-                Ok(BgpMessage::Update(UpdateMsg { withdrawn, attrs, nlri }))
+                Ok(BgpMessage::Update(UpdateMsg {
+                    withdrawn,
+                    attrs,
+                    nlri,
+                }))
             }
             TYPE_NOTIFICATION => {
                 need(body, 2)?;
@@ -315,8 +341,11 @@ mod tests {
     }
 
     fn attrs() -> Arc<RouteAttrs> {
-        RouteAttrs::ebgp(AsPath::sequence(vec![65001, 174]), Ipv4Addr::new(203, 0, 113, 1))
-            .shared()
+        RouteAttrs::ebgp(
+            AsPath::sequence(vec![65001, 174]),
+            Ipv4Addr::new(203, 0, 113, 1),
+        )
+        .shared()
     }
 
     #[test]
@@ -365,7 +394,12 @@ mod tests {
         // A /8 must use 1 octet, /24 three, /32 four, /0 zero.
         let m = BgpMessage::Update(UpdateMsg::announce(
             attrs(),
-            vec![p("10.0.0.0/8"), p("1.2.3.0/24"), p("5.6.7.8/32"), p("0.0.0.0/0")],
+            vec![
+                p("10.0.0.0/8"),
+                p("1.2.3.0/24"),
+                p("5.6.7.8/32"),
+                p("0.0.0.0/0"),
+            ],
         ));
         let enc = m.encode();
         let dec = BgpMessage::decode(&enc).unwrap();
@@ -447,7 +481,11 @@ mod tests {
         let mut collected = Vec::new();
         for m in &msgs {
             let enc = BgpMessage::Update(m.clone()).encode();
-            assert!(enc.len() <= MAX_MESSAGE_LEN, "fragment too large: {}", enc.len());
+            assert!(
+                enc.len() <= MAX_MESSAGE_LEN,
+                "fragment too large: {}",
+                enc.len()
+            );
             collected.extend(m.nlri.iter().copied());
         }
         assert_eq!(collected, nlri);
@@ -457,6 +495,9 @@ mod tests {
     fn hold_time_below_three_rejected() {
         let m = BgpMessage::Open(OpenMsg::new(1, 2, Ipv4Addr::new(1, 1, 1, 1)));
         let enc = m.encode();
-        assert_eq!(BgpMessage::decode(&enc), Err(WireError::BadField("hold time")));
+        assert_eq!(
+            BgpMessage::decode(&enc),
+            Err(WireError::BadField("hold time"))
+        );
     }
 }

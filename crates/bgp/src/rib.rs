@@ -226,7 +226,10 @@ mod tests {
         let c = rib.update(route("1.0.0.0/24", 2, 200));
         assert!(c.best_changed());
         assert_eq!(c.old.best, None);
-        assert_eq!(c.new.best.as_ref().unwrap().from.peer, Ipv4Addr::new(10, 0, 2, 1));
+        assert_eq!(
+            c.new.best.as_ref().unwrap().from.peer,
+            Ipv4Addr::new(10, 0, 2, 1)
+        );
         assert_eq!(rib.prefix_count(), 1);
         assert_eq!(rib.route_count(), 1);
     }
@@ -276,7 +279,9 @@ mod tests {
         let mut rib = LocRib::new();
         rib.update(route("1.0.0.0/24", 2, 200));
         rib.update(route("1.0.0.0/24", 3, 100));
-        let c = rib.withdraw(p("1.0.0.0/24"), Ipv4Addr::new(10, 0, 2, 1)).unwrap();
+        let c = rib
+            .withdraw(p("1.0.0.0/24"), Ipv4Addr::new(10, 0, 2, 1))
+            .unwrap();
         assert!(c.best_changed());
         assert_eq!(
             c.new.best.as_ref().unwrap().from.peer,
@@ -284,9 +289,12 @@ mod tests {
         );
         assert_eq!(c.new.second, None);
         // Withdrawing a non-existent candidate is a no-op.
-        assert!(rib.withdraw(p("1.0.0.0/24"), Ipv4Addr::new(9, 9, 9, 9)).is_none());
+        assert!(rib
+            .withdraw(p("1.0.0.0/24"), Ipv4Addr::new(9, 9, 9, 9))
+            .is_none());
         // Withdraw the last: prefix disappears.
-        rib.withdraw(p("1.0.0.0/24"), Ipv4Addr::new(10, 0, 3, 1)).unwrap();
+        rib.withdraw(p("1.0.0.0/24"), Ipv4Addr::new(10, 0, 3, 1))
+            .unwrap();
         assert_eq!(rib.prefix_count(), 0);
         assert_eq!(rib.route_count(), 0);
     }
@@ -304,7 +312,10 @@ mod tests {
         assert_eq!(changes.len(), 3);
         // FIB walk order = sorted prefix order.
         let order: Vec<Ipv4Prefix> = changes.iter().map(|c| c.prefix).collect();
-        assert_eq!(order, vec![p("1.0.0.0/24"), p("2.0.0.0/16"), p("3.0.0.0/8")]);
+        assert_eq!(
+            order,
+            vec![p("1.0.0.0/24"), p("2.0.0.0/16"), p("3.0.0.0/8")]
+        );
         // 2.0.0.0/16 had only R2: gone entirely.
         assert_eq!(rib.prefix_count(), 2);
         assert!(rib.best(p("2.0.0.0/16")).is_none());
@@ -355,6 +366,9 @@ mod tests {
             rib.update(route(pfx, 2, 200));
         }
         let order: Vec<Ipv4Prefix> = rib.iter().map(|(p, _)| p).collect();
-        assert_eq!(order, vec![p("1.0.0.0/24"), p("5.5.0.0/16"), p("9.0.0.0/8")]);
+        assert_eq!(
+            order,
+            vec![p("1.0.0.0/24"), p("5.5.0.0/16"), p("9.0.0.0/8")]
+        );
     }
 }

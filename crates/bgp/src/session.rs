@@ -164,11 +164,12 @@ impl Session {
 
     fn fsm_error(&mut self, what: &'static str) -> Vec<SessionEvent> {
         self.out.clear();
-        self.out.push_back(BgpMessage::Notification(NotificationMsg {
-            code: 5, // FSM error
-            subcode: 0,
-            data: Vec::new(),
-        }));
+        self.out
+            .push_back(BgpMessage::Notification(NotificationMsg {
+                code: 5, // FSM error
+                subcode: 0,
+                data: Vec::new(),
+            }));
         let ev = SessionEvent::Down(DownReason::FsmError(what));
         // Keep the NOTIFICATION queued for transmission, then idle.
         self.state = SessionState::Idle;
@@ -238,8 +239,9 @@ impl Session {
         if let Some(deadline) = self.hold_deadline {
             if now >= deadline {
                 self.out.clear();
-                self.out
-                    .push_back(BgpMessage::Notification(NotificationMsg::hold_timer_expired()));
+                self.out.push_back(BgpMessage::Notification(
+                    NotificationMsg::hold_timer_expired(),
+                ));
                 self.state = SessionState::Idle;
                 self.peer_open = None;
                 self.hold_deadline = None;
@@ -294,7 +296,11 @@ mod tests {
     }
 
     /// Shuttle messages between two sessions until quiescent.
-    fn pump(a: &mut Session, b: &mut Session, now: SimTime) -> (Vec<SessionEvent>, Vec<SessionEvent>) {
+    fn pump(
+        a: &mut Session,
+        b: &mut Session,
+        now: SimTime,
+    ) -> (Vec<SessionEvent>, Vec<SessionEvent>) {
         let (mut ea, mut eb) = (Vec::new(), Vec::new());
         loop {
             let mut progress = false;
@@ -385,7 +391,10 @@ mod tests {
         // b goes silent; a must declare the peer dead after 90s.
         assert!(a.poll(t(89)).is_empty());
         let ev = a.poll(t(90));
-        assert!(matches!(&ev[..], [SessionEvent::Down(DownReason::HoldTimerExpired)]));
+        assert!(matches!(
+            &ev[..],
+            [SessionEvent::Down(DownReason::HoldTimerExpired)]
+        ));
         assert_eq!(a.state(), SessionState::Idle);
         // A hold-expired NOTIFICATION is queued for the (possibly dead) peer.
         assert!(matches!(
@@ -401,10 +410,7 @@ mod tests {
         a.start(t(0));
         b.start(t(0));
         pump(&mut a, &mut b, t(0));
-        let ev = a.on_message(
-            BgpMessage::Notification(NotificationMsg::cease()),
-            t(1),
-        );
+        let ev = a.on_message(BgpMessage::Notification(NotificationMsg::cease()), t(1));
         assert!(matches!(
             &ev[..],
             [SessionEvent::Down(DownReason::NotificationReceived(n))] if n.code == 6
@@ -423,7 +429,10 @@ mod tests {
             BgpMessage::Open(OpenMsg::new(65002, 90, Ipv4Addr::new(2, 2, 2, 2))),
             t(1),
         );
-        assert!(matches!(&ev[..], [SessionEvent::Down(DownReason::FsmError(_))]));
+        assert!(matches!(
+            &ev[..],
+            [SessionEvent::Down(DownReason::FsmError(_))]
+        ));
         // The FSM-error NOTIFICATION goes out.
         assert!(matches!(a.poll_transmit(), Some(BgpMessage::Notification(n)) if n.code == 5));
     }
@@ -465,7 +474,10 @@ mod tests {
         let mut a = Session::new(cfg(65001, 1));
         a.start(t(0));
         let ev = a.stop(DownReason::AdminDown);
-        assert!(matches!(ev, Some(SessionEvent::Down(DownReason::AdminDown))));
+        assert!(matches!(
+            ev,
+            Some(SessionEvent::Down(DownReason::AdminDown))
+        ));
         assert!(a.stop(DownReason::AdminDown).is_none(), "idempotent");
     }
 }

@@ -37,33 +37,45 @@ fn arb_attrs() -> impl Strategy<Value = RouteAttrs> {
         proptest::option::of(any::<u32>()),
         vec(any::<u32>(), 0..4),
     )
-        .prop_map(|(origin, as_path, nh, med, local_pref, communities)| RouteAttrs {
-            origin: match origin {
-                0 => Origin::Igp,
-                1 => Origin::Egp,
-                _ => Origin::Incomplete,
+        .prop_map(
+            |(origin, as_path, nh, med, local_pref, communities)| RouteAttrs {
+                origin: match origin {
+                    0 => Origin::Igp,
+                    1 => Origin::Egp,
+                    _ => Origin::Incomplete,
+                },
+                as_path,
+                next_hop: Ipv4Addr::from(nh),
+                med,
+                local_pref,
+                communities,
             },
-            as_path,
-            next_hop: Ipv4Addr::from(nh),
-            med,
-            local_pref,
-            communities,
-        })
+        )
 }
 
 fn arb_route() -> impl Strategy<Value = Route> {
-    (arb_prefix(), arb_attrs(), any::<u32>(), any::<u32>(), any::<bool>(), any::<u32>(), 0u32..1000)
-        .prop_map(|(prefix, attrs, peer, router_id, ebgp, igp_cost, local_pref)| Route {
-            prefix,
-            attrs: Arc::new(attrs),
-            from: PeerInfo {
-                peer: Ipv4Addr::from(peer),
-                router_id: Ipv4Addr::from(router_id),
-                ebgp,
-                igp_cost,
+    (
+        arb_prefix(),
+        arb_attrs(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<bool>(),
+        any::<u32>(),
+        0u32..1000,
+    )
+        .prop_map(
+            |(prefix, attrs, peer, router_id, ebgp, igp_cost, local_pref)| Route {
+                prefix,
+                attrs: Arc::new(attrs),
+                from: PeerInfo {
+                    peer: Ipv4Addr::from(peer),
+                    router_id: Ipv4Addr::from(router_id),
+                    ebgp,
+                    igp_cost,
+                },
+                local_pref,
             },
-            local_pref,
-        })
+        )
 }
 
 proptest! {

@@ -293,12 +293,20 @@ impl Controller {
         // Switch side.
         for action in actions {
             let msg = match action {
-                EngineAction::FlowAdd { vmac, dst_mac, port } => Some(Self::flow_mod(
+                EngineAction::FlowAdd {
+                    vmac,
+                    dst_mac,
+                    port,
+                } => Some(Self::flow_mod(
                     FlowModCommand::Add,
                     vmac,
                     vec![Action::SetDstMac(dst_mac), Action::Output(port)],
                 )),
-                EngineAction::FlowModify { vmac, dst_mac, port } => Some(Self::flow_mod(
+                EngineAction::FlowModify {
+                    vmac,
+                    dst_mac,
+                    port,
+                } => Some(Self::flow_mod(
                     FlowModCommand::Modify,
                     vmac,
                     vec![Action::SetDstMac(dst_mac), Action::Output(port)],
@@ -431,7 +439,8 @@ impl Controller {
                     return;
                 }
                 self.peers[idx].failed_over = true;
-                self.events.push((ctx.now(), ControllerEvent::PeerDown(peer_id)));
+                self.events
+                    .push((ctx.now(), ControllerEvent::PeerDown(peer_id)));
                 ctx.trace("supercharger", || format!("BFD: peer {peer_id} down"));
                 // Fast path: Listing 2, after the modeled reaction delay.
                 let plan = self.engine.failover_plan(peer_id);
@@ -442,7 +451,10 @@ impl Controller {
                 let actions = self.engine.peer_down_repair(peer_id);
                 self.events.push((
                     ctx.now(),
-                    ControllerEvent::RepairQueued { peer: peer_id, announcements: actions.len() },
+                    ControllerEvent::RepairQueued {
+                        peer: peer_id,
+                        announcements: actions.len(),
+                    },
                 ));
                 self.run_actions(ctx, actions);
             }
@@ -452,13 +464,19 @@ impl Controller {
     fn issue_failover(&mut self, ctx: &mut Ctx, peer: PeerId, plan: &FailoverPlan) {
         self.events.push((
             ctx.now(),
-            ControllerEvent::FailoverIssued { peer, rewrites: plan.rewrites.len() },
+            ControllerEvent::FailoverIssued {
+                peer,
+                rewrites: plan.rewrites.len(),
+            },
         ));
         for rw in &plan.rewrites {
             let msg = Self::flow_mod(
                 FlowModCommand::Modify,
                 rw.vmac,
-                vec![Action::SetDstMac(rw.new_dst_mac), Action::Output(rw.out_port)],
+                vec![
+                    Action::SetDstMac(rw.new_dst_mac),
+                    Action::Output(rw.out_port),
+                ],
             );
             self.pending_flowmods.push_back(msg);
         }
@@ -536,8 +554,10 @@ impl Controller {
         let Some(vmac) = self.engine.arp_lookup(arp.target_ip) else {
             return; // unallocated VNH: nobody should be asking
         };
-        self.events
-            .push((ctx.now(), ControllerEvent::ArpAnswered { vnh: arp.target_ip }));
+        self.events.push((
+            ctx.now(),
+            ControllerEvent::ArpAnswered { vnh: arp.target_ip },
+        ));
         let reply = ArpRepr::reply_to(&arp, vmac);
         let reply_frame = EthernetRepr {
             dst: arp.sender_mac,
@@ -556,7 +576,8 @@ impl Controller {
         for ev in events {
             match ev {
                 SessionEvent::Established(_) => {
-                    self.events.push((ctx.now(), ControllerEvent::RouterSessionUp));
+                    self.events
+                        .push((ctx.now(), ControllerEvent::RouterSessionUp));
                     while let Some(BgpMessage::Update(u)) = self.router_backlog.pop_front() {
                         self.router_session.queue_update(u);
                     }
@@ -574,12 +595,7 @@ impl Controller {
         }
     }
 
-    fn handle_peer_session_events(
-        &mut self,
-        idx: usize,
-        events: Vec<SessionEvent>,
-        ctx: &mut Ctx,
-    ) {
+    fn handle_peer_session_events(&mut self, idx: usize, events: Vec<SessionEvent>, ctx: &mut Ctx) {
         for ev in events {
             let peer_id = self.peers[idx].link.spec.id;
             match ev {
@@ -595,7 +611,8 @@ impl Controller {
                     // failover already ran — failed_over dedups.
                     if !self.peers[idx].failed_over {
                         self.peers[idx].failed_over = true;
-                        self.events.push((ctx.now(), ControllerEvent::PeerDown(peer_id)));
+                        self.events
+                            .push((ctx.now(), ControllerEvent::PeerDown(peer_id)));
                         let plan = self.engine.failover_plan(peer_id);
                         self.issue_failover(ctx, peer_id, &plan);
                         let actions = self.engine.peer_down_repair(peer_id);

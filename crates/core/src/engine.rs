@@ -156,8 +156,7 @@ pub struct Engine {
 
 impl Engine {
     pub fn new(cfg: EngineConfig) -> Engine {
-        let peer_specs: BTreeMap<PeerId, PeerSpec> =
-            cfg.peers.iter().map(|p| (p.id, *p)).collect();
+        let peer_specs: BTreeMap<PeerId, PeerSpec> = cfg.peers.iter().map(|p| (p.id, *p)).collect();
         let alive = peer_specs.keys().map(|&p| (p, true)).collect();
         let groups = GroupTable::new(VnhAllocator::new(cfg.vnh_pool));
         Engine {
@@ -310,7 +309,10 @@ impl Engine {
                         if let Some(retired) = self.groups.drop_ref(g) {
                             self.stats.groups_retired += 1;
                             let vmac = self.groups.get(retired).unwrap().vmac;
-                            actions.push(EngineAction::FlowRetire { group: retired, vmac });
+                            actions.push(EngineAction::FlowRetire {
+                                group: retired,
+                                vmac,
+                            });
                         }
                     }
                 }
@@ -324,7 +326,11 @@ impl Engine {
                         });
                         self.announced.insert(
                             prefix,
-                            Announced { next_hop, attrs, group },
+                            Announced {
+                                next_hop,
+                                attrs,
+                                group,
+                            },
                         );
                     }
                     None => {
@@ -410,31 +416,30 @@ impl Engine {
         let mut out: Vec<UpdateMsg> = Vec::new();
         let mut current: Option<(Arc<RouteAttrs>, Ipv4Addr, Vec<Ipv4Prefix>)> = None;
         let mut withdrawals: Vec<Ipv4Prefix> = Vec::new();
-        let flush_current =
-            |current: &mut Option<(Arc<RouteAttrs>, Ipv4Addr, Vec<Ipv4Prefix>)>,
-             out: &mut Vec<UpdateMsg>| {
-                if let Some((attrs, nh, nlri)) = current.take() {
-                    let rewritten = Arc::new(attrs.with_next_hop(nh));
-                    for part in UpdateMsg::announce(rewritten, nlri).split_to_fit() {
-                        out.push(part);
-                    }
+        let flush_current = |current: &mut Option<(Arc<RouteAttrs>, Ipv4Addr, Vec<Ipv4Prefix>)>,
+                             out: &mut Vec<UpdateMsg>| {
+            if let Some((attrs, nh, nlri)) = current.take() {
+                let rewritten = Arc::new(attrs.with_next_hop(nh));
+                for part in UpdateMsg::announce(rewritten, nlri).split_to_fit() {
+                    out.push(part);
                 }
-            };
+            }
+        };
         for action in actions {
             match action {
-                EngineAction::Announce { prefix, attrs, next_hop } => {
-                    match &mut current {
-                        Some((a, nh, nlri))
-                            if Arc::ptr_eq(a, attrs) && nh == next_hop =>
-                        {
-                            nlri.push(*prefix);
-                        }
-                        _ => {
-                            flush_current(&mut current, &mut out);
-                            current = Some((attrs.clone(), *next_hop, vec![*prefix]));
-                        }
+                EngineAction::Announce {
+                    prefix,
+                    attrs,
+                    next_hop,
+                } => match &mut current {
+                    Some((a, nh, nlri)) if Arc::ptr_eq(a, attrs) && nh == next_hop => {
+                        nlri.push(*prefix);
                     }
-                }
+                    _ => {
+                        flush_current(&mut current, &mut out);
+                        current = Some((attrs.clone(), *next_hop, vec![*prefix]));
+                    }
+                },
                 EngineAction::Withdraw { prefix } => {
                     withdrawals.push(*prefix);
                 }
@@ -511,7 +516,9 @@ mod tests {
         let actions = e.process_update(R2, &announce(R2, &["1.0.0.0/24"]));
         assert_eq!(actions.len(), 1);
         match &actions[0] {
-            EngineAction::Announce { prefix, next_hop, .. } => {
+            EngineAction::Announce {
+                prefix, next_hop, ..
+            } => {
                 assert_eq!(*prefix, p("1.0.0.0/24"));
                 assert_eq!(*next_hop, R2, "one candidate: real NH, no protection");
             }
@@ -533,7 +540,11 @@ mod tests {
             .collect();
         assert_eq!(flow_adds.len(), 1);
         match flow_adds[0] {
-            EngineAction::FlowAdd { vmac, dst_mac, port } => {
+            EngineAction::FlowAdd {
+                vmac,
+                dst_mac,
+                port,
+            } => {
                 assert_eq!(*dst_mac, MAC_R2, "rule steers to the primary");
                 assert_eq!(*port, 2);
                 assert_eq!(vmac.virtual_index(), Some(0));
@@ -563,7 +574,10 @@ mod tests {
             .iter()
             .filter(|a| matches!(a, EngineAction::FlowAdd { .. }))
             .count();
-        assert_eq!(flow_adds, 1, "one rule for all 4 prefixes (the paper's 512k→1)");
+        assert_eq!(
+            flow_adds, 1,
+            "one rule for all 4 prefixes (the paper's 512k→1)"
+        );
         assert_eq!(e.groups().len(), 1);
         assert_eq!(e.groups().iter().next().unwrap().prefixes, 4);
         // All announcements carry the same VNH.
@@ -599,7 +613,9 @@ mod tests {
     #[test]
     fn failover_plan_is_constant_size_and_correct() {
         let mut e = engine2();
-        let prefixes: Vec<String> = (0..100).map(|i| format!("{}.{}.0.0/16", 1 + i / 250, i % 250)).collect();
+        let prefixes: Vec<String> = (0..100)
+            .map(|i| format!("{}.{}.0.0/16", 1 + i / 250, i % 250))
+            .collect();
         let refs: Vec<&str> = prefixes.iter().map(String::as_str).collect();
         e.process_update(R2, &announce(R2, &refs));
         e.process_update(R3, &announce(R3, &refs));
@@ -646,7 +662,9 @@ mod tests {
         assert_eq!(e.groups().retired_count(), 1, "rule kept during grace");
         assert_eq!(e.stats.groups_retired, 1);
         // The retired VNH still answers ARP (the router may re-query).
-        assert!(e.arp_lookup(e.groups().get(retire.0).unwrap().vnh).is_some());
+        assert!(e
+            .arp_lookup(e.groups().get(retire.0).unwrap().vnh)
+            .is_some());
         // After the grace period the host purges; only then is the rule
         // deleted.
         assert_eq!(e.purge_retired(retire.0), Some(retire.1));
@@ -668,7 +686,9 @@ mod tests {
         assert_eq!(plan.rewrites[0].new_target, R3);
         let actions = e.peer_down_repair(R2);
         // Repair creates the (R3,R4) group and re-announces with its VNH.
-        assert!(actions.iter().any(|a| matches!(a, EngineAction::FlowAdd { dst_mac, .. } if *dst_mac == MAC_R3)));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, EngineAction::FlowAdd { dst_mac, .. } if *dst_mac == MAC_R3)));
         let new_group = e.groups().by_key(&[R3, R4]).expect("regrouped");
         assert_eq!(new_group.prefixes, 1);
         assert!(e.groups().by_key(&[R2, R3]).is_none(), "old group retired");
@@ -700,7 +720,12 @@ mod tests {
         let mut e = engine2();
         e.process_update(R2, &announce(R2, &["1.0.0.0/24"]));
         let actions = e.process_update(R2, &UpdateMsg::withdraw(vec![p("1.0.0.0/24")]));
-        assert_eq!(actions, vec![EngineAction::Withdraw { prefix: p("1.0.0.0/24") }]);
+        assert_eq!(
+            actions,
+            vec![EngineAction::Withdraw {
+                prefix: p("1.0.0.0/24")
+            }]
+        );
         assert_eq!(e.stats.withdrawals_sent, 1);
     }
 
@@ -755,7 +780,12 @@ mod tests {
         let mut e = engine2();
         // 600 distinct /24s sharing one attribute set.
         let refs: Vec<String> = (0..600u32)
-            .map(|i| format!("{}", Ipv4Prefix::new(Ipv4Addr::from(0x0100_0000u32 + (i << 8)), 24)))
+            .map(|i| {
+                format!(
+                    "{}",
+                    Ipv4Prefix::new(Ipv4Addr::from(0x0100_0000u32 + (i << 8)), 24)
+                )
+            })
             .collect();
         let refs2: Vec<&str> = refs.iter().map(String::as_str).collect();
         let actions = e.process_update(R2, &announce(R2, &refs2));

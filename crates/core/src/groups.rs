@@ -89,7 +89,10 @@ impl GroupTable {
     /// Panics when the VNH pool is exhausted (size the pool for
     /// `n(n-1)`; see [`VnhAllocator::capacity`]).
     pub fn get_or_create(&mut self, key: &[PeerId]) -> (&BackupGroup, bool) {
-        debug_assert!(key.len() >= 2, "a backup-group needs at least two next-hops");
+        debug_assert!(
+            key.len() >= 2,
+            "a backup-group needs at least two next-hops"
+        );
         if let Some(&id) = self.by_key.get(key) {
             return (self.groups[id.0 as usize].as_ref().unwrap(), false);
         }

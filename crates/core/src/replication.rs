@@ -32,7 +32,11 @@ pub struct Divergence {
 
 impl std::fmt::Display for Divergence {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "replicas diverged at step {}: {:x?}", self.step, self.digests)
+        write!(
+            f,
+            "replicas diverged at step {}: {:x?}",
+            self.step, self.digests
+        )
     }
 }
 
@@ -120,7 +124,10 @@ impl ReplicaSet {
         if digests.windows(2).all(|w| w[0] == w[1]) {
             Ok(())
         } else {
-            Err(Divergence { step: self.steps, digests })
+            Err(Divergence {
+                step: self.steps,
+                digests,
+            })
         }
     }
 }
@@ -159,11 +166,8 @@ mod tests {
     }
 
     fn upd(peer: PeerId, n: u32, seed: u32) -> UpdateMsg {
-        let attrs = RouteAttrs::ebgp(
-            AsPath::sequence(vec![(65000 + seed % 7) as u16, 174]),
-            peer,
-        )
-        .shared();
+        let attrs =
+            RouteAttrs::ebgp(AsPath::sequence(vec![(65000 + seed % 7) as u16, 174]), peer).shared();
         let nlri = (0..n)
             .map(|i| {
                 sc_net::Ipv4Prefix::new(
@@ -180,7 +184,8 @@ mod tests {
         let mut set = ReplicaSet::new(cfg(), 3);
         for step in 0..200u32 {
             let peer = if step % 2 == 0 { R2 } else { R3 };
-            set.process_update(peer, &upd(peer, 20, step)).expect("no divergence");
+            set.process_update(peer, &upd(peer, 20, step))
+                .expect("no divergence");
         }
         set.failover(R2).expect("no divergence");
         set.repair(R2).expect("no divergence");

@@ -79,7 +79,10 @@ impl VnhAllocator {
         let slot = self
             .slot_for_vnh(vnh)
             .expect("released address is not from this pool");
-        assert!(slot < self.next && !self.free.contains(&slot), "double release of {vnh}");
+        assert!(
+            slot < self.next && !self.free.contains(&slot),
+            "double release of {vnh}"
+        );
         self.free.insert(slot);
         self.allocated -= 1;
     }

@@ -55,7 +55,10 @@ fn step_update(step: Step) -> (PeerId, UpdateMsg) {
     let who = peer(pi % N_PEERS);
     let upd = if announce {
         let path: Vec<u16> = (0..(path_len % 5) as u16 + 1).map(|h| 64000 + h).collect();
-        UpdateMsg::announce(RouteAttrs::ebgp(AsPath::sequence(path), who).shared(), vec![pfx])
+        UpdateMsg::announce(
+            RouteAttrs::ebgp(AsPath::sequence(path), who).shared(),
+            vec![pfx],
+        )
     } else {
         UpdateMsg::withdraw(vec![pfx])
     };
@@ -70,7 +73,10 @@ fn run_stream(steps: &[Step]) -> Engine {
         let (who, upd) = step_update(step);
         let actions = e.process_update(who, &upd);
         for a in &actions {
-            if let EngineAction::Announce { prefix, next_hop, .. } = a {
+            if let EngineAction::Announce {
+                prefix, next_hop, ..
+            } = a
+            {
                 let cands = e.rib().candidates(*prefix);
                 assert!(!cands.is_empty(), "announced a prefix with no candidates");
                 if cands.len() >= 2 {
@@ -84,8 +90,7 @@ fn run_stream(steps: &[Step]) -> Engine {
                     );
                 } else {
                     assert_eq!(
-                        *next_hop,
-                        cands[0].from.peer,
+                        *next_hop, cands[0].from.peer,
                         "single-candidate prefix announced with its real next-hop"
                     );
                 }

@@ -2,13 +2,16 @@
 //!
 //! [`run_convergence_trial`] is the workhorse behind Fig. 5: build the
 //! lab, converge, start traffic, cut R2, measure per-flow recovery at
-//! the sink — the paper's §4 methodology, phase by phase.
+//! the sink — the paper's §4 methodology, phase by phase. The phase
+//! machinery itself lives in [`crate::harness`] (shared with the
+//! `sc-scenarios` suite runner); this module only supplies the Fig. 4
+//! specifics: which lab to build and which cable to pull.
 
+use crate::harness::{arm_traffic, plan_measurement, run_out_and_harvest};
 use crate::stats::BoxStats;
 use crate::topology::{expected_convergence, suggested_flow_rate, ConvergenceLab, LabConfig, Mode};
 use sc_net::{SimDuration, SimTime};
 use sc_router::LegacyRouter;
-use sc_traffic::{TrafficSink, TrafficSource};
 use supercharger::controller::ControllerEvent;
 use supercharger::Controller;
 
@@ -50,44 +53,21 @@ pub fn run_convergence_trial(cfg: LabConfig) -> TrialResult {
     // Phase 1: load the table and converge the control plane.
     let converged_at = lab.run_until_converged();
 
-    // Phase 2: start traffic, let every flow deliver a few packets.
-    let gap = SimDuration::from_nanos(1_000_000_000 / rate);
-    let t_start = lab.world.now() + SimDuration::from_millis(100);
-    let warmup = (gap * 20).max(SimDuration::from_millis(200));
-    let t_fail = t_start + warmup;
+    // Phases 2-3: start traffic, open the measurement window just
+    // before the cut, then pull R2's cable (the paper disconnects R2
+    // from the switch).
     let budget = expected_convergence(&cfg);
-    let t_end = t_fail + budget + budget / 2 + SimDuration::from_secs(1);
-    {
-        let src = lab.world.node_mut::<TrafficSource>(lab.source);
-        src.set_window(t_start, t_end + SimDuration::from_secs(5));
-    }
-    lab.world.wake_node(t_start, lab.source, sc_sim::TimerToken(1));
-
-    // Phase 3: open the measurement window just before the cut, then
-    // pull R2's cable (the paper disconnects R2 from the switch).
-    let sink_id = lab.sink;
-    lab.world
-        .schedule(t_fail - SimDuration::from_millis(1), move |w| {
-            let now = w.now();
-            w.node_mut::<TrafficSink>(sink_id).reset_window(now);
-        });
+    let horizon = budget + budget / 2 + SimDuration::from_secs(1);
+    let plan = plan_measurement(lab.world.now(), rate, horizon);
+    arm_traffic(&mut lab.world, lab.source, lab.sink, &plan);
+    let t_fail = plan.t_fail;
     let link = lab.r2_link;
-    lab.world.schedule(t_fail, move |w| w.set_link_up(link, false));
+    lab.world
+        .schedule(t_fail, move |w| w.set_link_up(link, false));
 
     // Phase 4: run out the measurement window and harvest.
-    lab.world.run_until(t_end);
-    let end = lab.world.now();
-    lab.world.node_mut::<TrafficSink>(sink_id).close_window(end);
-
-    let sink = lab.world.node::<TrafficSink>(sink_id);
-    assert_eq!(
-        sink.active_flows(),
-        cfg.flows,
-        "every monitored flow must have delivered before the cut"
-    );
-    let reports = sink.report();
-    let per_flow: Vec<SimDuration> = reports.iter().map(|r| r.max_gap).collect();
-    let unrecovered = reports.iter().filter(|r| r.recovered_at.is_none()).count();
+    let harvest = run_out_and_harvest(&mut lab.world, lab.sink, plan.t_end, cfg.flows);
+    let (per_flow, unrecovered) = (harvest.per_flow, harvest.unrecovered);
 
     // Detection instant.
     let detected_at = match cfg.mode {
@@ -110,9 +90,7 @@ pub fn run_convergence_trial(cfg: LabConfig) -> TrialResult {
             .events
             .iter()
             .find_map(|(t, e)| match e {
-                ControllerEvent::PeerDown(ip)
-                    if *ip == crate::topology::IP_R2 && *t >= t_fail =>
-                {
+                ControllerEvent::PeerDown(ip) if *ip == crate::topology::IP_R2 && *t >= t_fail => {
                     Some(*t)
                 }
                 _ => None,
@@ -162,8 +140,9 @@ impl SweepRow {
 }
 
 /// The paper's x-axis.
-pub const FIG5_PREFIX_COUNTS: [u32; 9] =
-    [1_000, 5_000, 10_000, 50_000, 100_000, 200_000, 300_000, 400_000, 500_000];
+pub const FIG5_PREFIX_COUNTS: [u32; 9] = [
+    1_000, 5_000, 10_000, 50_000, 100_000, 200_000, 300_000, 400_000, 500_000,
+];
 
 /// Run the Fig. 5 sweep for one mode over the given prefix counts,
 /// pooling `trials` repetitions (the paper: 3 × 100 flows = 300 points

@@ -1,0 +1,139 @@
+//! The reusable measurement phases of a convergence experiment.
+//!
+//! The paper's §4 methodology — converge the control plane, stream
+//! probe traffic, open the measurement window just before the failure,
+//! run out the window, harvest per-flow maximum gaps — is independent
+//! of *which* topology is under test and *what* failure is injected.
+//! This module holds that shared machinery; [`crate::experiments`] and
+//! the `sc-scenarios` suite runner are both thin consumers of it.
+
+use crate::topology::Mode;
+use sc_net::{SimDuration, SimTime};
+use sc_router::Calibration;
+use sc_sim::{NodeId, TimerToken, World};
+use sc_traffic::{TrafficSink, TrafficSource};
+
+/// The expected convergence budget for sizing measurement windows and
+/// probe rates — the single source both `sc_lab::expected_convergence`
+/// and the `sc-scenarios` runner derive from.
+pub fn convergence_budget(
+    mode: Mode,
+    cal: &Calibration,
+    prefixes: u32,
+    control_loss: f64,
+) -> SimDuration {
+    match mode {
+        Mode::Stock => {
+            // detection + processing + full walk.
+            SimDuration::from_millis(100) + cal.expected_full_walk(prefixes as u64)
+        }
+        // detection (≤3×interval) + reaction + install, padded; lossy
+        // control links add retransmission rounds.
+        Mode::Supercharged => {
+            let base = SimDuration::from_millis(300);
+            if control_loss > 0.0 {
+                base + SimDuration::from_millis(700)
+            } else {
+                base
+            }
+        }
+    }
+}
+
+/// Probe rate per flow: full paper rate when affordable, scaled down
+/// for long runs so a whole sweep stays tractable. The scaled rate
+/// keeps ≥ 1000 probe intervals across the expected convergence time,
+/// i.e. relative quantization error ≤ 0.1%.
+pub fn probe_rate(rate_pps: Option<u64>, expected: SimDuration, flows: usize) -> u64 {
+    if let Some(r) = rate_pps {
+        return r;
+    }
+    let expected = expected.as_secs_f64().max(0.001);
+    let budget_packets = 4_000_000.0; // total probe sends per trial
+    let cap = (budget_packets / (expected * flows.max(1) as f64)) as u64;
+    cap.clamp(1_000, 14_000)
+}
+
+/// The timing of one measurement: when probes start, when the failure
+/// script fires (`t_fail`), and when the window closes.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasurementPlan {
+    /// Probe rate per flow actually used.
+    pub rate_pps: u64,
+    /// Traffic starts (after control-plane convergence).
+    pub t_start: SimTime,
+    /// The failure-script origin: the measurement window opens 1 ms
+    /// before this instant.
+    pub t_fail: SimTime,
+    /// End of the measurement window.
+    pub t_end: SimTime,
+}
+
+/// Lay out the phases after the control plane converged at `now`:
+/// probes start 100 ms later, warm up for at least 20 inter-packet
+/// gaps (so every flow has delivered before the cut), then the failure
+/// fires, and the window runs for `horizon` beyond it.
+pub fn plan_measurement(now: SimTime, rate_pps: u64, horizon: SimDuration) -> MeasurementPlan {
+    let gap = SimDuration::from_nanos(1_000_000_000 / rate_pps.max(1));
+    let t_start = now + SimDuration::from_millis(100);
+    let warmup = (gap * 20).max(SimDuration::from_millis(200));
+    let t_fail = t_start + warmup;
+    MeasurementPlan {
+        rate_pps,
+        t_start,
+        t_fail,
+        t_end: t_fail + horizon,
+    }
+}
+
+/// Window the source, schedule its first tick, and schedule the sink's
+/// measurement-window reset 1 ms before the failure (the FPGA
+/// equivalent of arming the gap counters).
+pub fn arm_traffic(world: &mut World, source: NodeId, sink: NodeId, plan: &MeasurementPlan) {
+    {
+        let src = world.node_mut::<TrafficSource>(source);
+        src.set_window(plan.t_start, plan.t_end + SimDuration::from_secs(5));
+    }
+    world.wake_node(plan.t_start, source, TimerToken(1));
+    let sink_id = sink;
+    world.schedule(plan.t_fail - SimDuration::from_millis(1), move |w| {
+        let now = w.now();
+        w.node_mut::<TrafficSink>(sink_id).reset_window(now);
+    });
+}
+
+/// The harvested per-flow measurements of one trial.
+#[derive(Clone, Debug)]
+pub struct Harvest {
+    /// Per-flow convergence time: the maximum inter-packet gap measured
+    /// across the failure (the paper's metric), one entry per flow.
+    pub per_flow: Vec<SimDuration>,
+    /// Flows that never recovered within the measurement window.
+    pub unrecovered: usize,
+}
+
+/// Run the world out to the end of the window, close it (so blackholed
+/// flows report open-ended gaps), and collect the per-flow maxima.
+/// Panics if fewer than `expect_flows` flows delivered before the cut —
+/// that is a harness bug, not a measurement.
+pub fn run_out_and_harvest(
+    world: &mut World,
+    sink: NodeId,
+    t_end: SimTime,
+    expect_flows: usize,
+) -> Harvest {
+    world.run_until(t_end);
+    let end = world.now();
+    world.node_mut::<TrafficSink>(sink).close_window(end);
+    let sink_node = world.node::<TrafficSink>(sink);
+    assert_eq!(
+        sink_node.active_flows(),
+        expect_flows,
+        "every monitored flow must have delivered before the cut"
+    );
+    let reports = sink_node.report();
+    Harvest {
+        per_flow: reports.iter().map(|r| r.max_gap).collect(),
+        unrecovered: reports.iter().filter(|r| r.recovered_at.is_none()).count(),
+    }
+}

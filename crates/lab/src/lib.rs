@@ -11,6 +11,7 @@
 //! * [`stats`] — box-plot summaries and CSV emission.
 
 pub mod experiments;
+pub mod harness;
 pub mod stats;
 pub mod topology;
 
@@ -18,6 +19,4 @@ pub use experiments::{
     run_convergence_trial, run_fig5_sweep, SweepRow, TrialResult, FIG5_PREFIX_COUNTS,
 };
 pub use stats::{percentile, BoxStats, Csv};
-pub use topology::{
-    expected_convergence, suggested_flow_rate, ConvergenceLab, LabConfig, Mode,
-};
+pub use topology::{expected_convergence, suggested_flow_rate, ConvergenceLab, LabConfig, Mode};

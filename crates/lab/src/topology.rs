@@ -30,10 +30,11 @@
 //! | VNH pool     | 10.0.200.0/24 | 02:5c:… (VMACs)    |
 
 use sc_bfd::BfdConfig;
+use sc_bgp::msg::UpdateMsg;
 use sc_net::{Ipv4Addr, Ipv4Prefix, MacAddr, SimDuration, SimTime};
 use sc_openflow::{OfSwitch, SwitchConfig, TableMiss};
-use sc_router::{Calibration, Interface, LegacyRouter, PeerConfig, RouterConfig, StaticRoute};
 use sc_routegen::{generate_feed_for, prefix_universe, sample_flow_ips, FeedConfig};
+use sc_router::{Calibration, Interface, LegacyRouter, PeerConfig, RouterConfig, StaticRoute};
 use sc_sim::{LinkId, LinkParams, NodeId, PortId, TimerToken, World};
 use sc_traffic::{SinkConfig, SourceConfig, TrafficSink, TrafficSource};
 use supercharger::engine::PeerSpec;
@@ -144,36 +145,14 @@ impl Default for LabConfig {
 /// The expected convergence budget for sizing measurement windows and
 /// probe rates.
 pub fn expected_convergence(cfg: &LabConfig) -> SimDuration {
-    match cfg.mode {
-        Mode::Stock => {
-            // detection + processing + full walk.
-            SimDuration::from_millis(100) + cfg.cal.expected_full_walk(cfg.prefixes as u64)
-        }
-        // detection (≤3×interval) + reaction + install, padded; lossy
-        // control links add retransmission rounds.
-        Mode::Supercharged => {
-            let base = SimDuration::from_millis(300);
-            if cfg.control_loss > 0.0 {
-                base + SimDuration::from_millis(700)
-            } else {
-                base
-            }
-        }
-    }
+    crate::harness::convergence_budget(cfg.mode, &cfg.cal, cfg.prefixes, cfg.control_loss)
 }
 
 /// Probe rate per flow: full paper rate when affordable, scaled down for
-/// the long stock runs so the whole sweep stays tractable. The scaled
-/// rate keeps ≥ 1000 probe intervals across the expected convergence
-/// time, i.e. relative quantization error ≤ 0.1%.
+/// the long stock runs so the whole sweep stays tractable (see
+/// [`crate::harness::probe_rate`]).
 pub fn suggested_flow_rate(cfg: &LabConfig) -> u64 {
-    if let Some(r) = cfg.rate_pps {
-        return r;
-    }
-    let expected = expected_convergence(cfg).as_secs_f64().max(0.001);
-    let budget_packets = 4_000_000.0; // total probe sends per trial
-    let cap = (budget_packets / (expected * cfg.flows.max(1) as f64)) as u64;
-    cap.clamp(1_000, 14_000)
+    crate::harness::probe_rate(cfg.rate_pps, expected_convergence(cfg), cfg.flows)
 }
 
 /// The built lab, ready to run.
@@ -189,6 +168,10 @@ pub struct ConvergenceLab {
     pub sink: NodeId,
     /// The link the experiment cuts (R2 ↔ switch).
     pub r2_link: LinkId,
+    /// R3's switch link (scenario scripts can target the backup too).
+    pub r3_link: LinkId,
+    /// The provider → sink delivery links, in (R2, R3) order.
+    pub sink_links: [LinkId; 2],
     /// Switch-side port numbers (needed by flow rules / diagnostics).
     pub sw_port_r1: PortId,
     pub sw_port_r2: PortId,
@@ -197,6 +180,10 @@ pub struct ConvergenceLab {
     pub flow_ips: Vec<Ipv4Addr>,
     /// The advertised prefix universe.
     pub universe: Vec<Ipv4Prefix>,
+    /// The feeds (R2, R3) actually originate — scenario drivers
+    /// re-announce from these during churn events, so the knowledge of
+    /// how they were generated stays in one place.
+    pub feeds: [Vec<UpdateMsg>; 2],
 }
 
 impl ConvergenceLab {
@@ -205,7 +192,10 @@ impl ConvergenceLab {
         assert!(cfg.flows >= 1);
         assert!(cfg.prefixes >= 1);
         if cfg.mode == Mode::Stock {
-            assert_eq!(cfg.controllers, 1, "controller count is a supercharged knob");
+            assert_eq!(
+                cfg.controllers, 1,
+                "controller count is a supercharged knob"
+            );
         }
         let universe = prefix_universe(cfg.prefixes, cfg.seed);
         let flow_ips = sample_flow_ips(&universe, cfg.flows, cfg.seed);
@@ -259,10 +249,14 @@ impl ConvergenceLab {
         // --- wiring (connection order fixes each node's PortId(0)) ---
         let (_, sw_port_r1, _r1_port) = world.connect(switch, r1, lanp);
         let (r2_link, sw_port_r2, _r2_port) = world.connect(switch, r2, lanp);
-        let (_, sw_port_r3, _r3_port) = world.connect(switch, r3, lanp);
+        let (r3_link, sw_port_r3, _r3_port) = world.connect(switch, r3, lanp);
         let (_, sw_port_src, _src_port) = world.connect(switch, source, lanp);
         let mut sw_ctrl_ports = Vec::new();
-        let controllers_n = if cfg.mode == Mode::Supercharged { cfg.controllers } else { 0 };
+        let controllers_n = if cfg.mode == Mode::Supercharged {
+            cfg.controllers
+        } else {
+            0
+        };
         let mut ctrl_port_on_switch = Vec::new();
         for _ in 0..controllers_n {
             // Controller nodes are created after wiring (they need their
@@ -272,8 +266,8 @@ impl ConvergenceLab {
             ctrl_port_on_switch.push(());
         }
         // (R2, R3) → sink links.
-        let (_, _r2_sink_port, _) = world.connect(r2, sink, lanp);
-        let (_, _r3_sink_port, _) = world.connect(r3, sink, lanp);
+        let (r2_sink_link, _r2_sink_port, _) = world.connect(r2, sink, lanp);
+        let (r3_sink_link, _r3_sink_port, _) = world.connect(r3, sink, lanp);
 
         // --- controllers (supercharged only) ---
         let peer_specs = vec![
@@ -425,8 +419,24 @@ impl ConvergenceLab {
             &universe,
         );
         for (node, ip, mac, sink_net, sink_ip, feed, discr_base) in [
-            (r2, IP_R2, MAC_R2, "192.168.2.0/24", Ipv4Addr::new(192, 168, 2, 100), feed_r2, 20u32),
-            (r3, IP_R3, MAC_R3, "192.168.3.0/24", Ipv4Addr::new(192, 168, 3, 100), feed_r3, 30u32),
+            (
+                r2,
+                IP_R2,
+                MAC_R2,
+                "192.168.2.0/24",
+                Ipv4Addr::new(192, 168, 2, 100),
+                &feed_r2,
+                20u32,
+            ),
+            (
+                r3,
+                IP_R3,
+                MAC_R3,
+                "192.168.3.0/24",
+                Ipv4Addr::new(192, 168, 3, 100),
+                &feed_r3,
+                30u32,
+            ),
         ] {
             let rn = world.node_mut::<LegacyRouter>(node);
             rn.add_interface(Interface {
@@ -496,11 +506,14 @@ impl ConvergenceLab {
             source,
             sink,
             r2_link,
+            r3_link,
+            sink_links: [r2_sink_link, r3_sink_link],
             sw_port_r1,
             sw_port_r2,
             sw_port_r3,
             flow_ips,
             universe,
+            feeds: [feed_r2, feed_r3],
         }
     }
 
@@ -547,12 +560,10 @@ impl ConvergenceLab {
         }
         let fast = self.cfg.bfd_interval * 4; // detect_mult(3) + margin
         match self.cfg.mode {
-            Mode::Stock => {
-                match self.world.node::<LegacyRouter>(self.r1).bfd_snapshot(IP_R2) {
-                    Some((sc_bfd::BfdState::Up, det)) => det <= fast,
-                    _ => false,
-                }
-            }
+            Mode::Stock => match self.world.node::<LegacyRouter>(self.r1).bfd_snapshot(IP_R2) {
+                Some((sc_bfd::BfdState::Up, det)) => det <= fast,
+                _ => false,
+            },
             Mode::Supercharged => self.controllers.iter().all(|&c| {
                 match self.world.node::<Controller>(c).bfd_snapshot(IP_R2) {
                     Some((sc_bfd::BfdState::Up, det)) => det <= fast,

@@ -43,7 +43,10 @@ fn supercharged_converges_within_150ms_regardless_of_position() {
         "supercharged recovery must be flat across flows, spread {spread}"
     );
     let detect = r.detected_at.expect("controller saw the failure") - r.fail_at;
-    assert!(detect <= SimDuration::from_millis(91), "BFD budget, got {detect}");
+    assert!(
+        detect <= SimDuration::from_millis(91),
+        "BFD budget, got {detect}"
+    );
 }
 
 #[test]
@@ -109,11 +112,13 @@ fn replicated_controllers_survive_primary_loss() {
     lab.world.schedule(kill_at, move |w| w.crash_node(primary));
     let link = lab.r2_link;
     let fail_at = kill_at + SimDuration::from_secs(2);
-    lab.world.schedule(fail_at, move |w| w.set_link_up(link, false));
     lab.world
-        .run_until(fail_at + SimDuration::from_secs(2));
+        .schedule(fail_at, move |w| w.set_link_up(link, false));
+    lab.world.run_until(fail_at + SimDuration::from_secs(2));
 
-    let backup = lab.world.node::<supercharger::Controller>(lab.controllers[1]);
+    let backup = lab
+        .world
+        .node::<supercharger::Controller>(lab.controllers[1]);
     let failover = backup
         .events
         .iter()

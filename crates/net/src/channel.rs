@@ -181,7 +181,11 @@ impl Endpoint {
     }
 
     /// Process an incoming segment; returns application events in order.
-    pub fn on_segment(&mut self, seg: &[u8], _now: SimTime) -> Result<Vec<ChannelEvent>, WireError> {
+    pub fn on_segment(
+        &mut self,
+        seg: &[u8],
+        _now: SimTime,
+    ) -> Result<Vec<ChannelEvent>, WireError> {
         need(seg, SEGMENT_HEADER_LEN)?;
         let flags = seg[0];
         let seq = u64::from_be_bytes(seg[1..9].try_into().unwrap());
@@ -300,8 +304,11 @@ impl Endpoint {
                         item.last_sent = Some(now);
                         self.stats.retransmits += 1;
                         self.stats.segments_sent += 1;
-                        let flags =
-                            if item.fin { FLAG_FIN | FLAG_ACK } else { FLAG_DATA | FLAG_ACK };
+                        let flags = if item.fin {
+                            FLAG_FIN | FLAG_ACK
+                        } else {
+                            FLAG_DATA | FLAG_ACK
+                        };
                         let seg = encode_segment(flags, item.seq, self.recv_next, &item.payload);
                         self.ack_pending = false;
                         return Some(seg);
@@ -313,7 +320,11 @@ impl Endpoint {
                     }
                     item.last_sent = Some(now);
                     self.stats.segments_sent += 1;
-                    let flags = if item.fin { FLAG_FIN | FLAG_ACK } else { FLAG_DATA | FLAG_ACK };
+                    let flags = if item.fin {
+                        FLAG_FIN | FLAG_ACK
+                    } else {
+                        FLAG_DATA | FLAG_ACK
+                    };
                     let seg = encode_segment(flags, item.seq, self.recv_next, &item.payload);
                     self.ack_pending = false;
                     return Some(seg);
@@ -328,7 +339,11 @@ impl Endpoint {
             // A listener that just accepted must include SYN so an active
             // opener in SynSent completes; harmless otherwise because
             // established peers re-ACK duplicate SYNs.
-            let flags = if !self.handshake_acked() { FLAG_SYN | FLAG_ACK } else { FLAG_ACK };
+            let flags = if !self.handshake_acked() {
+                FLAG_SYN | FLAG_ACK
+            } else {
+                FLAG_ACK
+            };
             return Some(self.encode(flags, 0, &[]));
         }
 
@@ -445,7 +460,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(msgs, vec![b"one".as_slice(), b"two".as_slice(), b"three".as_slice()]);
+        assert_eq!(
+            msgs,
+            vec![b"one".as_slice(), b"two".as_slice(), b"three".as_slice()]
+        );
         assert_eq!(a.backlog(), 0, "all segments acked");
         assert_eq!(a.state(), ChannelState::Established);
         assert_eq!(b.state(), ChannelState::Established);
@@ -453,7 +471,10 @@ mod tests {
 
     #[test]
     fn loss_is_repaired_by_retransmission() {
-        let cfg = ChannelConfig { rto: SimDuration::from_millis(100), window: 4 };
+        let cfg = ChannelConfig {
+            rto: SimDuration::from_millis(100),
+            window: 4,
+        };
         let mut a = Endpoint::connect(cfg);
         let mut b = Endpoint::listen(cfg);
         for i in 0..10u8 {
@@ -479,7 +500,11 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(delivered, (0..10).collect::<Vec<u8>>(), "in order despite loss");
+        assert_eq!(
+            delivered,
+            (0..10).collect::<Vec<u8>>(),
+            "in order despite loss"
+        );
         assert!(a.stats().retransmits > 0);
         assert_eq!(a.backlog(), 0);
     }
@@ -498,7 +523,9 @@ mod tests {
         let ev1 = b.on_segment(&data, t(0)).unwrap();
         let ev2 = b.on_segment(&data, t(0)).unwrap();
         assert_eq!(
-            ev1.iter().filter(|e| matches!(e, ChannelEvent::Delivered(_))).count(),
+            ev1.iter()
+                .filter(|e| matches!(e, ChannelEvent::Delivered(_)))
+                .count(),
             1
         );
         assert!(ev2.iter().all(|e| !matches!(e, ChannelEvent::Delivered(_))));
@@ -507,7 +534,10 @@ mod tests {
 
     #[test]
     fn out_of_order_reassembled() {
-        let cfg = ChannelConfig { rto: SimDuration::from_millis(100), window: 8 };
+        let cfg = ChannelConfig {
+            rto: SimDuration::from_millis(100),
+            window: 8,
+        };
         let mut a = Endpoint::connect(cfg);
         let mut b = Endpoint::listen(cfg);
         // Establish first.
@@ -518,7 +548,9 @@ mod tests {
         let s2 = a.poll_transmit(t(1)).unwrap();
         // Deliver in reverse order.
         let ev_first = b.on_segment(&s2, t(2)).unwrap();
-        assert!(ev_first.iter().all(|e| !matches!(e, ChannelEvent::Delivered(_))));
+        assert!(ev_first
+            .iter()
+            .all(|e| !matches!(e, ChannelEvent::Delivered(_))));
         let ev_second = b.on_segment(&s1, t(2)).unwrap();
         let msgs: Vec<&[u8]> = ev_second
             .iter()
@@ -532,7 +564,10 @@ mod tests {
 
     #[test]
     fn window_limits_in_flight() {
-        let cfg = ChannelConfig { rto: SimDuration::from_millis(100), window: 2 };
+        let cfg = ChannelConfig {
+            rto: SimDuration::from_millis(100),
+            window: 2,
+        };
         let mut a = Endpoint::connect(cfg);
         let mut b = Endpoint::listen(cfg);
         pump(&mut a, &mut b, t(0), |_| false);
@@ -569,7 +604,10 @@ mod tests {
 
     #[test]
     fn next_wakeup_tracks_oldest_unacked() {
-        let cfg = ChannelConfig { rto: SimDuration::from_millis(100), window: 8 };
+        let cfg = ChannelConfig {
+            rto: SimDuration::from_millis(100),
+            window: 8,
+        };
         let mut a = Endpoint::connect(cfg);
         assert_eq!(a.next_wakeup(), None, "nothing sent yet");
         let _syn = a.poll_transmit(t(5)).unwrap();
@@ -590,7 +628,10 @@ mod tests {
     fn heavy_loss_eventually_delivers_everything() {
         // Deterministic pseudo-random 40% loss; the channel must still
         // deliver all 50 messages in order.
-        let cfg = ChannelConfig { rto: SimDuration::from_millis(50), window: 8 };
+        let cfg = ChannelConfig {
+            rto: SimDuration::from_millis(50),
+            window: 8,
+        };
         let mut a = Endpoint::connect(cfg);
         let mut b = Endpoint::listen(cfg);
         for i in 0..50u8 {

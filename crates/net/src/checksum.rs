@@ -73,8 +73,10 @@ mod tests {
 
     #[test]
     fn verify_accepts_own_output() {
-        let mut data = vec![0x45u8, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0, 10,
-                            0, 0, 1, 10, 0, 0, 2];
+        let mut data = vec![
+            0x45u8, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0, 10, 0, 0, 1, 10, 0,
+            0, 2,
+        ];
         let c = checksum(&data);
         data[10] = (c >> 8) as u8;
         data[11] = c as u8;

@@ -66,7 +66,9 @@ impl MacAddr {
     /// return its index.
     pub fn virtual_index(self) -> Option<u32> {
         if self.0[0] == 0x02 && self.0[1] == 0x5c {
-            Some(u32::from_be_bytes([self.0[2], self.0[3], self.0[4], self.0[5]]))
+            Some(u32::from_be_bytes([
+                self.0[2], self.0[3], self.0[4], self.0[5],
+            ]))
         } else {
             None
         }
@@ -177,7 +179,10 @@ mod tests {
         assert_eq!(v1.virtual_index(), Some(1));
         assert_eq!(vbig.virtual_index(), Some(0xdead_beef));
         // A hardware-looking address is not a VMAC.
-        assert_eq!(MacAddr::new(0x00, 0x1b, 0x21, 0x00, 0x00, 0x01).virtual_index(), None);
+        assert_eq!(
+            MacAddr::new(0x00, 0x1b, 0x21, 0x00, 0x00, 0x01).virtual_index(),
+            None
+        );
     }
 
     #[test]

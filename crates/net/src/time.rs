@@ -124,7 +124,10 @@ impl SimDuration {
     /// nanosecond. Intended for configuration parsing, not for arithmetic
     /// inside the simulator.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1e9).round() as u64)
     }
 

@@ -216,7 +216,11 @@ impl<T> PrefixTrie<T> {
             if np.len() == prefix.len() {
                 return Some(cur);
             }
-            cur = if prefix.bit(np.len()) { node.right } else { node.left };
+            cur = if prefix.bit(np.len()) {
+                node.right
+            } else {
+                node.left
+            };
         }
         None
     }
@@ -239,7 +243,11 @@ impl<T> PrefixTrie<T> {
             if np.len() == 32 {
                 break;
             }
-            cur = if key.bit(np.len()) { node.right } else { node.left };
+            cur = if key.bit(np.len()) {
+                node.right
+            } else {
+                node.left
+            };
         }
         best
     }
@@ -262,7 +270,11 @@ impl<T> PrefixTrie<T> {
             if np.len() == 32 {
                 break;
             }
-            cur = if key.bit(np.len()) { node.right } else { node.left };
+            cur = if key.bit(np.len()) {
+                node.right
+            } else {
+                node.left
+            };
         }
         out
     }
@@ -286,7 +298,11 @@ impl<T> PrefixTrie<T> {
                 break;
             }
             path.push(cur);
-            cur = if prefix.bit(np.len()) { node.right } else { node.left };
+            cur = if prefix.bit(np.len()) {
+                node.right
+            } else {
+                node.left
+            };
         }
         let value = self.nodes[cur as usize].value.take()?;
         self.len -= 1;
@@ -312,7 +328,11 @@ impl<T> PrefixTrie<T> {
                 (false, false) => NO_NODE,
             };
             // Unlink idx from its parent (or root), replacing with child.
-            let parent = if path_end == 0 { None } else { Some(path[path_end - 1]) };
+            let parent = if path_end == 0 {
+                None
+            } else {
+                Some(path[path_end - 1])
+            };
             match parent {
                 None => {
                     self.root = replacement;
@@ -559,7 +579,10 @@ mod tests {
     fn default_route_matches_everything() {
         let mut t = PrefixTrie::new();
         t.insert(Ipv4Prefix::DEFAULT, 42);
-        assert_eq!(t.lookup(Ipv4Addr::new(0, 0, 0, 0)).map(|(_, v)| *v), Some(42));
+        assert_eq!(
+            t.lookup(Ipv4Addr::new(0, 0, 0, 0)).map(|(_, v)| *v),
+            Some(42)
+        );
         assert_eq!(
             t.lookup(Ipv4Addr::new(255, 255, 255, 255)).map(|(_, v)| *v),
             Some(42)
@@ -598,9 +621,18 @@ mod tests {
         t.insert(p("1.2.3.4/32"), 1);
         t.insert(p("1.2.3.5/32"), 2);
         t.insert(p("1.2.3.0/24"), 0);
-        assert_eq!(t.lookup(Ipv4Addr::new(1, 2, 3, 4)).map(|(_, v)| *v), Some(1));
-        assert_eq!(t.lookup(Ipv4Addr::new(1, 2, 3, 5)).map(|(_, v)| *v), Some(2));
-        assert_eq!(t.lookup(Ipv4Addr::new(1, 2, 3, 6)).map(|(_, v)| *v), Some(0));
+        assert_eq!(
+            t.lookup(Ipv4Addr::new(1, 2, 3, 4)).map(|(_, v)| *v),
+            Some(1)
+        );
+        assert_eq!(
+            t.lookup(Ipv4Addr::new(1, 2, 3, 5)).map(|(_, v)| *v),
+            Some(2)
+        );
+        assert_eq!(
+            t.lookup(Ipv4Addr::new(1, 2, 3, 6)).map(|(_, v)| *v),
+            Some(0)
+        );
     }
 
     /// Differential test against a naive model on a deterministic
@@ -613,7 +645,9 @@ mod tests {
         // Simple deterministic LCG so the test needs no rand dependency.
         let mut state = 0x243f_6a88_85a3_08d3u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         for i in 0..4000u64 {

@@ -139,12 +139,8 @@ mod tests {
 
     #[test]
     fn rejects_non_ethernet_ipv4() {
-        let mut b = ArpRepr::request(
-            MacAddr::ZERO,
-            Ipv4Addr::UNSPECIFIED,
-            Ipv4Addr::UNSPECIFIED,
-        )
-        .to_bytes();
+        let mut b = ArpRepr::request(MacAddr::ZERO, Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED)
+            .to_bytes();
         b[1] = 6; // htype = IEEE 802
         assert_eq!(
             ArpRepr::parse(&b),
@@ -159,7 +155,10 @@ mod tests {
         let mut b3 = ArpRepr::request(MacAddr::ZERO, Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED)
             .to_bytes();
         b3[7] = 9; // bad op
-        assert_eq!(ArpRepr::parse(&b3), Err(WireError::BadField("arp operation")));
+        assert_eq!(
+            ArpRepr::parse(&b3),
+            Err(WireError::BadField("arp operation"))
+        );
     }
 
     #[test]

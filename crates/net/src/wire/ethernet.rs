@@ -67,7 +67,11 @@ impl EthernetRepr {
         let src = MacAddr::from_bytes(&frame[6..12]).unwrap();
         let ethertype = EtherType::from_u16(be16(frame, 12));
         Ok((
-            EthernetRepr { dst, src, ethertype },
+            EthernetRepr {
+                dst,
+                src,
+                ethertype,
+            },
             &frame[HEADER_LEN..],
         ))
     }

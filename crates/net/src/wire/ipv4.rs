@@ -116,7 +116,9 @@ impl Ipv4Repr {
     /// (the switch's L3 match fields; hot path).
     pub fn peek_dst(packet: &[u8]) -> Result<Ipv4Addr, WireError> {
         need(packet, HEADER_LEN)?;
-        Ok(Ipv4Addr::new(packet[16], packet[17], packet[18], packet[19]))
+        Ok(Ipv4Addr::new(
+            packet[16], packet[17], packet[18], packet[19],
+        ))
     }
 }
 
@@ -155,10 +157,16 @@ mod tests {
     fn version_and_options_rejected() {
         let mut pkt = sample().to_packet(b"");
         pkt[0] = 0x65; // version 6
-        assert_eq!(Ipv4Repr::parse(&pkt), Err(WireError::Unsupported("ip version")));
+        assert_eq!(
+            Ipv4Repr::parse(&pkt),
+            Err(WireError::Unsupported("ip version"))
+        );
         let mut pkt = sample().to_packet(b"");
         pkt[0] = 0x46; // IHL 6 => options present
-        assert_eq!(Ipv4Repr::parse(&pkt), Err(WireError::Unsupported("ipv4 options")));
+        assert_eq!(
+            Ipv4Repr::parse(&pkt),
+            Err(WireError::Unsupported("ipv4 options"))
+        );
     }
 
     #[test]

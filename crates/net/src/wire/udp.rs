@@ -83,7 +83,10 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let repr = UdpRepr { src_port: 49152, dst_port: port::PROBE };
+        let repr = UdpRepr {
+            src_port: 49152,
+            dst_port: port::PROBE,
+        };
         let seg = repr.to_segment(SRC, DST, b"probe-payload");
         let (parsed, payload) = UdpRepr::parse(SRC, DST, &seg).unwrap();
         assert_eq!(parsed, repr);
@@ -92,7 +95,10 @@ mod tests {
 
     #[test]
     fn checksum_detects_corruption() {
-        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
         let mut seg = repr.to_segment(SRC, DST, b"abcd");
         seg[9] ^= 0x40;
         assert_eq!(
@@ -106,7 +112,10 @@ mod tests {
 
     #[test]
     fn zero_checksum_skips_validation() {
-        let repr = UdpRepr { src_port: 5, dst_port: 6 };
+        let repr = UdpRepr {
+            src_port: 5,
+            dst_port: 6,
+        };
         let mut seg = repr.to_segment(SRC, DST, b"x");
         seg[6] = 0;
         seg[7] = 0;
@@ -117,7 +126,10 @@ mod tests {
 
     #[test]
     fn length_field_respected() {
-        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
         let seg = repr.to_segment(SRC, DST, b"abcdef");
         assert!(UdpRepr::parse(SRC, DST, &seg[..seg.len() - 1]).is_err());
         assert!(UdpRepr::parse(SRC, DST, &seg[..4]).is_err());

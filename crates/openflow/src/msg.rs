@@ -70,7 +70,10 @@ pub enum OfMessage {
     EchoRequest(Vec<u8>),
     EchoReply(Vec<u8>),
     FeaturesRequest,
-    FeaturesReply { datapath_id: u64, n_ports: u16 },
+    FeaturesReply {
+        datapath_id: u64,
+        n_ports: u16,
+    },
     FlowMod {
         command: FlowModCommand,
         priority: u16,
@@ -78,9 +81,18 @@ pub enum OfMessage {
         matcher: FlowMatch,
         actions: Vec<Action>,
     },
-    PacketIn { in_port: u16, frame: Vec<u8> },
-    PacketOut { actions: Vec<Action>, frame: Vec<u8> },
-    PortStatus { port: u16, up: bool },
+    PacketIn {
+        in_port: u16,
+        frame: Vec<u8>,
+    },
+    PacketOut {
+        actions: Vec<Action>,
+        frame: Vec<u8>,
+    },
+    PortStatus {
+        port: u16,
+        up: bool,
+    },
     BarrierRequest,
     BarrierReply,
     StatsRequest,
@@ -300,11 +312,20 @@ impl OfMessage {
             OfMessage::EchoRequest(d) | OfMessage::EchoReply(d) => {
                 body.extend_from_slice(d);
             }
-            OfMessage::FeaturesReply { datapath_id, n_ports } => {
+            OfMessage::FeaturesReply {
+                datapath_id,
+                n_ports,
+            } => {
                 body.extend_from_slice(&datapath_id.to_be_bytes());
                 body.extend_from_slice(&n_ports.to_be_bytes());
             }
-            OfMessage::FlowMod { command, priority, cookie, matcher, actions } => {
+            OfMessage::FlowMod {
+                command,
+                priority,
+                cookie,
+                matcher,
+                actions,
+            } => {
                 body.push(*command as u8);
                 body.extend_from_slice(&priority.to_be_bytes());
                 body.extend_from_slice(&cookie.to_be_bytes());
@@ -323,7 +344,11 @@ impl OfMessage {
                 body.extend_from_slice(&port.to_be_bytes());
                 body.push(*up as u8);
             }
-            OfMessage::StatsReply { lookups, misses, flows } => {
+            OfMessage::StatsReply {
+                lookups,
+                misses,
+                flows,
+            } => {
                 body.extend_from_slice(&lookups.to_be_bytes());
                 body.extend_from_slice(&misses.to_be_bytes());
                 body.extend_from_slice(&(flows.len() as u32).to_be_bytes());
@@ -380,7 +405,13 @@ impl OfMessage {
                 if 11 + n + m != body.len() {
                     return Err(WireError::BadLength);
                 }
-                OfMessage::FlowMod { command, priority, cookie, matcher, actions }
+                OfMessage::FlowMod {
+                    command,
+                    priority,
+                    cookie,
+                    matcher,
+                    actions,
+                }
             }
             T_PACKET_IN => {
                 need(body, 2)?;
@@ -422,7 +453,11 @@ impl OfMessage {
                         bytes: u64::from_be_bytes(body[at + 18..at + 26].try_into().unwrap()),
                     });
                 }
-                OfMessage::StatsReply { lookups, misses, flows }
+                OfMessage::StatsReply {
+                    lookups,
+                    misses,
+                    flows,
+                }
             }
             _ => return Err(WireError::BadField("of message type")),
         };
@@ -445,7 +480,10 @@ mod tests {
     fn roundtrip_simple_messages() {
         roundtrip(OfMessage::Hello);
         roundtrip(OfMessage::FeaturesRequest);
-        roundtrip(OfMessage::FeaturesReply { datapath_id: 0xdead_beef_0bad_cafe, n_ports: 18 });
+        roundtrip(OfMessage::FeaturesReply {
+            datapath_id: 0xdead_beef_0bad_cafe,
+            n_ports: 18,
+        });
         roundtrip(OfMessage::BarrierRequest);
         roundtrip(OfMessage::BarrierReply);
         roundtrip(OfMessage::StatsRequest);
@@ -492,7 +530,10 @@ mod tests {
 
     #[test]
     fn roundtrip_packet_in_out() {
-        roundtrip(OfMessage::PacketIn { in_port: 4, frame: vec![0xca; 64] });
+        roundtrip(OfMessage::PacketIn {
+            in_port: 4,
+            frame: vec![0xca; 64],
+        });
         roundtrip(OfMessage::PacketOut {
             actions: vec![Action::Output(1)],
             frame: vec![0xfe; 128],
@@ -505,8 +546,18 @@ mod tests {
             lookups: 1_000_000,
             misses: 17,
             flows: vec![
-                FlowStatsRow { priority: 100, cookie: 1, packets: 500, bytes: 32_000 },
-                FlowStatsRow { priority: 90, cookie: 2, packets: 0, bytes: 0 },
+                FlowStatsRow {
+                    priority: 100,
+                    cookie: 1,
+                    packets: 500,
+                    bytes: 32_000,
+                },
+                FlowStatsRow {
+                    priority: 90,
+                    cookie: 2,
+                    packets: 0,
+                    bytes: 0,
+                },
             ],
         });
     }

@@ -210,7 +210,13 @@ impl OfSwitch {
                 };
                 self.reply_to_controller(ctx, idx, xid, reply);
             }
-            OfMessage::FlowMod { command, priority, cookie, matcher, actions } => {
+            OfMessage::FlowMod {
+                command,
+                priority,
+                cookie,
+                matcher,
+                actions,
+            } => {
                 // Queue behind the TCAM programming latency. The first
                 // rule of a burst pays the base latency; back-to-back
                 // rules pipeline at the per-rule cost.
@@ -235,7 +241,11 @@ impl OfSwitch {
             }
             OfMessage::BarrierRequest => {
                 let done_at = self.install_busy_until.max(ctx.now());
-                self.pending.push_back(PendingOp::Barrier { done_at, xid, controller: idx });
+                self.pending.push_back(PendingOp::Barrier {
+                    done_at,
+                    xid,
+                    controller: idx,
+                });
                 self.arm_install_timer(ctx);
             }
             OfMessage::PacketOut { actions, frame } => {
@@ -291,7 +301,14 @@ impl OfSwitch {
                 break;
             }
             match self.pending.pop_front().unwrap() {
-                PendingOp::Install { command, priority, cookie, matcher, actions, .. } => {
+                PendingOp::Install {
+                    command,
+                    priority,
+                    cookie,
+                    matcher,
+                    actions,
+                    ..
+                } => {
                     self.stats.flow_mods_applied += 1;
                     match command {
                         FlowModCommand::Add => self.table.add(FlowEntry {
@@ -319,7 +336,9 @@ impl OfSwitch {
                         }
                     }
                 }
-                PendingOp::Barrier { xid, controller, .. } => {
+                PendingOp::Barrier {
+                    xid, controller, ..
+                } => {
                     self.reply_to_controller(ctx, controller, xid, OfMessage::BarrierReply);
                 }
             }
@@ -368,7 +387,10 @@ impl OfSwitch {
             }
             TableMiss::PacketIn => {
                 self.stats.packet_ins += 1;
-                let msg = OfMessage::PacketIn { in_port: in_port.0 as u16, frame };
+                let msg = OfMessage::PacketIn {
+                    in_port: in_port.0 as u16,
+                    frame,
+                };
                 self.send_to_controllers(ctx, msg);
             }
         }
@@ -471,7 +493,10 @@ impl Node for OfSwitch {
         // Carrier change: purge L2 entries learned on that port and tell
         // the controller (PORT_STATUS) — real switches do both.
         self.l2.retain(|_, &mut p| p != port || up);
-        let msg = OfMessage::PortStatus { port: port.0 as u16, up };
+        let msg = OfMessage::PortStatus {
+            port: port.0 as u16,
+            up,
+        };
         self.send_to_controllers(ctx, msg);
     }
 

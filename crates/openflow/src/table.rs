@@ -166,7 +166,10 @@ mod tests {
             priority: prio,
             cookie: 0,
             matcher: FlowMatch::dst_mac(dst),
-            actions: vec![Action::SetDstMac(MacAddr::new(9, 9, 9, 9, 9, 9)), Action::Output(out)],
+            actions: vec![
+                Action::SetDstMac(MacAddr::new(9, 9, 9, 9, 9, 9)),
+                Action::Output(out),
+            ],
             stats: FlowStats::default(),
         }
     }
@@ -181,7 +184,10 @@ mod tests {
         });
         t.add(entry(100, vmac, 2));
         let e = t.lookup(&key(vmac), 64).unwrap();
-        assert!(e.actions.contains(&Action::Output(2)), "higher priority wins");
+        assert!(
+            e.actions.contains(&Action::Output(2)),
+            "higher priority wins"
+        );
     }
 
     #[test]
@@ -224,7 +230,10 @@ mod tests {
         let n = t.modify(
             50,
             &FlowMatch::dst_mac(vmac),
-            vec![Action::SetDstMac(MacAddr::new(2, 2, 2, 2, 2, 2)), Action::Output(3)],
+            vec![
+                Action::SetDstMac(MacAddr::new(2, 2, 2, 2, 2, 2)),
+                Action::Output(3),
+            ],
         );
         assert_eq!(n, 1);
         let e = t.peek(&key(vmac)).unwrap();
@@ -267,6 +276,12 @@ mod tests {
         t.lookup(&key(vmac), 64);
         t.lookup(&key(vmac), 100);
         let e = t.peek(&key(vmac)).unwrap();
-        assert_eq!(e.stats, FlowStats { packets: 2, bytes: 164 });
+        assert_eq!(
+            e.stats,
+            FlowStats {
+                packets: 2,
+                bytes: 164
+            }
+        );
     }
 }

@@ -167,9 +167,7 @@ fn build(table_miss: TableMiss) -> Lab {
         src_port: 40001,
         dst_port: sc_net::wire::udp::port::OPENFLOW,
     };
-    world
-        .node_mut::<StubController>(ctrl)
-        .chan = Some(ChannelPort::connect(
+    world.node_mut::<StubController>(ctrl).chan = Some(ChannelPort::connect(
         ChannelConfig::default(),
         ctrl_addr,
         ctrl_port,
@@ -224,8 +222,16 @@ fn l2_learning_floods_then_forwards() {
     // A -> B (unknown): flood. B -> A (A now known): direct. A -> B again:
     // direct.
     lab.world.node_mut::<Host>(lab.host_a).script = vec![
-        (SimTime::from_millis(1), PortId(0), probe_frame(MAC_A, MAC_B, 1)),
-        (SimTime::from_millis(3), PortId(0), probe_frame(MAC_A, MAC_B, 3)),
+        (
+            SimTime::from_millis(1),
+            PortId(0),
+            probe_frame(MAC_A, MAC_B, 1),
+        ),
+        (
+            SimTime::from_millis(3),
+            PortId(0),
+            probe_frame(MAC_A, MAC_B, 3),
+        ),
     ];
     lab.world.node_mut::<Host>(lab.host_b).script = vec![(
         SimTime::from_millis(2),
@@ -258,9 +264,13 @@ fn controller_handshake_features() {
     let ctrl = lab.world.node::<StubController>(lab.ctrl);
     let kinds: Vec<&OfMessage> = ctrl.received.iter().map(|(_, _, m)| m).collect();
     assert!(kinds.iter().any(|m| matches!(m, OfMessage::Hello)));
-    assert!(kinds
-        .iter()
-        .any(|m| matches!(m, OfMessage::FeaturesReply { datapath_id: 0xe3800, n_ports: 3 })));
+    assert!(kinds.iter().any(|m| matches!(
+        m,
+        OfMessage::FeaturesReply {
+            datapath_id: 0xe3800,
+            n_ports: 3
+        }
+    )));
     assert!(kinds
         .iter()
         .any(|m| matches!(m, OfMessage::EchoReply(d) if d == &vec![9, 9])));
@@ -286,8 +296,16 @@ fn flow_install_latency_gates_rule_application() {
     )];
     // Probe before install completes (t=2ms < 1ms + 15ms base) and after.
     lab.world.node_mut::<Host>(lab.host_a).script = vec![
-        (SimTime::from_millis(2), PortId(0), probe_frame(MAC_A, vmac, 1)),
-        (SimTime::from_millis(30), PortId(0), probe_frame(MAC_A, vmac, 2)),
+        (
+            SimTime::from_millis(2),
+            PortId(0),
+            probe_frame(MAC_A, vmac, 1),
+        ),
+        (
+            SimTime::from_millis(30),
+            PortId(0),
+            probe_frame(MAC_A, vmac, 2),
+        ),
     ];
     lab.world.run_until(SimTime::from_millis(50));
     let b = lab.world.node::<Host>(lab.host_b);
@@ -355,7 +373,10 @@ fn modify_redirects_traffic_like_failover() {
     // All of A's frames arrived before all of B's (single switchover).
     let last_a = a.received.last().unwrap().0;
     let first_b = b.received.first().unwrap().0;
-    assert!(last_a < first_b, "no interleaving across the failover point");
+    assert!(
+        last_a < first_b,
+        "no interleaving across the failover point"
+    );
 }
 
 #[test]

@@ -226,17 +226,18 @@ mod tests {
             &universe,
         );
         let nlri = |feed: &[UpdateMsg]| {
-            let mut v: Vec<Ipv4Prefix> =
-                feed.iter().flat_map(|u| u.nlri.iter().copied()).collect();
+            let mut v: Vec<Ipv4Prefix> = feed.iter().flat_map(|u| u.nlri.iter().copied()).collect();
             v.sort();
             v
         };
         assert_eq!(nlri(&r2), nlri(&r3), "same destinations");
         // Next-hops differ.
-        assert!(r2.iter().all(|u| u.attrs.as_ref().unwrap().next_hop
-            == Ipv4Addr::new(10, 0, 0, 2)));
-        assert!(r3.iter().all(|u| u.attrs.as_ref().unwrap().next_hop
-            == Ipv4Addr::new(10, 0, 0, 3)));
+        assert!(r2
+            .iter()
+            .all(|u| u.attrs.as_ref().unwrap().next_hop == Ipv4Addr::new(10, 0, 0, 2)));
+        assert!(r3
+            .iter()
+            .all(|u| u.attrs.as_ref().unwrap().next_hop == Ipv4Addr::new(10, 0, 0, 3)));
     }
 
     #[test]

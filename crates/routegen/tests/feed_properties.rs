@@ -1,0 +1,95 @@
+//! Contract tests for the synthetic feed generator: the scenario
+//! engine and both provider routers rely on feeds being pure functions
+//! of their seed, on the prefix universe staying clear of the lab's
+//! infrastructure space, and on every UPDATE respecting the wire-size
+//! caps.
+
+use sc_bgp::BgpMessage;
+use sc_net::Ipv4Prefix;
+use sc_routegen::{generate_feed, generate_feed_for, prefix_universe, FeedConfig};
+use std::net::Ipv4Addr;
+
+const NH: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+/// Same seed ⇒ the *entire* feed is identical: message boundaries,
+/// attribute values, NLRI packing — two controller replicas (or a
+/// provider and its model) must regenerate the same bytes.
+#[test]
+fn same_seed_same_feed() {
+    let cfg = FeedConfig::new(4_000, 77, NH, 65002);
+    let a = generate_feed(&cfg);
+    let b = generate_feed(&cfg);
+    assert_eq!(a.len(), b.len());
+    for (ua, ub) in a.iter().zip(&b) {
+        assert_eq!(ua.nlri, ub.nlri);
+        assert_eq!(ua.withdrawn, ub.withdrawn);
+        let (aa, ab) = (ua.attrs.as_ref().unwrap(), ub.attrs.as_ref().unwrap());
+        assert_eq!(aa.as_path, ab.as_path);
+        assert_eq!(aa.med, ab.med);
+        assert_eq!(aa.communities, ab.communities);
+        assert_eq!(
+            BgpMessage::Update(ua.clone()).encode(),
+            BgpMessage::Update(ub.clone()).encode(),
+            "wire-identical"
+        );
+    }
+    // A different seed produces a different feed.
+    let c = generate_feed(&FeedConfig::new(4_000, 78, NH, 65002));
+    let nlri = |f: &[sc_bgp::msg::UpdateMsg]| -> Vec<Ipv4Prefix> {
+        f.iter().flat_map(|u| u.nlri.iter().copied()).collect()
+    };
+    assert_ne!(nlri(&a), nlri(&c));
+}
+
+/// The universe is distinct, sorted, and avoids every special-purpose
+/// range the lab's infrastructure lives in — across seeds and sizes.
+#[test]
+fn universe_unique_and_clear_of_special_ranges() {
+    for (count, seed) in [(1_000u32, 1u64), (10_000, 2), (30_000, 3)] {
+        let u = prefix_universe(count, seed);
+        assert_eq!(u.len(), count as usize);
+        let mut dedup = u.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup, u, "sorted and distinct (count={count} seed={seed})");
+        for p in &u {
+            let o = p.network().octets();
+            assert!(o[0] >= 1 && o[0] < 224, "{p} outside unicast");
+            assert_ne!(o[0], 10, "{p} collides with the lab LAN / fabric");
+            assert_ne!(o[0], 127, "{p} in loopback");
+            assert!(!(o[0] == 192 && o[1] == 168), "{p} in 192.168/16");
+            assert!(
+                !(o[0] == 172 && (16..32).contains(&o[1])),
+                "{p} in 172.16/12"
+            );
+        }
+    }
+}
+
+/// NLRI split-size bounds: no UPDATE carries more prefixes than the
+/// configured cap, and every encoded message fits BGP's 4096-byte
+/// ceiling — even with a tiny cap forcing many splits.
+#[test]
+fn nlri_split_bounds_hold() {
+    for max_nlri in [7usize, 50, 300] {
+        let cfg = FeedConfig {
+            max_nlri_per_update: max_nlri,
+            ..FeedConfig::new(2_000, 5, NH, 65002)
+        };
+        let universe = prefix_universe(cfg.prefix_count, cfg.seed);
+        let feed = generate_feed_for(&cfg, &universe);
+        let mut covered = 0usize;
+        for u in &feed {
+            assert!(
+                u.nlri.len() <= max_nlri,
+                "update carries {} > cap {max_nlri}",
+                u.nlri.len()
+            );
+            assert!(!u.nlri.is_empty(), "no empty announcements");
+            let encoded = BgpMessage::Update(u.clone()).encode();
+            assert!(encoded.len() <= 4096, "encoded {} bytes", encoded.len());
+            covered += u.nlri.len();
+        }
+        assert_eq!(covered, universe.len(), "split covers the universe exactly");
+    }
+}

@@ -150,7 +150,10 @@ impl ArpClient {
             },
         );
         self.replies_learned += 1;
-        self.pending.remove(&ip).map(|p| p.frames).unwrap_or_default()
+        self.pending
+            .remove(&ip)
+            .map(|p| p.frames)
+            .unwrap_or_default()
     }
 
     /// Addresses currently awaiting resolution whose request should be
@@ -253,7 +256,10 @@ mod tests {
     fn entries_expire_after_ttl() {
         let mut arp = ArpClient::new();
         arp.learn(VNH, VMAC, t(0));
-        assert_eq!(arp.lookup(VNH, SimTime::from_secs(4 * 3600 - 1)), Some(VMAC));
+        assert_eq!(
+            arp.lookup(VNH, SimTime::from_secs(4 * 3600 - 1)),
+            Some(VMAC)
+        );
         assert_eq!(arp.lookup(VNH, SimTime::from_secs(4 * 3600 + 1)), None);
     }
 

@@ -26,7 +26,10 @@ pub struct FibEntry {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FibOp {
     /// Install or overwrite the entry for `prefix`.
-    Set { prefix: Ipv4Prefix, next_hop: Ipv4Addr },
+    Set {
+        prefix: Ipv4Prefix,
+        next_hop: Ipv4Addr,
+    },
     /// Remove the entry (no route left).
     Remove { prefix: Ipv4Prefix },
 }
@@ -175,7 +178,11 @@ mod tests {
 
     /// Drive the walker to quiescence, returning (prefix, completion
     /// time) per applied op.
-    fn drain(walker: &mut FibWalker, fib: &mut Fib, rng: &mut SmallRng) -> Vec<(Ipv4Prefix, SimTime)> {
+    fn drain(
+        walker: &mut FibWalker,
+        fib: &mut Fib,
+        rng: &mut SmallRng,
+    ) -> Vec<(Ipv4Prefix, SimTime)> {
         let mut out = Vec::new();
         while let Some(at) = walker.next_apply_at(rng) {
             let op = walker.apply_one(fib, at).unwrap();
@@ -194,17 +201,25 @@ mod tests {
         let mut w = FibWalker::new(cal);
         let mut fib = Fib::new();
         let ops = vec![
-            FibOp::Set { prefix: p("1.0.0.0/24"), next_hop: nh(2) },
-            FibOp::Set { prefix: p("2.0.0.0/24"), next_hop: nh(2) },
-            FibOp::Set { prefix: p("3.0.0.0/24"), next_hop: nh(2) },
+            FibOp::Set {
+                prefix: p("1.0.0.0/24"),
+                next_hop: nh(2),
+            },
+            FibOp::Set {
+                prefix: p("2.0.0.0/24"),
+                next_hop: nh(2),
+            },
+            FibOp::Set {
+                prefix: p("3.0.0.0/24"),
+                next_hop: nh(2),
+            },
         ];
         w.enqueue_burst(SimTime::from_secs(1), ops, true);
         let log = drain(&mut w, &mut fib, &mut rng);
         assert_eq!(log.len(), 3);
         // First completes after peer-down processing + one entry.
-        let first_expected = SimTime::from_secs(1)
-            + cal.peer_down_processing
-            + cal.fib_entry_update;
+        let first_expected =
+            SimTime::from_secs(1) + cal.peer_down_processing + cal.fib_entry_update;
         assert_eq!(log[0].1, first_expected);
         // Subsequent entries are spaced exactly one entry cost apart.
         assert_eq!(log[1].1 - log[0].1, cal.fib_entry_update);
@@ -230,7 +245,10 @@ mod tests {
         let total = log.last().unwrap().1;
         let expect = Calibration::nexus7k().expected_full_walk(10_000);
         let ratio = total.as_nanos() as f64 / expect.as_nanos() as f64;
-        assert!((0.95..=1.05).contains(&ratio), "total {total} vs expected {expect}");
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "total {total} vs expected {expect}"
+        );
     }
 
     #[test]
@@ -240,14 +258,19 @@ mod tests {
         let mut fib = Fib::new();
         w.enqueue_burst(
             SimTime::ZERO,
-            vec![FibOp::Set { prefix: p("1.0.0.0/24"), next_hop: nh(2) }],
+            vec![FibOp::Set {
+                prefix: p("1.0.0.0/24"),
+                next_hop: nh(2),
+            }],
             false,
         );
         drain(&mut w, &mut fib, &mut rng);
         assert_eq!(fib.len(), 1);
         w.enqueue_burst(
             SimTime::from_secs(1),
-            vec![FibOp::Remove { prefix: p("1.0.0.0/24") }],
+            vec![FibOp::Remove {
+                prefix: p("1.0.0.0/24"),
+            }],
             false,
         );
         drain(&mut w, &mut fib, &mut rng);
@@ -266,15 +289,28 @@ mod tests {
         w.enqueue_burst(
             SimTime::ZERO,
             vec![
-                FibOp::Set { prefix: p("1.0.0.0/24"), next_hop: nh(2) },
-                FibOp::Set { prefix: p("2.0.0.0/24"), next_hop: nh(2) },
+                FibOp::Set {
+                    prefix: p("1.0.0.0/24"),
+                    next_hop: nh(2),
+                },
+                FibOp::Set {
+                    prefix: p("2.0.0.0/24"),
+                    next_hop: nh(2),
+                },
             ],
             true,
         );
         // Apply the first, then a second burst lands mid-walk.
         let t1 = w.next_apply_at(&mut rng).unwrap();
         w.apply_one(&mut fib, t1);
-        w.enqueue_burst(t1, vec![FibOp::Set { prefix: p("3.0.0.0/24"), next_hop: nh(3) }], false);
+        w.enqueue_burst(
+            t1,
+            vec![FibOp::Set {
+                prefix: p("3.0.0.0/24"),
+                next_hop: nh(3),
+            }],
+            false,
+        );
         let log = drain(&mut w, &mut fib, &mut rng);
         assert_eq!(log.len(), 2);
         assert_eq!(log[0].0, p("2.0.0.0/24"), "FIFO preserved");
@@ -302,7 +338,10 @@ mod tests {
         let mut fib = Fib::new();
         w.enqueue_burst(
             SimTime::from_millis(5),
-            vec![FibOp::Set { prefix: p("1.0.0.0/24"), next_hop: nh(2) }],
+            vec![FibOp::Set {
+                prefix: p("1.0.0.0/24"),
+                next_hop: nh(2),
+            }],
             true,
         );
         let at = w.next_apply_at(&mut rng).unwrap();

@@ -28,5 +28,5 @@ pub mod node;
 
 pub use arp::ArpClient;
 pub use calibration::Calibration;
-pub use fib::{FibEntry, FibOp, FibWalker, Fib};
+pub use fib::{Fib, FibEntry, FibOp, FibWalker};
 pub use node::{Interface, LegacyRouter, PeerConfig, RouterConfig, StaticRoute};

@@ -208,9 +208,8 @@ impl LegacyRouter {
             dst_port: cfg.remote_port,
         };
         let idx = self.peers.len();
-        let timer = TimerToken(
-            PEER_TIMER_BASE + idx as u64 * PEER_TIMER_STRIDE + PEER_TIMER_CHANNEL,
-        );
+        let timer =
+            TimerToken(PEER_TIMER_BASE + idx as u64 * PEER_TIMER_STRIDE + PEER_TIMER_CHANNEL);
         let chan = if cfg.transport_active {
             ChannelPort::connect(ChannelConfig::default(), addr, iface.port, timer)
         } else {
@@ -236,6 +235,32 @@ impl LegacyRouter {
         });
     }
 
+    /// Queue additional UPDATEs on every Established session — runtime
+    /// route churn, beyond the static `originate` feed sent at session
+    /// establishment. Scenario drivers use this for withdraw/churn
+    /// bursts mid-experiment.
+    ///
+    /// Returns the session wake tokens the caller must schedule via
+    /// [`sc_sim::World::wake_node`] so the messages leave immediately
+    /// instead of waiting for the next keepalive tick.
+    pub fn inject_updates(&mut self, updates: &[UpdateMsg]) -> Vec<TimerToken> {
+        let mut tokens = Vec::new();
+        for (idx, p) in self.peers.iter_mut().enumerate() {
+            if p.session.state() != sc_bgp::SessionState::Established {
+                continue;
+            }
+            for upd in updates {
+                for part in upd.clone().split_to_fit() {
+                    p.session.queue_update(part);
+                }
+            }
+            tokens.push(TimerToken(
+                PEER_TIMER_BASE + idx as u64 * PEER_TIMER_STRIDE + PEER_TIMER_SESSION,
+            ));
+        }
+        tokens
+    }
+
     // ------------------------------------------------------ inspection
 
     pub fn fib(&self) -> &Fib {
@@ -259,7 +284,10 @@ impl LegacyRouter {
     /// BFD state and currently negotiated detection time for a peer
     /// (experiments wait for `Up` with a fast detection time before
     /// injecting failures, as a long-running lab would be).
-    pub fn bfd_snapshot(&self, peer_ip: Ipv4Addr) -> Option<(sc_bfd::BfdState, sc_net::SimDuration)> {
+    pub fn bfd_snapshot(
+        &self,
+        peer_ip: Ipv4Addr,
+    ) -> Option<(sc_bfd::BfdState, sc_net::SimDuration)> {
         let p = self.peers.iter().find(|p| p.cfg.peer_ip == peer_ip)?;
         let bfd = p.bfd.as_ref()?;
         Some((bfd.state(), bfd.detection_time()))
@@ -282,9 +310,7 @@ impl LegacyRouter {
     // --------------------------------------------------------- helpers
 
     fn iface_for_nexthop(&self, nh: Ipv4Addr) -> Option<usize> {
-        self.interfaces
-            .iter()
-            .position(|i| i.subnet.contains(nh))
+        self.interfaces.iter().position(|i| i.subnet.contains(nh))
     }
 
     fn is_local_ip(&self, ip: Ipv4Addr) -> bool {
@@ -412,7 +438,10 @@ impl LegacyRouter {
                         }
                         self.events.push((
                             ctx.now(),
-                            RouterEvent::FeedAnnounced { peer: peer_ip, messages: n },
+                            RouterEvent::FeedAnnounced {
+                                peer: peer_ip,
+                                messages: n,
+                            },
                         ));
                     }
                 }
@@ -444,7 +473,10 @@ impl LegacyRouter {
             if let Some(change) = self.rib.withdraw(*prefix, peer_ip) {
                 if change.best_changed() {
                     ops.push(match change.new.best {
-                        Some(r) => FibOp::Set { prefix: *prefix, next_hop: r.next_hop() },
+                        Some(r) => FibOp::Set {
+                            prefix: *prefix,
+                            next_hop: r.next_hop(),
+                        },
                         None => FibOp::Remove { prefix: *prefix },
                     });
                 }
@@ -466,7 +498,10 @@ impl LegacyRouter {
                 let change = self.rib.update(route);
                 if change.best_changed() {
                     let nh = change.new.best.as_ref().unwrap().next_hop();
-                    ops.push(FibOp::Set { prefix: *prefix, next_hop: nh });
+                    ops.push(FibOp::Set {
+                        prefix: *prefix,
+                        next_hop: nh,
+                    });
                     // Glean: resolve the (possibly virtual) next-hop
                     // proactively, like the paper's router does on route
                     // reception.
@@ -495,7 +530,8 @@ impl LegacyRouter {
         }
         self.peers[idx].purged = true;
         let peer_ip = self.peers[idx].cfg.peer_ip;
-        self.events.push((ctx.now(), RouterEvent::PeerDown(peer_ip)));
+        self.events
+            .push((ctx.now(), RouterEvent::PeerDown(peer_ip)));
         let changes = self.rib.withdraw_peer(peer_ip);
         ctx.trace("bgp", || {
             format!("peer {peer_ip} down; {} prefixes affected", changes.len())
@@ -504,7 +540,10 @@ impl LegacyRouter {
             .into_iter()
             .filter(|c| c.best_changed())
             .map(|c| match c.new.best {
-                Some(r) => FibOp::Set { prefix: c.prefix, next_hop: r.next_hop() },
+                Some(r) => FibOp::Set {
+                    prefix: c.prefix,
+                    next_hop: r.next_hop(),
+                },
                 None => FibOp::Remove { prefix: c.prefix },
             })
             .collect();
@@ -638,11 +677,7 @@ impl LegacyRouter {
                 .position(|p| p.cfg.peer_ip == d.ip.src && p.bfd.is_some())
             {
                 if let Ok(pkt) = sc_bfd::BfdPacket::parse(&d.payload) {
-                    let events = self.peers[idx]
-                        .bfd
-                        .as_mut()
-                        .unwrap()
-                        .on_packet(&pkt, now);
+                    let events = self.peers[idx].bfd.as_mut().unwrap().on_packet(&pkt, now);
                     for ev in events {
                         self.on_bfd_event(idx, ev, ctx);
                     }
@@ -662,17 +697,14 @@ impl LegacyRouter {
                     }
                     ChannelEvent::Delivered(bytes) => match BgpMessage::decode(&bytes) {
                         Ok(msg) => {
-                            session_events
-                                .extend(self.peers[idx].session.on_message(msg, now));
+                            session_events.extend(self.peers[idx].session.on_message(msg, now));
                         }
                         Err(_) => {
                             self.stats.dropped_malformed += 1;
                         }
                     },
                     ChannelEvent::PeerClosed => {
-                        if let Some(ev) =
-                            self.peers[idx].session.stop(DownReason::AdminDown)
-                        {
+                        if let Some(ev) = self.peers[idx].session.stop(DownReason::AdminDown) {
                             session_events.push(ev);
                         }
                     }
@@ -695,12 +727,18 @@ impl Node for LegacyRouter {
         for iface in self.interfaces.clone() {
             self.fib.insert(
                 iface.subnet,
-                crate::fib::FibEntry { next_hop: Ipv4Addr::UNSPECIFIED },
+                crate::fib::FibEntry {
+                    next_hop: Ipv4Addr::UNSPECIFIED,
+                },
             );
         }
         for r in self.static_routes.clone() {
-            self.fib
-                .insert(r.prefix, crate::fib::FibEntry { next_hop: r.next_hop });
+            self.fib.insert(
+                r.prefix,
+                crate::fib::FibEntry {
+                    next_hop: r.next_hop,
+                },
+            );
         }
         // Kick off transports (active sides emit their SYN) and BFD.
         for idx in 0..self.peers.len() {

@@ -150,7 +150,12 @@ fn build(n_prefixes: u32, with_bfd: bool, cal: Calibration) -> Lab {
     // --- R1: edge router preferring R2 ($) over R3 ($$) ---
     {
         let r1n = world.node_mut::<LegacyRouter>(r1);
-        r1n.add_interface(Interface { port: r1_port, ip: IP_R1, mac: MAC_R1, subnet: lan() });
+        r1n.add_interface(Interface {
+            port: r1_port,
+            ip: IP_R1,
+            mac: MAC_R1,
+            subnet: lan(),
+        });
         r1n.add_peer(PeerConfig {
             local_pref: 200,
             local_port: 40000,
@@ -168,7 +173,12 @@ fn build(n_prefixes: u32, with_bfd: bool, cal: Calibration) -> Lab {
     // --- R2: provider 1, originates the feed, defaults to its sink ---
     {
         let r2n = world.node_mut::<LegacyRouter>(r2);
-        r2n.add_interface(Interface { port: r2_port, ip: IP_R2, mac: MAC_R2, subnet: lan() });
+        r2n.add_interface(Interface {
+            port: r2_port,
+            ip: IP_R2,
+            mac: MAC_R2,
+            subnet: lan(),
+        });
         r2n.add_interface(Interface {
             port: r2_sink_port,
             ip: Ipv4Addr::new(192, 168, 2, 1),
@@ -191,7 +201,12 @@ fn build(n_prefixes: u32, with_bfd: bool, cal: Calibration) -> Lab {
     // --- R3: provider 2, same feed, defaults to its sink ---
     {
         let r3n = world.node_mut::<LegacyRouter>(r3);
-        r3n.add_interface(Interface { port: r3_port, ip: IP_R3, mac: MAC_R3, subnet: lan() });
+        r3n.add_interface(Interface {
+            port: r3_port,
+            ip: IP_R3,
+            mac: MAC_R3,
+            subnet: lan(),
+        });
         r3n.add_interface(Interface {
             port: r3_sink_port,
             ip: Ipv4Addr::new(192, 168, 3, 1),
@@ -210,7 +225,16 @@ fn build(n_prefixes: u32, with_bfd: bool, cal: Calibration) -> Lab {
             ..PeerConfig::ebgp(IP_R1, MAC_R1, false)
         });
     }
-    Lab { world, r1, r2, r3, sink2, sink3, source, r2_switch_link: r2_link }
+    Lab {
+        world,
+        r1,
+        r2,
+        r3,
+        sink2,
+        sink3,
+        source,
+        r2_switch_link: r2_link,
+    }
 }
 
 fn probe(dst: Ipv4Addr, marker: u16) -> Vec<u8> {
@@ -263,7 +287,10 @@ fn data_plane_forwards_through_preferred_provider() {
     // Probe at t=10s (after convergence) toward a feed prefix.
     lab.world.node_mut::<Host>(lab.source).script = vec![
         (SimTime::from_secs(10), probe(Ipv4Addr::new(1, 0, 5, 1), 1)),
-        (SimTime::from_secs(10), probe(Ipv4Addr::new(99, 99, 99, 99), 2)), // no route
+        (
+            SimTime::from_secs(10),
+            probe(Ipv4Addr::new(99, 99, 99, 99), 2),
+        ), // no route
     ];
     lab.world.run_until(SimTime::from_secs(11));
     let sink2 = lab.world.node::<Host>(lab.sink2);
@@ -348,13 +375,17 @@ fn without_bfd_detection_waits_for_hold_timer() {
     {
         let r1 = lab.world.node::<LegacyRouter>(lab.r1);
         assert!(
-            r1.events
-                .iter()
-                .all(|(_, e)| !matches!(e, sc_router::node::RouterEvent::PeerDown(ip) if *ip == IP_R2)),
+            r1.events.iter().all(
+                |(_, e)| !matches!(e, sc_router::node::RouterEvent::PeerDown(ip) if *ip == IP_R2)
+            ),
             "no BFD: peer still considered up before hold expiry"
         );
         let first: Ipv4Prefix = "1.0.0.0/24".parse().unwrap();
-        assert_eq!(r1.fib().get(first).unwrap().next_hop, IP_R2, "traffic still blackholed");
+        assert_eq!(
+            r1.fib().get(first).unwrap().next_hop,
+            IP_R2,
+            "traffic still blackholed"
+        );
     }
     lab.world.run_until(SimTime::from_secs(140));
     let r1 = lab.world.node::<LegacyRouter>(lab.r1);
@@ -381,7 +412,12 @@ fn provider_failure_data_plane_blackhole_then_recovery() {
     let mut lab = build(200, true, Calibration::nexus7k());
     let dst = Ipv4Addr::new(1, 0, 10, 1); // prefix #10 of the feed
     let script: Vec<(SimTime, Vec<u8>)> = (0..200u64)
-        .map(|i| (SimTime::from_secs(9) + SimDuration::from_millis(i * 10), probe(dst, 7)))
+        .map(|i| {
+            (
+                SimTime::from_secs(9) + SimDuration::from_millis(i * 10),
+                probe(dst, 7),
+            )
+        })
         .collect();
     lab.world.node_mut::<Host>(lab.source).script = script;
     let link = lab.r2_switch_link;
@@ -393,7 +429,10 @@ fn provider_failure_data_plane_blackhole_then_recovery() {
     let sink3 = lab.world.node::<Host>(lab.sink3);
     assert!(!sink2.received.is_empty(), "pre-failure probes via R2");
     assert!(
-        sink2.received.iter().all(|(t, _)| *t <= SimTime::from_secs(10)),
+        sink2
+            .received
+            .iter()
+            .all(|(t, _)| *t <= SimTime::from_secs(10)),
         "nothing reaches R2's sink after the cut"
     );
     assert!(!sink3.received.is_empty(), "post-recovery probes via R3");

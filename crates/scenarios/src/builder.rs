@@ -1,0 +1,762 @@
+//! Wire a [`Blueprint`] into a runnable [`sc_sim::World`].
+//!
+//! The generic build generalizes `sc_lab::topology::ConvergenceLab`
+//! from (R1 + two providers) to (R1 + M ranked providers + a shared
+//! forwarder fabric). The Fig. 4 topology itself keeps delegating to
+//! `ConvergenceLab`, so the paper reproduction is bit-for-bit
+//! unchanged; everything else is wired here.
+//!
+//! Addressing plan (extends the lab's):
+//!
+//! | node            | IP                | MAC               |
+//! |-----------------|-------------------|-------------------|
+//! | R1              | 10.0.0.1          | 02:10:…:01        |
+//! | provider i      | 10.0.0.(30+i)     | 02:40:…:(i+1)     |
+//! | controller c    | 10.0.0.(10+c)     | 02:cc:…:(c+1)     |
+//! | switch (mgmt)   | 10.0.0.20         | 02:ee:…:01        |
+//! | source          | 10.0.0.100        | 02:aa:…:01        |
+//! | path edge k     | 10.(40+k).0.0/24  | 02:60:00:00:k:side|
+//! | ring closer     | 10.39.0.0/24      | 02:60:00:00:ff:side|
+//! | sink (any edge) | x.x.x.100         | 02:bb:…:01        |
+
+use crate::topo::{Blueprint, TopologySpec};
+use sc_bfd::BfdConfig;
+use sc_bgp::msg::UpdateMsg;
+use sc_lab::topology::{
+    controller_ip, controller_mac, ConvergenceLab, LabConfig, IP_R2, IP_R3, IP_SOURCE, IP_SWITCH,
+    MAC_R1, MAC_SINK, MAC_SOURCE, MAC_SWITCH,
+};
+use sc_lab::Mode;
+use sc_net::{Ipv4Addr, Ipv4Prefix, MacAddr, SimDuration, SimTime};
+use sc_openflow::{OfSwitch, SwitchConfig, TableMiss};
+use sc_routegen::{generate_feed_for, prefix_universe, sample_flow_ips, FeedConfig};
+use sc_router::{Calibration, Interface, LegacyRouter, PeerConfig, RouterConfig, StaticRoute};
+use sc_sim::{LinkId, LinkParams, NodeId, PortId, TimerToken, World};
+use sc_traffic::{SinkConfig, SourceConfig, TrafficSink, TrafficSource};
+use supercharger::engine::PeerSpec;
+use supercharger::{Controller, ControllerConfig, PeerLink, RouterLink, SwitchLink};
+
+pub const IP_R1: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+
+/// Scenario-wide knobs shared by every topology (the generalization of
+/// `LabConfig` minus the Fig. 4 specifics).
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Number of prefixes every provider advertises.
+    pub prefixes: u32,
+    /// Number of monitored flows.
+    pub flows: usize,
+    /// Seed for feeds, flow sampling, and all simulation randomness.
+    pub seed: u64,
+    /// Probe rate per flow; `None` auto-scales (see
+    /// [`crate::runner::suggested_rate`]).
+    pub rate_pps: Option<u64>,
+    /// R1's hardware model.
+    pub cal: Calibration,
+    /// Run BFD on the primary provider's sessions.
+    pub bfd: bool,
+    pub bfd_interval: SimDuration,
+    /// Controller replicas (supercharged mode).
+    pub controllers: usize,
+    /// Controller compute/REST latency before FLOW_MODs leave.
+    pub reaction_delay: SimDuration,
+    /// Frame-loss probability on controller↔switch links.
+    pub control_loss: f64,
+    /// Keep a bounded event trace.
+    pub trace: bool,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> ScenarioConfig {
+        ScenarioConfig {
+            prefixes: 1_000,
+            flows: 50,
+            seed: 42,
+            rate_pps: None,
+            cal: Calibration::nexus7k(),
+            bfd: true,
+            bfd_interval: SimDuration::from_millis(30),
+            controllers: 1,
+            reaction_delay: SimDuration::from_millis(3),
+            control_loss: 0.0,
+            trace: false,
+        }
+    }
+}
+
+/// A wired, ready-to-run scenario world with every name an event
+/// script can target resolved to concrete simulator ids.
+pub struct BuiltScenario {
+    pub world: World,
+    pub cfg: ScenarioConfig,
+    pub mode: Mode,
+    pub blueprint: Blueprint,
+    pub switch: NodeId,
+    pub r1: NodeId,
+    pub providers: Vec<NodeId>,
+    pub provider_ips: Vec<Ipv4Addr>,
+    pub forwarders: Vec<NodeId>,
+    pub controllers: Vec<NodeId>,
+    pub source: NodeId,
+    pub sink: NodeId,
+    /// Provider i ↔ switch (the "pull the cable" target).
+    pub provider_switch_links: Vec<LinkId>,
+    /// Provider i's first delivery edge (toward its entry forwarder or
+    /// the sink).
+    pub provider_path_links: Vec<LinkId>,
+    /// Forwarder j's uplink toward the sink (empty for Fig. 4).
+    pub forwarder_up_links: Vec<LinkId>,
+    /// The routeless arc closing a ring, if the topology has one.
+    pub ring_closer_link: Option<LinkId>,
+    pub flow_ips: Vec<Ipv4Addr>,
+    pub universe: Vec<Ipv4Prefix>,
+    /// Each provider's originated feed (event scripts re-announce from
+    /// it during churn bursts).
+    pub feeds: Vec<Vec<UpdateMsg>>,
+    /// Index of the primary (highest-preference) provider.
+    pub primary: usize,
+}
+
+/// Build the world for one (topology, mode) pair.
+pub fn build_scenario(topo: &TopologySpec, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenario {
+    match topo {
+        TopologySpec::Fig4Lab => build_fig4(mode, cfg),
+        other => build_generic(other.blueprint(), mode, cfg),
+    }
+}
+
+/// The Fig. 4 lab, by delegation to [`ConvergenceLab`] (backward
+/// compatibility: the paper reproduction keeps its exact wiring).
+fn build_fig4(mode: Mode, cfg: &ScenarioConfig) -> BuiltScenario {
+    assert!(
+        mode != Mode::Supercharged || cfg.controllers >= 1,
+        "supercharged mode needs at least one controller"
+    );
+    let lab = ConvergenceLab::build(LabConfig {
+        mode,
+        prefixes: cfg.prefixes,
+        flows: cfg.flows,
+        seed: cfg.seed,
+        rate_pps: cfg.rate_pps,
+        cal: cfg.cal,
+        bfd: cfg.bfd,
+        bfd_interval: cfg.bfd_interval,
+        controllers: if mode == Mode::Supercharged {
+            cfg.controllers
+        } else {
+            1
+        },
+        reaction_delay: cfg.reaction_delay,
+        portstatus_failover: false,
+        control_loss: cfg.control_loss,
+        trace: cfg.trace,
+    });
+    BuiltScenario {
+        cfg: cfg.clone(),
+        mode,
+        blueprint: TopologySpec::Fig4Lab.blueprint(),
+        switch: lab.switch,
+        r1: lab.r1,
+        providers: vec![lab.r2, lab.r3],
+        provider_ips: vec![IP_R2, IP_R3],
+        forwarders: Vec::new(),
+        controllers: lab.controllers,
+        source: lab.source,
+        sink: lab.sink,
+        provider_switch_links: vec![lab.r2_link, lab.r3_link],
+        provider_path_links: lab.sink_links.to_vec(),
+        forwarder_up_links: Vec::new(),
+        ring_closer_link: None,
+        flow_ips: lab.flow_ips,
+        universe: lab.universe,
+        feeds: lab.feeds.to_vec(),
+        primary: 0,
+        world: lab.world,
+    }
+}
+
+pub fn provider_ip(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, 30 + i as u8)
+}
+
+pub fn provider_mac(i: usize) -> MacAddr {
+    MacAddr([0x02, 0x40, 0, 0, 0, i as u8 + 1])
+}
+
+fn provider_asn(i: usize) -> u16 {
+    65100 + i as u16
+}
+
+fn edge_mac(k: usize, side: u8) -> MacAddr {
+    MacAddr([0x02, 0x60, 0, 0, k as u8, side])
+}
+
+fn lan() -> Ipv4Prefix {
+    "10.0.0.0/16".parse().unwrap()
+}
+
+fn vnh_pool() -> Ipv4Prefix {
+    "10.0.200.0/24".parse().unwrap()
+}
+
+/// One allocated delivery edge: `a`'s uplink interface plus the next
+/// hop it routes toward.
+struct EdgePlan {
+    subnet: Ipv4Prefix,
+    a_ip: Ipv4Addr,
+    b_ip: Ipv4Addr,
+}
+
+fn edge_plan(k: usize) -> EdgePlan {
+    assert!(k < 200, "delivery fabric exceeds the addressing plan");
+    let base = Ipv4Addr::new(10, 40 + k as u8, 0, 0);
+    EdgePlan {
+        subnet: Ipv4Prefix::new(base, 24),
+        a_ip: Ipv4Addr::new(10, 40 + k as u8, 0, 1),
+        b_ip: Ipv4Addr::new(10, 40 + k as u8, 0, 2),
+    }
+}
+
+fn build_generic(bp: Blueprint, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenario {
+    let m = bp.providers.len();
+    assert!((2..=16).contains(&m), "2..=16 providers supported, got {m}");
+    assert!(
+        mode != Mode::Supercharged || cfg.controllers >= 1,
+        "supercharged mode needs at least one controller"
+    );
+    assert!(cfg.flows >= 1 && cfg.prefixes >= 1);
+    let universe = prefix_universe(cfg.prefixes, cfg.seed);
+    let flow_ips = sample_flow_ips(&universe, cfg.flows, cfg.seed);
+    let primary = bp.primary();
+
+    let mut world = World::new(cfg.seed);
+    if cfg.trace {
+        world.enable_trace(100_000);
+    }
+    let lanp = LinkParams::gigabit(SimDuration::from_micros(10));
+
+    // --- nodes ---
+    let switch = world.add_node(OfSwitch::new(SwitchConfig {
+        table_miss: TableMiss::L2Learn,
+        ..SwitchConfig::paper_defaults("scenario-switch")
+    }));
+    let r1 = world.add_node(LegacyRouter::new(RouterConfig {
+        name: "r1".into(),
+        asn: 65001,
+        router_id: Ipv4Addr::new(1, 1, 1, 1),
+        cal: cfg.cal,
+    }));
+    let providers: Vec<NodeId> = (0..m)
+        .map(|i| {
+            world.add_node(LegacyRouter::new(RouterConfig {
+                name: format!("provider-{i}"),
+                asn: provider_asn(i),
+                router_id: provider_ip(i),
+                cal: Calibration::instant(),
+            }))
+        })
+        .collect();
+    let forwarders: Vec<NodeId> = (0..bp.forwarders.len())
+        .map(|j| {
+            world.add_node(LegacyRouter::new(RouterConfig {
+                name: format!("forwarder-{j}"),
+                asn: 64512,
+                router_id: Ipv4Addr::new(9, 9, 9, j as u8 + 1),
+                cal: Calibration::instant(),
+            }))
+        })
+        .collect();
+    let source = world.add_node(TrafficSource::new(
+        SourceConfig::paper(
+            "fpga-source",
+            MAC_SOURCE,
+            IP_SOURCE,
+            MAC_R1,
+            flow_ips.clone(),
+            SimTime::MAX - SimDuration::from_secs(1), // re-windowed later
+            SimTime::MAX,
+        ),
+        PortId(0),
+    ));
+    let sink = world.add_node(TrafficSink::new(SinkConfig::paper(
+        "fpga-sink",
+        flow_ips.clone(),
+    )));
+
+    // --- LAN wiring (order fixes each node's PortId(0)) ---
+    let (_, sw_port_r1, _) = world.connect(switch, r1, lanp);
+    let mut provider_switch_links = Vec::new();
+    let mut sw_port_p = Vec::new();
+    for (i, spec) in bp.providers.iter().enumerate() {
+        let (l, swp, _) =
+            world.connect(switch, providers[i], LinkParams::gigabit(spec.lan_latency));
+        provider_switch_links.push(l);
+        sw_port_p.push(swp);
+    }
+    let (_, sw_port_src, _) = world.connect(switch, source, lanp);
+
+    // --- delivery fabric ---
+    // Interface/route configuration is collected first and applied after
+    // all links exist (connect() hands out the port ids).
+    struct RouterSetup {
+        node: NodeId,
+        iface: Interface,
+        arp: (Ipv4Addr, MacAddr),
+        default_route: Option<Ipv4Addr>,
+    }
+    let mut setups: Vec<RouterSetup> = Vec::new();
+    let mut edge_count = 0usize;
+
+    // Wire `a`'s uplink to `b` (a forwarder or the sink); returns the
+    // link so scripts can target it.
+    let wire_edge = |world: &mut World,
+                     setups: &mut Vec<RouterSetup>,
+                     edge_count: &mut usize,
+                     a: NodeId,
+                     b: Option<NodeId>, // None = sink
+                     latency: SimDuration|
+     -> LinkId {
+        let k = *edge_count;
+        *edge_count += 1;
+        let plan = edge_plan(k);
+        let peer = b.unwrap_or(sink);
+        let (link, pa, pb) = world.connect(a, peer, LinkParams::gigabit(latency));
+        match b {
+            Some(fwd) => {
+                setups.push(RouterSetup {
+                    node: a,
+                    iface: Interface {
+                        port: pa,
+                        ip: plan.a_ip,
+                        mac: edge_mac(k, 1),
+                        subnet: plan.subnet,
+                    },
+                    arp: (plan.b_ip, edge_mac(k, 2)),
+                    default_route: Some(plan.b_ip),
+                });
+                setups.push(RouterSetup {
+                    node: fwd,
+                    iface: Interface {
+                        port: pb,
+                        ip: plan.b_ip,
+                        mac: edge_mac(k, 2),
+                        subnet: plan.subnet,
+                    },
+                    arp: (plan.a_ip, edge_mac(k, 1)),
+                    default_route: None,
+                });
+            }
+            None => {
+                let sink_ip = Ipv4Addr::new(10, 40 + k as u8, 0, 100);
+                setups.push(RouterSetup {
+                    node: a,
+                    iface: Interface {
+                        port: pa,
+                        ip: plan.a_ip,
+                        mac: edge_mac(k, 1),
+                        subnet: plan.subnet,
+                    },
+                    arp: (sink_ip, MAC_SINK),
+                    default_route: Some(sink_ip),
+                });
+            }
+        }
+        link
+    };
+
+    // Forwarder uplinks first (a forwarder's uplink is its PortId(0)).
+    let mut forwarder_up_links = Vec::new();
+    for (j, f) in bp.forwarders.iter().enumerate() {
+        let next = f.next.map(|n| forwarders[n]);
+        forwarder_up_links.push(wire_edge(
+            &mut world,
+            &mut setups,
+            &mut edge_count,
+            forwarders[j],
+            next,
+            f.latency,
+        ));
+    }
+    // Provider delivery edges.
+    let mut provider_path_links = Vec::new();
+    for (i, spec) in bp.providers.iter().enumerate() {
+        let entry = spec.entry.map(|e| forwarders[e]);
+        provider_path_links.push(wire_edge(
+            &mut world,
+            &mut setups,
+            &mut edge_count,
+            providers[i],
+            entry,
+            SimDuration::from_micros(50),
+        ));
+    }
+    // The routeless ring-closing arc.
+    let ring_closer_link = bp.ring_closer.map(|(a, b)| {
+        let subnet: Ipv4Prefix = "10.39.0.0/24".parse().unwrap();
+        let (link, pa, pb) = world.connect(
+            forwarders[a],
+            forwarders[b],
+            LinkParams::gigabit(SimDuration::from_micros(100)),
+        );
+        let (ip_a, ip_b) = (Ipv4Addr::new(10, 39, 0, 1), Ipv4Addr::new(10, 39, 0, 2));
+        setups.push(RouterSetup {
+            node: forwarders[a],
+            iface: Interface {
+                port: pa,
+                ip: ip_a,
+                mac: edge_mac(0xff, 1),
+                subnet,
+            },
+            arp: (ip_b, edge_mac(0xff, 2)),
+            default_route: None,
+        });
+        setups.push(RouterSetup {
+            node: forwarders[b],
+            iface: Interface {
+                port: pb,
+                ip: ip_b,
+                mac: edge_mac(0xff, 2),
+                subnet,
+            },
+            arp: (ip_a, edge_mac(0xff, 1)),
+            default_route: None,
+        });
+        link
+    });
+
+    // --- controllers (supercharged only) ---
+    let peer_specs: Vec<PeerSpec> = (0..m)
+        .map(|i| PeerSpec {
+            id: provider_ip(i),
+            mac: provider_mac(i),
+            switch_port: sw_port_p[i].0 as u16,
+            local_pref: bp.providers[i].local_pref,
+            router_id: provider_ip(i),
+        })
+        .collect();
+    let controllers_n = if mode == Mode::Supercharged {
+        cfg.controllers
+    } else {
+        0
+    };
+    let mut controllers = Vec::new();
+    let mut sw_ctrl_ports = Vec::new();
+    for ci in 0..controllers_n {
+        let ctrl_cfg = ControllerConfig {
+            name: format!("supercharger-{ci}"),
+            asn: 65000,
+            router_id: Ipv4Addr::new(99, 99, 99, ci as u8 + 1),
+            ip: controller_ip(ci),
+            mac: controller_mac(ci),
+            engine: supercharger::EngineConfig::new(vnh_pool(), peer_specs.clone()),
+            router: RouterLink {
+                router_ip: IP_R1,
+                router_mac: MAC_R1,
+                local_port: 179,
+                remote_port: (40000 + ci) as u16,
+                hold_time: SimDuration::from_secs(90),
+            },
+            peers: (0..m)
+                .map(|i| PeerLink {
+                    spec: peer_specs[i],
+                    local_port: (41000 + ci * 100 + i) as u16,
+                    remote_port: 179,
+                    hold_time: SimDuration::from_secs(90),
+                    bfd: (cfg.bfd && i == primary).then(|| BfdConfig {
+                        local_discr: (100 + ci * 10) as u32,
+                        desired_min_tx: cfg.bfd_interval,
+                        required_min_rx: cfg.bfd_interval,
+                        detect_mult: 3,
+                    }),
+                })
+                .collect(),
+            switch: SwitchLink {
+                switch_ip: IP_SWITCH,
+                switch_mac: MAC_SWITCH,
+                local_port: (45000 + ci) as u16,
+            },
+            reaction_delay: cfg.reaction_delay,
+            rule_grace: SimDuration::from_secs(600),
+            portstatus_failover: false,
+        };
+        let ctrl = world.add_node(Controller::new(ctrl_cfg, PortId(0)));
+        let ctrl_link = LinkParams {
+            loss: cfg.control_loss,
+            ..lanp
+        };
+        let (_, sw_port_ctrl, _) = world.connect(switch, ctrl, ctrl_link);
+        sw_ctrl_ports.push(sw_port_ctrl);
+        controllers.push(ctrl);
+    }
+
+    // --- switch port registration + control channels ---
+    {
+        let sw = world.node_mut::<OfSwitch>(switch);
+        sw.register_data_port(sw_port_r1);
+        for p in &sw_port_p {
+            sw.register_data_port(*p);
+        }
+        sw.register_data_port(sw_port_src);
+        for (ci, p) in sw_ctrl_ports.iter().enumerate() {
+            sw.register_data_port(*p);
+            sw.attach_controller(sc_sim::ChannelPort::listen(
+                sc_net::channel::ChannelConfig::default(),
+                sc_net::wire::UdpEndpoints {
+                    src_mac: MAC_SWITCH,
+                    dst_mac: controller_mac(ci),
+                    src_ip: IP_SWITCH,
+                    dst_ip: controller_ip(ci),
+                    src_port: sc_net::wire::udp::port::OPENFLOW,
+                    dst_port: (45000 + ci) as u16,
+                },
+                *p,
+                TimerToken(0), // reassigned by attach_controller
+            ));
+        }
+    }
+
+    // --- R1 ---
+    {
+        let r1n = world.node_mut::<LegacyRouter>(r1);
+        r1n.add_interface(Interface {
+            port: PortId(0),
+            ip: IP_R1,
+            mac: MAC_R1,
+            subnet: lan(),
+        });
+        match mode {
+            Mode::Stock => {
+                for (i, spec) in bp.providers.iter().enumerate() {
+                    r1n.add_peer(PeerConfig {
+                        local_pref: spec.local_pref,
+                        local_port: (40000 + i) as u16,
+                        remote_port: 179,
+                        bfd: (cfg.bfd && i == primary).then(|| BfdConfig {
+                            local_discr: 12,
+                            desired_min_tx: cfg.bfd_interval,
+                            required_min_rx: cfg.bfd_interval,
+                            detect_mult: 3,
+                        }),
+                        ..PeerConfig::ebgp(provider_ip(i), provider_mac(i), true)
+                    });
+                }
+            }
+            Mode::Supercharged => {
+                for ci in 0..controllers_n {
+                    r1n.add_peer(PeerConfig {
+                        local_port: (40000 + ci) as u16,
+                        remote_port: 179,
+                        ..PeerConfig::ebgp(controller_ip(ci), controller_mac(ci), true)
+                    });
+                }
+            }
+        }
+    }
+
+    // --- providers: LAN interface, feed, BGP sessions ---
+    let feeds: Vec<Vec<UpdateMsg>> = (0..m)
+        .map(|i| {
+            generate_feed_for(
+                &FeedConfig::new(cfg.prefixes, cfg.seed, provider_ip(i), provider_asn(i)),
+                &universe,
+            )
+        })
+        .collect();
+    for i in 0..m {
+        let rn = world.node_mut::<LegacyRouter>(providers[i]);
+        rn.add_interface(Interface {
+            port: PortId(0),
+            ip: provider_ip(i),
+            mac: provider_mac(i),
+            subnet: lan(),
+        });
+        let bfd_for = |ci: usize| {
+            (cfg.bfd && i == primary).then(|| BfdConfig {
+                local_discr: (20 + i * 10 + ci) as u32,
+                desired_min_tx: cfg.bfd_interval,
+                required_min_rx: cfg.bfd_interval,
+                detect_mult: 3,
+            })
+        };
+        match mode {
+            Mode::Stock => {
+                rn.add_peer(PeerConfig {
+                    local_port: 179,
+                    remote_port: (40000 + i) as u16,
+                    bfd: bfd_for(0),
+                    originate: feeds[i].clone(),
+                    ..PeerConfig::ebgp(IP_R1, MAC_R1, false)
+                });
+            }
+            Mode::Supercharged => {
+                for ci in 0..controllers_n {
+                    rn.add_peer(PeerConfig {
+                        local_port: 179,
+                        remote_port: (41000 + ci * 100 + i) as u16,
+                        bfd: bfd_for(ci),
+                        originate: feeds[i].clone(),
+                        ..PeerConfig::ebgp(controller_ip(ci), controller_mac(ci), false)
+                    });
+                }
+            }
+        }
+    }
+
+    // --- delivery-fabric interfaces, ARP and static routes ---
+    for s in setups {
+        let rn = world.node_mut::<LegacyRouter>(s.node);
+        rn.add_interface(s.iface);
+        rn.add_static_arp(s.arp.0, s.arp.1);
+        if let Some(nh) = s.default_route {
+            rn.add_static_route(StaticRoute {
+                prefix: Ipv4Prefix::DEFAULT,
+                next_hop: nh,
+            });
+        }
+    }
+
+    BuiltScenario {
+        world,
+        cfg: cfg.clone(),
+        mode,
+        blueprint: bp,
+        switch,
+        r1,
+        providers,
+        provider_ips: (0..m).map(provider_ip).collect(),
+        forwarders,
+        controllers,
+        source,
+        sink,
+        provider_switch_links,
+        provider_path_links,
+        forwarder_up_links,
+        ring_closer_link,
+        flow_ips,
+        universe,
+        feeds,
+        primary,
+    }
+}
+
+impl BuiltScenario {
+    /// The primary provider's LAN address.
+    pub fn primary_ip(&self) -> Ipv4Addr {
+        self.provider_ips[self.primary]
+    }
+
+    /// Run until R1's control plane has fully converged (all feed
+    /// prefixes installed, walker quiescent, BFD fast). Returns the
+    /// instant of quiescence; panics if convergence takes implausibly
+    /// long. Mirrors `ConvergenceLab::run_until_converged`, generalized
+    /// to M providers.
+    pub fn run_until_converged(&mut self) -> SimTime {
+        let budget = SimDuration::from_secs(60)
+            + self.cfg.cal.fib_entry_update * (self.cfg.prefixes as u64 * 3);
+        let deadline = self.world.now() + budget;
+        loop {
+            self.world.run_for(SimDuration::from_millis(500));
+            let installed = {
+                let r1 = self.world.node::<LegacyRouter>(self.r1);
+                r1.fib().len() >= self.cfg.prefixes as usize && r1.is_quiescent()
+            };
+            if installed && self.bfd_ready() {
+                // One settle round for in-flight control traffic.
+                self.world.run_for(SimDuration::from_millis(500));
+                let r1 = self.world.node::<LegacyRouter>(self.r1);
+                if r1.fib().len() >= self.cfg.prefixes as usize
+                    && r1.is_quiescent()
+                    && self.bfd_ready()
+                {
+                    return self.world.now();
+                }
+            }
+            assert!(
+                self.world.now() < deadline,
+                "control plane failed to converge within {budget} ({} of {} prefixes installed)",
+                self.world.node::<LegacyRouter>(self.r1).fib().len(),
+                self.cfg.prefixes
+            );
+        }
+    }
+
+    /// All configured BFD sessions Up with the fast negotiated
+    /// detection time.
+    pub fn bfd_ready(&self) -> bool {
+        if !self.cfg.bfd {
+            return true;
+        }
+        let fast = self.cfg.bfd_interval * 4; // detect_mult(3) + margin
+        let primary_ip = self.primary_ip();
+        match self.mode {
+            Mode::Stock => {
+                match self
+                    .world
+                    .node::<LegacyRouter>(self.r1)
+                    .bfd_snapshot(primary_ip)
+                {
+                    Some((sc_bfd::BfdState::Up, det)) => det <= fast,
+                    _ => false,
+                }
+            }
+            Mode::Supercharged => self.controllers.iter().all(|&c| {
+                match self.world.node::<Controller>(c).bfd_snapshot(primary_ip) {
+                    Some((sc_bfd::BfdState::Up, det)) => det <= fast,
+                    _ => false,
+                }
+            }),
+        }
+    }
+
+    /// When the primary's failure was detected (first PeerDown at the
+    /// converging party after `after`), if observed.
+    pub fn detected_at(&self, after: SimTime) -> Option<SimTime> {
+        let primary_ip = self.primary_ip();
+        match self.mode {
+            Mode::Stock => self
+                .world
+                .node::<LegacyRouter>(self.r1)
+                .events
+                .iter()
+                .find_map(|(t, e)| match e {
+                    sc_router::node::RouterEvent::PeerDown(ip)
+                        if *ip == primary_ip && *t >= after =>
+                    {
+                        Some(*t)
+                    }
+                    _ => None,
+                }),
+            Mode::Supercharged => self
+                .world
+                .node::<Controller>(self.controllers[0])
+                .events
+                .iter()
+                .find_map(|(t, e)| match e {
+                    supercharger::controller::ControllerEvent::PeerDown(ip)
+                        if *ip == primary_ip && *t >= after =>
+                    {
+                        Some(*t)
+                    }
+                    _ => None,
+                }),
+        }
+    }
+
+    /// Flow rewrites issued by the controller (supercharged only).
+    pub fn flow_rewrites(&self) -> Option<usize> {
+        match self.mode {
+            Mode::Stock => None,
+            Mode::Supercharged => self
+                .world
+                .node::<Controller>(self.controllers[0])
+                .events
+                .iter()
+                .find_map(|(_, e)| match e {
+                    supercharger::controller::ControllerEvent::FailoverIssued {
+                        rewrites, ..
+                    } => Some(*rewrites),
+                    _ => None,
+                }),
+        }
+    }
+}

@@ -1,0 +1,785 @@
+//! Typed, serializable failure scripts.
+//!
+//! A script is a schedule of [`ScenarioEvent`]s at offsets relative to
+//! the script origin `t0` (the instant the measurement window opens).
+//! [`EventScript::apply`] compiles the schedule down to
+//! [`sc_sim::World`] failure injections — this replaces the single
+//! "cut R2 at `t_fail`" baked into `run_convergence_trial`.
+//!
+//! Scripts serialize to a line-oriented text form (`Display` /
+//! `FromStr`) so suites can be described in files and reports can
+//! embed the exact schedule they ran:
+//!
+//! ```text
+//! script primary-flap
+//! link_flap provider_switch:primary @0us period=250000us cycles=3
+//! ```
+//!
+//! Semantics note: the BGP model (like the paper's lab) never
+//! re-announces a feed over a session that survived a carrier flap, so
+//! a flapped primary stays failed-over once BFD fires; flap scripts
+//! therefore measure the initial failover plus the engine's immunity to
+//! subsequent flaps of an already-bypassed link. Route restoration is
+//! exercised by [`ScenarioEvent::ChurnBurst`], which withdraws and
+//! re-announces over the live session.
+
+use crate::builder::BuiltScenario;
+use sc_bgp::msg::UpdateMsg;
+use sc_net::{Ipv4Prefix, SimDuration, SimTime};
+use sc_router::LegacyRouter;
+use sc_sim::{LinkId, NodeId};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which provider an event targets, resolved against the topology's
+/// preference ranking at apply time (scripts stay topology-portable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProviderSel {
+    /// The highest-preference provider.
+    Primary,
+    /// The provider ranked `n` by preference (0 = primary).
+    Rank(usize),
+    /// A literal provider index.
+    Index(usize),
+}
+
+impl fmt::Display for ProviderSel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProviderSel::Primary => write!(f, "primary"),
+            ProviderSel::Rank(n) => write!(f, "rank:{n}"),
+            ProviderSel::Index(n) => write!(f, "index:{n}"),
+        }
+    }
+}
+
+impl FromStr for ProviderSel {
+    type Err = String;
+    fn from_str(s: &str) -> Result<ProviderSel, String> {
+        if s == "primary" {
+            return Ok(ProviderSel::Primary);
+        }
+        if let Some(n) = s.strip_prefix("rank:") {
+            return Ok(ProviderSel::Rank(n.parse().map_err(|e| format!("{e}"))?));
+        }
+        if let Some(n) = s.strip_prefix("index:") {
+            return Ok(ProviderSel::Index(n.parse().map_err(|e| format!("{e}"))?));
+        }
+        Err(format!("bad provider selector {s:?}"))
+    }
+}
+
+/// A cuttable link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkRef {
+    /// Provider ↔ switch (the paper's "pull the cable").
+    ProviderSwitch(ProviderSel),
+    /// A provider's first delivery edge toward the sink.
+    ProviderPath(ProviderSel),
+    /// Forwarder j's uplink toward the sink.
+    ForwarderUplink(usize),
+    /// The routeless arc closing a ring (cutting it must be harmless —
+    /// the null-test).
+    RingCloser,
+}
+
+impl fmt::Display for LinkRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkRef::ProviderSwitch(p) => write!(f, "provider_switch:{p}"),
+            LinkRef::ProviderPath(p) => write!(f, "provider_path:{p}"),
+            LinkRef::ForwarderUplink(j) => write!(f, "forwarder_uplink:{j}"),
+            LinkRef::RingCloser => write!(f, "ring_closer"),
+        }
+    }
+}
+
+impl FromStr for LinkRef {
+    type Err = String;
+    fn from_str(s: &str) -> Result<LinkRef, String> {
+        if s == "ring_closer" {
+            return Ok(LinkRef::RingCloser);
+        }
+        if let Some(rest) = s.strip_prefix("provider_switch:") {
+            return Ok(LinkRef::ProviderSwitch(rest.parse()?));
+        }
+        if let Some(rest) = s.strip_prefix("provider_path:") {
+            return Ok(LinkRef::ProviderPath(rest.parse()?));
+        }
+        if let Some(rest) = s.strip_prefix("forwarder_uplink:") {
+            return Ok(LinkRef::ForwarderUplink(
+                rest.parse().map_err(|e| format!("{e}"))?,
+            ));
+        }
+        Err(format!("bad link ref {s:?}"))
+    }
+}
+
+/// A crashable node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeRef {
+    Provider(ProviderSel),
+    Forwarder(usize),
+    Controller(usize),
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeRef::Provider(p) => write!(f, "provider:{p}"),
+            NodeRef::Forwarder(j) => write!(f, "forwarder:{j}"),
+            NodeRef::Controller(c) => write!(f, "controller:{c}"),
+        }
+    }
+}
+
+impl FromStr for NodeRef {
+    type Err = String;
+    fn from_str(s: &str) -> Result<NodeRef, String> {
+        if let Some(rest) = s.strip_prefix("provider:") {
+            return Ok(NodeRef::Provider(rest.parse()?));
+        }
+        if let Some(rest) = s.strip_prefix("forwarder:") {
+            return Ok(NodeRef::Forwarder(
+                rest.parse().map_err(|e| format!("{e}"))?,
+            ));
+        }
+        if let Some(rest) = s.strip_prefix("controller:") {
+            return Ok(NodeRef::Controller(
+                rest.parse().map_err(|e| format!("{e}"))?,
+            ));
+        }
+        Err(format!("bad node ref {s:?}"))
+    }
+}
+
+/// One scheduled event; all offsets are relative to the script origin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScenarioEvent {
+    LinkDown {
+        link: LinkRef,
+        at: SimDuration,
+    },
+    LinkUp {
+        link: LinkRef,
+        at: SimDuration,
+    },
+    /// `cycles` × (down, then up half a period later).
+    LinkFlap {
+        link: LinkRef,
+        at: SimDuration,
+        period: SimDuration,
+        cycles: u32,
+    },
+    NodeCrash {
+        node: NodeRef,
+        at: SimDuration,
+    },
+    /// Carrier outage of `outage` on the provider's switch link — the
+    /// operational shape of a BGP session reset.
+    SessionReset {
+        provider: ProviderSel,
+        at: SimDuration,
+        outage: SimDuration,
+    },
+    /// The provider withdraws its first `count` prefixes.
+    WithdrawBurst {
+        provider: ProviderSel,
+        at: SimDuration,
+        count: u32,
+    },
+    /// `cycles` × (withdraw first `count` prefixes, re-announce half a
+    /// period later) — sustained route churn over a live session.
+    ChurnBurst {
+        provider: ProviderSel,
+        at: SimDuration,
+        count: u32,
+        cycles: u32,
+        period: SimDuration,
+    },
+}
+
+impl ScenarioEvent {
+    /// The last instant this event touches the world.
+    pub fn end(&self) -> SimDuration {
+        match *self {
+            ScenarioEvent::LinkDown { at, .. }
+            | ScenarioEvent::LinkUp { at, .. }
+            | ScenarioEvent::NodeCrash { at, .. }
+            | ScenarioEvent::WithdrawBurst { at, .. } => at,
+            ScenarioEvent::LinkFlap {
+                at, period, cycles, ..
+            } => at + period * cycles.saturating_sub(1) as u64 + period / 2,
+            ScenarioEvent::SessionReset { at, outage, .. } => at + outage,
+            ScenarioEvent::ChurnBurst {
+                at, period, cycles, ..
+            } => at + period * cycles.saturating_sub(1) as u64 + period / 2,
+        }
+    }
+}
+
+fn fmt_dur(d: SimDuration) -> String {
+    // Lossless: whole microseconds render as `us` for readability,
+    // anything finer falls back to `ns` so Display/FromStr round-trips
+    // exactly.
+    if d.as_nanos() % 1_000 == 0 {
+        format!("{}us", d.as_nanos() / 1_000)
+    } else {
+        format!("{}ns", d.as_nanos())
+    }
+}
+
+fn parse_dur(s: &str) -> Result<SimDuration, String> {
+    let (num, mul) = if let Some(n) = s.strip_suffix("us") {
+        (n, 1_000u64)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1_000_000)
+    } else if let Some(n) = s.strip_suffix("ns") {
+        (n, 1)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000_000_000)
+    } else {
+        return Err(format!("duration {s:?} needs a ns/us/ms/s suffix"));
+    };
+    let v: u64 = num.parse().map_err(|e| format!("duration {s:?}: {e}"))?;
+    v.checked_mul(mul)
+        .map(SimDuration::from_nanos)
+        .ok_or_else(|| format!("duration {s:?} overflows"))
+}
+
+fn kv<'a>(tok: &'a str, key: &str) -> Result<&'a str, String> {
+    tok.strip_prefix(key)
+        .and_then(|r| r.strip_prefix('='))
+        .ok_or_else(|| format!("expected {key}=…, got {tok:?}"))
+}
+
+impl fmt::Display for ScenarioEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ScenarioEvent::LinkDown { link, at } => {
+                write!(f, "link_down {link} @{}", fmt_dur(at))
+            }
+            ScenarioEvent::LinkUp { link, at } => write!(f, "link_up {link} @{}", fmt_dur(at)),
+            ScenarioEvent::LinkFlap {
+                link,
+                at,
+                period,
+                cycles,
+            } => write!(
+                f,
+                "link_flap {link} @{} period={} cycles={cycles}",
+                fmt_dur(at),
+                fmt_dur(period)
+            ),
+            ScenarioEvent::NodeCrash { node, at } => {
+                write!(f, "node_crash {node} @{}", fmt_dur(at))
+            }
+            ScenarioEvent::SessionReset {
+                provider,
+                at,
+                outage,
+            } => write!(
+                f,
+                "session_reset provider:{provider} @{} outage={}",
+                fmt_dur(at),
+                fmt_dur(outage)
+            ),
+            ScenarioEvent::WithdrawBurst {
+                provider,
+                at,
+                count,
+            } => write!(
+                f,
+                "withdraw_burst provider:{provider} @{} count={count}",
+                fmt_dur(at)
+            ),
+            ScenarioEvent::ChurnBurst {
+                provider,
+                at,
+                count,
+                cycles,
+                period,
+            } => write!(
+                f,
+                "churn_burst provider:{provider} @{} count={count} cycles={cycles} period={}",
+                fmt_dur(at),
+                fmt_dur(period)
+            ),
+        }
+    }
+}
+
+impl FromStr for ScenarioEvent {
+    type Err = String;
+    fn from_str(line: &str) -> Result<ScenarioEvent, String> {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let at_tok = |i: usize| -> Result<SimDuration, String> {
+            toks.get(i)
+                .and_then(|t| t.strip_prefix('@'))
+                .ok_or_else(|| format!("expected @offset in {line:?}"))
+                .and_then(parse_dur)
+        };
+        match toks.first().copied() {
+            Some("link_down") => Ok(ScenarioEvent::LinkDown {
+                link: toks.get(1).ok_or("missing link")?.parse()?,
+                at: at_tok(2)?,
+            }),
+            Some("link_up") => Ok(ScenarioEvent::LinkUp {
+                link: toks.get(1).ok_or("missing link")?.parse()?,
+                at: at_tok(2)?,
+            }),
+            Some("link_flap") => Ok(ScenarioEvent::LinkFlap {
+                link: toks.get(1).ok_or("missing link")?.parse()?,
+                at: at_tok(2)?,
+                period: parse_dur(kv(toks.get(3).ok_or("missing period")?, "period")?)?,
+                cycles: kv(toks.get(4).ok_or("missing cycles")?, "cycles")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?,
+            }),
+            Some("node_crash") => Ok(ScenarioEvent::NodeCrash {
+                node: toks.get(1).ok_or("missing node")?.parse()?,
+                at: at_tok(2)?,
+            }),
+            Some("session_reset") => Ok(ScenarioEvent::SessionReset {
+                provider: sel_of(toks.get(1).ok_or("missing provider")?)?,
+                at: at_tok(2)?,
+                outage: parse_dur(kv(toks.get(3).ok_or("missing outage")?, "outage")?)?,
+            }),
+            Some("withdraw_burst") => Ok(ScenarioEvent::WithdrawBurst {
+                provider: sel_of(toks.get(1).ok_or("missing provider")?)?,
+                at: at_tok(2)?,
+                count: kv(toks.get(3).ok_or("missing count")?, "count")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?,
+            }),
+            Some("churn_burst") => Ok(ScenarioEvent::ChurnBurst {
+                provider: sel_of(toks.get(1).ok_or("missing provider")?)?,
+                at: at_tok(2)?,
+                count: kv(toks.get(3).ok_or("missing count")?, "count")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?,
+                cycles: kv(toks.get(4).ok_or("missing cycles")?, "cycles")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?,
+                period: parse_dur(kv(toks.get(5).ok_or("missing period")?, "period")?)?,
+            }),
+            other => Err(format!("unknown event {other:?}")),
+        }
+    }
+}
+
+fn sel_of(tok: &str) -> Result<ProviderSel, String> {
+    tok.strip_prefix("provider:")
+        .ok_or_else(|| format!("expected provider:…, got {tok:?}"))?
+        .parse()
+}
+
+/// A named schedule of events.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventScript {
+    pub name: String,
+    pub events: Vec<ScenarioEvent>,
+}
+
+impl EventScript {
+    pub fn new(name: &str, events: Vec<ScenarioEvent>) -> EventScript {
+        EventScript {
+            name: name.to_string(),
+            events,
+        }
+    }
+
+    /// The paper's failure: cut the primary's cable at the origin.
+    pub fn primary_cut() -> EventScript {
+        EventScript::new(
+            "primary-cut",
+            vec![ScenarioEvent::LinkDown {
+                link: LinkRef::ProviderSwitch(ProviderSel::Primary),
+                at: SimDuration::ZERO,
+            }],
+        )
+    }
+
+    /// Flap the primary's cable: `cycles` × (down, up ½ period later).
+    pub fn primary_flap(period: SimDuration, cycles: u32) -> EventScript {
+        EventScript::new(
+            "primary-flap",
+            vec![ScenarioEvent::LinkFlap {
+                link: LinkRef::ProviderSwitch(ProviderSel::Primary),
+                at: SimDuration::ZERO,
+                period,
+                cycles,
+            }],
+        )
+    }
+
+    /// Crash the primary provider outright (all its links drop).
+    pub fn primary_crash() -> EventScript {
+        EventScript::new(
+            "primary-crash",
+            vec![ScenarioEvent::NodeCrash {
+                node: NodeRef::Provider(ProviderSel::Primary),
+                at: SimDuration::ZERO,
+            }],
+        )
+    }
+
+    /// Reset the primary's session (short carrier outage).
+    pub fn primary_session_reset(outage: SimDuration) -> EventScript {
+        EventScript::new(
+            "session-reset",
+            vec![ScenarioEvent::SessionReset {
+                provider: ProviderSel::Primary,
+                at: SimDuration::ZERO,
+                outage,
+            }],
+        )
+    }
+
+    /// The primary withdraws its first `count` prefixes.
+    pub fn withdraw_burst(count: u32) -> EventScript {
+        EventScript::new(
+            "withdraw-burst",
+            vec![ScenarioEvent::WithdrawBurst {
+                provider: ProviderSel::Primary,
+                at: SimDuration::ZERO,
+                count,
+            }],
+        )
+    }
+
+    /// Staggered double failure: cut the primary, then crash the
+    /// third-ranked provider shortly after (needs ≥3 providers).
+    pub fn staggered_double(gap: SimDuration) -> EventScript {
+        EventScript::new(
+            "staggered-double",
+            vec![
+                ScenarioEvent::LinkDown {
+                    link: LinkRef::ProviderSwitch(ProviderSel::Primary),
+                    at: SimDuration::ZERO,
+                },
+                ScenarioEvent::NodeCrash {
+                    node: NodeRef::Provider(ProviderSel::Rank(2)),
+                    at: gap,
+                },
+            ],
+        )
+    }
+
+    /// The last instant the script touches the world (relative to the
+    /// origin).
+    pub fn end(&self) -> SimDuration {
+        self.events
+            .iter()
+            .map(|e| e.end())
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Check every target resolves in `scn`'s topology.
+    pub fn validate(&self, scn: &BuiltScenario) -> Result<(), String> {
+        for ev in &self.events {
+            match *ev {
+                ScenarioEvent::LinkDown { link, .. }
+                | ScenarioEvent::LinkUp { link, .. }
+                | ScenarioEvent::LinkFlap { link, .. } => {
+                    resolve_link(scn, link)?;
+                }
+                ScenarioEvent::NodeCrash { node, .. } => {
+                    resolve_node(scn, node)?;
+                }
+                ScenarioEvent::SessionReset { provider, .. }
+                | ScenarioEvent::WithdrawBurst { provider, .. }
+                | ScenarioEvent::ChurnBurst { provider, .. } => {
+                    resolve_provider(scn, provider)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compile the schedule into world control events, origin at `t0`.
+    /// Panics on unresolvable targets — run [`EventScript::validate`]
+    /// when the script/topology pairing is not statically known.
+    pub fn apply(&self, scn: &mut BuiltScenario, t0: SimTime) {
+        for ev in &self.events {
+            match *ev {
+                ScenarioEvent::LinkDown { link, at } => {
+                    let l = resolve_link(scn, link).unwrap();
+                    scn.world
+                        .schedule(t0 + at, move |w| w.set_link_up(l, false));
+                }
+                ScenarioEvent::LinkUp { link, at } => {
+                    let l = resolve_link(scn, link).unwrap();
+                    scn.world.schedule(t0 + at, move |w| w.set_link_up(l, true));
+                }
+                ScenarioEvent::LinkFlap {
+                    link,
+                    at,
+                    period,
+                    cycles,
+                } => {
+                    let l = resolve_link(scn, link).unwrap();
+                    for c in 0..cycles as u64 {
+                        let down_at = t0 + at + period * c;
+                        scn.world
+                            .schedule(down_at, move |w| w.set_link_up(l, false));
+                        scn.world
+                            .schedule(down_at + period / 2, move |w| w.set_link_up(l, true));
+                    }
+                }
+                ScenarioEvent::NodeCrash { node, at } => {
+                    let n = resolve_node(scn, node).unwrap();
+                    scn.world.schedule(t0 + at, move |w| w.crash_node(n));
+                }
+                ScenarioEvent::SessionReset {
+                    provider,
+                    at,
+                    outage,
+                } => {
+                    let i = resolve_provider(scn, provider).unwrap();
+                    let l = scn.provider_switch_links[i];
+                    scn.world
+                        .schedule(t0 + at, move |w| w.set_link_up(l, false));
+                    scn.world
+                        .schedule(t0 + at + outage, move |w| w.set_link_up(l, true));
+                }
+                ScenarioEvent::WithdrawBurst {
+                    provider,
+                    at,
+                    count,
+                } => {
+                    let i = resolve_provider(scn, provider).unwrap();
+                    let node = scn.providers[i];
+                    let updates = vec![withdraw_of(&scn.universe, count)];
+                    schedule_injection(scn, node, t0 + at, updates);
+                }
+                ScenarioEvent::ChurnBurst {
+                    provider,
+                    at,
+                    count,
+                    cycles,
+                    period,
+                } => {
+                    let i = resolve_provider(scn, provider).unwrap();
+                    let node = scn.providers[i];
+                    let withdraw = withdraw_of(&scn.universe, count);
+                    let targets: std::collections::BTreeSet<Ipv4Prefix> =
+                        withdraw.withdrawn.iter().copied().collect();
+                    let reannounce: Vec<UpdateMsg> = scn.feeds[i]
+                        .iter()
+                        .filter_map(|u| {
+                            let nlri: Vec<Ipv4Prefix> = u
+                                .nlri
+                                .iter()
+                                .copied()
+                                .filter(|p| targets.contains(p))
+                                .collect();
+                            (!nlri.is_empty()).then(|| UpdateMsg {
+                                withdrawn: Vec::new(),
+                                attrs: u.attrs.clone(),
+                                nlri,
+                            })
+                        })
+                        .collect();
+                    for c in 0..cycles as u64 {
+                        let w_at = t0 + at + period * c;
+                        schedule_injection(scn, node, w_at, vec![withdraw.clone()]);
+                        schedule_injection(scn, node, w_at + period / 2, reannounce.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for EventScript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "script {}", self.name)?;
+        for ev in &self.events {
+            writeln!(f, "{ev}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for EventScript {
+    type Err = String;
+    fn from_str(s: &str) -> Result<EventScript, String> {
+        let mut name = None;
+        let mut events = Vec::new();
+        for line in s.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(n) = line.strip_prefix("script ") {
+                name = Some(n.trim().to_string());
+                continue;
+            }
+            events.push(line.parse()?);
+        }
+        Ok(EventScript {
+            name: name.ok_or("missing `script <name>` header")?,
+            events,
+        })
+    }
+}
+
+fn resolve_provider(scn: &BuiltScenario, sel: ProviderSel) -> Result<usize, String> {
+    let m = scn.providers.len();
+    let idx = match sel {
+        ProviderSel::Primary => scn.primary,
+        ProviderSel::Rank(r) => *scn
+            .blueprint
+            .rank_order()
+            .get(r)
+            .ok_or_else(|| format!("rank {r} out of range ({m} providers)"))?,
+        ProviderSel::Index(i) => i,
+    };
+    if idx < m {
+        Ok(idx)
+    } else {
+        Err(format!("provider {idx} out of range ({m} providers)"))
+    }
+}
+
+fn resolve_link(scn: &BuiltScenario, link: LinkRef) -> Result<LinkId, String> {
+    match link {
+        LinkRef::ProviderSwitch(sel) => Ok(scn.provider_switch_links[resolve_provider(scn, sel)?]),
+        LinkRef::ProviderPath(sel) => Ok(scn.provider_path_links[resolve_provider(scn, sel)?]),
+        LinkRef::ForwarderUplink(j) => scn
+            .forwarder_up_links
+            .get(j)
+            .copied()
+            .ok_or_else(|| format!("forwarder {j} out of range")),
+        LinkRef::RingCloser => scn
+            .ring_closer_link
+            .ok_or_else(|| "topology has no ring closer".to_string()),
+    }
+}
+
+fn resolve_node(scn: &BuiltScenario, node: NodeRef) -> Result<NodeId, String> {
+    match node {
+        NodeRef::Provider(sel) => Ok(scn.providers[resolve_provider(scn, sel)?]),
+        NodeRef::Forwarder(j) => scn
+            .forwarders
+            .get(j)
+            .copied()
+            .ok_or_else(|| format!("forwarder {j} out of range")),
+        NodeRef::Controller(c) => scn
+            .controllers
+            .get(c)
+            .copied()
+            .ok_or_else(|| format!("controller {c} out of range")),
+    }
+}
+
+fn withdraw_of(universe: &[Ipv4Prefix], count: u32) -> UpdateMsg {
+    UpdateMsg {
+        withdrawn: universe.iter().take(count as usize).copied().collect(),
+        attrs: None,
+        nlri: Vec::new(),
+    }
+}
+
+/// Schedule a runtime UPDATE injection on a provider router and wake
+/// its sessions so the messages leave immediately.
+fn schedule_injection(scn: &mut BuiltScenario, node: NodeId, at: SimTime, updates: Vec<UpdateMsg>) {
+    scn.world.schedule(at, move |w| {
+        let tokens = w.node_mut::<LegacyRouter>(node).inject_updates(&updates);
+        let now = w.now();
+        for tok in tokens {
+            w.wake_node(now, node, tok);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn scripts_roundtrip_through_text() {
+        let scripts = [
+            EventScript::primary_cut(),
+            EventScript::primary_flap(ms(250), 3),
+            EventScript::primary_crash(),
+            EventScript::primary_session_reset(ms(150)),
+            EventScript::withdraw_burst(100),
+            EventScript::staggered_double(ms(200)),
+            EventScript::new(
+                "mixed",
+                vec![
+                    ScenarioEvent::LinkDown {
+                        link: LinkRef::ForwarderUplink(2),
+                        at: ms(5),
+                    },
+                    ScenarioEvent::LinkUp {
+                        link: LinkRef::RingCloser,
+                        at: ms(7),
+                    },
+                    ScenarioEvent::ChurnBurst {
+                        provider: ProviderSel::Rank(1),
+                        at: ms(1),
+                        count: 50,
+                        cycles: 2,
+                        period: ms(300),
+                    },
+                    // Sub-microsecond offsets must survive the text
+                    // form too (they render as ns).
+                    ScenarioEvent::LinkDown {
+                        link: LinkRef::ProviderPath(ProviderSel::Index(0)),
+                        at: SimDuration::from_nanos(1_500),
+                    },
+                ],
+            ),
+        ];
+        for script in scripts {
+            let text = script.to_string();
+            let parsed: EventScript = text.parse().unwrap_or_else(|e| {
+                panic!("failed to reparse {text:?}: {e}");
+            });
+            assert_eq!(parsed, script, "roundtrip of {text:?}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!("script x\nlink_down nowhere @0us"
+            .parse::<EventScript>()
+            .is_err());
+        assert!("link_down provider_switch:primary @0us"
+            .parse::<EventScript>()
+            .is_err());
+        assert!(
+            "script x\nlink_flap provider_switch:primary @0us period=1xs cycles=2"
+                .parse::<EventScript>()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn script_end_covers_flaps_and_churn() {
+        assert_eq!(EventScript::primary_cut().end(), SimDuration::ZERO);
+        assert_eq!(
+            EventScript::primary_flap(ms(200), 3).end(),
+            ms(200) * 2 + ms(100)
+        );
+        let churn = EventScript::new(
+            "c",
+            vec![ScenarioEvent::ChurnBurst {
+                provider: ProviderSel::Primary,
+                at: ms(10),
+                count: 5,
+                cycles: 2,
+                period: ms(100),
+            }],
+        );
+        assert_eq!(churn.end(), ms(10) + ms(100) + ms(50));
+    }
+}

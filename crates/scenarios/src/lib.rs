@@ -1,0 +1,49 @@
+//! **sc-scenarios** — the declarative scenario engine.
+//!
+//! The paper evaluates supercharged convergence on exactly one hardware
+//! topology (Fig. 4). This crate turns that single reproduction into a
+//! general convergence-evaluation platform, in three layers:
+//!
+//! * [`topo`] — parametric **topology generators**: the Fig. 4 lab
+//!   (delegating to [`sc_lab::topology::ConvergenceLab`]), linear
+//!   chains, rings, k-ary fat-tree/Clos pods, IXP-style hub fan-outs
+//!   (the paper's §5 "boosting an IXP" case), and seeded random
+//!   graphs. Every generator elaborates to a [`topo::Blueprint`] that
+//!   [`builder`] wires into a deterministic [`sc_sim::World`] with real
+//!   BGP provider routers, a static-route delivery fabric, and — in
+//!   supercharged mode — the controller(s).
+//! * [`events`] — typed, text-serializable **event scripts** (link cut,
+//!   link flap, node crash, session reset, withdraw/churn bursts,
+//!   staggered multi-failure) compiled down to `World` failure
+//!   injections; this replaces the single "cut R2 at `t_fail`" baked
+//!   into `run_convergence_trial`.
+//! * [`runner`] — the **suite runner**: a matrix of (topology × script
+//!   × mode ∈ {legacy, supercharged}) trials, per-flow gap measurement
+//!   through the `sc-traffic` sink, box statistics per scenario, and
+//!   CSV + JSON reports.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use sc_scenarios::{run_suite, SuiteConfig};
+//!
+//! let report = run_suite(&SuiteConfig::default_matrix());
+//! println!("{}", report.to_csv());
+//! for (topo, script, x) in report.speedups() {
+//!     println!("{topo}/{script}: supercharging is {x:.0}x faster");
+//! }
+//! ```
+
+pub mod builder;
+pub mod events;
+pub mod json;
+pub mod runner;
+pub mod topo;
+
+pub use builder::{build_scenario, BuiltScenario, ScenarioConfig};
+pub use events::{EventScript, LinkRef, NodeRef, ProviderSel, ScenarioEvent};
+pub use runner::{
+    expected_budget, mode_label, run_scenario, run_suite, ScenarioOutcome, SuiteConfig, SuiteReport,
+};
+pub use sc_lab::Mode;
+pub use topo::{Blueprint, TopologySpec};

@@ -1,0 +1,343 @@
+//! The suite runner: execute a matrix of
+//! (topology × event script × mode) trials and report per-scenario
+//! convergence distributions.
+//!
+//! Each trial reuses the shared phase machinery from
+//! [`sc_lab::harness`]: converge the control plane, stream probes, open
+//! the measurement window, fire the script, harvest per-flow maximum
+//! gaps through the `sc-traffic` sink. Trials run on parallel threads
+//! (each owns its world); results are deterministic because every
+//! world is a pure function of its seed and the report rows are placed
+//! by matrix index, not completion order.
+
+use crate::builder::{build_scenario, ScenarioConfig};
+use crate::events::EventScript;
+use crate::json::Json;
+use crate::topo::TopologySpec;
+use sc_lab::harness::{arm_traffic, plan_measurement, run_out_and_harvest};
+use sc_lab::{BoxStats, Csv, Mode};
+use sc_net::{SimDuration, SimTime};
+
+/// Report label for a mode: the paper's "stock" router is the legacy
+/// baseline every scenario compares against.
+pub fn mode_label(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Stock => "legacy",
+        Mode::Supercharged => "supercharged",
+    }
+}
+
+/// The expected convergence budget for one scenario (sizes measurement
+/// windows and probe rates). Same source of truth as
+/// `sc_lab::expected_convergence` — the Fig. 4 delegation test pins
+/// them to identical results.
+pub fn expected_budget(mode: Mode, cfg: &ScenarioConfig) -> SimDuration {
+    sc_lab::harness::convergence_budget(mode, &cfg.cal, cfg.prefixes, cfg.control_loss)
+}
+
+/// Auto-scaled probe rate: keep ≥1000 probe intervals across the
+/// expected convergence (quantization error ≤0.1%) under a global
+/// probe-send budget — `sc_lab::harness::probe_rate`.
+pub fn suggested_rate(cfg: &ScenarioConfig, expected: SimDuration) -> u64 {
+    sc_lab::harness::probe_rate(cfg.rate_pps, expected, cfg.flows)
+}
+
+/// The outcome of one (topology, script, mode) trial.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    pub topology: String,
+    pub script: String,
+    pub mode: Mode,
+    pub prefixes: u32,
+    pub seed: u64,
+    pub rate_pps: u64,
+    /// Per-flow convergence (maximum inter-packet gap across the
+    /// script), one entry per flow.
+    pub per_flow: Vec<SimDuration>,
+    pub unrecovered: usize,
+    /// When the script origin fired.
+    pub fail_at: SimTime,
+    /// First primary-down detection after the origin, if observed.
+    pub detected_at: Option<SimTime>,
+    /// Virtual time consumed by setup.
+    pub setup_time: SimTime,
+    /// Flow rewrites issued by the controller (supercharged only).
+    pub flow_rewrites: Option<usize>,
+}
+
+impl ScenarioOutcome {
+    pub fn stats(&self) -> BoxStats {
+        BoxStats::of(&self.per_flow)
+    }
+}
+
+/// Run one scenario trial end to end.
+pub fn run_scenario(
+    topo: &TopologySpec,
+    script: &EventScript,
+    mode: Mode,
+    cfg: &ScenarioConfig,
+) -> ScenarioOutcome {
+    let mut scn = build_scenario(topo, mode, cfg);
+    script.validate(&scn).unwrap_or_else(|e| {
+        panic!(
+            "script {:?} does not fit {}: {e}",
+            script.name, scn.blueprint.label
+        )
+    });
+
+    // Phase 1: converge the control plane.
+    let setup_time = scn.run_until_converged();
+
+    // Phases 2-3: probes + script, via the shared harness.
+    let budget = expected_budget(mode, cfg);
+    let horizon = script.end() + budget + budget / 2 + SimDuration::from_secs(1);
+    let rate = suggested_rate(cfg, budget + script.end());
+    let plan = plan_measurement(scn.world.now(), rate, horizon);
+    arm_traffic(&mut scn.world, scn.source, scn.sink, &plan);
+    script.apply(&mut scn, plan.t_fail);
+
+    // Phase 4: run out the window and harvest.
+    let harvest = run_out_and_harvest(&mut scn.world, scn.sink, plan.t_end, cfg.flows);
+
+    ScenarioOutcome {
+        topology: scn.blueprint.label.clone(),
+        script: script.name.clone(),
+        mode,
+        prefixes: cfg.prefixes,
+        seed: cfg.seed,
+        rate_pps: rate,
+        per_flow: harvest.per_flow,
+        unrecovered: harvest.unrecovered,
+        fail_at: plan.t_fail,
+        detected_at: scn.detected_at(plan.t_fail),
+        setup_time,
+        flow_rewrites: scn.flow_rewrites(),
+    }
+}
+
+/// A suite: the full matrix of topologies × scripts × modes.
+#[derive(Clone, Debug)]
+pub struct SuiteConfig {
+    pub topologies: Vec<TopologySpec>,
+    pub scripts: Vec<EventScript>,
+    pub modes: Vec<Mode>,
+    pub base: ScenarioConfig,
+}
+
+impl SuiteConfig {
+    /// The default evaluation matrix: three topology families beyond
+    /// the paper's lab, the cable-cut and cable-flap scripts, both
+    /// modes.
+    pub fn default_matrix() -> SuiteConfig {
+        SuiteConfig {
+            topologies: vec![
+                TopologySpec::Fig4Lab,
+                TopologySpec::Chain {
+                    providers: 2,
+                    hops: 2,
+                },
+                TopologySpec::IxpHub { peers: 4 },
+                TopologySpec::Ring {
+                    providers: 2,
+                    ring: 4,
+                },
+            ],
+            scripts: vec![
+                EventScript::primary_cut(),
+                EventScript::primary_flap(SimDuration::from_millis(250), 3),
+            ],
+            modes: vec![Mode::Stock, Mode::Supercharged],
+            base: ScenarioConfig::default(),
+        }
+    }
+}
+
+/// All trial outcomes, in matrix order (topology-major, then script,
+/// then mode).
+#[derive(Clone, Debug)]
+pub struct SuiteReport {
+    pub rows: Vec<ScenarioOutcome>,
+}
+
+/// Run the full matrix. Trials run on parallel threads; the report is
+/// ordered by matrix position and fully determined by the suite config.
+pub fn run_suite(suite: &SuiteConfig) -> SuiteReport {
+    let mut jobs = Vec::new();
+    for topo in &suite.topologies {
+        for script in &suite.scripts {
+            for &mode in &suite.modes {
+                jobs.push((topo.clone(), script.clone(), mode));
+            }
+        }
+    }
+    // A bounded worker pool: each trial owns a full simulation world,
+    // so running the whole matrix at once would hold every RIB/feed in
+    // memory simultaneously. Workers pull the next job index from a
+    // shared cursor; rows land in their matrix slot, so the report is
+    // identical regardless of scheduling.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    let slots: Vec<std::sync::Mutex<Option<ScenarioOutcome>>> =
+        jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let (jobs, slots, cursor) = (&jobs, &slots, &cursor);
+            let base = suite.base.clone();
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some((topo, script, mode)) = jobs.get(i) else {
+                    return;
+                };
+                let outcome = run_scenario(topo, script, *mode, &base);
+                *slots[i].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+    SuiteReport {
+        rows: slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("trial thread panicked"))
+            .collect(),
+    }
+}
+
+impl SuiteReport {
+    /// Per-scenario box statistics as CSV (durations in microseconds).
+    pub fn to_csv(&self) -> String {
+        let mut csv = Csv::new(&[
+            "topology",
+            "script",
+            "mode",
+            "prefixes",
+            "flows",
+            "rate_pps",
+            "median_us",
+            "p95_us",
+            "max_us",
+            "mean_us",
+            "unrecovered",
+            "detection_us",
+            "flow_rewrites",
+        ]);
+        for row in &self.rows {
+            let s = row.stats();
+            let us = |d: SimDuration| (d.as_nanos() / 1_000).to_string();
+            csv.row(&[
+                row.topology.clone(),
+                row.script.clone(),
+                mode_label(row.mode).to_string(),
+                row.prefixes.to_string(),
+                row.per_flow.len().to_string(),
+                row.rate_pps.to_string(),
+                us(s.median),
+                us(s.p95),
+                us(s.max),
+                us(s.mean),
+                row.unrecovered.to_string(),
+                row.detected_at
+                    .map(|t| ((t - row.fail_at).as_nanos() / 1_000).to_string())
+                    .unwrap_or_default(),
+                row.flow_rewrites.map(|n| n.to_string()).unwrap_or_default(),
+            ]);
+        }
+        csv.finish()
+    }
+
+    /// The machine-readable summary (all durations in nanoseconds;
+    /// byte-identical for identical suite configs).
+    pub fn to_json(&self) -> String {
+        let mut root = Json::object();
+        let mut rows = Vec::new();
+        for row in &self.rows {
+            let s = row.stats();
+            let ns = |d: SimDuration| Json::Int(d.as_nanos());
+            let mut obj = Json::object();
+            obj.push("topology", Json::str(&row.topology))
+                .push("script", Json::str(&row.script))
+                .push("mode", Json::str(mode_label(row.mode)))
+                .push("prefixes", Json::Int(row.prefixes as u64))
+                .push("seed", Json::Int(row.seed))
+                .push("rate_pps", Json::Int(row.rate_pps))
+                .push("unrecovered", Json::Int(row.unrecovered as u64))
+                .push("setup_time_ns", Json::Int(row.setup_time.as_nanos()))
+                .push(
+                    "detection_ns",
+                    match row.detected_at {
+                        Some(t) => Json::Int((t - row.fail_at).as_nanos()),
+                        None => Json::str("none"),
+                    },
+                )
+                .push(
+                    "flow_rewrites",
+                    match row.flow_rewrites {
+                        Some(n) => Json::Int(n as u64),
+                        None => Json::str("n/a"),
+                    },
+                )
+                .push("stats_ns", {
+                    let mut st = Json::object();
+                    st.push("n", Json::Int(s.n as u64))
+                        .push("min", ns(s.min))
+                        .push("p5", ns(s.p5))
+                        .push("q1", ns(s.q1))
+                        .push("median", ns(s.median))
+                        .push("q3", ns(s.q3))
+                        .push("p95", ns(s.p95))
+                        .push("max", ns(s.max))
+                        .push("mean", ns(s.mean));
+                    st
+                })
+                .push(
+                    "per_flow_ns",
+                    Json::Array(
+                        row.per_flow
+                            .iter()
+                            .map(|d| Json::Int(d.as_nanos()))
+                            .collect(),
+                    ),
+                );
+            rows.push(obj);
+        }
+        root.push("rows", Json::Array(rows));
+        root.push(
+            "speedups",
+            Json::Array(
+                self.speedups()
+                    .into_iter()
+                    .map(|(topo, script, x)| {
+                        let mut o = Json::object();
+                        o.push("topology", Json::str(topo))
+                            .push("script", Json::str(script))
+                            .push("median_speedup_x1000", Json::Int((x * 1000.0) as u64));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        root.to_string()
+    }
+
+    /// Median legacy/supercharged speedup per (topology, script) pair
+    /// present in both modes.
+    pub fn speedups(&self) -> Vec<(String, String, f64)> {
+        let mut out = Vec::new();
+        for row in &self.rows {
+            if row.mode != Mode::Supercharged {
+                continue;
+            }
+            let legacy = self.rows.iter().find(|r| {
+                r.mode == Mode::Stock && r.topology == row.topology && r.script == row.script
+            });
+            if let Some(l) = legacy {
+                let sup = row.stats().median.as_nanos().max(1) as f64;
+                let leg = l.stats().median.as_nanos() as f64;
+                out.push((row.topology.clone(), row.script.clone(), leg / sup));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,163 @@
+//! End-to-end scenario-engine tests: the generic topologies really
+//! converge, supercharging wins on every shape, Fig. 4 delegation is
+//! faithful to the lab, and suite reports are deterministic.
+
+use sc_lab::Mode;
+use sc_net::SimDuration;
+use sc_scenarios::{
+    run_scenario, run_suite, EventScript, LinkRef, ScenarioConfig, ScenarioEvent, SuiteConfig,
+    TopologySpec,
+};
+
+fn small(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        prefixes: 300,
+        flows: 10,
+        seed,
+        ..ScenarioConfig::default()
+    }
+}
+
+/// The headline claim, beyond the paper's topology: supercharged
+/// convergence beats the legacy walk on the chain and the IXP hub.
+#[test]
+fn supercharged_beats_legacy_on_chain_and_ixp() {
+    let script = EventScript::primary_cut();
+    for topo in [
+        TopologySpec::Chain {
+            providers: 2,
+            hops: 2,
+        },
+        TopologySpec::IxpHub { peers: 4 },
+    ] {
+        let legacy = run_scenario(&topo, &script, Mode::Stock, &small(7));
+        let sup = run_scenario(&topo, &script, Mode::Supercharged, &small(7));
+        assert_eq!(
+            legacy.unrecovered,
+            0,
+            "{}: legacy flows recovered",
+            topo.label()
+        );
+        assert_eq!(
+            sup.unrecovered,
+            0,
+            "{}: supercharged flows recovered",
+            topo.label()
+        );
+        assert!(
+            sup.stats().median < legacy.stats().median,
+            "{}: supercharged {} !< legacy {}",
+            topo.label(),
+            sup.stats().median,
+            legacy.stats().median
+        );
+        assert!(sup.flow_rewrites.is_some(), "failover plan was issued");
+        assert!(legacy.detected_at.is_some() && sup.detected_at.is_some());
+    }
+}
+
+/// Fig. 4 delegation is faithful: running the scenario engine on the
+/// paper topology reproduces `run_convergence_trial` exactly.
+#[test]
+fn fig4_delegation_matches_the_lab() {
+    let cfg = small(42);
+    let scenario = run_scenario(
+        &TopologySpec::Fig4Lab,
+        &EventScript::primary_cut(),
+        Mode::Supercharged,
+        &cfg,
+    );
+    let lab = sc_lab::run_convergence_trial(sc_lab::LabConfig {
+        mode: Mode::Supercharged,
+        prefixes: cfg.prefixes,
+        flows: cfg.flows,
+        seed: cfg.seed,
+        ..sc_lab::LabConfig::default()
+    });
+    assert_eq!(scenario.per_flow, lab.per_flow);
+    assert_eq!(scenario.detected_at, lab.detected_at);
+    assert_eq!(scenario.rate_pps, lab.rate_pps);
+}
+
+/// Cutting the routeless ring-closing arc is the null failure: no flow
+/// may see more than a nominal gap.
+#[test]
+fn ring_closer_cut_is_harmless() {
+    let script = EventScript::new(
+        "null-cut",
+        vec![ScenarioEvent::LinkDown {
+            link: LinkRef::RingCloser,
+            at: SimDuration::ZERO,
+        }],
+    );
+    let topo = TopologySpec::Ring {
+        providers: 2,
+        ring: 4,
+    };
+    for mode in [Mode::Stock, Mode::Supercharged] {
+        let out = run_scenario(&topo, &script, mode, &small(3));
+        assert_eq!(out.unrecovered, 0);
+        assert!(
+            out.stats().max < SimDuration::from_millis(50),
+            "null cut must not disturb traffic, saw {}",
+            out.stats().max
+        );
+    }
+}
+
+/// A withdraw burst over a live session moves the affected flows to
+/// the backup without breaking the rest.
+#[test]
+fn withdraw_burst_converges_without_link_failure() {
+    let topo = TopologySpec::IxpHub { peers: 3 };
+    let script = EventScript::withdraw_burst(150);
+    for mode in [Mode::Stock, Mode::Supercharged] {
+        let out = run_scenario(&topo, &script, mode, &small(5));
+        assert_eq!(
+            out.unrecovered,
+            0,
+            "{}: all flows recover",
+            sc_scenarios::mode_label(mode)
+        );
+        // No carrier event: BFD never fires.
+        assert!(out.detected_at.is_none());
+    }
+}
+
+/// Same seed ⇒ byte-identical suite reports; a different seed moves
+/// the (jittered) measurements.
+#[test]
+fn suite_json_is_deterministic_from_seed() {
+    let suite = SuiteConfig {
+        topologies: vec![
+            TopologySpec::Chain {
+                providers: 2,
+                hops: 1,
+            },
+            TopologySpec::IxpHub { peers: 3 },
+        ],
+        scripts: vec![EventScript::primary_cut()],
+        modes: vec![Mode::Stock, Mode::Supercharged],
+        base: ScenarioConfig {
+            prefixes: 200,
+            flows: 5,
+            seed: 11,
+            ..ScenarioConfig::default()
+        },
+    };
+    let a = run_suite(&suite);
+    let b = run_suite(&suite);
+    assert_eq!(a.to_json(), b.to_json(), "same seed, same bytes");
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(a.rows.len(), 4);
+
+    let mut other = suite.clone();
+    other.base.seed = 12;
+    let c = run_suite(&other);
+    assert_ne!(a.to_json(), c.to_json(), "different seed, different bytes");
+
+    // Every supercharged row beats its legacy twin.
+    for (topo, script, x) in a.speedups() {
+        assert!(x > 1.0, "{topo}/{script}: speedup {x}");
+    }
+}

@@ -148,14 +148,23 @@ mod tests {
 
     #[test]
     fn fifo_queueing_accumulates() {
-        let a = Endpoint { node: NodeId(0), port: PortId(0) };
-        let b = Endpoint { node: NodeId(1), port: PortId(0) };
+        let a = Endpoint {
+            node: NodeId(0),
+            port: PortId(0),
+        };
+        let b = Endpoint {
+            node: NodeId(1),
+            port: PortId(0),
+        };
         let mut link = Link::new(a, b, LinkParams::gigabit(SimDuration::from_micros(10)));
         let now = SimTime::from_micros(100);
         // Two back-to-back 64B frames: second starts when first finishes.
         let t1 = link.schedule_arrival(0, now, 64);
         let t2 = link.schedule_arrival(0, now, 64);
-        assert_eq!(t1, now + SimDuration::from_nanos(512) + SimDuration::from_micros(10));
+        assert_eq!(
+            t1,
+            now + SimDuration::from_nanos(512) + SimDuration::from_micros(10)
+        );
         assert_eq!(t2, t1 + SimDuration::from_nanos(512));
         // Opposite direction is independent (full duplex).
         let t3 = link.schedule_arrival(1, now, 64);
@@ -164,12 +173,21 @@ mod tests {
 
     #[test]
     fn direction_resolution() {
-        let a = Endpoint { node: NodeId(0), port: PortId(3) };
-        let b = Endpoint { node: NodeId(7), port: PortId(1) };
+        let a = Endpoint {
+            node: NodeId(0),
+            port: PortId(3),
+        };
+        let b = Endpoint {
+            node: NodeId(7),
+            port: PortId(1),
+        };
         let link = Link::new(a, b, LinkParams::default());
         assert_eq!(link.direction_from(a), Some((0, b)));
         assert_eq!(link.direction_from(b), Some((1, a)));
-        let stranger = Endpoint { node: NodeId(9), port: PortId(0) };
+        let stranger = Endpoint {
+            node: NodeId(9),
+            port: PortId(0),
+        };
         assert_eq!(link.direction_from(stranger), None);
     }
 }

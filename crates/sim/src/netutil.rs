@@ -238,7 +238,11 @@ mod tests {
         w.node_mut::<Talker>(a).to_send = (0..50u8).map(|i| vec![i]).collect();
         w.run_until_idle(1_000_000);
         let got: Vec<u8> = w.node::<Talker>(b).received.iter().map(|m| m[0]).collect();
-        assert_eq!(got, (0..50).collect::<Vec<u8>>(), "in order despite 25% loss");
+        assert_eq!(
+            got,
+            (0..50).collect::<Vec<u8>>(),
+            "in order despite 25% loss"
+        );
         assert!(w.stats().frames_dropped_loss > 0, "loss actually happened");
     }
 

@@ -30,11 +30,23 @@ pub struct WorldStats {
 #[derive(Debug)]
 enum EventKind {
     /// A frame finishing its flight, to be handed to the receiver.
-    Deliver { to: Endpoint, frame: Vec<u8> },
+    Deliver {
+        to: Endpoint,
+        frame: Vec<u8>,
+    },
     /// A frame leaving a node after a processing delay.
-    Emit { from: Endpoint, frame: Vec<u8> },
-    Timer { node: NodeId, token: TimerToken },
-    LinkStatus { to: Endpoint, up: bool },
+    Emit {
+        from: Endpoint,
+        frame: Vec<u8>,
+    },
+    Timer {
+        node: NodeId,
+        token: TimerToken,
+    },
+    LinkStatus {
+        to: Endpoint,
+        up: bool,
+    },
     Control(usize),
 }
 
@@ -284,7 +296,10 @@ impl World {
         let mut n = 0u64;
         while self.step() {
             n += 1;
-            assert!(n <= max_events, "run_until_idle exceeded {max_events} events");
+            assert!(
+                n <= max_events,
+                "run_until_idle exceeded {max_events} events"
+            );
         }
         self.now
     }
@@ -358,7 +373,7 @@ impl World {
         if link.params.corrupt > 0.0 && self.rng.gen::<f64>() < link.params.corrupt {
             if !frame.is_empty() {
                 let idx = self.rng.gen_range(0..frame.len());
-                frame[idx] ^= 1 << self.rng.gen_range(0..8);
+                frame[idx] ^= 1u8 << self.rng.gen_range(0..8);
                 self.stats.frames_corrupted += 1;
             }
         }
@@ -543,7 +558,11 @@ mod tests {
         w.schedule(SimTime::from_millis(45), move |w| w.set_link_up(l, false));
         w.run_until_idle(10_000);
         let s = w.node::<Echo>(b);
-        assert_eq!(s.seen.len(), 4, "ticks at 10,20,30,40 arrive; later ones dropped");
+        assert_eq!(
+            s.seen.len(),
+            4,
+            "ticks at 10,20,30,40 arrive; later ones dropped"
+        );
         assert_eq!(s.link_events, vec![(PortId(0), false)]);
         assert_eq!(w.stats().frames_dropped_link_down, 6);
     }
@@ -613,8 +632,7 @@ mod tests {
         let mut w = World::new(5);
         let a = w.add_node(Echo::new("a", SimDuration::ZERO));
         let b = w.add_node(Echo::new("b", SimDuration::ZERO));
-        let (_l, pa, _pb) =
-            w.connect(a, b, LinkParams::gigabit(SimDuration::from_micros(5)));
+        let (_l, pa, _pb) = w.connect(a, b, LinkParams::gigabit(SimDuration::from_micros(5)));
         w.schedule(SimTime::from_millis(1), move |w| {
             let from = Endpoint { node: a, port: pa };
             w.emit(from, vec![0u8; 64]);
@@ -691,7 +709,13 @@ mod tests {
         let mut w = World::new(9);
         let a = w.add_node(Echo::new("lonely", SimDuration::ZERO));
         w.schedule(SimTime::from_millis(1), move |w| {
-            w.emit(Endpoint { node: a, port: PortId(0) }, vec![1, 2, 3]);
+            w.emit(
+                Endpoint {
+                    node: a,
+                    port: PortId(0),
+                },
+                vec![1, 2, 3],
+            );
         });
         w.run_until_idle(10);
         assert_eq!(w.stats().frames_dropped_no_link, 1);

@@ -297,7 +297,10 @@ impl TrafficSink {
     /// converged.
     pub fn close_window(&mut self, now: SimTime) {
         for f in &mut self.flows {
-            let reference = f.last_arrival.unwrap_or(self.window_start).max(self.window_start);
+            let reference = f
+                .last_arrival
+                .unwrap_or(self.window_start)
+                .max(self.window_start);
             let open_gap = now.saturating_duration_since(reference);
             if open_gap > f.max_gap {
                 f.max_gap = open_gap;
@@ -500,7 +503,11 @@ mod tests {
         let end = w.now();
         w.node_mut::<TrafficSink>(sink).close_window(end);
         let r = &w.node::<TrafficSink>(sink).report()[0];
-        assert!(r.max_gap >= SimDuration::from_secs(1), "open gap counted: {}", r.max_gap);
+        assert!(
+            r.max_gap >= SimDuration::from_secs(1),
+            "open gap counted: {}",
+            r.max_gap
+        );
         assert!(r.recovered_at.is_none(), "never recovered");
     }
 

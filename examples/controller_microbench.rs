@@ -8,10 +8,10 @@
 
 use std::net::Ipv4Addr;
 use std::time::Instant;
+use supercharged_router::net::MacAddr;
 use supercharged_router::routegen::{generate_feed_for, prefix_universe, FeedConfig};
 use supercharged_router::supercharger::engine::PeerSpec;
 use supercharged_router::supercharger::{Engine, EngineConfig};
-use supercharged_router::net::MacAddr;
 
 const R2: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 const R3: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
@@ -20,14 +20,32 @@ fn main() {
     let prefixes = 50_000u32;
     let universe = prefix_universe(prefixes, 42);
     let feeds = [
-        (R2, generate_feed_for(&FeedConfig::new(prefixes, 42, R2, 65002), &universe)),
-        (R3, generate_feed_for(&FeedConfig::new(prefixes, 42, R3, 65003), &universe)),
+        (
+            R2,
+            generate_feed_for(&FeedConfig::new(prefixes, 42, R2, 65002), &universe),
+        ),
+        (
+            R3,
+            generate_feed_for(&FeedConfig::new(prefixes, 42, R3, 65003), &universe),
+        ),
     ];
     let mut engine = Engine::new(EngineConfig::new(
         "10.0.200.0/24".parse().unwrap(),
         vec![
-            PeerSpec { id: R2, mac: MacAddr([2, 0, 0, 0, 0, 2]), switch_port: 2, local_pref: 200, router_id: R2 },
-            PeerSpec { id: R3, mac: MacAddr([2, 0, 0, 0, 0, 3]), switch_port: 3, local_pref: 100, router_id: R3 },
+            PeerSpec {
+                id: R2,
+                mac: MacAddr([2, 0, 0, 0, 0, 2]),
+                switch_port: 2,
+                local_pref: 200,
+                router_id: R2,
+            },
+            PeerSpec {
+                id: R3,
+                mac: MacAddr([2, 0, 0, 0, 0, 3]),
+                switch_port: 3,
+                local_pref: 100,
+                router_id: R3,
+            },
         ],
     ));
 
@@ -44,10 +62,22 @@ fn main() {
     lat.sort_unstable();
     let pct = |p: f64| lat[((lat.len() - 1) as f64 * p / 100.0) as usize] as f64 / 1e3;
 
-    println!("processed {} UPDATE messages carrying 2x{prefixes} routes in {:.2}s", lat.len(), total.as_secs_f64());
-    println!("per-message latency: p50 {:.1}us  p99 {:.1}us  max {:.1}us", pct(50.0), pct(99.0), pct(99.999));
+    println!(
+        "processed {} UPDATE messages carrying 2x{prefixes} routes in {:.2}s",
+        lat.len(),
+        total.as_secs_f64()
+    );
+    println!(
+        "per-message latency: p50 {:.1}us  p99 {:.1}us  max {:.1}us",
+        pct(50.0),
+        pct(99.0),
+        pct(99.999)
+    );
     println!("paper (unoptimized Python, 2x500k): p99 125ms, worst 0.8s");
-    println!("backup-groups created: {} (two peers -> one live group)", engine.stats.groups_created);
+    println!(
+        "backup-groups created: {} (two peers -> one live group)",
+        engine.stats.groups_created
+    );
     println!(
         "announcements to the router: {} ({} with virtual next-hops)",
         engine.stats.announcements,

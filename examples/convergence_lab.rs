@@ -25,7 +25,10 @@ fn main() {
     };
 
     println!("lab: {} mode, {prefixes} prefixes, 100 flows", mode.label());
-    println!("  probe rate   : {} pps/flow (paper: 14000)", suggested_flow_rate(&cfg));
+    println!(
+        "  probe rate   : {} pps/flow (paper: 14000)",
+        suggested_flow_rate(&cfg)
+    );
     println!("  expect ~{} convergence\n", expected_convergence(&cfg));
 
     let t0 = std::time::Instant::now();
@@ -41,13 +44,19 @@ fn main() {
     if let Some(n) = r.flow_rewrites {
         println!("  flow rules rewritten     {n}");
     }
-    println!("\nper-flow convergence ({} flows, 70us measurement quantum):", stats.n);
+    println!(
+        "\nper-flow convergence ({} flows, 70us measurement quantum):",
+        stats.n
+    );
     println!("  min    {}", stats.min);
     println!("  p5     {}", stats.p5);
     println!("  median {}", stats.median);
     println!("  p95    {}", stats.p95);
     println!("  max    {}", stats.max);
     println!("  unrecovered flows: {}", r.unrecovered);
-    println!("\n(wall clock: {:.1}s of real time for {} of virtual time)",
-        t0.elapsed().as_secs_f64(), r.fail_at);
+    println!(
+        "\n(wall clock: {:.1}s of real time for {} of virtual time)",
+        t0.elapsed().as_secs_f64(),
+        r.fail_at
+    );
 }

@@ -59,7 +59,10 @@ fn main() {
     announce_all(&mut e, n, prefixes);
     println!(
         "{} participants x {} prefixes -> {} backup-groups (max possible: n(n-1) = {})",
-        n, prefixes, e.groups().len(), n * (n - 1)
+        n,
+        prefixes,
+        e.groups().len(),
+        n * (n - 1)
     );
     let victim = participant(2);
     let plan = e.failover_plan(victim);
@@ -74,7 +77,10 @@ fn main() {
             .sum::<u64>()
     );
     let repair = e.peer_down_repair(victim);
-    println!("control-plane repair: {} actions toward the route server, at its own pace\n", repair.len());
+    println!(
+        "control-plane repair: {} actions toward the route server, at its own pace\n",
+        repair.len()
+    );
 
     println!("--- depth-3 extension (double-failure protection) ---");
     let mut e3 = build(n, 3);

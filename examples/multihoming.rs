@@ -33,7 +33,11 @@ fn dump_fib(lab: &ConvergenceLab, title: &str, rows: usize) {
         } else {
             " (virtual next-hop!)"
         };
-        println!("  {:<20} {:>16}{label}", prefix.to_string(), entry.next_hop.to_string());
+        println!(
+            "  {:<20} {:>16}{label}",
+            prefix.to_string(),
+            entry.next_hop.to_string()
+        );
     }
     println!();
 }
@@ -72,7 +76,11 @@ fn main() {
     // ---- Fig. 2: the supercharged router ----
     println!("============== Fig. 2 — supercharged (2-stage FIB) =============\n");
     let mut lab = run(Mode::Supercharged);
-    dump_fib(&lab, "R1 FIB — every prefix points at ONE virtual next-hop", 9);
+    dump_fib(
+        &lab,
+        "R1 FIB — every prefix points at ONE virtual next-hop",
+        9,
+    );
 
     let ctrl = lab.world.node::<Controller>(lab.controllers[0]);
     for group in ctrl.engine().groups().iter() {
@@ -88,7 +96,8 @@ fn main() {
     println!("=============== pulling R2's cable ================\n");
     let link = lab.r2_link;
     let fail_at = lab.world.now() + SimDuration::from_millis(100);
-    lab.world.schedule(fail_at, move |w| w.set_link_up(link, false));
+    lab.world
+        .schedule(fail_at, move |w| w.set_link_up(link, false));
     lab.world.run_until(fail_at + SimDuration::from_millis(500));
 
     let ctrl = lab.world.node::<Controller>(lab.controllers[0]);
@@ -96,7 +105,10 @@ fn main() {
         println!("  [{}] {ev:?}", *t - fail_at);
     }
     println!();
-    dump_flows(&lab, "switch flow table after failover — one rule rewritten");
+    dump_flows(
+        &lab,
+        "switch flow table after failover — one rule rewritten",
+    );
     println!(
         "The FIB above is *unchanged* — all {} prefixes still point at the VNH.\n\
          Only the switch rule moved. That is the paper's whole trick.",

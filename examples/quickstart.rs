@@ -22,12 +22,21 @@ fn main() {
     let supercharged = run_convergence_trial(cfg.clone());
 
     println!("building the stock lab for comparison...");
-    let stock = run_convergence_trial(LabConfig { mode: Mode::Stock, ..cfg });
+    let stock = run_convergence_trial(LabConfig {
+        mode: Mode::Stock,
+        ..cfg
+    });
 
     let s = supercharged.stats();
     println!("\nsupercharged router:");
-    println!("  detection      : {}", supercharged.detected_at.unwrap() - supercharged.fail_at);
-    println!("  flow rewrites  : {} (constant, regardless of 1k prefixes)", supercharged.flow_rewrites.unwrap());
+    println!(
+        "  detection      : {}",
+        supercharged.detected_at.unwrap() - supercharged.fail_at
+    );
+    println!(
+        "  flow rewrites  : {} (constant, regardless of 1k prefixes)",
+        supercharged.flow_rewrites.unwrap()
+    );
     println!("  convergence    : median {}   worst {}", s.median, s.max);
 
     let t = stock.stats();

@@ -20,17 +20,19 @@
 //! * [`traffic`] — FPGA-like traffic source/sink and gap measurement.
 //! * [`routegen`] — synthetic RIPE-RIS-style route feeds.
 //! * [`lab`] — the Fig. 4 evaluation topology and experiment drivers.
+//! * [`scenarios`] — the declarative scenario engine: topology
+//!   generators, failure scripts, and the suite runner.
 //!
 //! ## Quickstart
 //!
 //! See `examples/quickstart.rs`; in short:
 //!
 //! ```no_run
-//! use supercharged_router::lab::{ConvergenceLab, LabConfig, Mode};
+//! use supercharged_router::lab::{run_convergence_trial, LabConfig, Mode};
 //!
 //! let cfg = LabConfig { prefixes: 10_000, mode: Mode::Supercharged, ..LabConfig::default() };
-//! let report = ConvergenceLab::build(cfg).run();
-//! println!("median convergence: {}", report.per_flow.median());
+//! let report = run_convergence_trial(cfg);
+//! println!("median convergence: {}", report.stats().median);
 //! ```
 
 pub use sc_bfd as bfd;
@@ -38,8 +40,9 @@ pub use sc_bgp as bgp;
 pub use sc_lab as lab;
 pub use sc_net as net;
 pub use sc_openflow as openflow;
-pub use sc_router as router;
 pub use sc_routegen as routegen;
+pub use sc_router as router;
+pub use sc_scenarios as scenarios;
 pub use sc_sim as sim;
 pub use sc_traffic as traffic;
 pub use supercharger;

@@ -21,8 +21,16 @@ fn controller_ranks_exactly_like_the_router() {
     let prefixes = 3_000u32;
     let universe = prefix_universe(prefixes, 11);
     let feeds = [
-        (IP_R2, 200u32, generate_feed_for(&FeedConfig::new(prefixes, 11, IP_R2, 65002), &universe)),
-        (IP_R3, 100u32, generate_feed_for(&FeedConfig::new(prefixes, 11, IP_R3, 65003), &universe)),
+        (
+            IP_R2,
+            200u32,
+            generate_feed_for(&FeedConfig::new(prefixes, 11, IP_R2, 65002), &universe),
+        ),
+        (
+            IP_R3,
+            100u32,
+            generate_feed_for(&FeedConfig::new(prefixes, 11, IP_R3, 65003), &universe),
+        ),
     ];
 
     // (a) The router's view.
@@ -50,8 +58,20 @@ fn controller_ranks_exactly_like_the_router() {
     let mut engine = Engine::new(EngineConfig::new(
         "10.0.200.0/24".parse().unwrap(),
         vec![
-            PeerSpec { id: IP_R2, mac: MAC_R2, switch_port: 2, local_pref: 200, router_id: IP_R2 },
-            PeerSpec { id: IP_R3, mac: MAC_R3, switch_port: 3, local_pref: 100, router_id: IP_R3 },
+            PeerSpec {
+                id: IP_R2,
+                mac: MAC_R2,
+                switch_port: 2,
+                local_pref: 200,
+                router_id: IP_R2,
+            },
+            PeerSpec {
+                id: IP_R3,
+                mac: MAC_R3,
+                switch_port: 3,
+                local_pref: 100,
+                router_id: IP_R3,
+            },
         ],
     ));
     for (peer, _, feed) in &feeds {
@@ -138,19 +158,18 @@ fn without_bfd_detection_dominates_but_stays_prefix_independent() {
     lab.run_until_converged();
     let link = lab.r2_link;
     let fail_at = lab.world.now() + SimDuration::from_secs(1);
-    lab.world.schedule(fail_at, move |w| w.set_link_up(link, false));
+    lab.world
+        .schedule(fail_at, move |w| w.set_link_up(link, false));
     // Hold time is 90s: no failover for a long while...
     lab.world.run_until(fail_at + SimDuration::from_secs(30));
     let ctrl = lab
         .world
         .node::<supercharged_router::supercharger::Controller>(lab.controllers[0]);
     assert!(
-        ctrl.events
-            .iter()
-            .all(|(_, e)| !matches!(
-                e,
-                supercharged_router::supercharger::controller::ControllerEvent::FailoverIssued { .. }
-            )),
+        ctrl.events.iter().all(|(_, e)| !matches!(
+            e,
+            supercharged_router::supercharger::controller::ControllerEvent::FailoverIssued { .. }
+        )),
         "no BFD: the failure cannot have been detected yet"
     );
 }

@@ -1,0 +1,194 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build container cannot reach crates.io. This stand-in keeps the
+//! bench sources compiling and produces honest (if statistically
+//! unsophisticated) numbers: each benchmark runs a short warm-up, then a
+//! fixed number of timed iterations, and prints the per-iteration mean
+//! and min. No HTML reports, no outlier analysis, no comparison to
+//! saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// How many timed iterations each benchmark runs.
+const MEASURE_ITERS: u32 = 200;
+const WARMUP_ITERS: u32 = 20;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-iteration timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    /// Mean and minimum per-iteration time of the last `iter` call.
+    last: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher { last: None }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..MEASURE_ITERS {
+            let t = Instant::now();
+            black_box(routine());
+            let dt = t.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.last = Some((total / MEASURE_ITERS, min));
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS.min(5) {
+            black_box(routine(setup()));
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..MEASURE_ITERS {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            let dt = t.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.last = Some((total / MEASURE_ITERS, min));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(group: Option<&str>, name: &str, throughput: Option<Throughput>, b: &Bencher) {
+    let full = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    let Some((mean, min)) = b.last else {
+        println!("{full:<40} (no measurement)");
+        return;
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{full:<40} mean {:>10}   min {:>10}{rate}",
+        fmt_duration(mean),
+        fmt_duration(min)
+    );
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(Some(&self.name), &name.into(), self.throughput, &b);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(None, &name.into(), None, &b);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,427 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build container cannot reach crates.io, so this crate provides
+//! the same *interface* (the `proptest!` macro, `Strategy`, `any`,
+//! `prop_map`, `prop_oneof!`, `collection::vec`, `option::of`, `Just`,
+//! `prop_assert*`) with a simpler engine: each test case draws values
+//! directly from a deterministic RNG seeded from the test's name, runs
+//! the body, and reports the failing inputs. There is **no shrinking**
+//! — a failure prints the full generated inputs instead.
+//!
+//! Semantics the workspace's property tests rely on and that are kept:
+//! deterministic replay (fixed seed per test), uniform coverage of
+//! integer domains, configurable case count via
+//! `ProptestConfig::with_cases`.
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// The RNG handed to strategies (re-exported for macro use).
+    pub type TestRng = SmallRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// `.prop_map(f)` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<T: Debug> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Types with a canonical "generate anything" strategy.
+    pub trait Arbitrary: Debug + Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// `any::<T>()` marker strategy.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_strategy_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_strategy_tuple {
+        ($($S:ident/$idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_strategy_tuple!(A / 0);
+    impl_strategy_tuple!(A / 0, B / 1);
+    impl_strategy_tuple!(A / 0, B / 1, C / 2);
+    impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3);
+    impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+    impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+    impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+    impl_strategy_tuple!(
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3,
+        E / 4,
+        F / 5,
+        G / 6,
+        H / 7,
+        I / 8
+    );
+    impl_strategy_tuple!(
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3,
+        E / 4,
+        F / 5,
+        G / 6,
+        H / 7,
+        I / 8,
+        J / 9
+    );
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted size specifications for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end);
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            let (lo, hi) = r.into_inner();
+            SizeRange {
+                lo,
+                hi_inclusive: hi,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Strategy for vectors whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `Option<T>` strategy: `None` a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration (subset of the real `ProptestConfig`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed test case (carries the formatted assertion message).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: String) -> TestCaseError {
+            TestCaseError(msg)
+        }
+    }
+
+    /// Seed a deterministic per-test RNG from the test's name.
+    pub fn rng_for(test_name: &str, case: u64) -> super::strategy::TestRng {
+        use rand::SeedableRng;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        SeedableRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection::vec as prop_vec;
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} == {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: {:?} != {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat_param in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases as u64 {
+                    let mut rng = $crate::test_runner::rng_for(stringify!($name), case);
+                    let mut __inputs: Vec<String> = Vec::new();
+                    $(
+                        let generated = $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                        __inputs.push(format!("{} = {:?}", stringify!($pat), generated));
+                        let $pat = generated;
+                    )*
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n(no shrinking; inputs: {})",
+                            case + 1, config.cases, e.0, __inputs.join(", "),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
