@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sc_net::wire::{udp_frame, EthernetRepr, UdpEndpoints};
-use sc_net::{Ipv4Prefix, MacAddr, PrefixTrie};
+use sc_net::{MacAddr, PrefixTrie};
 use sc_openflow::{Action, FlowEntry, FlowKey, FlowMatch, FlowTable};
 use sc_routegen::prefix_universe;
 use std::net::Ipv4Addr;

@@ -4,44 +4,83 @@
 //!
 //! ```text
 //! cargo run --release -p sc-bench --bin scenarios [--prefixes N] \
-//!     [--flows N] [--seed N] [--quick] [--csv out.csv] [--json out.json]
+//!     [--flows N] [--seed N] [--quick] [--smoke] [--jsonl] \
+//!     [--csv out.csv] [--json out.json]
 //! ```
 //!
-//! * default: 10k prefixes, the full 6-topology × 4-script matrix;
-//! * `--quick`: 1k prefixes and the cut/flap scripts only (CI-sized).
+//! * default: 10k prefixes, the full 6-topology × 5-script matrix;
+//! * `--quick`: 1k prefixes and the cut/flap scripts only (CI-sized);
+//! * `--smoke`: one topology, 300 prefixes, cut + 2-cycle flap — the
+//!   seconds-scale sanity run CI executes on every push;
+//! * `--jsonl`: stream one JSON object per trial to stdout *as each
+//!   trial completes* instead of buffering the whole report — long
+//!   sweeps become watchable and `tail -f`-able. Errors stream inline
+//!   as `{"topology":…,"error":…}` objects.
 
 use sc_bench::{fig5_label, Args, Table};
 use sc_lab::Mode;
 use sc_net::SimDuration;
-use sc_scenarios::{run_suite, EventScript, ScenarioConfig, SuiteConfig, TopologySpec};
+use sc_scenarios::{
+    run_suite_with, EventScript, ScenarioConfig, SuiteConfig, SuiteReport, TopologySpec,
+    TrialResult,
+};
+use std::io::Write;
 
 fn main() {
     let args = Args::parse();
     let quick = args.flag("--quick");
-    let prefixes: u32 = args.value("--prefixes", if quick { 1_000 } else { 10_000 });
-    let flows: usize = args.value("--flows", 50);
+    let smoke = args.flag("--smoke");
+    let jsonl = args.flag("--jsonl");
+    let default_prefixes = if smoke {
+        300
+    } else if quick {
+        1_000
+    } else {
+        10_000
+    };
+    let prefixes: u32 = args.value("--prefixes", default_prefixes);
+    let flows: usize = args.value("--flows", if smoke { 10 } else { 50 });
     let seed: u64 = args.value("--seed", 42);
 
-    let topologies = vec![
-        TopologySpec::Fig4Lab,
-        TopologySpec::Chain {
-            providers: 3,
-            hops: 2,
-        },
-        TopologySpec::Ring {
-            providers: 3,
-            ring: 6,
-        },
-        TopologySpec::FatTreePod { k: 4 },
-        TopologySpec::IxpHub { peers: 6 },
-        TopologySpec::Random { seed },
-    ];
+    let topologies = if smoke {
+        vec![TopologySpec::Chain {
+            providers: 2,
+            hops: 1,
+        }]
+    } else {
+        vec![
+            TopologySpec::Fig4Lab,
+            TopologySpec::Chain {
+                providers: 3,
+                hops: 2,
+            },
+            TopologySpec::Ring {
+                providers: 3,
+                ring: 6,
+            },
+            TopologySpec::FatTreePod { k: 4 },
+            TopologySpec::IxpHub { peers: 6 },
+            TopologySpec::Random { seed },
+        ]
+    };
     let mut scripts = vec![
         EventScript::primary_cut(),
-        EventScript::primary_flap(SimDuration::from_millis(250), 3),
+        EventScript::primary_flap(
+            if smoke {
+                // Long enough for a full down→up→re-converge cycle at
+                // smoke scale, so cycle 2 exercises re-advertisement.
+                SimDuration::from_secs(3)
+            } else {
+                SimDuration::from_millis(250)
+            },
+            if smoke { 2 } else { 3 },
+        ),
     ];
-    if !quick {
+    if !quick && !smoke {
         scripts.push(EventScript::primary_crash());
+        scripts.push(EventScript::primary_session_reset(SimDuration::from_secs(
+            2,
+        )));
         scripts.push(EventScript::withdraw_burst(prefixes / 4));
     }
     let suite = SuiteConfig {
@@ -56,45 +95,89 @@ fn main() {
         },
     };
     let trials = suite.topologies.len() * suite.scripts.len() * suite.modes.len();
-    println!("scenario matrix: {trials} trials at {prefixes} prefixes, {flows} flows\n");
+    if !jsonl {
+        println!("scenario matrix: {trials} trials at {prefixes} prefixes, {flows} flows\n");
+    }
 
     let t0 = std::time::Instant::now();
-    let report = run_suite(&suite);
+    let report = run_suite_with(&suite, |_, result| {
+        if !jsonl {
+            return;
+        }
+        let line = match result {
+            TrialResult::Ok(row) => SuiteReport::row_json(row).to_string(),
+            TrialResult::Err(e) => SuiteReport::error_json(e).to_string(),
+        };
+        // One locked write per row: rows from parallel workers never
+        // interleave mid-line.
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        let _ = writeln!(out, "{line}");
+    });
 
-    let mut table = Table::new(&[
-        "topology", "script", "mode", "median", "p95", "max", "lost", "detect", "rewrites",
-    ]);
-    for row in &report.rows {
-        let s = row.stats();
-        table.row(vec![
-            row.topology.clone(),
-            row.script.clone(),
-            sc_scenarios::mode_label(row.mode).to_string(),
-            fig5_label(s.median),
-            fig5_label(s.p95),
-            fig5_label(s.max),
-            row.unrecovered.to_string(),
-            row.detected_at
-                .map(|t| fig5_label(t - row.fail_at))
-                .unwrap_or_else(|| "-".into()),
-            row.flow_rewrites
-                .map(|n| n.to_string())
-                .unwrap_or_else(|| "-".into()),
+    if !jsonl {
+        let mut table = Table::new(&[
+            "topology", "script", "mode", "median", "p95", "max", "lost", "detect", "rewrites",
+            "cycles",
         ]);
-    }
-    println!("{}", table.render());
+        for row in &report.rows {
+            let s = row.stats();
+            table.row(vec![
+                row.topology.clone(),
+                row.script.clone(),
+                sc_scenarios::mode_label(row.mode).to_string(),
+                fig5_label(s.median),
+                fig5_label(s.p95),
+                fig5_label(s.max),
+                row.unrecovered.to_string(),
+                row.detected_at
+                    .map(|t| fig5_label(t - row.fail_at))
+                    .unwrap_or_else(|| "-".into()),
+                row.flow_rewrites
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                if row.cycles.len() > 1 {
+                    // Per-cycle medians: repeated convergence at a glance.
+                    row.cycles
+                        .iter()
+                        .map(|c| fig5_label(c.stats().median))
+                        .collect::<Vec<_>>()
+                        .join(";")
+                } else {
+                    "-".into()
+                },
+            ]);
+        }
+        println!("{}", table.render());
 
-    for (topo, script, x) in report.speedups() {
-        println!("{topo:<12} {script:<16} {x:>7.0}x median speedup");
+        for (topo, script, x) in report.speedups() {
+            println!("{topo:<12} {script:<16} {x:>7.0}x median speedup");
+        }
+        for e in &report.errors {
+            eprintln!(
+                "TRIAL FAILED {}/{}/{}: {}",
+                e.topology,
+                e.script,
+                sc_scenarios::mode_label(e.mode),
+                e.error
+            );
+        }
+        println!("\nwall time: {:.1}s", t0.elapsed().as_secs_f64());
     }
-    println!("\nwall time: {:.1}s", t0.elapsed().as_secs_f64());
 
     if let Some(path) = args.raw_value("--csv") {
         std::fs::write(&path, report.to_csv()).expect("write CSV");
-        println!("wrote {path}");
+        if !jsonl {
+            println!("wrote {path}");
+        }
     }
     if let Some(path) = args.raw_value("--json") {
         std::fs::write(&path, report.to_json()).expect("write JSON");
-        println!("wrote {path}");
+        if !jsonl {
+            println!("wrote {path}");
+        }
+    }
+    if !report.errors.is_empty() {
+        std::process::exit(1);
     }
 }

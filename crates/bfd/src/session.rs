@@ -313,6 +313,8 @@ mod tests {
         )
     }
 
+    type EventLog = Vec<(SimTime, BfdEvent)>;
+
     /// Event-driven co-simulation of two sessions with symmetric one-way
     /// `latency`; runs until `until`, delivering packets instantly at
     /// their arrival instant. Returns events of each side, timestamped.
@@ -323,7 +325,7 @@ mod tests {
         until: SimTime,
         latency: SimDuration,
         mut deliver_to_b: impl FnMut(SimTime) -> bool,
-    ) -> (Vec<(SimTime, BfdEvent)>, Vec<(SimTime, BfdEvent)>) {
+    ) -> (EventLog, EventLog) {
         a.start(start);
         b.start(start);
         // In-flight packets: (arrival, to_b?, packet)
@@ -418,9 +420,8 @@ mod tests {
         // Depending on which timer fires first we may need to advance to
         // the detection deadline specifically.
         let mut all = events;
-        let mut now = down_deadline;
         while all.is_empty() {
-            now = a.next_wakeup().expect("session must keep timers while Up");
+            let now = a.next_wakeup().expect("session must keep timers while Up");
             let (e, _) = a.poll(now);
             all = e;
             assert!(
@@ -448,7 +449,7 @@ mod tests {
         assert_eq!(a.state(), BfdState::Up);
         let t_fail = SimTime::from_secs(5);
         // a hears nothing after t_fail; walk its timers.
-        let mut now = t_fail;
+        let mut now;
         loop {
             now = a.next_wakeup().unwrap();
             let (events, _) = a.poll(now);

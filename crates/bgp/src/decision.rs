@@ -237,7 +237,7 @@ mod tests {
         // prefixes, via import local-pref. Sorting must put R2 first.
         let r2 = route(2, |r| r.local_pref = 200);
         let r3 = route(3, |r| r.local_pref = 100);
-        let mut v = vec![r3.clone(), r2.clone()];
+        let mut v = [r3.clone(), r2.clone()];
         v.sort_by(compare_routes);
         assert_eq!(v[0].from.peer, r2.from.peer);
         assert_eq!(v[1].from.peer, r3.from.peer);

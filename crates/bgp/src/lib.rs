@@ -15,19 +15,24 @@
 //!   change tracking: every update yields the old and new top-two
 //!   candidates, which is precisely the input of the paper's Listing 1;
 //! * [`session`] — a poll-based session state machine (Idle → OpenSent →
-//!   OpenConfirm → Established) with hold/keepalive timers.
+//!   OpenConfirm → Established) with hold/keepalive timers;
+//! * [`adj_out`] — the per-peer Adj-RIB-Out (RFC 4271 §3.2), replayed on
+//!   every session (re-)establishment so flapped sessions come back with
+//!   their routes.
 //!
 //! Known simplifications (documented in `DESIGN.md`): 2-byte AS numbers
 //! (no AS4 capability), no route reflection, MED compared across
 //! neighboring ASes, and sessions run over the workspace's reliable
 //! channel instead of TCP.
 
+pub mod adj_out;
 pub mod attrs;
 pub mod decision;
 pub mod msg;
 pub mod rib;
 pub mod session;
 
+pub use adj_out::AdjRibOut;
 pub use attrs::{AsPath, Origin, RouteAttrs};
 pub use decision::{compare_routes, PeerInfo, Route};
 pub use msg::{BgpMessage, NotificationMsg, OpenMsg, UpdateMsg};

@@ -179,7 +179,7 @@ pub enum BgpMessage {
 fn encode_prefix(p: Ipv4Prefix, out: &mut Vec<u8>) {
     out.push(p.len());
     let octets = p.network().octets();
-    let n = (p.len() as usize + 7) / 8;
+    let n = (p.len() as usize).div_ceil(8);
     out.extend_from_slice(&octets[..n]);
 }
 
@@ -191,7 +191,7 @@ fn decode_prefixes(mut buf: &[u8]) -> Result<Vec<Ipv4Prefix>, WireError> {
         if len > 32 {
             return Err(WireError::BadField("prefix length"));
         }
-        let n = (len as usize + 7) / 8;
+        let n = (len as usize).div_ceil(8);
         need(buf, 1 + n)?;
         let mut octets = [0u8; 4];
         octets[..n].copy_from_slice(&buf[1..1 + n]);

@@ -37,6 +37,11 @@ pub enum DownReason {
     FsmError(&'static str),
     /// The owner tore the session down (transport lost, admin down).
     AdminDown,
+    /// BFD declared the peer's forwarding plane dead (RFC 5882 §4.3):
+    /// the owner tore the session down without waiting for the hold
+    /// timer. Distinct from [`DownReason::AdminDown`] so event logs can
+    /// tell dataplane failure from operator shutdown.
+    BfdDown,
 }
 
 /// Events surfaced to the session owner.

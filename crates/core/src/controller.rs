@@ -136,7 +136,6 @@ pub struct Controller {
     router_chan: ChannelPort,
     router_session: Session,
     router_session_armed: Option<SimTime>,
-    router_backlog: VecDeque<BgpMessage>,
     peers: Vec<PeerSessionState>,
     xid: u32,
     /// FLOW_MODs waiting out the reaction delay.
@@ -221,7 +220,6 @@ impl Controller {
             router_chan,
             router_session,
             router_session_armed: None,
-            router_backlog: VecDeque::new(),
             peers,
             xid: 1,
             pending_flowmods: VecDeque::new(),
@@ -279,15 +277,12 @@ impl Controller {
 
     /// Execute a batch of engine actions.
     fn run_actions(&mut self, ctx: &mut Ctx, actions: Vec<EngineAction>) {
-        // Routing side, packed like a real speaker.
-        for update in Engine::pack_for_router(&actions) {
-            let msg = BgpMessage::Update(update);
-            if self.router_session.state() == sc_bgp::SessionState::Established {
-                if let BgpMessage::Update(u) = msg {
-                    self.router_session.queue_update(u);
-                }
-            } else {
-                self.router_backlog.push_back(msg);
+        // Routing side, packed like a real speaker. With the session
+        // down nothing is queued: the engine's `announced` state is the
+        // source of truth and is replayed in full on (re-)establishment.
+        if self.router_session.state() == sc_bgp::SessionState::Established {
+            for update in Engine::pack_for_router(&actions) {
+                self.router_session.queue_update(update);
             }
         }
         // Switch side.
@@ -432,7 +427,12 @@ impl Controller {
         match ev {
             BfdEvent::Up => {
                 self.peers[idx].failed_over = false;
-                self.engine.peer_up(peer_id);
+                // Re-arm: groups failed over away from this peer steer
+                // back the moment its forwarding plane is verified (RFC
+                // 5882 §4.1); its routes return when the BGP session
+                // re-establishes and replays the feed.
+                let actions = self.engine.peer_up(peer_id);
+                self.run_actions(ctx, actions);
             }
             BfdEvent::Down(_diag) => {
                 if self.peers[idx].failed_over {
@@ -445,8 +445,13 @@ impl Controller {
                 // Fast path: Listing 2, after the modeled reaction delay.
                 let plan = self.engine.failover_plan(peer_id);
                 self.issue_failover(ctx, peer_id, &plan);
-                // Tear the BGP session (it would hold-time out anyway).
-                self.peers[idx].session.stop(DownReason::AdminDown);
+                // Tear the BGP session (it would hold-time out anyway)
+                // and restart the transport so the session can
+                // re-establish — and the peer re-announce — once the
+                // peer returns.
+                self.peers[idx].session.stop(DownReason::BfdDown);
+                self.peers[idx].chan.reset();
+                self.pump_peer(idx, ctx);
                 // Slow path: control-plane repair toward the router.
                 let actions = self.engine.peer_down_repair(peer_id);
                 self.events.push((
@@ -489,27 +494,25 @@ impl Controller {
 
     fn handle_of_message(&mut self, ctx: &mut Ctx, msg: OfMessage) {
         match msg {
-            OfMessage::Hello => {
-                if !self.switch_ready {
-                    self.switch_ready = true;
-                    self.events.push((ctx.now(), ControllerEvent::SwitchReady));
-                    self.of_send(ctx, OfMessage::FeaturesRequest);
-                    // Punt broadcast ARP (requests) to us; keep flooding
-                    // them too so ordinary hosts still resolve each
-                    // other.
-                    let arp_rule = OfMessage::FlowMod {
-                        command: FlowModCommand::Add,
-                        priority: ARP_RULE_PRIORITY,
-                        cookie: SC_COOKIE,
-                        matcher: FlowMatch {
-                            eth_type: Some(EtherType::Arp.to_u16()),
-                            eth_dst: Some(MacAddr::BROADCAST),
-                            ..FlowMatch::default()
-                        },
-                        actions: vec![Action::ToController, Action::Flood],
-                    };
-                    self.of_send(ctx, arp_rule);
-                }
+            OfMessage::Hello if !self.switch_ready => {
+                self.switch_ready = true;
+                self.events.push((ctx.now(), ControllerEvent::SwitchReady));
+                self.of_send(ctx, OfMessage::FeaturesRequest);
+                // Punt broadcast ARP (requests) to us; keep flooding
+                // them too so ordinary hosts still resolve each
+                // other.
+                let arp_rule = OfMessage::FlowMod {
+                    command: FlowModCommand::Add,
+                    priority: ARP_RULE_PRIORITY,
+                    cookie: SC_COOKIE,
+                    matcher: FlowMatch {
+                        eth_type: Some(EtherType::Arp.to_u16()),
+                        eth_dst: Some(MacAddr::BROADCAST),
+                        ..FlowMatch::default()
+                    },
+                    actions: vec![Action::ToController, Action::Flood],
+                };
+                self.of_send(ctx, arp_rule);
             }
             OfMessage::PacketIn { in_port, frame } => {
                 self.handle_packet_in(ctx, in_port, &frame);
@@ -517,19 +520,17 @@ impl Controller {
             OfMessage::EchoRequest(d) => {
                 self.of_send(ctx, OfMessage::EchoReply(d));
             }
-            OfMessage::PortStatus { port, up } => {
-                if self.cfg.portstatus_failover && !up {
-                    // Carrier loss on a port a peer hangs off: run the
-                    // Listing 2 fast path immediately (the BFD event,
-                    // arriving up to detect-time later, dedups on
-                    // `failed_over`).
-                    if let Some(idx) = self
-                        .peers
-                        .iter()
-                        .position(|p| p.link.spec.switch_port == port)
-                    {
-                        self.on_bfd_event(idx, BfdEvent::Down(sc_bfd::BfdDiag::None), ctx);
-                    }
+            OfMessage::PortStatus { port, up } if self.cfg.portstatus_failover && !up => {
+                // Carrier loss on a port a peer hangs off: run the
+                // Listing 2 fast path immediately (the BFD event,
+                // arriving up to detect-time later, dedups on
+                // `failed_over`).
+                if let Some(idx) = self
+                    .peers
+                    .iter()
+                    .position(|p| p.link.spec.switch_port == port)
+                {
+                    self.on_bfd_event(idx, BfdEvent::Down(sc_bfd::BfdDiag::None), ctx);
                 }
             }
             _ => {}
@@ -578,14 +579,21 @@ impl Controller {
                 SessionEvent::Established(_) => {
                     self.events
                         .push((ctx.now(), ControllerEvent::RouterSessionUp));
-                    while let Some(BgpMessage::Update(u)) = self.router_backlog.pop_front() {
-                        self.router_session.queue_update(u);
+                    // Full replay of the announced state (the router
+                    // purged our routes when the session dropped): the
+                    // controller-side Adj-RIB-Out, RFC 4271 §9.4.
+                    let replay = self.engine.export_announcements();
+                    for update in Engine::pack_for_router(&replay) {
+                        self.router_session.queue_update(update);
                     }
                 }
                 SessionEvent::Down(_) => {
-                    // The router will reconnect; announcements will be
-                    // replayed from engine state on next establishment.
-                    // (Re-announce everything: simplest correct policy.)
+                    // Flush any final NOTIFICATION, then reset the
+                    // transport so the router (the active side) can
+                    // reconnect; the next establishment replays
+                    // everything from engine state.
+                    self.pump_router(ctx);
+                    self.router_chan.reset();
                 }
                 SessionEvent::Update(_) => {
                     // The supercharged router does not originate routes
@@ -603,7 +611,8 @@ impl Controller {
                     self.events
                         .push((ctx.now(), ControllerEvent::PeerSessionUp(peer_id)));
                     self.peers[idx].failed_over = false;
-                    self.engine.peer_up(peer_id);
+                    let actions = self.engine.peer_up(peer_id);
+                    self.run_actions(ctx, actions);
                 }
                 SessionEvent::Down(_) => {
                     // Without BFD this is the detection path (hold
@@ -625,6 +634,11 @@ impl Controller {
                         ));
                         self.run_actions(ctx, actions);
                     }
+                    // Either way the transport restarts: flush any final
+                    // NOTIFICATION, then reconnect so the peer can
+                    // re-establish and re-announce when it returns.
+                    self.pump_peer(idx, ctx);
+                    self.peers[idx].chan.reset();
                 }
                 SessionEvent::Update(upd) => {
                     let actions = self.engine.process_update(peer_id, &upd);

@@ -130,6 +130,9 @@ pub struct EngineStats {
     pub groups_retired: u64,
     pub groups_purged: u64,
     pub failovers: u64,
+    /// Groups steered back to a better (restored) member outside the
+    /// failover fast path — the flap-recovery "re-arm" operation.
+    pub groups_rearmed: u64,
 }
 
 /// What we last told the router about a prefix.
@@ -274,14 +277,35 @@ impl Engine {
                     let (group, created) = self.groups.get_or_create(&key);
                     let (gid, vnh, vmac, target) =
                         (group.id, group.vnh, group.vmac, group.active_target);
+                    // Steer to the first *alive* member. A resurrected
+                    // group may still target the backup it failed over
+                    // to before its primary returned; re-arm it so a
+                    // restored peer's re-announcements de-supercharge
+                    // the temporary failover steering. With no member
+                    // alive there is nothing useful to steer to — leave
+                    // the rule alone (mirrors [`Engine::peer_up`]).
+                    let desired = key
+                        .iter()
+                        .find(|p| *self.alive.get(p).unwrap_or(&false))
+                        .copied();
                     if created {
                         self.stats.groups_created += 1;
-                        let spec = self.peer_specs[&target];
+                        let spec = self.peer_specs[&desired.unwrap_or(key[0])];
                         actions.push(EngineAction::FlowAdd {
                             vmac,
                             dst_mac: spec.mac,
                             port: spec.switch_port,
                         });
+                        self.groups.get_mut(gid).unwrap().active_target = spec.id;
+                    } else if let Some(desired) = desired.filter(|d| *d != target) {
+                        self.stats.groups_rearmed += 1;
+                        let spec = self.peer_specs[&desired];
+                        actions.push(EngineAction::FlowModify {
+                            vmac,
+                            dst_mac: spec.mac,
+                            port: spec.switch_port,
+                        });
+                        self.groups.get_mut(gid).unwrap().active_target = desired;
                     }
                     Some((attrs, vnh, Some(gid)))
                 } else {
@@ -393,11 +417,57 @@ impl Engine {
         actions
     }
 
-    /// A previously failed peer is back (its BFD session recovered).
-    /// Its routes return via ordinary UPDATEs; this only marks it
-    /// eligible as a failover target again.
-    pub fn peer_up(&mut self, peer: PeerId) {
-        self.alive.insert(peer, true);
+    /// A previously failed peer is back (its BFD session recovered or
+    /// its BGP session re-established). Marks it eligible as a failover
+    /// target again and **re-arms** every group — live or retired, the
+    /// rules are still installed — whose current steering is worse than
+    /// the restored member: those flow rules are rewritten back, undoing
+    /// the temporary failover before the peer's routes even return via
+    /// ordinary UPDATEs. Returns the flow rewrites to issue.
+    pub fn peer_up(&mut self, peer: PeerId) -> Vec<EngineAction> {
+        if self.alive.insert(peer, true) == Some(true) {
+            return Vec::new(); // already alive: nothing to re-arm
+        }
+        let mut actions = Vec::new();
+        let rearm: Vec<(GroupId, MacAddr, PeerId)> = self
+            .groups
+            .iter()
+            .filter(|g| g.key.contains(&peer))
+            .filter_map(|g| {
+                let desired = g
+                    .key
+                    .iter()
+                    .find(|p| *self.alive.get(p).unwrap_or(&false))
+                    .copied()?;
+                (desired != g.active_target).then_some((g.id, g.vmac, desired))
+            })
+            .collect();
+        for (gid, vmac, desired) in rearm {
+            self.stats.groups_rearmed += 1;
+            let spec = self.peer_specs[&desired];
+            actions.push(EngineAction::FlowModify {
+                vmac,
+                dst_mac: spec.mac,
+                port: spec.switch_port,
+            });
+            self.groups.get_mut(gid).unwrap().active_target = desired;
+        }
+        actions
+    }
+
+    /// The full announced state as `Announce` actions — what the router
+    /// must be told when its session (re-)establishes (RFC 4271 §9.4 on
+    /// the controller side). The router purged our routes when the
+    /// session dropped, so a full replay is exactly the delta.
+    pub fn export_announcements(&self) -> Vec<EngineAction> {
+        self.announced
+            .iter()
+            .map(|(prefix, a)| EngineAction::Announce {
+                prefix,
+                attrs: a.attrs.clone(),
+                next_hop: a.next_hop,
+            })
+            .collect()
     }
 
     /// Destroy a retired group after its grace period; returns the VMAC
@@ -773,6 +843,49 @@ mod tests {
         let plan = e.failover_plan(R2);
         assert_eq!(plan.rewrites.len(), 1);
         assert_eq!(plan.rewrites[0].new_target, R3, "revived peer usable again");
+    }
+
+    #[test]
+    fn restored_peer_rearms_group_and_reannouncement_restores_vnh() {
+        let mut e = engine2();
+        e.process_update(R2, &announce(R2, &["1.0.0.0/24"]));
+        e.process_update(R3, &announce(R3, &["1.0.0.0/24"]));
+        let vnh = e.groups().iter().next().unwrap().vnh;
+        // Primary dies: fast path steers to R3, repair de-superchages.
+        e.failover_plan(R2);
+        e.peer_down_repair(R2);
+        assert_eq!(e.groups().retired_count(), 1, "group retired");
+
+        // Primary's forwarding plane returns (BFD Up): the retired
+        // group's rule — still installed — is re-armed back to R2
+        // before any route returns.
+        let actions = e.peer_up(R2);
+        assert_eq!(
+            actions,
+            vec![EngineAction::FlowModify {
+                vmac: MacAddr::virtual_mac(0),
+                dst_mac: MAC_R2,
+                port: 2,
+            }]
+        );
+        assert_eq!(e.stats.groups_rearmed, 1);
+        assert!(e.peer_up(R2).is_empty(), "already alive: no-op");
+
+        // Its re-announcement resurrects the group (same VNH, correct
+        // target) and the prefix goes back behind the VNH.
+        let actions = e.process_update(R2, &announce(R2, &["1.0.0.0/24"]));
+        let nh = actions
+            .iter()
+            .find_map(|a| match a {
+                EngineAction::Announce { next_hop, .. } => Some(*next_hop),
+                _ => None,
+            })
+            .expect("re-announced toward the router");
+        assert_eq!(nh, vnh, "same VNH resurrected");
+        let g = e.groups().by_vnh(vnh).unwrap();
+        assert!(!g.retired);
+        assert_eq!(g.active_target, R2, "steering restored to the primary");
+        assert_eq!(e.stats.groups_rearmed, 1, "no redundant re-arm");
     }
 
     #[test]

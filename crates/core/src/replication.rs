@@ -171,7 +171,7 @@ mod tests {
         let nlri = (0..n)
             .map(|i| {
                 sc_net::Ipv4Prefix::new(
-                    Ipv4Addr::from(0x0100_0000u32 + ((seed * 131 + i) % 5000 << 8)),
+                    Ipv4Addr::from(0x0100_0000u32 + (((seed * 131 + i) % 5000) << 8)),
                     24,
                 )
             })

@@ -77,8 +77,8 @@ pub fn run_convergence_trial(cfg: LabConfig) -> TrialResult {
             .events
             .iter()
             .find_map(|(t, e)| match e {
-                sc_router::node::RouterEvent::PeerDown(ip)
-                    if *ip == crate::topology::IP_R2 && *t >= t_fail =>
+                sc_router::node::RouterEvent::PeerDown { peer, .. }
+                    if *peer == crate::topology::IP_R2 && *t >= t_fail =>
                 {
                     Some(*t)
                 }

@@ -382,7 +382,7 @@ impl ConvergenceLab {
                         local_pref: 200,
                         local_port: 40000,
                         remote_port: 179,
-                        bfd: cfg.bfd.then(|| BfdConfig {
+                        bfd: cfg.bfd.then_some(BfdConfig {
                             local_discr: 12,
                             desired_min_tx: cfg.bfd_interval,
                             required_min_rx: cfg.bfd_interval,
@@ -465,7 +465,7 @@ impl ConvergenceLab {
                     rn.add_peer(PeerConfig {
                         local_port: 179,
                         remote_port: if is_r2 { 40000 } else { 40001 },
-                        bfd: (cfg.bfd && is_r2).then(|| BfdConfig {
+                        bfd: (cfg.bfd && is_r2).then_some(BfdConfig {
                             local_discr: discr_base,
                             desired_min_tx: cfg.bfd_interval,
                             required_min_rx: cfg.bfd_interval,

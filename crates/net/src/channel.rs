@@ -109,6 +109,13 @@ pub struct Endpoint {
     ack_pending: bool,
     /// SYN bookkeeping.
     syn_last_sent: Option<SimTime>,
+    /// True once we have proof the peer's handshake completed: an
+    /// opener stuck in SynSent only ever emits pure SYNs, so any
+    /// received segment *without* the SYN flag is that proof. Until
+    /// then a listener keeps the SYN flag on everything it sends
+    /// (SYN|ACK, and SYN-marked data/FIN), so the opener can complete
+    /// even when its SYN|ACK was lost or data was piggy-backed over it.
+    peer_handshake_done: bool,
     connected_reported: bool,
     stats: ChannelStats,
 }
@@ -125,6 +132,7 @@ impl Endpoint {
             reorder: BTreeMap::new(),
             ack_pending: false,
             syn_last_sent: None,
+            peer_handshake_done: false,
             connected_reported: false,
             stats: ChannelStats::default(),
         }
@@ -199,6 +207,33 @@ impl Endpoint {
 
         let mut events = Vec::new();
 
+        // A listener only reacts to SYNs. Anything else is a stray
+        // segment from a *previous* connection on the same 5-tuple (the
+        // peer retransmitting across a [`Endpoint::listen`] reset);
+        // buffering it would leak old-epoch data into the next
+        // connection's sequence space. Real TCP would RST; we drop and
+        // let the peer's own reset/retransmission sort it out.
+        if self.state == ChannelState::Listen && flags & FLAG_SYN == 0 {
+            self.stats.duplicates_dropped += 1;
+            return Ok(events);
+        }
+        // Any segment without SYN proves the peer is past its handshake
+        // (an opener in SynSent only emits pure SYNs) — we can stop
+        // SYN-marking our own transmissions.
+        if flags & FLAG_SYN == 0 {
+            self.peer_handshake_done = true;
+        }
+        // Data is only acceptable once our handshake completed, with
+        // one exception: a just-accepted listener SYN-marks its data
+        // (piggy-backed over the SYN|ACK), which is same-epoch by
+        // construction. Anything else reaching a SynSent endpoint is
+        // old-epoch traffic from before a transport reset — buffering
+        // it would leak stale bytes into the new connection's sequence
+        // space. Genuine data dropped here is repaired by
+        // retransmission once we are established.
+        let data_acceptable =
+            self.state != ChannelState::SynSent || (flags & FLAG_SYN != 0 && flags & FLAG_ACK != 0);
+
         // --- handshake ---
         if flags & FLAG_SYN != 0 {
             match self.state {
@@ -214,30 +249,52 @@ impl Endpoint {
                 }
                 ChannelState::SynSent if flags & FLAG_ACK != 0 => {
                     self.state = ChannelState::Established;
+                    // The SYN|ACK sender was a listener: it completed.
+                    self.peer_handshake_done = true;
                     if !self.connected_reported {
                         self.connected_reported = true;
                         events.push(ChannelEvent::Connected);
                     }
                 }
-                // Duplicate SYN in Established: just re-ACK.
                 ChannelState::Established => {
-                    self.ack_pending = true;
-                    self.stats.duplicates_dropped += 1;
+                    if flags == FLAG_SYN && self.recv_next > 0 {
+                        // A *pure* SYN after data flowed is not a
+                        // handshake duplicate — only a fresh opener
+                        // emits those, so the peer reset its endpoint
+                        // and is opening a NEW connection against our
+                        // stale one. Real TCP would exchange
+                        // challenge-ACK/RST; we surface the old
+                        // connection's death so the owner resets us
+                        // too, and the peer's SYN retransmission then
+                        // lands on a fresh endpoint.
+                        self.state = ChannelState::Closed;
+                        events.push(ChannelEvent::PeerClosed);
+                        return Ok(events);
+                    }
+                    // A pure duplicate SYN of the current handshake
+                    // (our SYN|ACK was lost): re-ACK it. SYN-marked
+                    // data/ACK segments from a listener that has not
+                    // heard from us yet fall through to the normal
+                    // ACK/data handling below.
+                    if flags == FLAG_SYN {
+                        self.ack_pending = true;
+                        self.stats.duplicates_dropped += 1;
+                    }
                 }
                 _ => {}
             }
         }
 
         // --- acknowledgements ---
+        // Note: a *pure* ACK never completes the active open — the
+        // handshake section above requires the listener's SYN|ACK. A
+        // pure ACK reaching a SynSent endpoint can only be old-epoch
+        // traffic from a peer that still holds the previous connection
+        // (re-ACKing our SYN as a "duplicate"); treating it as a
+        // handshake completion would black-hole the new epoch's data as
+        // duplicates on the peer. (In SynSent nothing has been
+        // transmitted, so the cumulative-ACK pop below is a no-op.)
         if flags & FLAG_ACK != 0 {
-            // SYN|ACK from a listener also completes the active open.
-            if self.state == ChannelState::SynSent {
-                self.state = ChannelState::Established;
-                if !self.connected_reported {
-                    self.connected_reported = true;
-                    events.push(ChannelEvent::Connected);
-                }
-            }
             while let Some(front) = self.queue.front() {
                 if front.last_sent.is_some() && front.seq < ack {
                     self.queue.pop_front();
@@ -248,7 +305,7 @@ impl Endpoint {
         }
 
         // --- data / fin ---
-        if flags & (FLAG_DATA | FLAG_FIN) != 0 {
+        if flags & (FLAG_DATA | FLAG_FIN) != 0 && data_acceptable {
             let is_fin = flags & FLAG_FIN != 0;
             if seq < self.recv_next {
                 // Duplicate: our ACK was lost; re-ACK.
@@ -293,6 +350,17 @@ impl Endpoint {
             _ => {}
         }
 
+        // Until the peer is proven established, every segment carries
+        // SYN: a just-accepted listener's SYN|ACK may be overtaken by
+        // its own piggy-backed data, and the opener must be able to
+        // complete off either — while *refusing* unmarked segments,
+        // which can only be old-epoch traffic across a transport reset.
+        let syn_mark = if self.peer_handshake_done {
+            0
+        } else {
+            FLAG_SYN
+        };
+
         // 2. Data: retransmissions first (oldest outstanding), then fresh
         //    segments while the window allows.
         let mut in_flight = 0;
@@ -308,7 +376,7 @@ impl Endpoint {
                             FLAG_FIN | FLAG_ACK
                         } else {
                             FLAG_DATA | FLAG_ACK
-                        };
+                        } | syn_mark;
                         let seg = encode_segment(flags, item.seq, self.recv_next, &item.payload);
                         self.ack_pending = false;
                         return Some(seg);
@@ -324,7 +392,7 @@ impl Endpoint {
                         FLAG_FIN | FLAG_ACK
                     } else {
                         FLAG_DATA | FLAG_ACK
-                    };
+                    } | syn_mark;
                     let seg = encode_segment(flags, item.seq, self.recv_next, &item.payload);
                     self.ack_pending = false;
                     return Some(seg);
@@ -332,19 +400,12 @@ impl Endpoint {
             }
         }
 
-        // 3. Pure ACK (also serves as the listener's SYN|ACK reply).
+        // 3. Pure ACK (doubles as the listener's SYN|ACK reply while the
+        //    opener has not completed).
         if self.ack_pending {
             self.ack_pending = false;
             self.stats.segments_sent += 1;
-            // A listener that just accepted must include SYN so an active
-            // opener in SynSent completes; harmless otherwise because
-            // established peers re-ACK duplicate SYNs.
-            let flags = if !self.handshake_acked() {
-                FLAG_SYN | FLAG_ACK
-            } else {
-                FLAG_ACK
-            };
-            return Some(self.encode(flags, 0, &[]));
+            return Some(self.encode(FLAG_ACK | syn_mark, 0, &[]));
         }
 
         None
@@ -370,13 +431,6 @@ impl Endpoint {
             consider(item.last_sent);
         }
         earliest
-    }
-
-    /// True once we have evidence the peer saw our handshake (any segment
-    /// from an established peer suffices: we only use this to decide
-    /// whether to keep the SYN flag on pure ACKs).
-    fn handshake_acked(&self) -> bool {
-        self.recv_next > 0 || self.stats.segments_received > 1
     }
 
     fn due(&self, last: Option<SimTime>, now: SimTime) -> bool {
@@ -622,6 +676,48 @@ mod tests {
         let mut seg = encode_segment(FLAG_DATA, 0, 0, b"xy");
         seg[18] = 200;
         assert!(a.on_segment(&seg, t(0)).is_err());
+    }
+
+    #[test]
+    fn reconnect_against_stale_endpoint_restarts_cleanly() {
+        // Establish and exchange data, then the client resets (fresh
+        // connect endpoint, the BGP transport-restart path) while the
+        // server still holds the old connection.
+        let mut a = Endpoint::connect(ChannelConfig::default());
+        let mut b = Endpoint::listen(ChannelConfig::default());
+        a.send(b"old-epoch".to_vec());
+        pump(&mut a, &mut b, t(0), |_| false);
+        assert_eq!(b.state(), ChannelState::Established);
+
+        // A stale pure ACK from the old server must NOT complete a new
+        // opener's handshake (the old failure mode: Connected fired,
+        // then every new-epoch message died as a "duplicate").
+        let mut a2 = Endpoint::connect(ChannelConfig::default());
+        let _syn = a2.poll_transmit(t(1000)).unwrap();
+        let stale_ack = encode_segment(FLAG_ACK, 0, 42, &[]);
+        let ev = a2.on_segment(&stale_ack, t(1001)).unwrap();
+        assert!(
+            !ev.contains(&ChannelEvent::Connected),
+            "pure ACK must not complete the open"
+        );
+        assert_eq!(a2.state(), ChannelState::SynSent);
+
+        // The new SYN reaching the stale established server kills the
+        // old connection (PeerClosed) instead of being "re-ACKed".
+        let syn = a2.poll_transmit(t(1200)).unwrap();
+        let ev = b.on_segment(&syn, t(1201)).unwrap();
+        assert_eq!(ev, vec![ChannelEvent::PeerClosed]);
+        assert_eq!(b.state(), ChannelState::Closed);
+
+        // The server's owner resets to a fresh listener; the opener's
+        // SYN retransmission then completes a clean new connection that
+        // really delivers data.
+        let mut b2 = Endpoint::listen(ChannelConfig::default());
+        a2.send(b"new-epoch".to_vec());
+        let (ev_a2, ev_b2) = pump(&mut a2, &mut b2, t(1500), |_| false);
+        assert!(ev_a2.contains(&ChannelEvent::Connected));
+        assert!(ev_b2.contains(&ChannelEvent::Connected));
+        assert!(ev_b2.contains(&ChannelEvent::Delivered(b"new-epoch".to_vec())));
     }
 
     #[test]

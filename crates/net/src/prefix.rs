@@ -47,7 +47,9 @@ impl Ipv4Prefix {
         Ipv4Addr::from(self.bits)
     }
 
-    /// The prefix length.
+    /// The prefix length (mask bits — "empty" is not a meaningful
+    /// notion for a prefix, hence no `is_empty`).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(self) -> u8 {
         self.len
     }

@@ -345,7 +345,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             SimTime::from_millis(3),
             SimTime::ZERO,
             SimTime::from_millis(1),

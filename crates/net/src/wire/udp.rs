@@ -35,11 +35,7 @@ pub struct UdpRepr {
 impl UdpRepr {
     /// Parse a UDP segment, verifying length and (if non-zero) checksum
     /// against the IPv4 pseudo-header. Returns header and payload.
-    pub fn parse<'a>(
-        src: Ipv4Addr,
-        dst: Ipv4Addr,
-        buf: &'a [u8],
-    ) -> Result<(UdpRepr, &'a [u8]), WireError> {
+    pub fn parse(src: Ipv4Addr, dst: Ipv4Addr, buf: &[u8]) -> Result<(UdpRepr, &[u8]), WireError> {
         need(buf, HEADER_LEN)?;
         let len = be16(buf, 4) as usize;
         if len < HEADER_LEN || len > buf.len() {

@@ -162,7 +162,7 @@ proptest! {
                     let lose = loss_pattern[drop_idx % loss_pattern.len()];
                     drop_idx += 1;
                     // Never lose everything: deliver every 3rd regardless.
-                    if !(lose && drop_idx % 3 != 0) {
+                    if !lose || drop_idx.is_multiple_of(3) {
                         for ev in b.on_segment(&seg, now).unwrap() {
                             if let ChannelEvent::Delivered(m) = ev {
                                 delivered.push(m);
@@ -174,7 +174,7 @@ proptest! {
                     progressed = true;
                     let lose = loss_pattern[drop_idx % loss_pattern.len()];
                     drop_idx += 1;
-                    if !(lose && drop_idx % 3 != 0) {
+                    if !lose || drop_idx.is_multiple_of(3) {
                         let _ = a.on_segment(&seg, now).unwrap();
                     }
                 }

@@ -109,7 +109,7 @@ impl FlowTable {
     pub fn delete(&mut self, priority: Option<u16>, matcher: &FlowMatch) -> usize {
         let before = self.entries.len();
         self.entries
-            .retain(|e| !(e.matcher == *matcher && priority.map_or(true, |p| e.priority == p)));
+            .retain(|e| !(e.matcher == *matcher && priority.is_none_or(|p| e.priority == p)));
         before - self.entries.len()
     }
 

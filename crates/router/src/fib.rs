@@ -335,7 +335,7 @@ mod tests {
     fn instant_calibration_applies_immediately() {
         let mut rng = SmallRng::seed_from_u64(6);
         let mut w = FibWalker::new(Calibration::instant());
-        let mut fib = Fib::new();
+        let _fib = Fib::new();
         w.enqueue_burst(
             SimTime::from_millis(5),
             vec![FibOp::Set {

@@ -20,7 +20,7 @@ use crate::fib::{Fib, FibOp, FibWalker};
 use sc_bfd::{BfdConfig, BfdEvent, BfdSession};
 use sc_bgp::msg::{BgpMessage, UpdateMsg};
 use sc_bgp::session::{DownReason, Session, SessionConfig, SessionEvent};
-use sc_bgp::{LocRib, PeerInfo, Route};
+use sc_bgp::{AdjRibOut, LocRib, PeerInfo, Route};
 use sc_net::channel::{ChannelConfig, ChannelEvent};
 use sc_net::wire::udp::port as udp_port;
 use sc_net::wire::{
@@ -110,11 +110,22 @@ pub struct RouterConfig {
 }
 
 /// Observable events, for tests and experiment drivers.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum RouterEvent {
     PeerUp(Ipv4Addr),
-    PeerDown(Ipv4Addr),
-    FeedAnnounced { peer: Ipv4Addr, messages: usize },
+    /// A session left Established, with why: BFD-triggered dataplane
+    /// failure ([`DownReason::BfdDown`]) is distinguishable from admin
+    /// shutdown, hold-timer expiry, and received NOTIFICATIONs.
+    PeerDown {
+        peer: Ipv4Addr,
+        reason: DownReason,
+    },
+    /// The Adj-RIB-Out was (re-)announced over a freshly Established
+    /// session; one event per establishment.
+    FeedAnnounced {
+        peer: Ipv4Addr,
+        messages: usize,
+    },
 }
 
 /// Data-plane and control-plane counters.
@@ -137,7 +148,13 @@ struct PeerState {
     bfd: Option<BfdSession>,
     session_wakeup_armed: Option<SimTime>,
     bfd_wakeup_armed: Option<SimTime>,
-    feed_sent: bool,
+    /// What we advertise to this peer (RFC 4271 §3.2): seeded from
+    /// `cfg.originate`, mutated by [`LegacyRouter::inject_updates`], and
+    /// replayed in full on *every* session establishment — the RFC 4271
+    /// §9.4 restart behavior the old one-shot `feed_sent` latch broke.
+    adj_out: AdjRibOut,
+    /// Establishment counter (diagnostics; feed replays once per epoch).
+    establishments: u32,
     /// RIB already purged for the current down event (avoid double
     /// withdrawal when BFD and the hold timer both fire).
     purged: bool,
@@ -223,6 +240,7 @@ impl LegacyRouter {
         let bfd = cfg.bfd.map(BfdSession::new);
         // Infrastructure MACs are statically configured.
         self.arp.add_static(cfg.peer_ip, cfg.peer_mac);
+        let adj_out = AdjRibOut::from_updates(&cfg.originate);
         self.peers.push(PeerState {
             cfg,
             chan,
@@ -230,7 +248,8 @@ impl LegacyRouter {
             bfd,
             session_wakeup_armed: None,
             bfd_wakeup_armed: None,
-            feed_sent: false,
+            adj_out,
+            establishments: 0,
             purged: false,
         });
     }
@@ -246,6 +265,13 @@ impl LegacyRouter {
     pub fn inject_updates(&mut self, updates: &[UpdateMsg]) -> Vec<TimerToken> {
         let mut tokens = Vec::new();
         for (idx, p) in self.peers.iter_mut().enumerate() {
+            // The Adj-RIB-Out is the advertised *intent* and tracks
+            // every injection even while the session is down — a later
+            // restart must replay the current state (with mid-outage
+            // withdrawals applied), not the boot-time feed.
+            for upd in updates {
+                p.adj_out.apply(upd);
+            }
             if p.session.state() != sc_bgp::SessionState::Established {
                 continue;
             }
@@ -305,6 +331,23 @@ impl LegacyRouter {
             .iter()
             .find(|p| p.cfg.peer_ip == peer_ip)
             .map(|p| p.session.state())
+    }
+
+    /// How many times the session toward `peer_ip` reached Established
+    /// (1 after boot; +1 per RFC 4271 restart cycle).
+    pub fn peer_establishments(&self, peer_ip: Ipv4Addr) -> Option<u32> {
+        self.peers
+            .iter()
+            .find(|p| p.cfg.peer_ip == peer_ip)
+            .map(|p| p.establishments)
+    }
+
+    /// Current Adj-RIB-Out size toward `peer_ip` (what a restart replays).
+    pub fn adj_rib_out_len(&self, peer_ip: Ipv4Addr) -> Option<usize> {
+        self.peers
+            .iter()
+            .find(|p| p.cfg.peer_ip == peer_ip)
+            .map(|p| p.adj_out.len())
     }
 
     // --------------------------------------------------------- helpers
@@ -413,8 +456,14 @@ impl LegacyRouter {
                 // timer (that is BFD's whole purpose).
                 let peer_ip = self.peers[idx].cfg.peer_ip;
                 ctx.trace("bfd", || format!("peer {peer_ip} down (bfd)"));
-                self.peers[idx].session.stop(DownReason::AdminDown);
-                self.peer_down(idx, ctx);
+                self.peers[idx].session.stop(DownReason::BfdDown);
+                self.peer_down(idx, DownReason::BfdDown, ctx);
+                // The transport restarts too (BGP drops its TCP
+                // connection on session reset); the active side's SYN
+                // retries until the peer is reachable again, at which
+                // point Connected → session restart → feed replay.
+                self.peers[idx].chan.reset();
+                self.pump_peer(idx, ctx);
             }
         }
     }
@@ -425,16 +474,17 @@ impl LegacyRouter {
                 SessionEvent::Established(_open) => {
                     let peer_ip = self.peers[idx].cfg.peer_ip;
                     self.peers[idx].purged = false;
+                    self.peers[idx].establishments += 1;
                     self.events.push((ctx.now(), RouterEvent::PeerUp(peer_ip)));
                     ctx.trace("bgp", || format!("session with {peer_ip} established"));
-                    if !self.peers[idx].feed_sent && !self.peers[idx].cfg.originate.is_empty() {
-                        self.peers[idx].feed_sent = true;
-                        let feed = self.peers[idx].cfg.originate.clone();
+                    // RFC 4271 §9.4: advertise the Adj-RIB-Out on every
+                    // establishment — including re-establishments after
+                    // a flap, which the old `feed_sent` latch skipped.
+                    if !self.peers[idx].adj_out.is_empty() {
+                        let feed = self.peers[idx].adj_out.export();
                         let n = feed.len();
-                        for upd in feed {
-                            for part in upd.split_to_fit() {
-                                self.peers[idx].session.queue_update(part);
-                            }
+                        for part in feed {
+                            self.peers[idx].session.queue_update(part);
                         }
                         self.events.push((
                             ctx.now(),
@@ -445,8 +495,14 @@ impl LegacyRouter {
                         ));
                     }
                 }
-                SessionEvent::Down(_reason) => {
-                    self.peer_down(idx, ctx);
+                SessionEvent::Down(reason) => {
+                    self.peer_down(idx, reason, ctx);
+                    // Best-effort delivery of any final NOTIFICATION
+                    // over the dying transport, then drop the connection
+                    // (BGP closes the TCP connection after a session
+                    // reset); the next flush starts the reconnect.
+                    self.pump_peer(idx, ctx);
+                    self.peers[idx].chan.reset();
                 }
                 SessionEvent::Update(upd) => {
                     self.process_update(idx, upd, ctx);
@@ -524,14 +580,19 @@ impl LegacyRouter {
 
     /// A peer is gone (BFD, hold timer, or notification): purge its
     /// routes and queue the (potentially enormous) FIB walk.
-    fn peer_down(&mut self, idx: usize, ctx: &mut Ctx) {
+    fn peer_down(&mut self, idx: usize, reason: DownReason, ctx: &mut Ctx) {
         if self.peers[idx].purged {
             return;
         }
         self.peers[idx].purged = true;
         let peer_ip = self.peers[idx].cfg.peer_ip;
-        self.events
-            .push((ctx.now(), RouterEvent::PeerDown(peer_ip)));
+        self.events.push((
+            ctx.now(),
+            RouterEvent::PeerDown {
+                peer: peer_ip,
+                reason,
+            },
+        ));
         let changes = self.rib.withdraw_peer(peer_ip);
         ctx.trace("bgp", || {
             format!("peer {peer_ip} down; {} prefixes affected", changes.len())

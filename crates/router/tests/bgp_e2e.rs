@@ -325,7 +325,14 @@ fn bfd_failure_triggers_linear_fib_walk_to_backup() {
         .events
         .iter()
         .find_map(|(t, e)| match e {
-            sc_router::node::RouterEvent::PeerDown(ip) if *ip == IP_R2 => Some(*t),
+            sc_router::node::RouterEvent::PeerDown { peer, reason } if *peer == IP_R2 => {
+                assert_eq!(
+                    *reason,
+                    sc_bgp::session::DownReason::BfdDown,
+                    "BFD teardown must be logged as BfdDown, not AdminDown"
+                );
+                Some(*t)
+            }
             _ => None,
         })
         .expect("peer down observed");
@@ -376,7 +383,7 @@ fn without_bfd_detection_waits_for_hold_timer() {
         let r1 = lab.world.node::<LegacyRouter>(lab.r1);
         assert!(
             r1.events.iter().all(
-                |(_, e)| !matches!(e, sc_router::node::RouterEvent::PeerDown(ip) if *ip == IP_R2)
+                |(_, e)| !matches!(e, sc_router::node::RouterEvent::PeerDown { peer, .. } if *peer == IP_R2)
             ),
             "no BFD: peer still considered up before hold expiry"
         );
@@ -393,7 +400,10 @@ fn without_bfd_detection_waits_for_hold_timer() {
         .events
         .iter()
         .find_map(|(t, e)| match e {
-            sc_router::node::RouterEvent::PeerDown(ip) if *ip == IP_R2 => Some(*t),
+            sc_router::node::RouterEvent::PeerDown { peer, reason } if *peer == IP_R2 => {
+                assert_eq!(*reason, sc_bgp::session::DownReason::HoldTimerExpired);
+                Some(*t)
+            }
             _ => None,
         })
         .expect("hold timer eventually fired");
@@ -403,6 +413,117 @@ fn without_bfd_detection_waits_for_hold_timer() {
     );
     let first: Ipv4Prefix = "1.0.0.0/24".parse().unwrap();
     assert_eq!(r1.fib().get(first).unwrap().next_hop, IP_R3);
+}
+
+#[test]
+fn injections_while_session_down_still_update_adj_rib_out() {
+    // The Adj-RIB-Out is advertised *intent*: a withdraw injected while
+    // the session is down must not be forgotten — the restart replay
+    // carries the post-withdraw state, not the boot-time feed.
+    let mut r = LegacyRouter::new(RouterConfig {
+        name: "r2".into(),
+        asn: 65002,
+        router_id: Ipv4Addr::new(2, 2, 2, 2),
+        cal: Calibration::instant(),
+    });
+    r.add_interface(Interface {
+        port: PortId(0),
+        ip: IP_R2,
+        mac: MAC_R2,
+        subnet: lan(),
+    });
+    r.add_peer(PeerConfig {
+        local_port: 179,
+        remote_port: 40000,
+        originate: feed(10, IP_R2, 65002),
+        ..PeerConfig::ebgp(IP_R1, MAC_R1, false)
+    });
+    assert_eq!(r.adj_rib_out_len(IP_R1), Some(10));
+    let withdraw = UpdateMsg::withdraw(vec!["1.0.0.0/24".parse().unwrap()]);
+    let tokens = r.inject_updates(&[withdraw]);
+    assert!(
+        tokens.is_empty(),
+        "session down: nothing queued on the wire"
+    );
+    assert_eq!(
+        r.adj_rib_out_len(IP_R1),
+        Some(9),
+        "withdraw recorded for the next replay"
+    );
+}
+
+#[test]
+fn flap_reestablishes_and_reannounces_feed_once_per_establishment() {
+    // The RFC 4271 restart cycle end-to-end: cut R2's cable, let BFD
+    // tear the session down, restore the cable, and require (a) the
+    // session re-establishes over a fresh transport, (b) R2 replays its
+    // Adj-RIB-Out exactly once per establishment, and (c) R1's FIB
+    // converges back to R2 — the behavior the old one-shot `feed_sent`
+    // latch made impossible.
+    let n: u32 = 300;
+    let mut lab = build(n, true, Calibration::nexus7k());
+    lab.world.run_until(SimTime::from_secs(10));
+    let link = lab.r2_switch_link;
+    lab.world
+        .schedule(SimTime::from_secs(10), move |w| w.set_link_up(link, false));
+    lab.world
+        .schedule(SimTime::from_secs(11), move |w| w.set_link_up(link, true));
+    lab.world.run_until(SimTime::from_secs(25));
+
+    let r2 = lab.world.node::<LegacyRouter>(lab.r2);
+    assert_eq!(
+        r2.peer_establishments(IP_R1),
+        Some(2),
+        "one establishment per restart cycle"
+    );
+    let feeds_sent = r2
+        .events
+        .iter()
+        .filter(|(_, e)| {
+            matches!(e, sc_router::node::RouterEvent::FeedAnnounced { peer, .. } if *peer == IP_R1)
+        })
+        .count();
+    assert_eq!(
+        feeds_sent, 2,
+        "feed replayed exactly once per establishment"
+    );
+    assert_eq!(r2.adj_rib_out_len(IP_R1), Some(n as usize));
+
+    // The bystander session was untouched by R2's flap.
+    let r3 = lab.world.node::<LegacyRouter>(lab.r3);
+    assert_eq!(r3.peer_establishments(IP_R1), Some(1));
+
+    let r1 = lab.world.node::<LegacyRouter>(lab.r1);
+    assert_eq!(
+        r1.peer_session_state(IP_R2),
+        Some(sc_bgp::SessionState::Established),
+        "session back up after the flap"
+    );
+    assert_eq!(r1.peer_establishments(IP_R2), Some(2));
+    // Down (BFD) then up again, visible in the event log.
+    let downs = r1
+        .events
+        .iter()
+        .filter(|(_, e)| {
+            matches!(
+                e,
+                sc_router::node::RouterEvent::PeerDown {
+                    peer,
+                    reason: sc_bgp::session::DownReason::BfdDown,
+                } if *peer == IP_R2
+            )
+        })
+        .count();
+    assert_eq!(downs, 1, "exactly one BFD teardown");
+    // The RIB re-learned R2's routes and the FIB walked back to it.
+    assert!(r1.is_quiescent());
+    let first: Ipv4Prefix = "1.0.0.0/24".parse().unwrap();
+    assert_eq!(
+        r1.fib().get(first).unwrap().next_hop,
+        IP_R2,
+        "converged back to the preferred provider"
+    );
+    assert_eq!(r1.rib().route_count(), 2 * n as usize, "both feeds present");
 }
 
 #[test]

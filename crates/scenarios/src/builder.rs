@@ -531,7 +531,7 @@ fn build_generic(bp: Blueprint, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenar
                         local_pref: spec.local_pref,
                         local_port: (40000 + i) as u16,
                         remote_port: 179,
-                        bfd: (cfg.bfd && i == primary).then(|| BfdConfig {
+                        bfd: (cfg.bfd && i == primary).then_some(BfdConfig {
                             local_discr: 12,
                             desired_min_tx: cfg.bfd_interval,
                             required_min_rx: cfg.bfd_interval,
@@ -719,8 +719,8 @@ impl BuiltScenario {
                 .events
                 .iter()
                 .find_map(|(t, e)| match e {
-                    sc_router::node::RouterEvent::PeerDown(ip)
-                        if *ip == primary_ip && *t >= after =>
+                    sc_router::node::RouterEvent::PeerDown { peer, .. }
+                        if *peer == primary_ip && *t >= after =>
                     {
                         Some(*t)
                     }

@@ -15,13 +15,14 @@
 //! link_flap provider_switch:primary @0us period=250000us cycles=3
 //! ```
 //!
-//! Semantics note: the BGP model (like the paper's lab) never
-//! re-announces a feed over a session that survived a carrier flap, so
-//! a flapped primary stays failed-over once BFD fires; flap scripts
-//! therefore measure the initial failover plus the engine's immunity to
-//! subsequent flaps of an already-bypassed link. Route restoration is
-//! exercised by [`ScenarioEvent::ChurnBurst`], which withdraws and
-//! re-announces over the live session.
+//! Semantics note: session restart is modeled end-to-end (RFC 4271
+//! §9.4): a session torn down by BFD or the hold timer drops its
+//! transport, reconnects, and replays the originating side's
+//! Adj-RIB-Out on re-establishment. Flap and reset scripts therefore
+//! measure a full down→up→re-converge cycle per epoch — use
+//! [`EventScript::epochs`] to carve one measurement window per cycle.
+//! Route churn over a *live* session is exercised separately by
+//! [`ScenarioEvent::ChurnBurst`].
 
 use crate::builder::BuiltScenario;
 use sc_bgp::msg::UpdateMsg;
@@ -216,13 +217,33 @@ impl ScenarioEvent {
             } => at + period * cycles.saturating_sub(1) as u64 + period / 2,
         }
     }
+
+    /// The failure *onsets* of this event, one per cycle — the instants
+    /// a convergence event begins (restorations are not onsets; they
+    /// belong to the cycle they end). A pure [`ScenarioEvent::LinkUp`]
+    /// contributes none.
+    pub fn epochs(&self) -> Vec<SimDuration> {
+        match *self {
+            ScenarioEvent::LinkDown { at, .. }
+            | ScenarioEvent::NodeCrash { at, .. }
+            | ScenarioEvent::WithdrawBurst { at, .. }
+            | ScenarioEvent::SessionReset { at, .. } => vec![at],
+            ScenarioEvent::LinkUp { .. } => Vec::new(),
+            ScenarioEvent::LinkFlap {
+                at, period, cycles, ..
+            }
+            | ScenarioEvent::ChurnBurst {
+                at, period, cycles, ..
+            } => (0..cycles as u64).map(|c| at + period * c).collect(),
+        }
+    }
 }
 
 fn fmt_dur(d: SimDuration) -> String {
     // Lossless: whole microseconds render as `us` for readability,
     // anything finer falls back to `ns` so Display/FromStr round-trips
     // exactly.
-    if d.as_nanos() % 1_000 == 0 {
+    if d.as_nanos().is_multiple_of(1_000) {
         format!("{}us", d.as_nanos() / 1_000)
     } else {
         format!("{}ns", d.as_nanos())
@@ -474,6 +495,21 @@ impl EventScript {
             .map(|e| e.end())
             .max()
             .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The merged, ascending failure onsets of every event — the
+    /// script's convergence epochs, one measurement window each (see
+    /// `sc_lab::harness::plan_cycle_measurement`). Scripts without an
+    /// onset (e.g. a lone `link_up`) measure a single window at the
+    /// origin.
+    pub fn epochs(&self) -> Vec<SimDuration> {
+        let mut out: Vec<SimDuration> = self.events.iter().flat_map(|e| e.epochs()).collect();
+        out.sort_unstable();
+        out.dedup();
+        if out.is_empty() {
+            out.push(SimDuration::ZERO);
+        }
+        out
     }
 
     /// Check every target resolves in `scn`'s topology.
@@ -761,6 +797,62 @@ mod tests {
                 .parse::<EventScript>()
                 .is_err()
         );
+    }
+
+    #[test]
+    fn epochs_one_per_failure_onset() {
+        assert_eq!(EventScript::primary_cut().epochs(), vec![SimDuration::ZERO]);
+        assert_eq!(
+            EventScript::primary_flap(ms(200), 3).epochs(),
+            vec![SimDuration::ZERO, ms(200), ms(400)],
+            "one epoch per flap cycle"
+        );
+        assert_eq!(
+            EventScript::primary_session_reset(ms(150)).epochs(),
+            vec![SimDuration::ZERO],
+            "a reset is one down->up cycle"
+        );
+        let churn = EventScript::new(
+            "c",
+            vec![ScenarioEvent::ChurnBurst {
+                provider: ProviderSel::Primary,
+                at: ms(10),
+                count: 5,
+                cycles: 2,
+                period: ms(100),
+            }],
+        );
+        assert_eq!(churn.epochs(), vec![ms(10), ms(110)]);
+        // Restorations are not onsets; a script with none measures a
+        // single window at the origin.
+        let up_only = EventScript::new(
+            "up",
+            vec![ScenarioEvent::LinkUp {
+                link: LinkRef::RingCloser,
+                at: ms(5),
+            }],
+        );
+        assert_eq!(up_only.epochs(), vec![SimDuration::ZERO]);
+        // Concurrent onsets from different events merge and dedupe.
+        let double = EventScript::new(
+            "d",
+            vec![
+                ScenarioEvent::LinkDown {
+                    link: LinkRef::ProviderSwitch(ProviderSel::Primary),
+                    at: SimDuration::ZERO,
+                },
+                ScenarioEvent::NodeCrash {
+                    node: NodeRef::Provider(ProviderSel::Rank(1)),
+                    at: SimDuration::ZERO,
+                },
+                ScenarioEvent::WithdrawBurst {
+                    provider: ProviderSel::Primary,
+                    at: ms(50),
+                    count: 3,
+                },
+            ],
+        );
+        assert_eq!(double.epochs(), vec![SimDuration::ZERO, ms(50)]);
     }
 
     #[test]

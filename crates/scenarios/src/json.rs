@@ -40,13 +40,6 @@ impl Json {
         self
     }
 
-    /// Serialize compactly (no whitespace).
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
     fn write(&self, out: &mut String) {
         match self {
             Json::Str(s) => write_escaped(s, out),
@@ -104,9 +97,12 @@ fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Compact serialization (no whitespace); `to_string()` comes with it.
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.to_string())
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
     }
 }
 

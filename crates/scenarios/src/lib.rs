@@ -43,7 +43,8 @@ pub mod topo;
 pub use builder::{build_scenario, BuiltScenario, ScenarioConfig};
 pub use events::{EventScript, LinkRef, NodeRef, ProviderSel, ScenarioEvent};
 pub use runner::{
-    expected_budget, mode_label, run_scenario, run_suite, ScenarioOutcome, SuiteConfig, SuiteReport,
+    expected_budget, mode_label, run_scenario, run_suite, run_suite_with, CycleOutcome,
+    ScenarioOutcome, SuiteConfig, SuiteReport, TrialError, TrialResult,
 };
 pub use sc_lab::Mode;
 pub use topo::{Blueprint, TopologySpec};

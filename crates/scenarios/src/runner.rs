@@ -14,7 +14,7 @@ use crate::builder::{build_scenario, ScenarioConfig};
 use crate::events::EventScript;
 use crate::json::Json;
 use crate::topo::TopologySpec;
-use sc_lab::harness::{arm_traffic, plan_measurement, run_out_and_harvest};
+use sc_lab::harness::{arm_traffic, plan_cycle_measurement, run_cycles_and_harvest};
 use sc_lab::{BoxStats, Csv, Mode};
 use sc_net::{SimDuration, SimTime};
 
@@ -42,6 +42,26 @@ pub fn suggested_rate(cfg: &ScenarioConfig, expected: SimDuration) -> u64 {
     sc_lab::harness::probe_rate(cfg.rate_pps, expected, cfg.flows)
 }
 
+/// One scripted failure epoch's measurements: the per-flow maximum gap
+/// *within that cycle's window* (cycle `i` closes where cycle `i+1`
+/// opens), so every down→up→re-converge cycle of a flap script is a
+/// convergence event of its own.
+#[derive(Clone, Debug)]
+pub struct CycleOutcome {
+    /// When this cycle's failure fired.
+    pub fail_at: SimTime,
+    /// Per-flow maximum inter-packet gap within the cycle window.
+    pub per_flow: Vec<SimDuration>,
+    /// Flows whose gap never closed within the cycle window.
+    pub unrecovered: usize,
+}
+
+impl CycleOutcome {
+    pub fn stats(&self) -> BoxStats {
+        BoxStats::of(&self.per_flow)
+    }
+}
+
 /// The outcome of one (topology, script, mode) trial.
 #[derive(Clone, Debug)]
 pub struct ScenarioOutcome {
@@ -51,9 +71,10 @@ pub struct ScenarioOutcome {
     pub prefixes: u32,
     pub seed: u64,
     pub rate_pps: u64,
-    /// Per-flow convergence (maximum inter-packet gap across the
-    /// script), one entry per flow.
+    /// Per-flow convergence pooled over the whole script: the
+    /// element-wise maximum across cycle windows, one entry per flow.
     pub per_flow: Vec<SimDuration>,
+    /// Flows still unrecovered in the *final* cycle (end-state health).
     pub unrecovered: usize,
     /// When the script origin fired.
     pub fail_at: SimTime,
@@ -63,6 +84,8 @@ pub struct ScenarioOutcome {
     pub setup_time: SimTime,
     /// Flow rewrites issued by the controller (supercharged only).
     pub flow_rewrites: Option<usize>,
+    /// One entry per scripted failure epoch, in onset order.
+    pub cycles: Vec<CycleOutcome>,
 }
 
 impl ScenarioOutcome {
@@ -89,16 +112,41 @@ pub fn run_scenario(
     // Phase 1: converge the control plane.
     let setup_time = scn.run_until_converged();
 
-    // Phases 2-3: probes + script, via the shared harness.
+    // Phases 2-3: probes + script, via the shared harness. Each failure
+    // epoch of the script gets its own measurement window.
     let budget = expected_budget(mode, cfg);
-    let horizon = script.end() + budget + budget / 2 + SimDuration::from_secs(1);
+    let epochs = script.epochs();
+    let tail = script.end().saturating_sub(*epochs.last().unwrap());
+    let horizon = tail + budget + budget / 2 + SimDuration::from_secs(1);
     let rate = suggested_rate(cfg, budget + script.end());
-    let plan = plan_measurement(scn.world.now(), rate, horizon);
+    let plan = plan_cycle_measurement(scn.world.now(), rate, &epochs, horizon);
     arm_traffic(&mut scn.world, scn.source, scn.sink, &plan);
-    script.apply(&mut scn, plan.t_fail);
+    script.apply(&mut scn, plan.t_origin);
 
-    // Phase 4: run out the window and harvest.
-    let harvest = run_out_and_harvest(&mut scn.world, scn.sink, plan.t_end, cfg.flows);
+    // Phase 4: walk the cycle windows and harvest each.
+    let harvests = run_cycles_and_harvest(&mut scn.world, scn.sink, &plan, cfg.flows);
+    let cycles: Vec<CycleOutcome> = plan
+        .cycles
+        .iter()
+        .zip(&harvests)
+        .map(|(w, h)| CycleOutcome {
+            fail_at: w.t_fail,
+            per_flow: h.per_flow.clone(),
+            unrecovered: h.unrecovered,
+        })
+        .collect();
+    // Pooled view: per-flow worst gap over all cycles; end-state health
+    // from the last cycle.
+    let per_flow: Vec<SimDuration> = (0..cfg.flows)
+        .map(|f| {
+            cycles
+                .iter()
+                .map(|c| c.per_flow[f])
+                .max()
+                .unwrap_or(SimDuration::ZERO)
+        })
+        .collect();
+    let unrecovered = cycles.last().map(|c| c.unrecovered).unwrap_or(0);
 
     ScenarioOutcome {
         topology: scn.blueprint.label.clone(),
@@ -107,12 +155,13 @@ pub fn run_scenario(
         prefixes: cfg.prefixes,
         seed: cfg.seed,
         rate_pps: rate,
-        per_flow: harvest.per_flow,
-        unrecovered: harvest.unrecovered,
+        per_flow,
+        unrecovered,
         fail_at: plan.t_fail,
         detected_at: scn.detected_at(plan.t_fail),
         setup_time,
         flow_rewrites: scn.flow_rewrites(),
+        cycles,
     }
 }
 
@@ -153,16 +202,53 @@ impl SuiteConfig {
     }
 }
 
+/// A trial that died: which matrix cell, and the panic message. One bad
+/// trial no longer aborts a 100-trial sweep — it lands here instead.
+#[derive(Clone, Debug)]
+pub struct TrialError {
+    pub topology: String,
+    pub script: String,
+    pub mode: Mode,
+    pub error: String,
+}
+
+/// One completed matrix cell, streamed to `run_suite_with` observers as
+/// trials finish.
+#[derive(Clone, Debug)]
+pub enum TrialResult {
+    Ok(ScenarioOutcome),
+    Err(TrialError),
+}
+
 /// All trial outcomes, in matrix order (topology-major, then script,
-/// then mode).
+/// then mode). Panicked trials are dropped from `rows` and recorded in
+/// `errors` (also in matrix order).
 #[derive(Clone, Debug)]
 pub struct SuiteReport {
     pub rows: Vec<ScenarioOutcome>,
+    pub errors: Vec<TrialError>,
 }
 
 /// Run the full matrix. Trials run on parallel threads; the report is
 /// ordered by matrix position and fully determined by the suite config.
 pub fn run_suite(suite: &SuiteConfig) -> SuiteReport {
+    run_suite_with(suite, |_, _| {})
+}
+
+/// [`run_suite`], streaming: `on_trial(matrix_index, result)` is called
+/// from the worker thread the moment each trial completes (completion
+/// order, not matrix order — the index says which cell it is). The
+/// returned report is still in matrix order. A trial that panics is
+/// caught, surfaced as [`TrialResult::Err`], and does not take the rest
+/// of the suite down with it. Note the default panic hook still prints
+/// each caught panic (message + backtrace) to stderr — deliberate: a
+/// silencing hook is process-global and would race parallel test
+/// threads; treat stderr banners as diagnostics, the error rows as the
+/// record.
+pub fn run_suite_with(
+    suite: &SuiteConfig,
+    on_trial: impl Fn(usize, &TrialResult) + Sync,
+) -> SuiteReport {
     let mut jobs = Vec::new();
     for topo in &suite.topologies {
         for script in &suite.scripts {
@@ -180,9 +266,10 @@ pub fn run_suite(suite: &SuiteConfig) -> SuiteReport {
         .map(|n| n.get())
         .unwrap_or(4)
         .min(jobs.len().max(1));
-    let slots: Vec<std::sync::Mutex<Option<ScenarioOutcome>>> =
+    let slots: Vec<std::sync::Mutex<Option<TrialResult>>> =
         jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
     let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let on_trial = &on_trial;
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let (jobs, slots, cursor) = (&jobs, &slots, &cursor);
@@ -192,40 +279,83 @@ pub fn run_suite(suite: &SuiteConfig) -> SuiteReport {
                 let Some((topo, script, mode)) = jobs.get(i) else {
                     return;
                 };
-                let outcome = run_scenario(topo, script, *mode, &base);
-                *slots[i].lock().unwrap() = Some(outcome);
+                let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_scenario(topo, script, *mode, &base)
+                })) {
+                    Ok(outcome) => TrialResult::Ok(outcome),
+                    Err(payload) => TrialResult::Err(TrialError {
+                        topology: topo.label(),
+                        script: script.name.clone(),
+                        mode: *mode,
+                        error: panic_message(payload.as_ref()),
+                    }),
+                };
+                on_trial(i, &result);
+                *slots[i].lock().unwrap() = Some(result);
             });
         }
     });
-    SuiteReport {
-        rows: slots
-            .into_iter()
-            .map(|s| s.into_inner().unwrap().expect("trial thread panicked"))
-            .collect(),
+    let mut rows = Vec::new();
+    let mut errors = Vec::new();
+    for slot in slots {
+        match slot
+            .into_inner()
+            .unwrap()
+            .expect("worker filled every slot")
+        {
+            TrialResult::Ok(outcome) => rows.push(outcome),
+            TrialResult::Err(e) => errors.push(e),
+        }
+    }
+    SuiteReport { rows, errors }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "trial panicked (non-string payload)".to_string()
     }
 }
 
+/// The CSV column set; `error` is last so error rows can pad every
+/// metric column and append the message.
+const CSV_HEADER: [&str; 18] = [
+    "topology",
+    "script",
+    "mode",
+    "prefixes",
+    "flows",
+    "rate_pps",
+    "median_us",
+    "p95_us",
+    "max_us",
+    "mean_us",
+    "unrecovered",
+    "detection_us",
+    "flow_rewrites",
+    "cycles",
+    "cycle_median_us",
+    "cycle_p95_us",
+    "cycle_unrecovered",
+    "error",
+];
+
 impl SuiteReport {
     /// Per-scenario box statistics as CSV (durations in microseconds).
+    /// Multi-epoch scripts add per-cycle columns (`;`-joined, one entry
+    /// per cycle in onset order); panicked trials emit a row with blank
+    /// metrics and the panic message in `error`.
     pub fn to_csv(&self) -> String {
-        let mut csv = Csv::new(&[
-            "topology",
-            "script",
-            "mode",
-            "prefixes",
-            "flows",
-            "rate_pps",
-            "median_us",
-            "p95_us",
-            "max_us",
-            "mean_us",
-            "unrecovered",
-            "detection_us",
-            "flow_rewrites",
-        ]);
+        let mut csv = Csv::new(&CSV_HEADER);
+        let us = |d: SimDuration| (d.as_nanos() / 1_000).to_string();
         for row in &self.rows {
             let s = row.stats();
-            let us = |d: SimDuration| (d.as_nanos() / 1_000).to_string();
+            let joined = |f: &dyn Fn(&CycleOutcome) -> String| {
+                row.cycles.iter().map(f).collect::<Vec<_>>().join(";")
+            };
             csv.row(&[
                 row.topology.clone(),
                 row.script.clone(),
@@ -242,67 +372,117 @@ impl SuiteReport {
                     .map(|t| ((t - row.fail_at).as_nanos() / 1_000).to_string())
                     .unwrap_or_default(),
                 row.flow_rewrites.map(|n| n.to_string()).unwrap_or_default(),
+                row.cycles.len().to_string(),
+                joined(&|c| us(c.stats().median)),
+                joined(&|c| us(c.stats().p95)),
+                joined(&|c| c.unrecovered.to_string()),
+                String::new(),
             ]);
         }
+        for e in &self.errors {
+            let mut fields = vec![
+                e.topology.clone(),
+                e.script.clone(),
+                mode_label(e.mode).to_string(),
+            ];
+            fields.resize(CSV_HEADER.len() - 1, String::new());
+            fields.push(e.error.clone());
+            csv.row(&fields);
+        }
         csv.finish()
+    }
+
+    /// One outcome as a JSON object — the row format of both
+    /// [`SuiteReport::to_json`] and the `sc-bench scenarios --jsonl`
+    /// stream (all durations in nanoseconds).
+    pub fn row_json(row: &ScenarioOutcome) -> Json {
+        let s = row.stats();
+        let ns = |d: SimDuration| Json::Int(d.as_nanos());
+        let stats_obj = |s: &BoxStats| {
+            let mut st = Json::object();
+            st.push("n", Json::Int(s.n as u64))
+                .push("min", ns(s.min))
+                .push("p5", ns(s.p5))
+                .push("q1", ns(s.q1))
+                .push("median", ns(s.median))
+                .push("q3", ns(s.q3))
+                .push("p95", ns(s.p95))
+                .push("max", ns(s.max))
+                .push("mean", ns(s.mean));
+            st
+        };
+        let mut obj = Json::object();
+        obj.push("topology", Json::str(&row.topology))
+            .push("script", Json::str(&row.script))
+            .push("mode", Json::str(mode_label(row.mode)))
+            .push("prefixes", Json::Int(row.prefixes as u64))
+            .push("seed", Json::Int(row.seed))
+            .push("rate_pps", Json::Int(row.rate_pps))
+            .push("unrecovered", Json::Int(row.unrecovered as u64))
+            .push("setup_time_ns", Json::Int(row.setup_time.as_nanos()))
+            .push(
+                "detection_ns",
+                match row.detected_at {
+                    Some(t) => Json::Int((t - row.fail_at).as_nanos()),
+                    None => Json::str("none"),
+                },
+            )
+            .push(
+                "flow_rewrites",
+                match row.flow_rewrites {
+                    Some(n) => Json::Int(n as u64),
+                    None => Json::str("n/a"),
+                },
+            )
+            .push("stats_ns", stats_obj(&s))
+            .push(
+                "per_flow_ns",
+                Json::Array(
+                    row.per_flow
+                        .iter()
+                        .map(|d| Json::Int(d.as_nanos()))
+                        .collect(),
+                ),
+            )
+            .push(
+                "cycles",
+                Json::Array(
+                    row.cycles
+                        .iter()
+                        .map(|c| {
+                            let mut cy = Json::object();
+                            cy.push("fail_at_ns", Json::Int(c.fail_at.as_nanos()))
+                                .push("unrecovered", Json::Int(c.unrecovered as u64))
+                                .push("stats_ns", stats_obj(&c.stats()));
+                            cy
+                        })
+                        .collect(),
+                ),
+            );
+        obj
+    }
+
+    /// A trial error as a JSON object (the `--jsonl` stream emits these
+    /// inline; [`SuiteReport::to_json`] collects them under `errors`).
+    pub fn error_json(e: &TrialError) -> Json {
+        let mut obj = Json::object();
+        obj.push("topology", Json::str(&e.topology))
+            .push("script", Json::str(&e.script))
+            .push("mode", Json::str(mode_label(e.mode)))
+            .push("error", Json::str(&e.error));
+        obj
     }
 
     /// The machine-readable summary (all durations in nanoseconds;
     /// byte-identical for identical suite configs).
     pub fn to_json(&self) -> String {
         let mut root = Json::object();
-        let mut rows = Vec::new();
-        for row in &self.rows {
-            let s = row.stats();
-            let ns = |d: SimDuration| Json::Int(d.as_nanos());
-            let mut obj = Json::object();
-            obj.push("topology", Json::str(&row.topology))
-                .push("script", Json::str(&row.script))
-                .push("mode", Json::str(mode_label(row.mode)))
-                .push("prefixes", Json::Int(row.prefixes as u64))
-                .push("seed", Json::Int(row.seed))
-                .push("rate_pps", Json::Int(row.rate_pps))
-                .push("unrecovered", Json::Int(row.unrecovered as u64))
-                .push("setup_time_ns", Json::Int(row.setup_time.as_nanos()))
-                .push(
-                    "detection_ns",
-                    match row.detected_at {
-                        Some(t) => Json::Int((t - row.fail_at).as_nanos()),
-                        None => Json::str("none"),
-                    },
-                )
-                .push(
-                    "flow_rewrites",
-                    match row.flow_rewrites {
-                        Some(n) => Json::Int(n as u64),
-                        None => Json::str("n/a"),
-                    },
-                )
-                .push("stats_ns", {
-                    let mut st = Json::object();
-                    st.push("n", Json::Int(s.n as u64))
-                        .push("min", ns(s.min))
-                        .push("p5", ns(s.p5))
-                        .push("q1", ns(s.q1))
-                        .push("median", ns(s.median))
-                        .push("q3", ns(s.q3))
-                        .push("p95", ns(s.p95))
-                        .push("max", ns(s.max))
-                        .push("mean", ns(s.mean));
-                    st
-                })
-                .push(
-                    "per_flow_ns",
-                    Json::Array(
-                        row.per_flow
-                            .iter()
-                            .map(|d| Json::Int(d.as_nanos()))
-                            .collect(),
-                    ),
-                );
-            rows.push(obj);
-        }
+        let rows: Vec<Json> = self.rows.iter().map(Self::row_json).collect();
         root.push("rows", Json::Array(rows));
+        root.push(
+            "errors",
+            Json::Array(self.errors.iter().map(Self::error_json).collect()),
+        );
         root.push(
             "speedups",
             Json::Array(

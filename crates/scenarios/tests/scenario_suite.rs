@@ -56,6 +56,62 @@ fn supercharged_beats_legacy_on_chain_and_ixp() {
     }
 }
 
+/// Full flap recovery — the repeated-convergence regime the paper's
+/// comparison is most interesting in. With RFC 4271 restart modeled
+/// (session re-establish + Adj-RIB-Out replay), the SECOND flap cycle
+/// is a real convergence event: both modes recover it with zero
+/// unrecovered flows, every cycle is a genuine failover (not the
+/// near-zero gap of an already-bypassed link), and supercharging beats
+/// legacy on every cycle.
+#[test]
+fn second_flap_cycle_recovers_on_chain_and_ixp() {
+    let script = EventScript::primary_flap(SimDuration::from_secs(6), 2);
+    for topo in [
+        TopologySpec::Chain {
+            providers: 2,
+            hops: 2,
+        },
+        TopologySpec::IxpHub { peers: 4 },
+    ] {
+        let legacy = run_scenario(&topo, &script, Mode::Stock, &small(7));
+        let sup = run_scenario(&topo, &script, Mode::Supercharged, &small(7));
+        for (label, out) in [("legacy", &legacy), ("supercharged", &sup)] {
+            assert_eq!(
+                out.cycles.len(),
+                2,
+                "{}: {label}: one window per flap cycle",
+                topo.label()
+            );
+            for (c, cycle) in out.cycles.iter().enumerate() {
+                assert_eq!(
+                    cycle.unrecovered,
+                    0,
+                    "{}: {label}: cycle {c} fully recovers",
+                    topo.label()
+                );
+                // Each cycle is a real failover: at least a BFD
+                // detection's worth of gap, not the nominal inter-packet
+                // gap a dead (never re-advertised) flap would show.
+                assert!(
+                    cycle.stats().median >= SimDuration::from_millis(50),
+                    "{}: {label}: cycle {c} is a real convergence event, median {}",
+                    topo.label(),
+                    cycle.stats().median
+                );
+            }
+        }
+        for c in 0..2 {
+            assert!(
+                sup.cycles[c].stats().median < legacy.cycles[c].stats().median,
+                "{}: cycle {c}: supercharged {} !< legacy {}",
+                topo.label(),
+                sup.cycles[c].stats().median,
+                legacy.cycles[c].stats().median
+            );
+        }
+    }
+}
+
 /// Fig. 4 delegation is faithful: running the scenario engine on the
 /// paper topology reproduces `run_convergence_trial` exactly.
 #[test]
@@ -122,6 +178,62 @@ fn withdraw_burst_converges_without_link_failure() {
         // No carrier event: BFD never fires.
         assert!(out.detected_at.is_none());
     }
+}
+
+/// One bad trial must not abort the suite: the panic is caught,
+/// surfaced as an error row (CSV and JSON), streamed to the observer,
+/// and every other trial still completes.
+#[test]
+fn suite_survives_a_panicking_trial() {
+    let suite = SuiteConfig {
+        topologies: vec![TopologySpec::Chain {
+            providers: 2,
+            hops: 1,
+        }],
+        scripts: vec![
+            EventScript::primary_cut(),
+            // A chain has no ring-closing arc: applying this script
+            // panics inside the trial.
+            EventScript::new(
+                "bad-target",
+                vec![ScenarioEvent::LinkDown {
+                    link: LinkRef::RingCloser,
+                    at: SimDuration::ZERO,
+                }],
+            ),
+        ],
+        modes: vec![Mode::Stock],
+        base: ScenarioConfig {
+            prefixes: 100,
+            flows: 3,
+            seed: 9,
+            ..ScenarioConfig::default()
+        },
+    };
+    let streamed = std::sync::Mutex::new(Vec::new());
+    let report = sc_scenarios::run_suite_with(&suite, |i, result| {
+        streamed
+            .lock()
+            .unwrap()
+            .push((i, matches!(result, sc_scenarios::TrialResult::Ok(_))));
+    });
+    assert_eq!(report.rows.len(), 1, "the good trial completed");
+    assert_eq!(report.errors.len(), 1, "the bad trial became an error row");
+    assert_eq!(report.errors[0].script, "bad-target");
+    assert!(
+        report.errors[0].error.contains("ring closer"),
+        "panic message preserved: {}",
+        report.errors[0].error
+    );
+    // Both trials streamed, each exactly once, with their matrix index.
+    let mut seen = streamed.into_inner().unwrap();
+    seen.sort_unstable();
+    assert_eq!(seen, vec![(0, true), (1, false)]);
+    // The reports carry the error row.
+    let csv = report.to_csv();
+    assert!(csv.lines().next().unwrap().ends_with(",error"));
+    assert!(csv.contains("bad-target"));
+    assert!(report.to_json().contains(r#""errors":[{"topology":"#));
 }
 
 /// Same seed ⇒ byte-identical suite reports; a different seed moves

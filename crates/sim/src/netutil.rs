@@ -16,6 +16,10 @@ use sc_net::SimTime;
 #[derive(Debug)]
 pub struct ChannelPort {
     ep: Endpoint,
+    cfg: ChannelConfig,
+    /// True for the active opener (reconnects with a SYN after
+    /// [`ChannelPort::reset`]); false for the passive listener.
+    active: bool,
     /// Our (src) → peer (dst) addressing.
     pub addr: UdpEndpoints,
     /// The simulated port frames leave through.
@@ -36,6 +40,8 @@ impl ChannelPort {
     ) -> ChannelPort {
         ChannelPort {
             ep: Endpoint::connect(cfg),
+            cfg,
+            active: true,
             addr,
             port,
             timer,
@@ -52,11 +58,30 @@ impl ChannelPort {
     ) -> ChannelPort {
         ChannelPort {
             ep: Endpoint::listen(cfg),
+            cfg,
+            active: false,
             addr,
             port,
             timer,
             armed_at: None,
         }
+    }
+
+    /// Tear the transport down and prepare a fresh connection on the
+    /// same 5-tuple: the active side will emit a SYN at the next
+    /// [`ChannelPort::flush`] (retransmitted until the peer answers),
+    /// the passive side returns to listening. This is the BGP notion of
+    /// dropping the TCP connection when the session resets — without it
+    /// a reliable channel survives carrier flaps by retransmission and
+    /// [`sc_net::channel::ChannelEvent::Connected`] would never fire
+    /// again, so the session could never re-establish.
+    pub fn reset(&mut self) {
+        self.ep = if self.active {
+            Endpoint::connect(self.cfg)
+        } else {
+            Endpoint::listen(self.cfg)
+        };
+        self.armed_at = None;
     }
 
     /// Does this datagram belong to this channel (right 5-tuple)?
@@ -75,12 +100,9 @@ impl ChannelPort {
 
     /// Feed a matching datagram; returns delivered events in order.
     pub fn on_datagram(&mut self, d: &UdpDatagram, now: SimTime) -> Vec<ChannelEvent> {
-        match self.ep.on_segment(&d.payload, now) {
-            Ok(events) => events,
-            // A corrupted segment that survived the UDP checksum (or a
-            // malformed peer) is dropped; retransmission repairs it.
-            Err(_) => Vec::new(),
-        }
+        // A corrupted segment that survived the UDP checksum (or a
+        // malformed peer) is dropped; retransmission repairs it.
+        self.ep.on_segment(&d.payload, now).unwrap_or_default()
     }
 
     /// Transmit everything due and (re-)arm the retransmission timer.

@@ -370,12 +370,13 @@ impl World {
             self.stats.frames_dropped_loss += 1;
             return;
         }
-        if link.params.corrupt > 0.0 && self.rng.gen::<f64>() < link.params.corrupt {
-            if !frame.is_empty() {
-                let idx = self.rng.gen_range(0..frame.len());
-                frame[idx] ^= 1u8 << self.rng.gen_range(0..8);
-                self.stats.frames_corrupted += 1;
-            }
+        if link.params.corrupt > 0.0
+            && self.rng.gen::<f64>() < link.params.corrupt
+            && !frame.is_empty()
+        {
+            let idx = self.rng.gen_range(0..frame.len());
+            frame[idx] ^= 1u8 << self.rng.gen_range(0..8);
+            self.stats.frames_corrupted += 1;
         }
         let arrival = link.schedule_arrival(dir, self.now, frame.len());
         self.push(arrival, EventKind::Deliver { to: peer, frame });

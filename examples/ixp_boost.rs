@@ -69,7 +69,7 @@ fn main() {
     println!(
         "participant {victim} fails: {} of {} groups rewritten ({} prefixes protected instantly)",
         plan.rewrites.len(),
-        e.groups().len() + plan.rewrites.len().min(0),
+        e.groups().len(),
         e.groups()
             .iter()
             .filter(|g| plan.rewrites.iter().any(|r| r.group == g.id))
