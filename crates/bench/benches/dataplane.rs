@@ -1,11 +1,13 @@
 //! Criterion micro-benchmark of the data-plane hot paths: longest-prefix
-//! match on a full-table FIB, the switch flow-table lookup, and the
-//! in-place VMAC rewrite — the per-packet costs of the supercharged
-//! forwarding pipeline.
+//! match on a full-table FIB, the switch flow-table lookup, the in-place
+//! VMAC rewrite, and the **end-to-end forwarding world** (source →
+//! full-FIB router → sink, the same world `sc-bench perf` measures) —
+//! the per-packet costs of the supercharged forwarding pipeline.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sc_bench::fwd::{build_forwarding_world, FwdParams};
 use sc_net::wire::{udp_frame, EthernetRepr, UdpEndpoints};
-use sc_net::{MacAddr, PrefixTrie};
+use sc_net::{MacAddr, PrefixTrie, SimDuration};
 use sc_openflow::{Action, FlowEntry, FlowKey, FlowMatch, FlowTable};
 use sc_routegen::prefix_universe;
 use std::net::Ipv4Addr;
@@ -91,5 +93,34 @@ fn bench_dataplane(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dataplane);
+/// End-to-end forwarding: one shared world in steady state; every
+/// iteration advances it 5 ms of virtual time (probe templates →
+/// router flow cache → sink CAM, ≈2 kernel events per packet).
+fn bench_e2e_forwarding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e");
+    let p = FwdParams {
+        prefixes: 1_000,
+        flows: 20,
+        rate_pps: 14_000,
+        // Far beyond what the iterations consume: the source must keep
+        // transmitting for every timed window.
+        window: SimDuration::from_secs(3600),
+        seed: 42,
+    };
+    let mut fw = build_forwarding_world(p);
+    // Reach steady state (templates warm, flow cache populated).
+    fw.world.run_for(SimDuration::from_millis(50));
+    let step = SimDuration::from_millis(5);
+    let packets_per_iter = p.rate_pps * p.flows as u64 * step.as_nanos() / 1_000_000_000;
+    g.throughput(Throughput::Elements(packets_per_iter));
+    g.bench_function("forward_1k_prefixes_20_flows", |b| {
+        b.iter(|| {
+            fw.world.run_for(step);
+            std::hint::black_box(fw.world.stats().events_processed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dataplane, bench_e2e_forwarding);
 criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! **Data-plane perf trajectory** — wall-clock events/sec on the
+//! end-to-end forwarding world (source → full-FIB router → sink).
+//!
+//! ```text
+//! cargo run --release -p sc-bench --bin perf -- \
+//!     [--smoke] [--prefixes N] [--flows N] [--rate PPS] [--ms MS] \
+//!     [--repeat K] [--label NAME] [--out FILE]
+//! cargo run --release -p sc-bench --bin perf -- \
+//!     --merge baseline.json after.json [--out BENCH_PR3.json]
+//! ```
+//!
+//! Emits one flat JSON object per run: the world parameters (all
+//! deterministic) plus the wall-clock readings (machine-dependent).
+//! `--repeat K` keeps the fastest of K runs — the usual noise guard.
+//! `--merge A B` combines two run files into the committed
+//! `BENCH_PR3.json` shape (`{"baseline":…,"after":…,"speedup":…}`),
+//! which is how the per-PR perf trajectory is regenerated.
+
+use sc_bench::fwd::{build_forwarding_world, run_forwarding, FwdMeasurement, FwdParams};
+use sc_bench::Args;
+use sc_net::SimDuration;
+
+fn run_json(label: &str, p: FwdParams, m: &FwdMeasurement) -> String {
+    format!(
+        concat!(
+            "{{\"label\":\"{}\",\"bench\":\"dataplane_forward\",",
+            "\"prefixes\":{},\"flows\":{},\"rate_pps\":{},\"virtual_ms\":{},",
+            "\"events\":{},\"packets_sent\":{},\"packets_forwarded\":{},",
+            "\"wall_ms\":{:.3},\"events_per_sec\":{},\"packets_per_sec\":{}}}"
+        ),
+        label,
+        p.prefixes,
+        p.flows,
+        p.rate_pps,
+        p.window.as_nanos() / 1_000_000,
+        m.events,
+        m.packets_sent,
+        m.packets_forwarded,
+        m.wall.as_secs_f64() * 1e3,
+        m.events_per_sec() as u64,
+        m.packets_per_sec() as u64,
+    )
+}
+
+/// Pull an integer field out of a flat run JSON (the merge path; the
+/// workspace deliberately carries no JSON parser).
+fn extract_u64(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let digits: String = json[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+fn merge(baseline_path: &str, after_path: &str) -> String {
+    let read = |p: &str| {
+        std::fs::read_to_string(p)
+            .unwrap_or_else(|e| panic!("read {p}: {e}"))
+            .trim()
+            .to_string()
+    };
+    let baseline = read(baseline_path);
+    let after = read(after_path);
+    let b = extract_u64(&baseline, "events_per_sec").expect("baseline events_per_sec");
+    let a = extract_u64(&after, "events_per_sec").expect("after events_per_sec");
+    let speedup = a as f64 / b.max(1) as f64;
+    format!(
+        "{{\"bench\":\"dataplane_forward\",\"speedup_events_per_sec\":{speedup:.2},\n \"baseline\":{baseline},\n \"after\":{after}}}\n"
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+
+    if args.flag("--merge") {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        let i = raw.iter().position(|a| a == "--merge").unwrap();
+        let operands: Vec<&String> = raw[i + 1..]
+            .iter()
+            .take_while(|a| !a.starts_with("--"))
+            .collect();
+        let [b, a] = operands[..] else {
+            eprintln!("usage: perf --merge <baseline.json> <after.json> [--out FILE]");
+            std::process::exit(2);
+        };
+        let out = merge(b, a);
+        match args.raw_value("--out") {
+            Some(path) => {
+                std::fs::write(&path, &out).expect("write merged JSON");
+                println!("wrote {path}");
+            }
+            None => print!("{out}"),
+        }
+        return;
+    }
+
+    let smoke = args.flag("--smoke");
+    let base = if smoke {
+        FwdParams::smoke()
+    } else {
+        FwdParams::paper()
+    };
+    let p = FwdParams {
+        prefixes: args.value("--prefixes", base.prefixes),
+        flows: args.value("--flows", base.flows),
+        rate_pps: args.value("--rate", base.rate_pps),
+        window: SimDuration::from_millis(args.value("--ms", base.window.as_nanos() / 1_000_000)),
+        seed: args.value("--seed", base.seed),
+    };
+    let repeat: u32 = args.value("--repeat", if smoke { 1 } else { 3 });
+    let label = args.raw_value("--label").unwrap_or_else(|| {
+        if smoke {
+            "smoke".into()
+        } else {
+            "paper".into()
+        }
+    });
+
+    let mut best: Option<FwdMeasurement> = None;
+    for _ in 0..repeat.max(1) {
+        let mut fw = build_forwarding_world(p);
+        let m = run_forwarding(&mut fw);
+        if best.map(|b| m.wall < b.wall).unwrap_or(true) {
+            best = Some(m);
+        }
+    }
+    let m = best.unwrap();
+    let json = run_json(&label, p, &m);
+    println!("{json}");
+    eprintln!(
+        "{} events in {:.1} ms -> {:.2} M events/sec ({:.2} M fwd pkts/sec)",
+        m.events,
+        m.wall.as_secs_f64() * 1e3,
+        m.events_per_sec() / 1e6,
+        m.packets_per_sec() / 1e6,
+    );
+    if let Some(path) = args.raw_value("--out") {
+        std::fs::write(&path, format!("{json}\n")).expect("write JSON");
+        eprintln!("wrote {path}");
+    }
+}

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p sc-bench --bin scenarios [--prefixes N] \
-//!     [--flows N] [--seed N] [--quick] [--smoke] [--jsonl] \
+//!     [--flows N] [--seed N] [--workers N] [--quick] [--smoke] [--jsonl] \
 //!     [--csv out.csv] [--json out.json]
 //! ```
 //!
@@ -12,6 +12,9 @@
 //! * `--quick`: 1k prefixes and the cut/flap scripts only (CI-sized);
 //! * `--smoke`: one topology, 300 prefixes, cut + 2-cycle flap — the
 //!   seconds-scale sanity run CI executes on every push;
+//! * `--workers N`: pin the suite worker pool (default: one thread per
+//!   core) — perf trajectories want a fixed, machine-independent degree
+//!   of parallelism;
 //! * `--jsonl`: stream one JSON object per trial to stdout *as each
 //!   trial completes* instead of buffering the whole report — long
 //!   sweeps become watchable and `tail -f`-able. Errors stream inline
@@ -41,6 +44,7 @@ fn main() {
     let prefixes: u32 = args.value("--prefixes", default_prefixes);
     let flows: usize = args.value("--flows", if smoke { 10 } else { 50 });
     let seed: u64 = args.value("--seed", 42);
+    let workers: Option<usize> = args.raw_value("--workers").and_then(|v| v.parse().ok());
 
     let topologies = if smoke {
         vec![TopologySpec::Chain {
@@ -93,6 +97,7 @@ fn main() {
             seed,
             ..ScenarioConfig::default()
         },
+        workers,
     };
     let trials = suite.topologies.len() * suite.scripts.len() * suite.modes.len();
     if !jsonl {
@@ -118,7 +123,7 @@ fn main() {
     if !jsonl {
         let mut table = Table::new(&[
             "topology", "script", "mode", "median", "p95", "max", "lost", "detect", "rewrites",
-            "cycles",
+            "cycles", "Mev/s",
         ]);
         for row in &report.rows {
             let s = row.stats();
@@ -146,6 +151,7 @@ fn main() {
                 } else {
                     "-".into()
                 },
+                format!("{:.1}", row.events_per_sec as f64 / 1e6),
             ]);
         }
         println!("{}", table.render());

@@ -1,0 +1,202 @@
+//! The end-to-end data-plane forwarding world used by `sc-bench perf`
+//! and the `dataplane` Criterion benchmark.
+//!
+//! Topology: traffic source → R1 (full FIB, static routes) → sink. The
+//! router exercises exactly the per-packet pipeline the scenario suite
+//! pays for every probe — Ethernet/IPv4 parse, LPM (or flow-cache hit),
+//! ARP resolution, MAC rewrite, TTL decrement — without any
+//! control-plane activity, so wall-clock events/sec measures the frame
+//! path itself. Every quantity is a pure function of the arguments;
+//! only the wall-clock readings differ between runs.
+
+use sc_net::{Ipv4Addr, MacAddr, SimDuration, SimTime};
+use sc_routegen::{prefix_universe, sample_flow_ips};
+use sc_router::{Calibration, Interface, LegacyRouter, RouterConfig, StaticRoute};
+use sc_sim::{LinkParams, NodeId, PortId, World};
+use sc_traffic::{SinkConfig, SourceConfig, TrafficSink, TrafficSource};
+
+const MAC_SOURCE: MacAddr = MacAddr([0x02, 0xaa, 0, 0, 0, 1]);
+const MAC_R1_LAN: MacAddr = MacAddr([0x02, 0x10, 0, 0, 0, 1]);
+const MAC_R1_SINK: MacAddr = MacAddr([0x02, 0x10, 0, 0, 0, 2]);
+const MAC_SINK: MacAddr = MacAddr([0x02, 0xbb, 0, 0, 0, 1]);
+const IP_SOURCE: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 100);
+const IP_R1_LAN: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const IP_R1_SINK: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 1);
+const IP_SINK: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 100);
+
+/// A wired source → router → sink world plus the ids a driver needs.
+pub struct ForwardingWorld {
+    pub world: World,
+    pub source: NodeId,
+    pub router: NodeId,
+    pub sink: NodeId,
+    /// When the source stops transmitting.
+    pub stop: SimTime,
+}
+
+/// Parameters of the forwarding benchmark world.
+#[derive(Clone, Copy, Debug)]
+pub struct FwdParams {
+    /// FIB size (static routes over the synthetic prefix universe).
+    pub prefixes: u32,
+    /// Monitored flows (one destination IP each).
+    pub flows: usize,
+    /// Probe rate per flow.
+    pub rate_pps: u64,
+    /// Transmission window length (virtual time).
+    pub window: SimDuration,
+    pub seed: u64,
+}
+
+impl FwdParams {
+    /// Paper-scale load: 10k-prefix FIB, 100 flows × 14 kpps.
+    pub fn paper() -> FwdParams {
+        FwdParams {
+            prefixes: 10_000,
+            flows: 100,
+            rate_pps: 14_000,
+            window: SimDuration::from_secs(1),
+            seed: 42,
+        }
+    }
+
+    /// Seconds-scale CI variant.
+    pub fn smoke() -> FwdParams {
+        FwdParams {
+            prefixes: 1_000,
+            flows: 20,
+            rate_pps: 14_000,
+            window: SimDuration::from_millis(250),
+            seed: 42,
+        }
+    }
+}
+
+/// Build the forwarding world. The router's FIB is pre-populated with
+/// one static route per universe prefix (all toward the sink), so every
+/// probe traverses a full-size LPM table.
+pub fn build_forwarding_world(p: FwdParams) -> ForwardingWorld {
+    let universe = prefix_universe(p.prefixes, p.seed);
+    let flow_ips = sample_flow_ips(&universe, p.flows, p.seed);
+    let start = SimTime::from_millis(10);
+    let stop = start + p.window;
+
+    let mut world = World::new(p.seed);
+    let source = world.add_node(TrafficSource::new(
+        SourceConfig {
+            name: "src".into(),
+            mac: MAC_SOURCE,
+            ip: IP_SOURCE,
+            gateway_mac: MAC_R1_LAN,
+            flows: flow_ips.clone(),
+            rate_pps: p.rate_pps,
+            start,
+            stop,
+            payload_len: 22,
+        },
+        PortId(0),
+    ));
+    let router = world.add_node(LegacyRouter::new(RouterConfig {
+        name: "r1".into(),
+        asn: 65000,
+        router_id: IP_R1_LAN,
+        cal: Calibration::instant(),
+    }));
+    let sink = world.add_node(TrafficSink::new(SinkConfig::paper("sink", flow_ips)));
+
+    // Connection order fixes the port numbering: source:0 ↔ r1:0,
+    // r1:1 ↔ sink:0.
+    let latency = LinkParams::with_latency(SimDuration::from_micros(10));
+    world.connect(source, router, latency);
+    world.connect(router, sink, latency);
+
+    {
+        let r1 = world.node_mut::<LegacyRouter>(router);
+        r1.add_interface(Interface {
+            port: PortId(0),
+            ip: IP_R1_LAN,
+            mac: MAC_R1_LAN,
+            subnet: "10.0.0.0/24".parse().unwrap(),
+        });
+        r1.add_interface(Interface {
+            port: PortId(1),
+            ip: IP_R1_SINK,
+            mac: MAC_R1_SINK,
+            subnet: "10.1.0.0/24".parse().unwrap(),
+        });
+        for prefix in universe {
+            r1.add_static_route(StaticRoute {
+                prefix,
+                next_hop: IP_SINK,
+            });
+        }
+        r1.add_static_arp(IP_SINK, MAC_SINK);
+        r1.add_static_arp(IP_SOURCE, MAC_SOURCE);
+    }
+
+    ForwardingWorld {
+        world,
+        source,
+        router,
+        sink,
+        stop,
+    }
+}
+
+/// The measured outcome of one forwarding run.
+#[derive(Clone, Copy, Debug)]
+pub struct FwdMeasurement {
+    pub events: u64,
+    pub wall: std::time::Duration,
+    pub packets_sent: u64,
+    pub packets_forwarded: u64,
+}
+
+impl FwdMeasurement {
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    pub fn packets_per_sec(&self) -> f64 {
+        self.packets_forwarded as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Drive a forwarding world to the end of its window, timing the run.
+pub fn run_forwarding(fw: &mut ForwardingWorld) -> FwdMeasurement {
+    let end = fw.stop + SimDuration::from_millis(50);
+    let t0 = std::time::Instant::now();
+    fw.world.run_until(end);
+    let wall = t0.elapsed();
+    let sent = fw.world.node::<TrafficSource>(fw.source).packets_sent;
+    let forwarded = fw.world.node::<LegacyRouter>(fw.router).stats.forwarded;
+    FwdMeasurement {
+        events: fw.world.stats().events_processed,
+        wall,
+        packets_sent: sent,
+        packets_forwarded: forwarded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_probe_is_forwarded_and_counted() {
+        let mut fw = build_forwarding_world(FwdParams {
+            prefixes: 200,
+            flows: 5,
+            rate_pps: 1_000,
+            window: SimDuration::from_millis(100),
+            seed: 7,
+        });
+        let m = run_forwarding(&mut fw);
+        assert_eq!(m.packets_sent, 5 * 100, "1 kpps × 5 flows × 100 ms");
+        assert_eq!(m.packets_forwarded, m.packets_sent, "no drops");
+        let sink = fw.world.node::<TrafficSink>(fw.sink);
+        assert_eq!(sink.active_flows(), 5);
+        assert_eq!(sink.unexpected_packets, 0);
+        assert!(m.events > m.packets_sent, "≥1 event per packet hop");
+    }
+}

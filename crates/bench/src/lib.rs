@@ -3,6 +3,8 @@
 //! table/figure of the paper — and the Criterion micro-benchmarks in
 //! `benches/`.
 
+pub mod fwd;
+
 use sc_net::SimDuration;
 
 /// Render a duration the way the paper's Fig. 5 labels do: seconds with

@@ -666,7 +666,7 @@ impl Node for Controller {
         }
     }
 
-    fn on_frame(&mut self, ctx: &mut Ctx, _port: PortId, frame: Vec<u8>) {
+    fn on_frame(&mut self, ctx: &mut Ctx, _port: PortId, frame: sc_net::Frame) {
         // NIC filter: the switch floods unknown-unicast frames (e.g. a
         // peer's BFD packets addressed to a *dead* controller replica
         // after its L2 entry was purged); without this filter those

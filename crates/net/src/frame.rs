@@ -1,0 +1,214 @@
+//! [`Frame`] — the shared, cheaply-clonable Ethernet frame buffer.
+//!
+//! Every frame in the simulator used to be a bare `Vec<u8>`: flooding a
+//! switch port deep-copied the bytes per port, and the event queue moved
+//! 24-byte vector headers around. `Frame` is a refcounted buffer with
+//! copy-on-write mutation:
+//!
+//! * `clone()` bumps a reference count — flooding N ports or fanning a
+//!   probe template out per tick shares one allocation;
+//! * [`Frame::make_mut`] hands out `&mut Vec<u8>`, cloning the bytes
+//!   first only when another holder still references them (the
+//!   in-flight copy of a probe whose template is being re-stamped, a
+//!   flooded sibling being MAC-rewritten);
+//! * the payload inside the event queue is a single pointer;
+//! * retired buffers are recycled through a bounded thread-local pool,
+//!   so steady-state forwarding (probe template shared → router
+//!   copy-on-write → sink read → drop) performs **zero allocations**
+//!   per packet: the copy-on-write pops the `Arc` the previous packet
+//!   returned.
+//!
+//! `Deref<Target = [u8]>` keeps every parser call site (`parse(&frame)`)
+//! untouched.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cap on recycled buffers per thread (steady-state forwarding needs a
+/// handful; the cap bounds memory after bursts).
+const POOL_CAP: usize = 64;
+
+thread_local! {
+    /// Retired sole-holder frames, control block and byte buffer both
+    /// intact, ready to back the next copy-on-write without touching
+    /// the allocator. Per-thread because each simulation world runs
+    /// single-threaded.
+    static POOL: RefCell<Vec<Arc<Vec<u8>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A shared immutable-until-written frame buffer.
+///
+/// The inner `Option` is an implementation detail of buffer recycling
+/// (`Drop` moves the `Arc` into the pool); it is `Some` at every other
+/// moment of the frame's life.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Frame(Option<Arc<Vec<u8>>>);
+
+impl Frame {
+    /// Wrap an encoded frame.
+    pub fn new(bytes: Vec<u8>) -> Frame {
+        Frame(Some(Arc::new(bytes)))
+    }
+
+    #[inline]
+    fn arc(&self) -> &Arc<Vec<u8>> {
+        self.0.as_ref().expect("frame already retired")
+    }
+
+    /// Mutable access for in-place patching (MAC rewrite, TTL decrement,
+    /// sequence stamping). O(1) when this is the only holder; clones the
+    /// bytes first (into a recycled buffer when one is free) when the
+    /// buffer is shared, so no other holder ever observes the mutation.
+    pub fn make_mut(&mut self) -> &mut Vec<u8> {
+        // No weak refs exist anywhere in the workspace, so strong_count
+        // is the whole sharing story.
+        if Arc::strong_count(self.arc()) > 1 {
+            // Copy-on-write backed by the recycle pool: pooled arcs are
+            // sole-holder by construction, so `get_mut` succeeds.
+            let mut arc = POOL
+                .with(|p| p.borrow_mut().pop())
+                .unwrap_or_else(|| Arc::new(Vec::new()));
+            let buf = Arc::get_mut(&mut arc).expect("pooled arc is sole-holder");
+            buf.clear();
+            buf.extend_from_slice(self.arc());
+            self.0 = Some(arc);
+        }
+        Arc::get_mut(self.0.as_mut().expect("frame already retired"))
+            .expect("sole holder after copy-on-write")
+    }
+
+    /// Copy out the bytes (interop with owned-`Vec<u8>` APIs such as
+    /// control-message payloads).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.arc().as_ref().clone()
+    }
+
+    /// Number of holders sharing this buffer (diagnostics/tests).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(self.arc())
+    }
+}
+
+impl Drop for Frame {
+    fn drop(&mut self) {
+        // Last holder: retire the whole Arc (control block + bytes)
+        // into the pool instead of freeing it.
+        if let Some(arc) = self.0.take() {
+            if Arc::strong_count(&arc) == 1 && arc.capacity() > 0 {
+                POOL.with(|p| {
+                    let mut p = p.borrow_mut();
+                    if p.len() < POOL_CAP {
+                        p.push(arc);
+                    }
+                });
+            }
+        }
+    }
+}
+
+impl Deref for Frame {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.arc().as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Frame {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.arc().as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Frame {
+    fn from(bytes: Vec<u8>) -> Frame {
+        Frame::new(bytes)
+    }
+}
+
+impl From<&[u8]> for Frame {
+    fn from(bytes: &[u8]) -> Frame {
+        Frame::new(bytes.to_vec())
+    }
+}
+
+impl fmt::Debug for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Frame[{}; rc={}]", self.arc().len(), self.ref_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let a = Frame::new(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a.ref_count(), 2);
+        assert_eq!(&*a, &*b);
+        assert_eq!(a.as_ptr(), b.as_ptr(), "no copy on clone");
+    }
+
+    #[test]
+    fn make_mut_is_in_place_for_sole_holder() {
+        let mut a = Frame::new(vec![1, 2, 3]);
+        let p = a.as_ptr();
+        a.make_mut()[0] = 9;
+        assert_eq!(a.as_ptr(), p, "no reallocation when unshared");
+        assert_eq!(&*a, &[9, 2, 3]);
+    }
+
+    #[test]
+    fn make_mut_copies_on_write_when_shared() {
+        let mut a = Frame::new(vec![1, 2, 3]);
+        let b = a.clone();
+        a.make_mut()[0] = 9;
+        assert_eq!(&*a, &[9, 2, 3]);
+        assert_eq!(&*b, &[1, 2, 3], "other holder untouched");
+        assert_eq!(a.ref_count(), 1);
+        assert_eq!(b.ref_count(), 1);
+    }
+
+    #[test]
+    fn dropped_buffers_are_recycled_into_cow() {
+        // Dropping a sole-holder frame parks its buffer in the
+        // thread-local pool; the next copy-on-write reuses it instead
+        // of allocating.
+        let recycled_ptr = {
+            let f = Frame::new(vec![7u8; 64]);
+            f.as_ptr()
+        }; // dropped -> pooled
+        let mut a = Frame::new(vec![1, 2, 3]);
+        let _b = a.clone(); // force the CoW path
+        a.make_mut()[0] = 9;
+        assert_eq!(a.as_ptr(), recycled_ptr, "CoW popped the pooled buffer");
+        assert_eq!(&*a, &[9, 2, 3]);
+    }
+
+    #[test]
+    fn shared_frames_are_not_pooled_on_drop() {
+        // Dropping one of two holders must leave the survivor intact.
+        let a = Frame::new(vec![5u8; 16]);
+        let b = a.clone();
+        drop(a);
+        assert_eq!(b.ref_count(), 1);
+        assert_eq!(&*b, &[5u8; 16]);
+    }
+
+    #[test]
+    fn deref_feeds_slice_apis() {
+        let f = Frame::from(vec![0u8; 64]);
+        assert_eq!(f.len(), 64);
+        assert!(!f.is_empty());
+        assert_eq!(f.to_vec().len(), 64);
+        fn takes_slice(s: &[u8]) -> usize {
+            s.len()
+        }
+        assert_eq!(takes_slice(&f), 64);
+    }
+}

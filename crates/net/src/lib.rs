@@ -9,6 +9,10 @@
 //!   rather than in the simulator crate.
 //! * [`mac`] — Ethernet MAC addresses, including the locally-administered
 //!   range used for the paper's *virtual MAC* (VMAC) tags.
+//! * [`frame`] — the refcounted copy-on-write frame buffer ([`Frame`])
+//!   every simulated packet travels in.
+//! * [`fxhash`] — the deterministic fast hasher behind every hot-path
+//!   map (flow cache, sink CAM, ARP cache, switch L2 table).
 //! * [`prefix`] — IPv4 CIDR prefixes with canonicalization.
 //! * [`trie`] — a binary radix trie implementing longest-prefix match, the
 //!   data structure backing every RIB/FIB in the workspace.
@@ -24,12 +28,16 @@
 
 pub mod channel;
 pub mod checksum;
+pub mod frame;
+pub mod fxhash;
 pub mod mac;
 pub mod prefix;
 pub mod time;
 pub mod trie;
 pub mod wire;
 
+pub use frame::Frame;
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use mac::MacAddr;
 pub use prefix::{Ipv4Prefix, PrefixParseError};
 pub use time::{SimDuration, SimTime};

@@ -20,7 +20,7 @@ pub mod udp;
 pub use arp::{ArpOp, ArpRepr};
 pub use ethernet::{EtherType, EthernetRepr};
 pub use ipv4::Ipv4Repr;
-pub use stack::{open_udp_frame, udp_frame, UdpDatagram, UdpEndpoints};
+pub use stack::{open_udp_frame, peek_udp_frame, udp_frame, UdpDatagram, UdpEndpoints};
 pub use udp::UdpRepr;
 
 use std::fmt;

@@ -69,10 +69,16 @@ pub fn udp_frame(ep: UdpEndpoints, ttl: u8, payload: &[u8]) -> Vec<u8> {
     .to_frame(&packet)
 }
 
-/// Open a frame expected to be Ethernet/IPv4/UDP; validates all layers.
-/// Returns `Ok(None)` if the frame is well-formed but *not* UDP-over-IPv4
-/// (e.g. ARP), so callers can fall through to other handlers.
-pub fn open_udp_frame(frame: &[u8]) -> Result<Option<UdpDatagram>, WireError> {
+/// The borrowed view [`peek_udp_frame`] returns: the three parsed
+/// header layers plus the payload slice, no copies.
+pub type UdpView<'a> = (EthernetRepr, Ipv4Repr, UdpRepr, &'a [u8]);
+
+/// Parse the Ethernet/IPv4/UDP layers of a frame *without copying the
+/// payload* — identical validation to [`open_udp_frame`], returned by
+/// borrow. Hot-path receivers that only need addressing (the traffic
+/// sink's CAM match) use this; control-plane code that hands the
+/// payload onward keeps the owned [`open_udp_frame`].
+pub fn peek_udp_frame(frame: &[u8]) -> Result<Option<UdpView<'_>>, WireError> {
     let (eth, eth_payload) = EthernetRepr::parse(frame)?;
     if eth.ethertype != EtherType::Ipv4 {
         return Ok(None);
@@ -82,12 +88,21 @@ pub fn open_udp_frame(frame: &[u8]) -> Result<Option<UdpDatagram>, WireError> {
         return Ok(None);
     }
     let (udp, payload) = UdpRepr::parse(ip.src, ip.dst, ip_payload)?;
-    Ok(Some(UdpDatagram {
-        eth,
-        ip,
-        udp,
-        payload: payload.to_vec(),
-    }))
+    Ok(Some((eth, ip, udp, payload)))
+}
+
+/// Open a frame expected to be Ethernet/IPv4/UDP; validates all layers.
+/// Returns `Ok(None)` if the frame is well-formed but *not* UDP-over-IPv4
+/// (e.g. ARP), so callers can fall through to other handlers.
+pub fn open_udp_frame(frame: &[u8]) -> Result<Option<UdpDatagram>, WireError> {
+    Ok(
+        peek_udp_frame(frame)?.map(|(eth, ip, udp, payload)| UdpDatagram {
+            eth,
+            ip,
+            udp,
+            payload: payload.to_vec(),
+        }),
+    )
 }
 
 #[cfg(test)]

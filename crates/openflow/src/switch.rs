@@ -20,10 +20,10 @@ use crate::table::{FlowEntry, FlowStats, FlowTable};
 use crate::types::{Action, FlowKey, FlowMatch};
 use sc_net::channel::ChannelEvent;
 use sc_net::wire::{open_udp_frame, EthernetRepr};
-use sc_net::{MacAddr, SimDuration, SimTime};
+use sc_net::{Frame, FxHashMap, MacAddr, SimDuration, SimTime};
 use sc_sim::{ChannelPort, Ctx, Node, PortId, TimerToken};
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Timer token for the flow-install completion queue.
 const TIMER_INSTALL: TimerToken = TimerToken(2);
@@ -111,7 +111,7 @@ impl PendingOp {
 pub struct OfSwitch {
     cfg: SwitchConfig,
     table: FlowTable,
-    l2: HashMap<MacAddr, PortId>,
+    l2: FxHashMap<MacAddr, PortId>,
     data_ports: Vec<PortId>,
     /// Control channels — redundant controllers each get one (§3 of the
     /// paper: data-plane reliability via redundant switches, control
@@ -129,7 +129,7 @@ impl OfSwitch {
         OfSwitch {
             cfg,
             table: FlowTable::new(),
-            l2: HashMap::new(),
+            l2: FxHashMap::default(),
             data_ports: Vec::new(),
             controllers: Vec::new(),
             pending: VecDeque::new(),
@@ -162,7 +162,7 @@ impl OfSwitch {
     }
 
     /// The learned L2 table (for tests).
-    pub fn l2_table(&self) -> &HashMap<MacAddr, PortId> {
+    pub fn l2_table(&self) -> &FxHashMap<MacAddr, PortId> {
         &self.l2
     }
 
@@ -252,7 +252,7 @@ impl OfSwitch {
                 // Controller-injected frame (e.g. an ARP reply). No
                 // ingress port; flood excludes nothing but the controller
                 // channel.
-                self.execute_actions(ctx, None, &actions, frame);
+                self.execute_actions(ctx, None, &actions, frame.into());
             }
             OfMessage::StatsRequest => {
                 let flows = self
@@ -348,7 +348,7 @@ impl OfSwitch {
     }
 
     /// Run the data-plane pipeline on a frame.
-    fn forward(&mut self, ctx: &mut Ctx, in_port: PortId, frame: Vec<u8>) {
+    fn forward(&mut self, ctx: &mut Ctx, in_port: PortId, frame: Frame) {
         self.stats.frames_in += 1;
         let Some(key) = FlowKey::extract(in_port.0 as u16, &frame) else {
             self.stats.dropped += 1;
@@ -389,15 +389,17 @@ impl OfSwitch {
                 self.stats.packet_ins += 1;
                 let msg = OfMessage::PacketIn {
                     in_port: in_port.0 as u16,
-                    frame,
+                    frame: frame.to_vec(),
                 };
                 self.send_to_controllers(ctx, msg);
             }
         }
     }
 
-    fn flood(&mut self, ctx: &mut Ctx, except: Option<PortId>, frame: Vec<u8>) {
+    fn flood(&mut self, ctx: &mut Ctx, except: Option<PortId>, frame: Frame) {
         self.stats.flooded += 1;
+        // Every egress shares one buffer: N ports cost N refcount
+        // bumps, not N byte copies.
         for &p in &self.data_ports {
             if Some(p) != except {
                 self.stats.frames_out += 1;
@@ -411,15 +413,15 @@ impl OfSwitch {
         ctx: &mut Ctx,
         in_port: Option<PortId>,
         actions: &[Action],
-        mut frame: Vec<u8>,
+        mut frame: Frame,
     ) {
         for action in actions {
             match action {
                 Action::SetDstMac(m) => {
-                    let _ = EthernetRepr::rewrite_dst(&mut frame, *m);
+                    let _ = EthernetRepr::rewrite_dst(frame.make_mut(), *m);
                 }
                 Action::SetSrcMac(m) => {
-                    let _ = EthernetRepr::rewrite_src(&mut frame, *m);
+                    let _ = EthernetRepr::rewrite_src(frame.make_mut(), *m);
                 }
                 Action::Output(p) => {
                     self.stats.frames_out += 1;
@@ -432,7 +434,7 @@ impl OfSwitch {
                     self.stats.packet_ins += 1;
                     let msg = OfMessage::PacketIn {
                         in_port: in_port.map(|p| p.0 as u16).unwrap_or(u16::MAX),
-                        frame: frame.clone(),
+                        frame: frame.to_vec(),
                     };
                     self.send_to_controllers(ctx, msg);
                 }
@@ -450,7 +452,7 @@ impl Node for OfSwitch {
         &self.cfg.name
     }
 
-    fn on_frame(&mut self, ctx: &mut Ctx, port: PortId, frame: Vec<u8>) {
+    fn on_frame(&mut self, ctx: &mut Ctx, port: PortId, frame: Frame) {
         // Control-channel traffic is any UDP datagram matching one of
         // the controller channels' 5-tuples; everything else is data
         // plane.

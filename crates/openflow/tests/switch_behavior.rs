@@ -39,8 +39,8 @@ impl Node for Host {
             ctx.set_timer_at(*at, TimerToken(i as u64 + 100));
         }
     }
-    fn on_frame(&mut self, ctx: &mut Ctx, _port: PortId, frame: Vec<u8>) {
-        self.received.push((ctx.now(), frame));
+    fn on_frame(&mut self, ctx: &mut Ctx, _port: PortId, frame: sc_net::Frame) {
+        self.received.push((ctx.now(), frame.to_vec()));
     }
     fn on_timer(&mut self, ctx: &mut Ctx, token: TimerToken) {
         let idx = (token.0 - 100) as usize;
@@ -88,7 +88,7 @@ impl Node for StubController {
             chan.flush(ctx); // kick off the channel handshake
         }
     }
-    fn on_frame(&mut self, ctx: &mut Ctx, _port: PortId, frame: Vec<u8>) {
+    fn on_frame(&mut self, ctx: &mut Ctx, _port: PortId, frame: sc_net::Frame) {
         let Ok(Some(d)) = open_udp_frame(&frame) else {
             return;
         };

@@ -11,8 +11,7 @@
 //! request per second per address, a bounded queue of packets waiting on
 //! resolution, and entry expiry.
 
-use sc_net::{MacAddr, SimDuration, SimTime};
-use std::collections::HashMap;
+use sc_net::{Frame, FxHashMap, MacAddr, SimDuration, SimTime};
 use std::net::Ipv4Addr;
 
 /// Maximum frames parked per unresolved next-hop.
@@ -34,15 +33,15 @@ struct CacheEntry {
 
 #[derive(Debug, Default)]
 struct Pending {
-    frames: Vec<Vec<u8>>,
+    frames: Vec<Frame>,
     last_request: Option<SimTime>,
 }
 
 /// The ARP client state.
 #[derive(Debug, Default)]
 pub struct ArpClient {
-    cache: HashMap<Ipv4Addr, CacheEntry>,
-    pending: HashMap<Ipv4Addr, Pending>,
+    cache: FxHashMap<Ipv4Addr, CacheEntry>,
+    pending: FxHashMap<Ipv4Addr, Pending>,
     /// Counters.
     pub requests_sent: u64,
     pub replies_learned: u64,
@@ -83,15 +82,23 @@ impl ArpClient {
 
     /// Current resolution, if fresh.
     pub fn lookup(&self, ip: Ipv4Addr, now: SimTime) -> Option<MacAddr> {
+        self.lookup_with_expiry(ip, now).map(|(mac, _)| mac)
+    }
+
+    /// Like [`ArpClient::lookup`], also returning when the entry stops
+    /// being valid (statics return [`SimTime::MAX`]). The router's flow
+    /// cache stores this deadline so a memoized L2 rewrite can never
+    /// outlive the ARP entry it was derived from.
+    pub fn lookup_with_expiry(&self, ip: Ipv4Addr, now: SimTime) -> Option<(MacAddr, SimTime)> {
         self.cache
             .get(&ip)
             .filter(|e| e.expires > now)
-            .map(|e| e.mac)
+            .map(|e| (e.mac, e.expires))
     }
 
     /// Resolve `ip` for `frame`. Either returns the MAC, or parks the
     /// frame and tells the caller whether to transmit an ARP request.
-    pub fn resolve(&mut self, ip: Ipv4Addr, frame: Vec<u8>, now: SimTime) -> Resolution {
+    pub fn resolve(&mut self, ip: Ipv4Addr, frame: Frame, now: SimTime) -> Resolution {
         if let Some(mac) = self.lookup(ip, now) {
             return Resolution::Ready(mac);
         }
@@ -136,7 +143,7 @@ impl ArpClient {
     /// Learn a mapping (from an ARP reply — or gratuitously from a
     /// request's sender fields, as real stacks do). Returns any frames
     /// that were waiting for it.
-    pub fn learn(&mut self, ip: Ipv4Addr, mac: MacAddr, now: SimTime) -> Vec<Vec<u8>> {
+    pub fn learn(&mut self, ip: Ipv4Addr, mac: MacAddr, now: SimTime) -> Vec<Frame> {
         match self.cache.get(&ip) {
             Some(e) if e.is_static => return Vec::new(), // statics never change
             _ => {}
@@ -206,12 +213,12 @@ mod tests {
     #[test]
     fn first_resolve_queues_and_requests() {
         let mut arp = ArpClient::new();
-        match arp.resolve(VNH, vec![1], t(0)) {
+        match arp.resolve(VNH, vec![1].into(), t(0)) {
             Resolution::QueuedSendRequest(ip) => assert_eq!(ip, VNH),
             other => panic!("expected request, got {other:?}"),
         }
         // Second frame within the rate-limit window: queued, no request.
-        assert_eq!(arp.resolve(VNH, vec![2], t(100)), Resolution::Queued);
+        assert_eq!(arp.resolve(VNH, vec![2].into(), t(100)), Resolution::Queued);
         assert_eq!(arp.requests_sent, 1);
         assert_eq!(arp.pending_count(), 1);
     }
@@ -219,33 +226,39 @@ mod tests {
     #[test]
     fn reply_releases_queued_frames_in_order() {
         let mut arp = ArpClient::new();
-        arp.resolve(VNH, vec![1], t(0));
-        arp.resolve(VNH, vec![2], t(1));
+        arp.resolve(VNH, vec![1].into(), t(0));
+        arp.resolve(VNH, vec![2].into(), t(1));
         let released = arp.learn(VNH, VMAC, t(5));
-        assert_eq!(released, vec![vec![1], vec![2]]);
+        assert_eq!(released, vec![Frame::from(vec![1]), Frame::from(vec![2])]);
         assert_eq!(arp.lookup(VNH, t(6)), Some(VMAC));
         assert_eq!(arp.pending_count(), 0);
         // Subsequent resolutions hit the cache.
-        assert_eq!(arp.resolve(VNH, vec![3], t(7)), Resolution::Ready(VMAC));
+        assert_eq!(
+            arp.resolve(VNH, vec![3].into(), t(7)),
+            Resolution::Ready(VMAC)
+        );
     }
 
     #[test]
     fn queue_bounded_drops_excess() {
         let mut arp = ArpClient::new();
         for i in 0..MAX_PENDING_PER_ADDR {
-            let r = arp.resolve(VNH, vec![i as u8], t(i as u64));
+            let r = arp.resolve(VNH, vec![i as u8].into(), t(i as u64));
             assert_ne!(r, Resolution::Dropped);
         }
-        assert_eq!(arp.resolve(VNH, vec![99], t(50)), Resolution::Dropped);
+        assert_eq!(
+            arp.resolve(VNH, vec![99].into(), t(50)),
+            Resolution::Dropped
+        );
         assert_eq!(arp.frames_dropped, 1);
     }
 
     #[test]
     fn rate_limit_one_request_per_second() {
         let mut arp = ArpClient::new();
-        arp.resolve(VNH, vec![1], t(0));
-        assert_eq!(arp.resolve(VNH, vec![2], t(999)), Resolution::Queued);
-        match arp.resolve(VNH, vec![3], t(1000)) {
+        arp.resolve(VNH, vec![1].into(), t(0));
+        assert_eq!(arp.resolve(VNH, vec![2].into(), t(999)), Resolution::Queued);
+        match arp.resolve(VNH, vec![3].into(), t(1000)) {
             Resolution::QueuedSendRequest(_) => {}
             other => panic!("retry due after 1s, got {other:?}"),
         }
@@ -268,8 +281,8 @@ mod tests {
         let mut arp = ArpClient::new();
         let a = Ipv4Addr::new(10, 200, 0, 2);
         let b = Ipv4Addr::new(10, 200, 0, 1);
-        arp.resolve(a, vec![1], t(0));
-        arp.resolve(b, vec![2], t(0));
+        arp.resolve(a, vec![1].into(), t(0));
+        arp.resolve(b, vec![2].into(), t(0));
         assert!(arp.retries_due(t(500)).is_empty());
         let due = arp.retries_due(SimTime::from_secs(2));
         assert_eq!(due, vec![b, a], "sorted for determinism");

@@ -24,9 +24,11 @@
 pub mod arp;
 pub mod calibration;
 pub mod fib;
+pub mod flowcache;
 pub mod node;
 
 pub use arp::ArpClient;
 pub use calibration::Calibration;
 pub use fib::{Fib, FibEntry, FibOp, FibWalker};
+pub use flowcache::{FlowCache, FlowCacheEntry};
 pub use node::{Interface, LegacyRouter, PeerConfig, RouterConfig, StaticRoute};

@@ -17,6 +17,7 @@
 use crate::arp::{ArpClient, Resolution};
 use crate::calibration::Calibration;
 use crate::fib::{Fib, FibOp, FibWalker};
+use crate::flowcache::{FlowCache, FlowCacheEntry};
 use sc_bfd::{BfdConfig, BfdEvent, BfdSession};
 use sc_bgp::msg::{BgpMessage, UpdateMsg};
 use sc_bgp::session::{DownReason, Session, SessionConfig, SessionEvent};
@@ -27,7 +28,7 @@ use sc_net::wire::{
     open_udp_frame, udp_frame, ArpOp, ArpRepr, EtherType, EthernetRepr, Ipv4Repr, UdpDatagram,
     UdpEndpoints,
 };
-use sc_net::{Ipv4Prefix, MacAddr, SimDuration, SimTime};
+use sc_net::{Frame, Ipv4Prefix, MacAddr, SimDuration, SimTime};
 use sc_sim::{ChannelPort, Ctx, Node, PortId, TimerToken};
 use std::any::Any;
 use std::net::Ipv4Addr;
@@ -172,6 +173,13 @@ pub struct LegacyRouter {
     walker_armed: bool,
     arp: ArpClient,
     arp_timer_armed: bool,
+    /// The dst-IP → (out-port, rewritten MAC) memo consulted before the
+    /// LPM trie; see [`crate::flowcache`] for the invalidation rules.
+    flow_cache: FlowCache,
+    /// Diagnostics knob: `false` forces every packet down the LPM slow
+    /// path. The determinism regression tests flip this to prove the
+    /// cache never changes a forwarding decision.
+    flow_cache_enabled: bool,
     pub stats: RouterStats,
     pub events: Vec<(SimTime, RouterEvent)>,
 }
@@ -190,6 +198,8 @@ impl LegacyRouter {
             walker_armed: false,
             arp: ArpClient::new(),
             arp_timer_armed: false,
+            flow_cache: FlowCache::new(),
+            flow_cache_enabled: true,
             stats: RouterStats::default(),
             events: Vec::new(),
         }
@@ -211,6 +221,22 @@ impl LegacyRouter {
     /// the measurement sink).
     pub fn add_static_arp(&mut self, ip: Ipv4Addr, mac: MacAddr) {
         self.arp.add_static(ip, mac);
+        self.flow_cache.invalidate_next_hop(ip);
+    }
+
+    /// Disable (or re-enable) the forwarding flow cache. Every packet
+    /// then takes the full LPM → interface-scan → ARP path; forwarding
+    /// decisions must be identical either way (regression-tested).
+    pub fn set_flow_cache_enabled(&mut self, enabled: bool) {
+        self.flow_cache_enabled = enabled;
+        if !enabled {
+            self.flow_cache = FlowCache::new();
+        }
+    }
+
+    /// The forwarding flow cache (hit/invalidation counters).
+    pub fn flow_cache(&self) -> &FlowCache {
+        &self.flow_cache
     }
 
     /// Configure a BGP peer. Must be called before the world starts.
@@ -629,6 +655,9 @@ impl LegacyRouter {
                 // Learn the sender opportunistically, reply if it asks
                 // for one of our addresses.
                 let released = self.arp.learn(arp.sender_ip, arp.sender_mac, ctx.now());
+                // The L2 mapping (possibly) changed: memoized rewrites
+                // through this next-hop are stale.
+                self.flow_cache.invalidate_next_hop(arp.sender_ip);
                 self.release_frames(ctx, released, arp.sender_ip);
                 if arp.target_ip == iface.ip {
                     self.stats.arp_replies_sent += 1;
@@ -644,12 +673,13 @@ impl LegacyRouter {
             }
             ArpOp::Reply => {
                 let released = self.arp.learn(arp.sender_ip, arp.sender_mac, ctx.now());
+                self.flow_cache.invalidate_next_hop(arp.sender_ip);
                 self.release_frames(ctx, released, arp.sender_ip);
             }
         }
     }
 
-    fn release_frames(&mut self, ctx: &mut Ctx, frames: Vec<Vec<u8>>, nh: Ipv4Addr) {
+    fn release_frames(&mut self, ctx: &mut Ctx, frames: Vec<Frame>, nh: Ipv4Addr) {
         if frames.is_empty() {
             return;
         }
@@ -661,26 +691,42 @@ impl LegacyRouter {
         };
         let port = self.interfaces[iface_idx].port;
         for mut frame in frames {
-            if EthernetRepr::rewrite_dst(&mut frame, mac).is_ok() {
+            if EthernetRepr::rewrite_dst(frame.make_mut(), mac).is_ok() {
                 self.stats.forwarded += 1;
                 ctx.send_frame(port, frame);
             }
         }
     }
 
-    fn forward_ipv4(&mut self, ctx: &mut Ctx, mut frame: Vec<u8>) {
-        // frame = eth header + ipv4 packet. Parse (validates checksum).
-        let parsed = {
-            let (_, eth_payload) = EthernetRepr::parse(&frame).unwrap();
-            Ipv4Repr::parse(eth_payload)
-        };
-        let Ok((ip, _)) = parsed else {
-            self.stats.dropped_malformed += 1;
-            return;
-        };
+    /// Forward a non-local IPv4 frame. `ip` is the already-validated
+    /// header [`LegacyRouter::on_frame`] parsed (checksum checked once
+    /// per packet, not once per lookup).
+    fn forward_ipv4(&mut self, ctx: &mut Ctx, mut frame: Frame, ip: Ipv4Repr) {
         if ip.ttl <= 1 {
             self.stats.dropped_ttl += 1;
             return;
+        }
+        let now = ctx.now();
+        let ip_off = sc_net::wire::ethernet::HEADER_LEN;
+        // Flow-cache hit: the memoized decision, applying exactly the
+        // transform the slow path below would (L2 src rewrite, TTL
+        // decrement + checksum fixup, L2 dst rewrite) — only the LPM
+        // walk, interface scan and ARP lookup are skipped, so the
+        // emitted bytes are identical either way.
+        if self.flow_cache_enabled {
+            if let Some(e) = self.flow_cache.lookup(ip.dst, now) {
+                let iface = self.interfaces[e.iface];
+                let buf = frame.make_mut();
+                let _ = EthernetRepr::rewrite_src(buf, iface.mac);
+                if Ipv4Repr::decrement_ttl(&mut buf[ip_off..]).is_err() {
+                    self.stats.dropped_ttl += 1;
+                    return;
+                }
+                let _ = EthernetRepr::rewrite_dst(buf, e.dst_mac);
+                self.stats.forwarded += 1;
+                ctx.send_frame(iface.port, frame);
+                return;
+            }
         }
         // LPM in the *installed* FIB — the data plane sees exactly what
         // the walker has applied so far.
@@ -699,17 +745,31 @@ impl LegacyRouter {
         };
         let iface = self.interfaces[iface_idx];
         // Rewrite L2 source and decrement TTL in place.
-        let _ = EthernetRepr::rewrite_src(&mut frame, iface.mac);
-        let ip_off = sc_net::wire::ethernet::HEADER_LEN;
-        if Ipv4Repr::decrement_ttl(&mut frame[ip_off..]).is_err() {
-            self.stats.dropped_ttl += 1;
-            return;
+        {
+            let buf = frame.make_mut();
+            let _ = EthernetRepr::rewrite_src(buf, iface.mac);
+            if Ipv4Repr::decrement_ttl(&mut buf[ip_off..]).is_err() {
+                self.stats.dropped_ttl += 1;
+                return;
+            }
         }
-        let now = ctx.now();
         // Fast path: resolved next-hop (static or cached).
-        if let Some(mac) = self.arp.lookup(nh, now) {
-            let _ = EthernetRepr::rewrite_dst(&mut frame, mac);
+        if let Some((mac, expires)) = self.arp.lookup_with_expiry(nh, now) {
+            let _ = EthernetRepr::rewrite_dst(frame.make_mut(), mac);
             self.stats.forwarded += 1;
+            if self.flow_cache_enabled {
+                // Memoize for the flow's next packet; `expires` caps the
+                // memo at the backing ARP entry's lifetime.
+                self.flow_cache.insert(
+                    ip.dst,
+                    FlowCacheEntry {
+                        next_hop: nh,
+                        iface: iface_idx,
+                        dst_mac: mac,
+                        expires,
+                    },
+                );
+            }
             ctx.send_frame(iface.port, frame);
             return;
         }
@@ -813,7 +873,7 @@ impl Node for LegacyRouter {
         }
     }
 
-    fn on_frame(&mut self, ctx: &mut Ctx, port: PortId, frame: Vec<u8>) {
+    fn on_frame(&mut self, ctx: &mut Ctx, port: PortId, frame: Frame) {
         let Ok((eth, payload)) = EthernetRepr::parse(&frame) else {
             self.stats.dropped_malformed += 1;
             return;
@@ -831,7 +891,8 @@ impl Node for LegacyRouter {
         match eth.ethertype {
             EtherType::Arp => self.handle_arp(ctx, port, payload),
             EtherType::Ipv4 => {
-                // Local delivery or forwarding?
+                // Local delivery or forwarding? One parse (with header
+                // checksum validation) serves both answers.
                 let Ok((ip, _)) = Ipv4Repr::parse(payload) else {
                     self.stats.dropped_malformed += 1;
                     return;
@@ -842,7 +903,7 @@ impl Node for LegacyRouter {
                         _ => self.stats.dropped_malformed += 1,
                     }
                 } else {
-                    self.forward_ipv4(ctx, frame);
+                    self.forward_ipv4(ctx, frame, ip);
                 }
             }
             EtherType::Other(_) => {}
@@ -853,7 +914,11 @@ impl Node for LegacyRouter {
         match token {
             TIMER_WALKER => {
                 self.walker_armed = false;
-                self.walker.apply_one(&mut self.fib, ctx.now());
+                if let Some(op) = self.walker.apply_one(&mut self.fib, ctx.now()) {
+                    // Precise invalidation: only destinations covered by
+                    // the changed prefix can have a different best match.
+                    self.flow_cache.invalidate_prefix(op.prefix());
+                }
                 self.arm_walker(ctx);
             }
             TIMER_ARP => {

@@ -64,8 +64,8 @@ impl Node for Host {
             ctx.set_timer_at(*at, TimerToken(i as u64));
         }
     }
-    fn on_frame(&mut self, ctx: &mut Ctx, _port: PortId, frame: Vec<u8>) {
-        self.received.push((ctx.now(), frame));
+    fn on_frame(&mut self, ctx: &mut Ctx, _port: PortId, frame: sc_net::Frame) {
+        self.received.push((ctx.now(), frame.to_vec()));
     }
     fn on_timer(&mut self, ctx: &mut Ctx, token: TimerToken) {
         let (_, frame) = self.script[token.0 as usize].clone();

@@ -64,6 +64,10 @@ pub struct ScenarioConfig {
     pub control_loss: f64,
     /// Keep a bounded event trace.
     pub trace: bool,
+    /// Router forwarding flow cache (diagnostics knob: `false` forces
+    /// every packet down the LPM slow path; results must be identical —
+    /// the determinism regression tests prove it).
+    pub flow_cache: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -80,6 +84,7 @@ impl Default for ScenarioConfig {
             reaction_delay: SimDuration::from_millis(3),
             control_loss: 0.0,
             trace: false,
+            flow_cache: true,
         }
     }
 }
@@ -119,10 +124,22 @@ pub struct BuiltScenario {
 
 /// Build the world for one (topology, mode) pair.
 pub fn build_scenario(topo: &TopologySpec, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenario {
-    match topo {
+    let mut scn = match topo {
         TopologySpec::Fig4Lab => build_fig4(mode, cfg),
         other => build_generic(other.blueprint(), mode, cfg),
+    };
+    if !cfg.flow_cache {
+        let routers: Vec<NodeId> = std::iter::once(scn.r1)
+            .chain(scn.providers.iter().copied())
+            .chain(scn.forwarders.iter().copied())
+            .collect();
+        for id in routers {
+            scn.world
+                .node_mut::<LegacyRouter>(id)
+                .set_flow_cache_enabled(false);
+        }
     }
+    scn
 }
 
 /// The Fig. 4 lab, by delegation to [`ConvergenceLab`] (backward

@@ -86,6 +86,13 @@ pub struct ScenarioOutcome {
     pub flow_rewrites: Option<usize>,
     /// One entry per scripted failure epoch, in onset order.
     pub cycles: Vec<CycleOutcome>,
+    /// Kernel events the trial processed (deterministic: a pure
+    /// function of the suite config).
+    pub events_processed: u64,
+    /// Wall-clock events/second the kernel sustained — the perf
+    /// trajectory metric. Machine- and run-dependent; excluded from the
+    /// `*_stable` report variants.
+    pub events_per_sec: u64,
 }
 
 impl ScenarioOutcome {
@@ -162,6 +169,8 @@ pub fn run_scenario(
         setup_time,
         flow_rewrites: scn.flow_rewrites(),
         cycles,
+        events_processed: scn.world.stats().events_processed,
+        events_per_sec: scn.world.events_per_sec() as u64,
     }
 }
 
@@ -172,6 +181,9 @@ pub struct SuiteConfig {
     pub scripts: Vec<EventScript>,
     pub modes: Vec<Mode>,
     pub base: ScenarioConfig,
+    /// Worker-pool size; `None` = one thread per available core. Perf
+    /// runs pin this so wall-clock numbers are comparable.
+    pub workers: Option<usize>,
 }
 
 impl SuiteConfig {
@@ -198,6 +210,7 @@ impl SuiteConfig {
             ],
             modes: vec![Mode::Stock, Mode::Supercharged],
             base: ScenarioConfig::default(),
+            workers: None,
         }
     }
 }
@@ -262,9 +275,14 @@ pub fn run_suite_with(
     // memory simultaneously. Workers pull the next job index from a
     // shared cursor; rows land in their matrix slot, so the report is
     // identical regardless of scheduling.
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    let workers = suite
+        .workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .max(1)
         .min(jobs.len().max(1));
     let slots: Vec<std::sync::Mutex<Option<TrialResult>>> =
         jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
@@ -322,7 +340,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// The CSV column set; `error` is last so error rows can pad every
 /// metric column and append the message.
-const CSV_HEADER: [&str; 18] = [
+const CSV_HEADER: [&str; 20] = [
     "topology",
     "script",
     "mode",
@@ -340,6 +358,8 @@ const CSV_HEADER: [&str; 18] = [
     "cycle_median_us",
     "cycle_p95_us",
     "cycle_unrecovered",
+    "events",
+    "events_per_sec",
     "error",
 ];
 
@@ -347,8 +367,21 @@ impl SuiteReport {
     /// Per-scenario box statistics as CSV (durations in microseconds).
     /// Multi-epoch scripts add per-cycle columns (`;`-joined, one entry
     /// per cycle in onset order); panicked trials emit a row with blank
-    /// metrics and the panic message in `error`.
+    /// metrics and the panic message in `error`. Includes the
+    /// wall-clock `events_per_sec` perf column — use
+    /// [`SuiteReport::to_csv_stable`] for byte-reproducible files.
     pub fn to_csv(&self) -> String {
+        self.csv_impl(true)
+    }
+
+    /// [`SuiteReport::to_csv`] with the wall-clock `events_per_sec`
+    /// column left blank: identical suite configs produce byte-identical
+    /// files (the determinism regression contract).
+    pub fn to_csv_stable(&self) -> String {
+        self.csv_impl(false)
+    }
+
+    fn csv_impl(&self, wallclock: bool) -> String {
         let mut csv = Csv::new(&CSV_HEADER);
         let us = |d: SimDuration| (d.as_nanos() / 1_000).to_string();
         for row in &self.rows {
@@ -376,6 +409,12 @@ impl SuiteReport {
                 joined(&|c| us(c.stats().median)),
                 joined(&|c| us(c.stats().p95)),
                 joined(&|c| c.unrecovered.to_string()),
+                row.events_processed.to_string(),
+                if wallclock {
+                    row.events_per_sec.to_string()
+                } else {
+                    String::new()
+                },
                 String::new(),
             ]);
         }
@@ -394,8 +433,19 @@ impl SuiteReport {
 
     /// One outcome as a JSON object — the row format of both
     /// [`SuiteReport::to_json`] and the `sc-bench scenarios --jsonl`
-    /// stream (all durations in nanoseconds).
+    /// stream (all durations in nanoseconds). Carries the wall-clock
+    /// `perf.events_per_sec`; [`SuiteReport::row_json_stable`] omits it.
     pub fn row_json(row: &ScenarioOutcome) -> Json {
+        Self::row_json_impl(row, true)
+    }
+
+    /// [`SuiteReport::row_json`] without the wall-clock field —
+    /// identical trials serialize byte-identically.
+    pub fn row_json_stable(row: &ScenarioOutcome) -> Json {
+        Self::row_json_impl(row, false)
+    }
+
+    fn row_json_impl(row: &ScenarioOutcome, wallclock: bool) -> Json {
         let s = row.stats();
         let ns = |d: SimDuration| Json::Int(d.as_nanos());
         let stats_obj = |s: &BoxStats| {
@@ -434,6 +484,14 @@ impl SuiteReport {
                     None => Json::str("n/a"),
                 },
             )
+            .push("perf", {
+                let mut perf = Json::object();
+                perf.push("events", Json::Int(row.events_processed));
+                if wallclock {
+                    perf.push("events_per_sec", Json::Int(row.events_per_sec));
+                }
+                perf
+            })
             .push("stats_ns", stats_obj(&s))
             .push(
                 "per_flow_ns",
@@ -473,11 +531,26 @@ impl SuiteReport {
         obj
     }
 
-    /// The machine-readable summary (all durations in nanoseconds;
-    /// byte-identical for identical suite configs).
+    /// The machine-readable summary (all durations in nanoseconds).
+    /// Rows carry the wall-clock `perf.events_per_sec`; for a
+    /// byte-reproducible file use [`SuiteReport::to_json_stable`].
     pub fn to_json(&self) -> String {
+        self.json_impl(true)
+    }
+
+    /// [`SuiteReport::to_json`] minus the wall-clock perf field:
+    /// identical suite configs produce byte-identical files.
+    pub fn to_json_stable(&self) -> String {
+        self.json_impl(false)
+    }
+
+    fn json_impl(&self, wallclock: bool) -> String {
         let mut root = Json::object();
-        let rows: Vec<Json> = self.rows.iter().map(Self::row_json).collect();
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| Self::row_json_impl(r, wallclock))
+            .collect();
         root.push("rows", Json::Array(rows));
         root.push(
             "errors",

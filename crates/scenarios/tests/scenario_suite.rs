@@ -203,6 +203,7 @@ fn suite_survives_a_panicking_trial() {
             ),
         ],
         modes: vec![Mode::Stock],
+        workers: None,
         base: ScenarioConfig {
             prefixes: 100,
             flows: 3,
@@ -250,6 +251,7 @@ fn suite_json_is_deterministic_from_seed() {
         ],
         scripts: vec![EventScript::primary_cut()],
         modes: vec![Mode::Stock, Mode::Supercharged],
+        workers: None,
         base: ScenarioConfig {
             prefixes: 200,
             flows: 5,
@@ -259,17 +261,98 @@ fn suite_json_is_deterministic_from_seed() {
     };
     let a = run_suite(&suite);
     let b = run_suite(&suite);
-    assert_eq!(a.to_json(), b.to_json(), "same seed, same bytes");
-    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(
+        a.to_json_stable(),
+        b.to_json_stable(),
+        "same seed, same bytes"
+    );
+    assert_eq!(a.to_csv_stable(), b.to_csv_stable());
     assert_eq!(a.rows.len(), 4);
+    // The full variants differ only in the wall-clock perf field; the
+    // deterministic event count is part of the stable contract.
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.events_processed, rb.events_processed);
+        assert!(ra.events_per_sec > 0, "perf trajectory recorded");
+    }
 
     let mut other = suite.clone();
     other.base.seed = 12;
     let c = run_suite(&other);
-    assert_ne!(a.to_json(), c.to_json(), "different seed, different bytes");
+    assert_ne!(
+        a.to_json_stable(),
+        c.to_json_stable(),
+        "different seed, different bytes"
+    );
 
     // Every supercharged row beats its legacy twin.
     for (topo, script, x) in a.speedups() {
         assert!(x > 1.0, "{topo}/{script}: speedup {x}");
+    }
+}
+
+/// The worker-pool size is a scheduling detail: 1 worker and N workers
+/// must produce byte-identical stable reports (rows land by matrix
+/// slot, each world is a pure function of its seed).
+#[test]
+fn worker_count_does_not_change_the_report() {
+    let base = SuiteConfig {
+        topologies: vec![TopologySpec::Chain {
+            providers: 2,
+            hops: 1,
+        }],
+        scripts: vec![EventScript::primary_cut()],
+        modes: vec![Mode::Stock, Mode::Supercharged],
+        workers: Some(1),
+        base: ScenarioConfig {
+            prefixes: 200,
+            flows: 5,
+            seed: 7,
+            ..ScenarioConfig::default()
+        },
+    };
+    let serial = run_suite(&base);
+    let mut wide = base.clone();
+    wide.workers = Some(4);
+    let parallel = run_suite(&wide);
+    assert_eq!(serial.to_json_stable(), parallel.to_json_stable());
+    assert_eq!(serial.to_csv_stable(), parallel.to_csv_stable());
+}
+
+/// The forwarding flow cache is a pure memo: disabling it (every packet
+/// takes the LPM slow path) must leave every convergence number — and
+/// even the kernel event count — byte-identical.
+#[test]
+fn flow_cache_never_changes_forwarding_decisions() {
+    let cached = SuiteConfig {
+        topologies: vec![TopologySpec::Chain {
+            providers: 2,
+            hops: 1,
+        }],
+        scripts: vec![
+            EventScript::primary_cut(),
+            EventScript::primary_flap(sc_net::SimDuration::from_secs(3), 2),
+        ],
+        modes: vec![Mode::Stock, Mode::Supercharged],
+        workers: None,
+        base: ScenarioConfig {
+            prefixes: 200,
+            flows: 5,
+            seed: 21,
+            flow_cache: true,
+            ..ScenarioConfig::default()
+        },
+    };
+    let mut bypass = cached.clone();
+    bypass.base.flow_cache = false;
+    let with_cache = run_suite(&cached);
+    let without = run_suite(&bypass);
+    assert_eq!(
+        with_cache.to_json_stable(),
+        without.to_json_stable(),
+        "cache on vs. bypass: identical measurements"
+    );
+    assert_eq!(with_cache.to_csv_stable(), without.to_csv_stable());
+    for (a, b) in with_cache.rows.iter().zip(&without.rows) {
+        assert_eq!(a.events_processed, b.events_processed, "same event stream");
     }
 }

@@ -177,7 +177,7 @@ mod tests {
                 chan.flush(ctx);
             }
         }
-        fn on_frame(&mut self, ctx: &mut Ctx, _port: PortId, frame: Vec<u8>) {
+        fn on_frame(&mut self, ctx: &mut Ctx, _port: PortId, frame: sc_net::Frame) {
             let Ok(Some(d)) = open_udp_frame(&frame) else {
                 return;
             };

@@ -6,7 +6,7 @@
 //! borrow structure simple and event ordering explicit.
 
 use rand::rngs::SmallRng;
-use sc_net::{SimDuration, SimTime};
+use sc_net::{Frame, SimDuration, SimTime};
 use std::any::Any;
 use std::fmt;
 
@@ -40,7 +40,7 @@ pub(crate) enum Action {
     /// Transmit `frame` on `port` at time `at` (>= now).
     SendFrame {
         port: PortId,
-        frame: Vec<u8>,
+        frame: Frame,
         at: SimTime,
     },
     /// Deliver a timer event carrying `token` at time `at`.
@@ -68,20 +68,21 @@ impl<'a> Ctx<'a> {
     }
 
     /// Transmit an encoded frame on one of this node's ports, now.
-    pub fn send_frame(&mut self, port: PortId, frame: Vec<u8>) {
+    /// Accepts a [`Frame`] (refcount bump) or a freshly built `Vec<u8>`.
+    pub fn send_frame(&mut self, port: PortId, frame: impl Into<Frame>) {
         self.actions.push(Action::SendFrame {
             port,
-            frame,
+            frame: frame.into(),
             at: self.now,
         });
     }
 
     /// Transmit a frame after a local processing delay (e.g. hardware
     /// table-programming latency before a notification leaves the box).
-    pub fn send_frame_after(&mut self, port: PortId, frame: Vec<u8>, delay: SimDuration) {
+    pub fn send_frame_after(&mut self, port: PortId, frame: impl Into<Frame>, delay: SimDuration) {
         self.actions.push(Action::SendFrame {
             port,
-            frame,
+            frame: frame.into(),
             at: self.now + delay,
         });
     }
@@ -124,8 +125,10 @@ pub trait Node: Any {
     /// Called once, at the time the world starts running.
     fn on_start(&mut self, _ctx: &mut Ctx) {}
 
-    /// An encoded Ethernet frame arrived on `port`.
-    fn on_frame(&mut self, ctx: &mut Ctx, port: PortId, frame: Vec<u8>);
+    /// An encoded Ethernet frame arrived on `port`. The [`Frame`] may be
+    /// shared with other in-flight copies (a flood); mutate it through
+    /// [`Frame::make_mut`] only.
+    fn on_frame(&mut self, ctx: &mut Ctx, port: PortId, frame: Frame);
 
     /// A previously armed timer fired.
     fn on_timer(&mut self, _ctx: &mut Ctx, _token: TimerToken) {}

@@ -10,9 +10,10 @@ use crate::node::{Action, Ctx, Node, NodeId, PortId, TimerToken};
 use crate::trace::Trace;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sc_net::{SimDuration, SimTime};
+use sc_net::{Frame, SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
 
 /// Kernel counters (cheap, always on).
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
@@ -29,15 +30,17 @@ pub struct WorldStats {
 
 #[derive(Debug)]
 enum EventKind {
-    /// A frame finishing its flight, to be handed to the receiver.
+    /// A frame finishing its flight, to be handed to the receiver. The
+    /// payload is a pointer-sized [`Frame`], not an owned byte vector —
+    /// the queue moves refcounts, never frame bytes.
     Deliver {
         to: Endpoint,
-        frame: Vec<u8>,
+        frame: Frame,
     },
     /// A frame leaving a node after a processing delay.
     Emit {
         from: Endpoint,
-        frame: Vec<u8>,
+        frame: Frame,
     },
     Timer {
         node: NodeId,
@@ -95,6 +98,12 @@ pub struct World {
     stats: WorldStats,
     started: bool,
     controls: Vec<Option<ControlFn>>,
+    /// Wall-clock time spent inside the run loops (perf reporting only;
+    /// never consulted by the simulation itself).
+    wall: Duration,
+    /// Recycled action buffer handed to each dispatch — one allocation
+    /// for the lifetime of the world instead of one per handler call.
+    action_buf: Vec<Action>,
 }
 
 impl World {
@@ -111,6 +120,8 @@ impl World {
             stats: WorldStats::default(),
             started: false,
             controls: Vec::new(),
+            wall: Duration::ZERO,
+            action_buf: Vec::new(),
         }
     }
 
@@ -127,6 +138,20 @@ impl World {
     /// Kernel counters.
     pub fn stats(&self) -> WorldStats {
         self.stats
+    }
+
+    /// Wall-clock time accumulated inside [`World::run_until`] /
+    /// [`World::run_until_idle`] so far.
+    pub fn wall_time(&self) -> Duration {
+        self.wall
+    }
+
+    /// Events processed per wall-clock second across all run calls so
+    /// far — the kernel's perf trajectory metric. Wall-clock only; two
+    /// runs of the same seed produce identical event streams but
+    /// different `events_per_sec`.
+    pub fn events_per_sec(&self) -> f64 {
+        self.stats.events_processed as f64 / self.wall.as_secs_f64().max(1e-9)
     }
 
     /// The trace buffer.
@@ -253,6 +278,12 @@ impl World {
     /// Process a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
+        self.step_inner()
+    }
+
+    /// [`World::step`] without the start hook (the run loops call this
+    /// so per-event wall-clock accounting stays out of the hot loop).
+    fn step_inner(&mut self) -> bool {
         let Some(Reverse(ev)) = self.queue.pop() else {
             return false;
         };
@@ -267,6 +298,7 @@ impl World {
     /// at `min(deadline, drained)`. Events *at* the deadline run.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
+        let t0 = Instant::now();
         loop {
             match self.queue.peek() {
                 Some(Reverse(ev)) if ev.time <= deadline => {
@@ -278,6 +310,7 @@ impl World {
                 _ => break,
             }
         }
+        self.wall += t0.elapsed();
         if self.now < deadline {
             self.now = deadline;
         }
@@ -293,14 +326,16 @@ impl World {
     /// runaway-loop guard). Returns the final virtual time.
     pub fn run_until_idle(&mut self, max_events: u64) -> SimTime {
         self.ensure_started();
+        let t0 = Instant::now();
         let mut n = 0u64;
-        while self.step() {
+        while self.step_inner() {
             n += 1;
             assert!(
                 n <= max_events,
                 "run_until_idle exceeded {max_events} events"
             );
         }
+        self.wall += t0.elapsed();
         self.now
     }
 
@@ -351,7 +386,7 @@ impl World {
 
     /// Put a frame onto the wire from `from`, applying link faults and
     /// timing. Called at the frame's emission time.
-    fn emit(&mut self, from: Endpoint, frame: Vec<u8>) {
+    fn emit(&mut self, from: Endpoint, frame: Frame) {
         let Some(Some(link_id)) = self.nodes[from.node.0].ports.get(from.port.0).copied() else {
             self.stats.frames_dropped_no_link += 1;
             return;
@@ -375,7 +410,9 @@ impl World {
             && !frame.is_empty()
         {
             let idx = self.rng.gen_range(0..frame.len());
-            frame[idx] ^= 1u8 << self.rng.gen_range(0..8);
+            // Copy-on-write: only this wire's copy is damaged, never a
+            // template or a flooded sibling sharing the buffer.
+            frame.make_mut()[idx] ^= 1u8 << self.rng.gen_range(0..8);
             self.stats.frames_corrupted += 1;
         }
         let arrival = link.schedule_arrival(dir, self.now, frame.len());
@@ -391,14 +428,16 @@ impl World {
         let mut ctx = Ctx {
             now: self.now,
             node: id,
-            actions: Vec::new(),
+            // Dispatch never nests (handlers see a Ctx, not the world),
+            // so the buffer is free to lend out here.
+            actions: std::mem::take(&mut self.action_buf),
             rng: &mut self.rng,
             trace: &mut self.trace,
         };
         f(node.as_mut(), &mut ctx);
-        let actions = std::mem::take(&mut ctx.actions);
+        let mut actions = std::mem::take(&mut ctx.actions);
         self.nodes[id.0].node = Some(node);
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::SendFrame { port, frame, at } => {
                     let from = Endpoint { node: id, port };
@@ -413,6 +452,7 @@ impl World {
                 }
             }
         }
+        self.action_buf = actions;
     }
 }
 
@@ -426,7 +466,7 @@ mod tests {
     struct Echo {
         name: String,
         delay: SimDuration,
-        seen: Vec<(SimTime, PortId, Vec<u8>)>,
+        seen: Vec<(SimTime, PortId, Frame)>,
         link_events: Vec<(PortId, bool)>,
         timer_log: Vec<(SimTime, u64)>,
     }
@@ -447,7 +487,7 @@ mod tests {
         fn name(&self) -> &str {
             &self.name
         }
-        fn on_frame(&mut self, ctx: &mut Ctx, port: PortId, frame: Vec<u8>) {
+        fn on_frame(&mut self, ctx: &mut Ctx, port: PortId, frame: Frame) {
             self.seen.push((ctx.now(), port, frame.clone()));
             if !frame.is_empty() && frame[0] == b'E' {
                 ctx.send_frame_after(port, frame, self.delay);
@@ -483,7 +523,7 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Ctx) {
             ctx.set_timer_after(self.period, TimerToken(1));
         }
-        fn on_frame(&mut self, _ctx: &mut Ctx, _port: PortId, _frame: Vec<u8>) {}
+        fn on_frame(&mut self, _ctx: &mut Ctx, _port: PortId, _frame: Frame) {}
         fn on_timer(&mut self, ctx: &mut Ctx, _token: TimerToken) {
             self.ticks += 1;
             ctx.send_frame(self.out_port, vec![b'T', self.ticks as u8]);
@@ -508,7 +548,7 @@ mod tests {
         w.schedule(SimTime::from_millis(1), move |w| {
             // Inject a frame as if `a` sent it.
             let from = Endpoint { node: a, port: pa };
-            w.emit(from, vec![b'X']);
+            w.emit(from, vec![b'X'].into());
         });
         w.run_until_idle(1000);
         let b_node = w.node::<Echo>(b);
@@ -636,8 +676,8 @@ mod tests {
         let (_l, pa, _pb) = w.connect(a, b, LinkParams::gigabit(SimDuration::from_micros(5)));
         w.schedule(SimTime::from_millis(1), move |w| {
             let from = Endpoint { node: a, port: pa };
-            w.emit(from, vec![0u8; 64]);
-            w.emit(from, vec![1u8; 64]);
+            w.emit(from, vec![0u8; 64].into());
+            w.emit(from, vec![1u8; 64].into());
         });
         w.run_until_idle(100);
         let seen = &w.node::<Echo>(b).seen;
@@ -689,7 +729,7 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Ctx) {
                 ctx.set_timer_after(SimDuration::from_nanos(1), TimerToken(0));
             }
-            fn on_frame(&mut self, _: &mut Ctx, _: PortId, _: Vec<u8>) {}
+            fn on_frame(&mut self, _: &mut Ctx, _: PortId, _: Frame) {}
             fn on_timer(&mut self, ctx: &mut Ctx, _: TimerToken) {
                 ctx.set_timer_after(SimDuration::from_nanos(1), TimerToken(0));
             }
@@ -715,7 +755,7 @@ mod tests {
                     node: a,
                     port: PortId(0),
                 },
-                vec![1, 2, 3],
+                vec![1, 2, 3].into(),
             );
         });
         w.run_until_idle(10);

@@ -14,8 +14,8 @@
 //! equivalent of starting the measurement window).
 
 use sc_net::wire::udp::port as udp_port;
-use sc_net::wire::{open_udp_frame, udp_frame, UdpEndpoints};
-use sc_net::{Ipv4Addr, MacAddr, PrefixTrie, SimDuration, SimTime};
+use sc_net::wire::{peek_udp_frame, udp_frame, UdpEndpoints};
+use sc_net::{Frame, FxHashMap, Ipv4Addr, MacAddr, SimDuration, SimTime};
 use sc_sim::{Ctx, Node, PortId, TimerToken};
 use std::any::Any;
 
@@ -88,21 +88,62 @@ impl SourceConfig {
 
 /// The traffic source node: every tick it emits one packet per flow
 /// (the FPGA's round-robin schedule), with a per-flow sequence number in
-/// the IPv4 ident field.
+/// the first two payload bytes.
+///
+/// Frames are **prebuilt once per flow** at construction — headers,
+/// IPv4 checksum and all — exactly the way the FPGA's packet engine
+/// holds one template per flow in block RAM. Each tick only re-stamps
+/// the 2 sequence bytes (copy-on-write if the previous tick's copy is
+/// still in flight) and clones a refcount, so the per-packet cost is
+/// allocation-free in steady state.
 pub struct TrafficSource {
     cfg: SourceConfig,
     seq: u16,
     pub packets_sent: u64,
     port: PortId,
+    /// One immutable probe frame per flow (same order as `cfg.flows`).
+    templates: Vec<Frame>,
+    /// Byte offset of the sequence stamp (start of the UDP payload).
+    seq_off: usize,
 }
 
 impl TrafficSource {
     pub fn new(cfg: SourceConfig, port: PortId) -> TrafficSource {
+        // Template payload: 0x5c filler. The UDP checksum is zeroed once
+        // (RFC 768: all-zero means "no checksum") because the per-tick
+        // sequence stamp would invalidate a computed one; routers only
+        // validate the IPv4 header checksum, which the stamp never
+        // touches.
+        let payload = vec![0x5c; cfg.payload_len];
+        let udp_off = sc_net::wire::ethernet::HEADER_LEN + sc_net::wire::ipv4::HEADER_LEN;
+        let templates: Vec<Frame> = cfg
+            .flows
+            .iter()
+            .map(|dst| {
+                let mut frame = udp_frame(
+                    UdpEndpoints {
+                        src_mac: cfg.mac,
+                        dst_mac: cfg.gateway_mac,
+                        src_ip: cfg.ip,
+                        dst_ip: *dst,
+                        src_port: 49152,
+                        dst_port: udp_port::PROBE,
+                    },
+                    64,
+                    &payload,
+                );
+                frame[udp_off + 6] = 0;
+                frame[udp_off + 7] = 0;
+                Frame::new(frame)
+            })
+            .collect();
         TrafficSource {
+            seq_off: udp_off + sc_net::wire::udp::HEADER_LEN,
             cfg,
             seq: 0,
             packets_sent: 0,
             port,
+            templates,
         }
     }
 
@@ -130,7 +171,7 @@ impl Node for TrafficSource {
         }
     }
 
-    fn on_frame(&mut self, _ctx: &mut Ctx, _port: PortId, _frame: Vec<u8>) {
+    fn on_frame(&mut self, _ctx: &mut Ctx, _port: PortId, _frame: Frame) {
         // The source never receives (one-way measurement traffic).
     }
 
@@ -143,33 +184,19 @@ impl Node for TrafficSource {
             return;
         }
         self.seq = self.seq.wrapping_add(1);
-        for dst in &self.cfg.flows {
-            let mut frame = udp_frame(
-                UdpEndpoints {
-                    src_mac: self.cfg.mac,
-                    dst_mac: self.cfg.gateway_mac,
-                    src_ip: self.cfg.ip,
-                    dst_ip: *dst,
-                    src_port: 49152,
-                    dst_port: udp_port::PROBE,
-                },
-                64,
-                &vec![0x5c; self.cfg.payload_len],
-            );
-            // Stamp the per-flow sequence number into the IPv4 ident
-            // field (offset 18 = 14 eth + 4), patching the checksum is
-            // unnecessary for the sink but the routers validate it — so
-            // rebuild properly instead: cheaper to tweak before checksum.
-            // We instead encode the sequence in the first payload bytes.
-            let plen = frame.len();
-            frame[plen - self.cfg.payload_len] = (self.seq >> 8) as u8;
-            frame[plen - self.cfg.payload_len + 1] = self.seq as u8;
-            // Fix the UDP checksum after patching payload: recompute.
-            // (Simpler: zero the UDP checksum; RFC 768 allows it.)
-            let udp_off = sc_net::wire::ethernet::HEADER_LEN + sc_net::wire::ipv4::HEADER_LEN;
-            frame[udp_off + 6] = 0;
-            frame[udp_off + 7] = 0;
-            ctx.send_frame(self.port, frame);
+        let stamp = self.cfg.payload_len >= 2;
+        for template in &mut self.templates {
+            // Re-stamp the sequence into the first two payload bytes.
+            // `make_mut` patches in place when the previous copy has
+            // already been consumed, and copies the 64-byte buffer when
+            // one is still in flight — never both allocating headers and
+            // recomputing checksums like the old per-packet build did.
+            if stamp {
+                let buf = template.make_mut();
+                buf[self.seq_off] = (self.seq >> 8) as u8;
+                buf[self.seq_off + 1] = self.seq as u8;
+            }
+            ctx.send_frame(self.port, template.clone());
             self.packets_sent += 1;
         }
         let next = now + self.cfg.nominal_gap();
@@ -234,7 +261,10 @@ impl SinkConfig {
 /// same CAM (the paper wires both providers into one sink board).
 pub struct TrafficSink {
     cfg: SinkConfig,
-    cam: PrefixTrie<usize>,
+    /// The expected-destination CAM. The FPGA's CAM is an exact matcher
+    /// over host addresses, so a hash map *is* the faithful model — and
+    /// a per-packet O(1) hit instead of a 32-level trie walk.
+    cam: FxHashMap<Ipv4Addr, usize>,
     flows: Vec<FlowState>,
     pub unexpected_packets: u64,
     /// Gap tracking is measured relative to this instant (reset before
@@ -244,9 +274,10 @@ pub struct TrafficSink {
 
 impl TrafficSink {
     pub fn new(cfg: SinkConfig) -> TrafficSink {
-        let mut cam = PrefixTrie::new();
+        let mut cam = FxHashMap::default();
+        cam.reserve(cfg.expected.len());
         for (i, ip) in cfg.expected.iter().enumerate() {
-            cam.insert(sc_net::Ipv4Prefix::host(*ip), i);
+            cam.insert(*ip, i);
         }
         let flows = vec![FlowState::default(); cfg.expected.len()];
         TrafficSink {
@@ -315,14 +346,16 @@ impl Node for TrafficSink {
         &self.cfg.name
     }
 
-    fn on_frame(&mut self, ctx: &mut Ctx, _port: PortId, frame: Vec<u8>) {
-        let Ok(Some(d)) = open_udp_frame(&frame) else {
+    fn on_frame(&mut self, ctx: &mut Ctx, _port: PortId, frame: Frame) {
+        // Borrowed header parse: same validation as `open_udp_frame`,
+        // no payload copy (the sink only matches on addressing).
+        let Ok(Some((_eth, ip, udp, _payload))) = peek_udp_frame(&frame) else {
             return;
         };
-        if d.udp.dst_port != udp_port::PROBE {
+        if udp.dst_port != udp_port::PROBE {
             return;
         }
-        let Some((_, &idx)) = self.cam.lookup(d.ip.dst) else {
+        let Some(&idx) = self.cam.get(&ip.dst) else {
             self.unexpected_packets += 1;
             return;
         };
