@@ -106,6 +106,7 @@ fn bench_e2e_forwarding(c: &mut Criterion) {
         // transmitting for every timed window.
         window: SimDuration::from_secs(3600),
         seed: 42,
+        scheduler: sc_sim::SchedulerKind::default(),
     };
     let mut fw = build_forwarding_world(p);
     // Reach steady state (templates warm, flow cache populated).

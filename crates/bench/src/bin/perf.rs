@@ -1,24 +1,44 @@
-//! **Data-plane perf trajectory** — wall-clock events/sec on the
-//! end-to-end forwarding world (source → full-FIB router → sink).
+//! **Perf trajectory** — wall-clock events/sec on two end-to-end
+//! worlds: the data-plane forwarding world (source → full-FIB router →
+//! sink) and, with `--churn`, the control-plane churn world (full
+//! feeds + BFD + scripted withdraw/re-announce bursts).
 //!
 //! ```text
 //! cargo run --release -p sc-bench --bin perf -- \
 //!     [--smoke] [--prefixes N] [--flows N] [--rate PPS] [--ms MS] \
 //!     [--repeat K] [--label NAME] [--out FILE]
 //! cargo run --release -p sc-bench --bin perf -- \
-//!     --merge baseline.json after.json [--out BENCH_PR3.json]
+//!     --churn [--smoke] [--baseline] [--sched heap|wheel] \
+//!     [--legacy-encode] [--prefixes N] [--providers K] [--bursts B]
+//! cargo run --release -p sc-bench --bin perf -- \
+//!     --merge baseline.json after.json [--out BENCH_PR4.json]
+//! cargo run --release -p sc-bench --bin perf -- \
+//!     --repeat 3 --check BENCH_PR3.json [--tolerance 20]
 //! ```
 //!
 //! Emits one flat JSON object per run: the world parameters (all
 //! deterministic) plus the wall-clock readings (machine-dependent).
 //! `--repeat K` keeps the fastest of K runs — the usual noise guard.
 //! `--merge A B` combines two run files into the committed
-//! `BENCH_PR3.json` shape (`{"baseline":…,"after":…,"speedup":…}`),
+//! `BENCH_PRn.json` shape (`{"baseline":…,"after":…,"speedup":…}`),
 //! which is how the per-PR perf trajectory is regenerated.
+//!
+//! `--churn --baseline` reconstructs the pre-refactor control path
+//! (reference heap scheduler + fresh-`Vec` encode); the event stream
+//! is identical either way, so the events/s ratio isolates kernel cost.
+//! `--check FILE` compares the run against the `after` entry of a
+//! committed trajectory point and fails (exit 1) on a regression
+//! beyond the tolerance (percent, default 20) — tolerance-gated so
+//! run-to-run jitter does not flake the build. Run the check at the
+//! *same scale* as the committed point (the trajectory files record
+//! paper-scale runs, so no `--smoke`): absolute events/s across
+//! different world sizes is not comparable.
 
+use sc_bench::churn::{build_churn_world, run_churn, ChurnMeasurement, ChurnParams};
 use sc_bench::fwd::{build_forwarding_world, run_forwarding, FwdMeasurement, FwdParams};
 use sc_bench::Args;
 use sc_net::SimDuration;
+use sc_sim::SchedulerKind;
 
 fn run_json(label: &str, p: FwdParams, m: &FwdMeasurement) -> String {
     format!(
@@ -54,6 +74,14 @@ fn extract_u64(json: &str, key: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// Pull a string field out of a flat run JSON.
+fn extract_str(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let at = json.find(&needle)? + needle.len();
+    let end = json[at..].find('"')?;
+    Some(json[at..at + end].to_string())
+}
+
 fn merge(baseline_path: &str, after_path: &str) -> String {
     let read = |p: &str| {
         std::fs::read_to_string(p)
@@ -63,12 +91,112 @@ fn merge(baseline_path: &str, after_path: &str) -> String {
     };
     let baseline = read(baseline_path);
     let after = read(after_path);
+    let bench = extract_str(&baseline, "bench").unwrap_or_else(|| "dataplane_forward".into());
     let b = extract_u64(&baseline, "events_per_sec").expect("baseline events_per_sec");
     let a = extract_u64(&after, "events_per_sec").expect("after events_per_sec");
     let speedup = a as f64 / b.max(1) as f64;
     format!(
-        "{{\"bench\":\"dataplane_forward\",\"speedup_events_per_sec\":{speedup:.2},\n \"baseline\":{baseline},\n \"after\":{after}}}\n"
+        "{{\"bench\":\"{bench}\",\"speedup_events_per_sec\":{speedup:.2},\n \"baseline\":{baseline},\n \"after\":{after}}}\n"
     )
+}
+
+fn churn_json(label: &str, p: ChurnParams, m: &ChurnMeasurement) -> String {
+    format!(
+        concat!(
+            "{{\"label\":\"{}\",\"bench\":\"control_churn\",",
+            "\"prefixes\":{},\"providers\":{},\"bursts\":{},\"burst_prefixes\":{},",
+            "\"scheduler\":\"{}\",\"legacy_encode\":{},",
+            "\"events\":{},\"updates_processed\":{},\"fib_ops_applied\":{},",
+            "\"wall_ms\":{:.3},\"events_per_sec\":{}}}"
+        ),
+        label,
+        p.prefixes,
+        p.providers,
+        p.bursts,
+        p.burst_prefixes,
+        match p.scheduler {
+            SchedulerKind::TimerWheel => "wheel",
+            SchedulerKind::ReferenceHeap => "heap",
+        },
+        p.legacy_encode,
+        m.events,
+        m.updates_processed,
+        m.fib_ops_applied,
+        m.wall.as_secs_f64() * 1e3,
+        m.events_per_sec() as u64,
+    )
+}
+
+/// The `events_per_sec` of the `after` entry in a merged trajectory
+/// file (or the only entry of a flat run file).
+fn baseline_events_per_sec(json: &str) -> Option<u64> {
+    let tail = match json.find("\"after\":") {
+        Some(at) => &json[at..],
+        None => json,
+    };
+    extract_u64(tail, "events_per_sec")
+}
+
+fn run_churn_bench(args: &Args) -> (String, u64) {
+    let smoke = args.flag("--smoke");
+    let base = if smoke {
+        ChurnParams::smoke()
+    } else {
+        ChurnParams::paper()
+    };
+    let baseline = args.flag("--baseline");
+    // An explicit --sched overrides the --baseline default (heap), so
+    // e.g. `--baseline --sched wheel` isolates the legacy encode path.
+    let scheduler = match args.raw_value("--sched").as_deref() {
+        Some("heap") => SchedulerKind::ReferenceHeap,
+        Some("wheel") => SchedulerKind::TimerWheel,
+        None if baseline => SchedulerKind::ReferenceHeap,
+        None => SchedulerKind::TimerWheel,
+        Some(other) => panic!("unknown --sched {other} (heap|wheel)"),
+    };
+    let p = ChurnParams {
+        prefixes: args.value("--prefixes", base.prefixes),
+        providers: args.value("--providers", base.providers),
+        bursts: args.value("--bursts", base.bursts),
+        burst_prefixes: args.value("--burst-prefixes", base.burst_prefixes),
+        interval: SimDuration::from_micros(
+            args.value("--interval-us", base.interval.as_nanos() / 1_000),
+        ),
+        bfd_interval: SimDuration::from_micros(
+            args.value("--bfd-us", base.bfd_interval.as_nanos() / 1_000),
+        ),
+        seed: args.value("--seed", base.seed),
+        scheduler,
+        legacy_encode: baseline || args.flag("--legacy-encode"),
+    };
+    let repeat: u32 = args.value("--repeat", if smoke { 1 } else { 3 });
+    let label = args.raw_value("--label").unwrap_or_else(|| {
+        if baseline {
+            "churn-baseline".into()
+        } else if smoke {
+            "churn-smoke".into()
+        } else {
+            "churn".into()
+        }
+    });
+    let mut best: Option<ChurnMeasurement> = None;
+    for _ in 0..repeat.max(1) {
+        let mut cw = build_churn_world(p);
+        let m = run_churn(&mut cw);
+        if best.map(|b| m.wall < b.wall).unwrap_or(true) {
+            best = Some(m);
+        }
+    }
+    let m = best.unwrap();
+    eprintln!(
+        "{} events in {:.1} ms -> {:.2} M events/sec ({} updates, {} FIB ops)",
+        m.events,
+        m.wall.as_secs_f64() * 1e3,
+        m.events_per_sec() / 1e6,
+        m.updates_processed,
+        m.fib_ops_applied,
+    );
+    (churn_json(&label, p, &m), m.events_per_sec() as u64)
 }
 
 fn main() {
@@ -96,48 +224,79 @@ fn main() {
         return;
     }
 
-    let smoke = args.flag("--smoke");
-    let base = if smoke {
-        FwdParams::smoke()
+    let (json, events_per_sec) = if args.flag("--churn") {
+        run_churn_bench(&args)
     } else {
-        FwdParams::paper()
-    };
-    let p = FwdParams {
-        prefixes: args.value("--prefixes", base.prefixes),
-        flows: args.value("--flows", base.flows),
-        rate_pps: args.value("--rate", base.rate_pps),
-        window: SimDuration::from_millis(args.value("--ms", base.window.as_nanos() / 1_000_000)),
-        seed: args.value("--seed", base.seed),
-    };
-    let repeat: u32 = args.value("--repeat", if smoke { 1 } else { 3 });
-    let label = args.raw_value("--label").unwrap_or_else(|| {
-        if smoke {
-            "smoke".into()
+        let smoke = args.flag("--smoke");
+        let base = if smoke {
+            FwdParams::smoke()
         } else {
-            "paper".into()
-        }
-    });
+            FwdParams::paper()
+        };
+        let p = FwdParams {
+            prefixes: args.value("--prefixes", base.prefixes),
+            flows: args.value("--flows", base.flows),
+            rate_pps: args.value("--rate", base.rate_pps),
+            window: SimDuration::from_millis(
+                args.value("--ms", base.window.as_nanos() / 1_000_000),
+            ),
+            seed: args.value("--seed", base.seed),
+            scheduler: match args.raw_value("--sched").as_deref() {
+                Some("heap") => SchedulerKind::ReferenceHeap,
+                Some("wheel") | None => SchedulerKind::TimerWheel,
+                Some(other) => panic!("unknown --sched {other} (heap|wheel)"),
+            },
+        };
+        let repeat: u32 = args.value("--repeat", if smoke { 1 } else { 3 });
+        let label = args.raw_value("--label").unwrap_or_else(|| {
+            if smoke {
+                "smoke".into()
+            } else {
+                "paper".into()
+            }
+        });
 
-    let mut best: Option<FwdMeasurement> = None;
-    for _ in 0..repeat.max(1) {
-        let mut fw = build_forwarding_world(p);
-        let m = run_forwarding(&mut fw);
-        if best.map(|b| m.wall < b.wall).unwrap_or(true) {
-            best = Some(m);
+        let mut best: Option<FwdMeasurement> = None;
+        for _ in 0..repeat.max(1) {
+            let mut fw = build_forwarding_world(p);
+            let m = run_forwarding(&mut fw);
+            if best.map(|b| m.wall < b.wall).unwrap_or(true) {
+                best = Some(m);
+            }
         }
-    }
-    let m = best.unwrap();
-    let json = run_json(&label, p, &m);
+        let m = best.unwrap();
+        eprintln!(
+            "{} events in {:.1} ms -> {:.2} M events/sec ({:.2} M fwd pkts/sec)",
+            m.events,
+            m.wall.as_secs_f64() * 1e3,
+            m.events_per_sec() / 1e6,
+            m.packets_per_sec() / 1e6,
+        );
+        (run_json(&label, p, &m), m.events_per_sec() as u64)
+    };
     println!("{json}");
-    eprintln!(
-        "{} events in {:.1} ms -> {:.2} M events/sec ({:.2} M fwd pkts/sec)",
-        m.events,
-        m.wall.as_secs_f64() * 1e3,
-        m.events_per_sec() / 1e6,
-        m.packets_per_sec() / 1e6,
-    );
     if let Some(path) = args.raw_value("--out") {
         std::fs::write(&path, format!("{json}\n")).expect("write JSON");
         eprintln!("wrote {path}");
+    }
+    // Regression gate: compare against a committed trajectory point.
+    if let Some(path) = args.raw_value("--check") {
+        let committed =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let reference =
+            baseline_events_per_sec(&committed).expect("no events_per_sec in check file");
+        let tolerance_pct: u64 = args.value("--tolerance", 20);
+        let floor = reference * (100 - tolerance_pct.min(99)) / 100;
+        if events_per_sec < floor {
+            eprintln!(
+                "PERF REGRESSION: {events_per_sec} events/s < {floor} \
+                 ({tolerance_pct}% below committed {reference} in {path})"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "perf check ok: {events_per_sec} events/s >= {floor} \
+             (committed {reference} in {path}, tolerance {tolerance_pct}%)"
+        );
     }
 }

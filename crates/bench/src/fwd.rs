@@ -46,6 +46,9 @@ pub struct FwdParams {
     /// Transmission window length (virtual time).
     pub window: SimDuration,
     pub seed: u64,
+    /// Event scheduler for the world (kernel-cost comparison axis; the
+    /// event stream is identical either way).
+    pub scheduler: sc_sim::SchedulerKind,
 }
 
 impl FwdParams {
@@ -57,6 +60,7 @@ impl FwdParams {
             rate_pps: 14_000,
             window: SimDuration::from_secs(1),
             seed: 42,
+            scheduler: sc_sim::SchedulerKind::default(),
         }
     }
 
@@ -68,6 +72,7 @@ impl FwdParams {
             rate_pps: 14_000,
             window: SimDuration::from_millis(250),
             seed: 42,
+            scheduler: sc_sim::SchedulerKind::default(),
         }
     }
 }
@@ -81,7 +86,7 @@ pub fn build_forwarding_world(p: FwdParams) -> ForwardingWorld {
     let start = SimTime::from_millis(10);
     let stop = start + p.window;
 
-    let mut world = World::new(p.seed);
+    let mut world = World::with_scheduler(p.seed, p.scheduler);
     let source = world.add_node(TrafficSource::new(
         SourceConfig {
             name: "src".into(),
@@ -190,6 +195,7 @@ mod tests {
             rate_pps: 1_000,
             window: SimDuration::from_millis(100),
             seed: 7,
+            scheduler: sc_sim::SchedulerKind::default(),
         });
         let m = run_forwarding(&mut fw);
         assert_eq!(m.packets_sent, 5 * 100, "1 kpps × 5 flows × 100 ms");

@@ -3,6 +3,7 @@
 //! table/figure of the paper — and the Criterion micro-benchmarks in
 //! `benches/`.
 
+pub mod churn;
 pub mod fwd;
 
 use sc_net::SimDuration;

@@ -191,52 +191,107 @@ const FLAG_OPTIONAL: u8 = 0x80;
 const FLAG_TRANSITIVE: u8 = 0x40;
 const FLAG_EXTENDED: u8 = 0x10;
 
+/// Wire size of one attribute's header + value.
+fn attr_wire_len(value_len: usize) -> usize {
+    if value_len > 255 {
+        4 + value_len // flags, code, 2-byte extended length
+    } else {
+        3 + value_len
+    }
+}
+
+/// Wire size of the AS_PATH attribute *value* (segments only).
+fn as_path_value_len(path: &AsPath) -> usize {
+    path.segments
+        .iter()
+        .map(|s| match s {
+            AsSegment::Sequence(v) | AsSegment::Set(v) => 2 + v.len() * 2,
+        })
+        .sum()
+}
+
+/// Exact encoded size of the path-attributes block, without encoding.
+/// Pinned to [`encode_attrs`] by unit and property tests; UPDATE packing
+/// sizes messages through this instead of a trial encode.
+pub fn encoded_attrs_len(attrs: &RouteAttrs) -> usize {
+    let mut n = attr_wire_len(1); // ORIGIN
+    n += attr_wire_len(as_path_value_len(&attrs.as_path));
+    n += attr_wire_len(4); // NEXT_HOP
+    if attrs.med.is_some() {
+        n += attr_wire_len(4);
+    }
+    if attrs.local_pref.is_some() {
+        n += attr_wire_len(4);
+    }
+    if !attrs.communities.is_empty() {
+        n += attr_wire_len(attrs.communities.len() * 4);
+    }
+    n
+}
+
+/// Write one attribute header (choosing the extended-length form when
+/// the value exceeds 255 bytes); the caller appends the value bytes.
+fn push_attr_header(out: &mut Vec<u8>, flags: u8, code: u8, value_len: usize) {
+    if value_len > 255 {
+        out.push(flags | FLAG_EXTENDED);
+        out.push(code);
+        out.extend_from_slice(&(value_len as u16).to_be_bytes());
+    } else {
+        out.push(flags);
+        out.push(code);
+        out.push(value_len as u8);
+    }
+}
+
 /// Encode the attribute set into the UPDATE's path-attributes block.
+/// Appends to `out` without any intermediate allocation (the hot
+/// control-plane path reuses one buffer per session).
 pub fn encode_attrs(attrs: &RouteAttrs, out: &mut Vec<u8>) {
-    let mut push_attr = |flags: u8, code: u8, value: &[u8]| {
-        if value.len() > 255 {
-            out.push(flags | FLAG_EXTENDED);
-            out.push(code);
-            out.extend_from_slice(&(value.len() as u16).to_be_bytes());
-        } else {
-            out.push(flags);
-            out.push(code);
-            out.push(value.len() as u8);
-        }
-        out.extend_from_slice(value);
-    };
+    push_attr_header(out, FLAG_TRANSITIVE, ATTR_ORIGIN, 1);
+    out.push(attrs.origin as u8);
 
-    push_attr(FLAG_TRANSITIVE, ATTR_ORIGIN, &[attrs.origin as u8]);
-
-    let mut path = Vec::new();
+    // AS_PATH: the value length is computable up front, so the segments
+    // stream straight into `out` — no temporary path buffer.
+    push_attr_header(
+        out,
+        FLAG_TRANSITIVE,
+        ATTR_AS_PATH,
+        as_path_value_len(&attrs.as_path),
+    );
     for seg in &attrs.as_path.segments {
         let (ty, ases) = match seg {
             AsSegment::Sequence(v) => (SEG_SEQUENCE, v),
             AsSegment::Set(v) => (SEG_SET, v),
         };
         assert!(ases.len() <= 255, "AS segment too long");
-        path.push(ty);
-        path.push(ases.len() as u8);
+        out.push(ty);
+        out.push(ases.len() as u8);
         for a in ases {
-            path.extend_from_slice(&a.to_be_bytes());
+            out.extend_from_slice(&a.to_be_bytes());
         }
     }
-    push_attr(FLAG_TRANSITIVE, ATTR_AS_PATH, &path);
 
-    push_attr(FLAG_TRANSITIVE, ATTR_NEXT_HOP, &attrs.next_hop.octets());
+    push_attr_header(out, FLAG_TRANSITIVE, ATTR_NEXT_HOP, 4);
+    out.extend_from_slice(&attrs.next_hop.octets());
 
     if let Some(med) = attrs.med {
-        push_attr(FLAG_OPTIONAL, ATTR_MED, &med.to_be_bytes());
+        push_attr_header(out, FLAG_OPTIONAL, ATTR_MED, 4);
+        out.extend_from_slice(&med.to_be_bytes());
     }
     if let Some(lp) = attrs.local_pref {
-        push_attr(FLAG_TRANSITIVE, ATTR_LOCAL_PREF, &lp.to_be_bytes());
+        push_attr_header(out, FLAG_TRANSITIVE, ATTR_LOCAL_PREF, 4);
+        out.extend_from_slice(&lp.to_be_bytes());
     }
     if !attrs.communities.is_empty() {
-        let mut c = Vec::with_capacity(attrs.communities.len() * 4);
+        push_attr_header(
+            out,
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            ATTR_COMMUNITIES,
+            attrs.communities.len() * 4,
+        );
         for comm in &attrs.communities {
-            c.extend_from_slice(&comm.to_be_bytes());
+            out.extend_from_slice(&comm.to_be_bytes());
         }
-        push_attr(FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_COMMUNITIES, &c);
     }
 }
 
@@ -472,6 +527,25 @@ mod tests {
             segments: vec![AsSegment::Sequence(vec![1, 2]), AsSegment::Set(vec![3, 4])],
         };
         assert_eq!(p.to_string(), "1 2 {3,4}");
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        let cases = [
+            sample(),
+            RouteAttrs::ebgp(AsPath::empty(), Ipv4Addr::new(1, 1, 1, 1)),
+            RouteAttrs {
+                as_path: AsPath {
+                    segments: vec![AsSegment::Sequence((0..200).collect()); 2],
+                },
+                ..sample()
+            },
+        ];
+        for a in cases {
+            let mut buf = Vec::new();
+            encode_attrs(&a, &mut buf);
+            assert_eq!(encoded_attrs_len(&a), buf.len(), "{a:?}");
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! speakers (and the RIS feeds the paper replays) we pack as many
 //! prefixes sharing an attribute set as fit into one message.
 
-use crate::attrs::{decode_attrs, encode_attrs, RouteAttrs};
+use crate::attrs::{decode_attrs, encode_attrs, encoded_attrs_len, RouteAttrs};
 use sc_net::wire::{be16, need, WireError};
 use sc_net::Ipv4Prefix;
 use std::net::Ipv4Addr;
@@ -103,11 +103,25 @@ impl UpdateMsg {
         }
     }
 
+    /// Exact encoded size of `BgpMessage::Update(self)`, without
+    /// encoding. Pinned to [`BgpMessage::encode`] by property tests;
+    /// [`UpdateMsg::split_to_fit`] sizes fragments through this instead
+    /// of trial-encoding every candidate split.
+    pub fn encoded_len(&self) -> usize {
+        let withdrawn: usize = self.withdrawn.iter().map(|p| prefix_wire_len(*p)).sum();
+        let attrs = self
+            .attrs
+            .as_ref()
+            .map(|a| encoded_attrs_len(a))
+            .unwrap_or(0);
+        let nlri: usize = self.nlri.iter().map(|p| prefix_wire_len(*p)).sum();
+        HEADER_LEN + 2 + withdrawn + 2 + attrs + nlri
+    }
+
     /// Split the NLRI so every emitted message fits in
     /// [`MAX_MESSAGE_LEN`]. Returns `self` unchanged when it already fits.
     pub fn split_to_fit(self) -> Vec<UpdateMsg> {
-        let encoded = BgpMessage::Update(self.clone()).encode();
-        if encoded.len() <= MAX_MESSAGE_LEN {
+        if self.encoded_len() <= MAX_MESSAGE_LEN {
             return vec![self];
         }
         // Conservative split: halve the larger list recursively.
@@ -183,6 +197,11 @@ fn encode_prefix(p: Ipv4Prefix, out: &mut Vec<u8>) {
     out.extend_from_slice(&octets[..n]);
 }
 
+/// NLRI wire size of one prefix: length byte + minimal octets.
+fn prefix_wire_len(p: Ipv4Prefix) -> usize {
+    1 + (p.len() as usize).div_ceil(8)
+}
+
 /// Decode a run of NLRI-encoded prefixes filling `buf` entirely.
 fn decode_prefixes(mut buf: &[u8]) -> Result<Vec<Ipv4Prefix>, WireError> {
     let mut out = Vec::new();
@@ -212,51 +231,62 @@ impl BgpMessage {
         }
     }
 
-    /// Serialize with header and marker.
+    /// Serialize with header and marker into a fresh buffer.
     pub fn encode(&self) -> Vec<u8> {
-        let mut body = Vec::new();
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serialize with header and marker, reusing `out` (cleared first).
+    /// This is the hot-path form: one pass over the message, length
+    /// fields backpatched in place, zero intermediate allocations — a
+    /// session replaying a full feed reuses one buffer for every
+    /// message instead of building four fresh `Vec<u8>`s per message.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(&[0xff; 16]);
+        out.extend_from_slice(&[0, 0]); // total length, backpatched
+        out.push(self.type_code());
         match self {
             BgpMessage::Open(o) => {
-                body.push(o.version);
-                body.extend_from_slice(&o.my_as.to_be_bytes());
-                body.extend_from_slice(&o.hold_time.to_be_bytes());
-                body.extend_from_slice(&o.router_id.octets());
-                body.push(0); // no optional parameters
+                out.push(o.version);
+                out.extend_from_slice(&o.my_as.to_be_bytes());
+                out.extend_from_slice(&o.hold_time.to_be_bytes());
+                out.extend_from_slice(&o.router_id.octets());
+                out.push(0); // no optional parameters
             }
             BgpMessage::Update(u) => {
-                let mut withdrawn = Vec::new();
+                let withdrawn_at = out.len();
+                out.extend_from_slice(&[0, 0]); // withdrawn length
                 for p in &u.withdrawn {
-                    encode_prefix(*p, &mut withdrawn);
+                    encode_prefix(*p, out);
                 }
-                body.extend_from_slice(&(withdrawn.len() as u16).to_be_bytes());
-                body.extend_from_slice(&withdrawn);
-                let mut attrs = Vec::new();
+                let wlen = out.len() - withdrawn_at - 2;
+                out[withdrawn_at..withdrawn_at + 2].copy_from_slice(&(wlen as u16).to_be_bytes());
+                let attrs_at = out.len();
+                out.extend_from_slice(&[0, 0]); // attrs length
                 if let Some(a) = &u.attrs {
-                    encode_attrs(a, &mut attrs);
+                    encode_attrs(a, out);
                 } else {
                     assert!(u.nlri.is_empty(), "NLRI requires attributes");
                 }
-                body.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
-                body.extend_from_slice(&attrs);
+                let alen = out.len() - attrs_at - 2;
+                out[attrs_at..attrs_at + 2].copy_from_slice(&(alen as u16).to_be_bytes());
                 for p in &u.nlri {
-                    encode_prefix(*p, &mut body);
+                    encode_prefix(*p, out);
                 }
             }
             BgpMessage::Notification(n) => {
-                body.push(n.code);
-                body.push(n.subcode);
-                body.extend_from_slice(&n.data);
+                out.push(n.code);
+                out.push(n.subcode);
+                out.extend_from_slice(&n.data);
             }
             BgpMessage::Keepalive => {}
         }
-        let total = HEADER_LEN + body.len();
+        let total = out.len();
         assert!(total <= u16::MAX as usize, "bgp message too large to frame");
-        let mut msg = Vec::with_capacity(total);
-        msg.extend_from_slice(&[0xff; 16]);
-        msg.extend_from_slice(&(total as u16).to_be_bytes());
-        msg.push(self.type_code());
-        msg.extend_from_slice(&body);
-        msg
+        out[16..18].copy_from_slice(&(total as u16).to_be_bytes());
     }
 
     /// Parse one message from `buf` (which must contain exactly one
@@ -489,6 +519,29 @@ mod tests {
             collected.extend(m.nlri.iter().copied());
         }
         assert_eq!(collected, nlri);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_buffer() {
+        let msgs = vec![
+            BgpMessage::Open(OpenMsg::new(65001, 90, Ipv4Addr::new(1, 1, 1, 1))),
+            BgpMessage::Keepalive,
+            BgpMessage::Notification(NotificationMsg::cease()),
+            BgpMessage::Update(UpdateMsg {
+                withdrawn: vec![p("9.9.0.0/16")],
+                attrs: Some(attrs()),
+                nlri: vec![p("1.0.0.0/24"), p("100.64.0.0/10")],
+            }),
+            BgpMessage::Update(UpdateMsg::withdraw(vec![p("1.0.0.0/24")])),
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            m.encode_into(&mut buf);
+            assert_eq!(buf, m.encode(), "{m:?}");
+            if let BgpMessage::Update(u) = m {
+                assert_eq!(u.encoded_len(), buf.len(), "{u:?}");
+            }
+        }
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //! Every mutation returns a [`Change`] carrying the old and new top-two
 //! snapshot, so callers never re-scan the table.
 
-use crate::decision::{compare_routes, Route};
+use crate::attrs::RouteAttrs;
+use crate::decision::{compare_routes, PeerInfo, Route};
 use crate::PeerId;
 use sc_net::{Ipv4Prefix, PrefixTrie};
+use std::sync::Arc;
 
 /// Snapshot of the two best candidates for a prefix.
 #[derive(Clone, PartialEq, Debug, Default)]
@@ -102,34 +104,46 @@ impl LocRib {
     /// `route.prefix`, keeping the list ranked by the decision process.
     pub fn update(&mut self, route: Route) -> Change {
         let prefix = route.prefix;
-        match self.entries.get_mut(prefix) {
-            None => {
-                let change = Change {
-                    prefix,
-                    old: TopTwo::default(),
-                    new: TopTwo {
-                        best: Some(route.clone()),
-                        second: None,
-                    },
-                };
-                self.entries.insert(prefix, vec![route]);
-                self.routes += 1;
-                change
-            }
-            Some(list) => {
-                let old = TopTwo::of(list);
-                if let Some(pos) = list.iter().position(|r| r.from.peer == route.from.peer) {
-                    list.remove(pos);
-                    self.routes -= 1;
-                }
-                let pos = list
-                    .binary_search_by(|probe| compare_routes(probe, &route))
-                    .unwrap_or_else(|e| e);
-                list.insert(pos, route);
-                self.routes += 1;
-                let new = TopTwo::of(list);
-                Change { prefix, old, new }
-            }
+        let list = self.entries.get_mut_or_insert_with(prefix, Vec::new);
+        let old = TopTwo::of(list);
+        if let Some(pos) = list.iter().position(|r| r.from.peer == route.from.peer) {
+            list.remove(pos);
+            self.routes -= 1;
+        }
+        let pos = list
+            .binary_search_by(|probe| compare_routes(probe, &route))
+            .unwrap_or_else(|e| e);
+        list.insert(pos, route);
+        self.routes += 1;
+        let new = TopTwo::of(list);
+        Change { prefix, old, new }
+    }
+
+    /// Bulk insert one UPDATE's NLRI: every prefix gets the shared
+    /// `attrs` (one `Arc` clone per prefix, no per-route struct churn
+    /// at the call site) and exactly one ranked decision-process pass;
+    /// `on_change` observes the per-prefix [`Change`] in NLRI order.
+    ///
+    /// Semantically identical to calling [`LocRib::update`] per prefix —
+    /// the property tests pin the equivalence — but a full-feed load
+    /// stays inside the trie/decision machinery without rebuilding the
+    /// route skeleton per call.
+    pub fn apply_update_batch(
+        &mut self,
+        attrs: &Arc<RouteAttrs>,
+        nlri: &[Ipv4Prefix],
+        from: PeerInfo,
+        local_pref: u32,
+        mut on_change: impl FnMut(Change),
+    ) {
+        for &prefix in nlri {
+            let route = Route {
+                prefix,
+                attrs: attrs.clone(),
+                from,
+                local_pref,
+            };
+            on_change(self.update(route));
         }
     }
 

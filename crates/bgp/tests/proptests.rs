@@ -106,6 +106,59 @@ proptest! {
         }
     }
 
+    /// The zero-alloc encode path is byte-identical to the fresh-`Vec`
+    /// one, the exact-size accounting matches the bytes produced, and a
+    /// reused buffer never leaks previous contents.
+    #[test]
+    fn encode_into_matches_encode(
+        withdrawn in vec(arb_prefix(), 0..40),
+        attrs in arb_attrs(),
+        nlri in vec(arb_prefix(), 0..40),
+    ) {
+        let upd = UpdateMsg {
+            withdrawn,
+            attrs: if nlri.is_empty() { None } else { Some(Arc::new(attrs)) },
+            nlri,
+        };
+        let msg = BgpMessage::Update(upd.clone());
+        let fresh = msg.encode();
+        prop_assert_eq!(upd.encoded_len(), fresh.len());
+        // Dirty, oversized reusable buffer: encode_into must clear it.
+        let mut buf = vec![0xAB; 9000];
+        msg.encode_into(&mut buf);
+        prop_assert_eq!(buf, fresh);
+    }
+
+    /// Full packed-replay round-trip under forced splitting: random
+    /// attrs over a prefix set large enough to exceed the RFC 4271
+    /// message cap must split, encode through the reusable buffer,
+    /// decode, and reassemble to exactly the original table.
+    #[test]
+    fn split_pack_encode_decode_roundtrip(attrs in arb_attrs(), n in 900usize..2200) {
+        let mut nlri: Vec<Ipv4Prefix> = (0..n as u32)
+            .map(|i| Ipv4Prefix::new(Ipv4Addr::from(0x0a00_0000u32.wrapping_add(i << 8)), 24))
+            .collect();
+        nlri.sort();
+        nlri.dedup();
+        let attrs = Arc::new(attrs);
+        let parts = UpdateMsg::announce(attrs.clone(), nlri.clone()).split_to_fit();
+        let mut buf = Vec::new();
+        let mut collected = Vec::new();
+        for part in &parts {
+            let msg = BgpMessage::Update(part.clone());
+            msg.encode_into(&mut buf);
+            prop_assert!(buf.len() <= sc_bgp::msg::MAX_MESSAGE_LEN);
+            prop_assert_eq!(part.encoded_len(), buf.len());
+            let decoded = BgpMessage::decode(&buf).unwrap();
+            let BgpMessage::Update(u) = decoded else {
+                return Err(TestCaseError::fail("decoded to a non-UPDATE".to_string()));
+            };
+            prop_assert_eq!(u.attrs.as_deref(), Some(attrs.as_ref()));
+            collected.extend(u.nlri);
+        }
+        prop_assert_eq!(collected, nlri);
+    }
+
     /// split_to_fit never loses or reorders NLRI and every part fits.
     #[test]
     fn split_preserves_nlri(attrs in arb_attrs(), n in 1usize..3000) {

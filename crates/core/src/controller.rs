@@ -353,7 +353,9 @@ impl Controller {
 
     fn pump_router(&mut self, ctx: &mut Ctx) {
         while let Some(msg) = self.router_session.poll_transmit() {
-            self.router_chan.send(msg.encode());
+            let mut buf = self.router_chan.take_buffer();
+            msg.encode_into(&mut buf);
+            self.router_chan.send(buf);
         }
         self.router_chan.flush(ctx);
         if let Some(at) = self.router_session.next_wakeup() {
@@ -367,7 +369,9 @@ impl Controller {
     fn pump_peer(&mut self, idx: usize, ctx: &mut Ctx) {
         let peer = &mut self.peers[idx];
         while let Some(msg) = peer.session.poll_transmit() {
-            peer.chan.send(msg.encode());
+            let mut buf = peer.chan.take_buffer();
+            msg.encode_into(&mut buf);
+            peer.chan.send(buf);
         }
         peer.chan.flush(ctx);
         if let Some(at) = peer.session.next_wakeup() {
@@ -603,9 +607,17 @@ impl Controller {
         }
     }
 
+    /// Dispatch a batch of peer-session events. UPDATEs are processed
+    /// one message at a time on purpose: [`Engine::pack_for_router`]
+    /// packs a run of actions announcements-first/withdrawals-last, so
+    /// concatenating actions *across* messages would let an earlier
+    /// message's withdrawal overtake a later message's announcement of
+    /// the same prefix on the wire toward the router (a co-timed
+    /// withdraw + re-announce would end withdrawn downstream).
+    /// Per-message processing keeps the packed output order-faithful.
     fn handle_peer_session_events(&mut self, idx: usize, events: Vec<SessionEvent>, ctx: &mut Ctx) {
+        let peer_id = self.peers[idx].link.spec.id;
         for ev in events {
-            let peer_id = self.peers[idx].link.spec.id;
             match ev {
                 SessionEvent::Established(_) => {
                     self.events

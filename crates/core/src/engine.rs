@@ -228,36 +228,49 @@ impl Engine {
     /// Process one BGP UPDATE received from `peer` (Listing 1, applied
     /// per prefix). Returns the actions to perform, in order.
     pub fn process_update(&mut self, peer: PeerId, upd: &UpdateMsg) -> Vec<EngineAction> {
-        self.stats.updates_processed += 1;
         let mut actions = Vec::new();
+        self.process_update_into(peer, upd, &mut actions);
+        actions
+    }
+
+    /// [`Engine::process_update`] appending to a caller-owned action
+    /// buffer (the batch path).
+    fn process_update_into(
+        &mut self,
+        peer: PeerId,
+        upd: &UpdateMsg,
+        actions: &mut Vec<EngineAction>,
+    ) {
+        self.stats.updates_processed += 1;
         for prefix in &upd.withdrawn {
             self.stats.withdrawals_processed += 1;
             if self.rib.withdraw(*prefix, peer).is_some() {
-                self.reconcile(*prefix, &mut actions);
+                self.reconcile(*prefix, actions);
             }
         }
         if let Some(attrs) = &upd.attrs {
             let spec = self.peer_specs.get(&peer).copied();
+            let from = PeerInfo {
+                peer,
+                router_id: spec.map(|s| s.router_id).unwrap_or(peer),
+                ebgp: true,
+                igp_cost: 0,
+            };
+            let local_pref = attrs
+                .local_pref
+                .unwrap_or_else(|| spec.map(|s| s.local_pref).unwrap_or(100));
             for prefix in &upd.nlri {
                 self.stats.routes_learned += 1;
                 let route = Route {
                     prefix: *prefix,
                     attrs: attrs.clone(),
-                    from: PeerInfo {
-                        peer,
-                        router_id: spec.map(|s| s.router_id).unwrap_or(peer),
-                        ebgp: true,
-                        igp_cost: 0,
-                    },
-                    local_pref: attrs
-                        .local_pref
-                        .unwrap_or_else(|| spec.map(|s| s.local_pref).unwrap_or(100)),
+                    from,
+                    local_pref,
                 };
                 self.rib.update(route);
-                self.reconcile(*prefix, &mut actions);
+                self.reconcile(*prefix, actions);
             }
         }
-        actions
     }
 
     /// Bring the announced state for `prefix` in line with the RIB.

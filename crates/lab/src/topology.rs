@@ -120,6 +120,10 @@ pub struct LabConfig {
     pub control_loss: f64,
     /// Keep a bounded event trace for debugging.
     pub trace: bool,
+    /// Which event scheduler the world runs on. Both deliver the exact
+    /// `(time, seq)` order, so results are identical; the reference
+    /// heap exists for differential testing against the timer wheel.
+    pub scheduler: sc_sim::SchedulerKind,
 }
 
 impl Default for LabConfig {
@@ -138,6 +142,7 @@ impl Default for LabConfig {
             portstatus_failover: false,
             control_loss: 0.0,
             trace: false,
+            scheduler: sc_sim::SchedulerKind::default(),
         }
     }
 }
@@ -200,7 +205,7 @@ impl ConvergenceLab {
         let universe = prefix_universe(cfg.prefixes, cfg.seed);
         let flow_ips = sample_flow_ips(&universe, cfg.flows, cfg.seed);
 
-        let mut world = World::new(cfg.seed);
+        let mut world = World::with_scheduler(cfg.seed, cfg.scheduler);
         if cfg.trace {
             world.enable_trace(100_000);
         }

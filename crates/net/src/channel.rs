@@ -118,7 +118,15 @@ pub struct Endpoint {
     peer_handshake_done: bool,
     connected_reported: bool,
     stats: ChannelStats,
+    /// Recycled message buffers: acknowledged payloads return here and
+    /// [`Endpoint::send_from`] reuses them, so a steady-state sender
+    /// allocates no fresh `Vec<u8>` per message.
+    free: Vec<Vec<u8>>,
 }
+
+/// Cap on recycled message buffers kept per endpoint (a few windows'
+/// worth; beyond that the memory is better returned to the allocator).
+const FREE_POOL_CAP: usize = 64;
 
 impl Endpoint {
     /// A passive endpoint, waiting for the peer's SYN.
@@ -135,6 +143,7 @@ impl Endpoint {
             peer_handshake_done: false,
             connected_reported: false,
             stats: ChannelStats::default(),
+            free: Vec::new(),
         }
     }
 
@@ -173,6 +182,17 @@ impl Endpoint {
             last_sent: None,
             fin: false,
         });
+    }
+
+    /// A cleared buffer from the recycle pool (or a fresh one). Encode
+    /// into it and hand it back via [`Endpoint::send`]: the zero-alloc,
+    /// zero-copy send path (acknowledged messages return their buffers
+    /// to the pool, so a steady-state control-plane sender performs no
+    /// allocation per message).
+    pub fn take_buffer(&mut self) -> Vec<u8> {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.clear();
+        buf
     }
 
     /// Queue a FIN: the peer will observe [`ChannelEvent::PeerClosed`]
@@ -297,7 +317,10 @@ impl Endpoint {
         if flags & FLAG_ACK != 0 {
             while let Some(front) = self.queue.front() {
                 if front.last_sent.is_some() && front.seq < ack {
-                    self.queue.pop_front();
+                    let acked = self.queue.pop_front().expect("front exists");
+                    if self.free.len() < FREE_POOL_CAP {
+                        self.free.push(acked.payload);
+                    }
                 } else {
                     break;
                 }
@@ -718,6 +741,32 @@ mod tests {
         assert!(ev_a2.contains(&ChannelEvent::Connected));
         assert!(ev_b2.contains(&ChannelEvent::Connected));
         assert!(ev_b2.contains(&ChannelEvent::Delivered(b"new-epoch".to_vec())));
+    }
+
+    #[test]
+    fn take_buffer_recycles_acked_buffers() {
+        let mut a = Endpoint::connect(ChannelConfig::default());
+        let mut b = Endpoint::listen(ChannelConfig::default());
+        pump(&mut a, &mut b, t(0), |_| false);
+        // First batch populates the pool on ACK; the second drains it.
+        for round in 0..2u64 {
+            for i in 0..5u8 {
+                let mut buf = a.take_buffer();
+                buf.extend_from_slice(&[i, i, i]);
+                a.send(buf);
+            }
+            let (_, ev_b) = pump(&mut a, &mut b, t(1 + round), |_| false);
+            let got: Vec<u8> = ev_b
+                .iter()
+                .filter_map(|e| match e {
+                    ChannelEvent::Delivered(m) => Some(m[0]),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        }
+        assert_eq!(a.backlog(), 0);
+        assert_eq!(a.free.len(), 5, "acked buffers returned to the pool");
     }
 
     #[test]

@@ -86,6 +86,13 @@ impl<T> PrefixTrie<T> {
     /// Insert `value` under `prefix`, returning the previous value if the
     /// prefix was already present.
     pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
+        self.insert_at(prefix, value).1
+    }
+
+    /// [`PrefixTrie::insert`] that also reports the arena index of the
+    /// node now holding `prefix` — the single-traversal building block
+    /// behind [`PrefixTrie::get_mut_or_insert_with`].
+    fn insert_at(&mut self, prefix: Ipv4Prefix, value: T) -> (u32, Option<T>) {
         if self.root == NO_NODE {
             self.root = self.alloc(Node {
                 prefix,
@@ -94,7 +101,7 @@ impl<T> PrefixTrie<T> {
                 right: NO_NODE,
             });
             self.len += 1;
-            return None;
+            return (self.root, None);
         }
 
         let mut cur = self.root;
@@ -131,7 +138,7 @@ impl<T> PrefixTrie<T> {
                     // The new prefix *is* the split point.
                     self.nodes[split_node_idx as usize].value = Some(value);
                     self.len += 1;
-                    return None;
+                    return (split_node_idx, None);
                 }
                 // Attach a fresh leaf for the new prefix on the other side.
                 let leaf = self.alloc(Node {
@@ -148,7 +155,7 @@ impl<T> PrefixTrie<T> {
                     self.nodes[split_node_idx as usize].left = leaf;
                 }
                 self.len += 1;
-                return None;
+                return (leaf, None);
             }
 
             // cur_prefix is fully a prefix of the new key.
@@ -159,7 +166,7 @@ impl<T> PrefixTrie<T> {
                 if old.is_none() {
                     self.len += 1;
                 }
-                return old;
+                return (cur, old);
             }
 
             // Descend.
@@ -182,7 +189,7 @@ impl<T> PrefixTrie<T> {
                     self.nodes[cur as usize].left = leaf;
                 }
                 self.len += 1;
-                return None;
+                return (leaf, None);
             }
             cur = child;
         }
@@ -198,6 +205,34 @@ impl<T> PrefixTrie<T> {
     pub fn get_mut(&mut self, prefix: Ipv4Prefix) -> Option<&mut T> {
         let idx = self.find_exact(prefix)?;
         self.nodes[idx as usize].value.as_mut()
+    }
+
+    /// Mutable access to the entry for `prefix`, inserting
+    /// `default()` first if absent — one traversal on a hit, one
+    /// insert traversal on a miss (the `get_mut` miss + `insert`
+    /// pattern bulk RIB loads used to pay is folded into
+    /// [`PrefixTrie::insert_at`], which reports the landing node).
+    pub fn get_mut_or_insert_with(
+        &mut self,
+        prefix: Ipv4Prefix,
+        default: impl FnOnce() -> T,
+    ) -> &mut T {
+        let idx = match self.find_exact(prefix) {
+            Some(idx) => {
+                let slot = &mut self.nodes[idx as usize].value;
+                if slot.is_none() {
+                    // Interior split node: claim it.
+                    *slot = Some(default());
+                    self.len += 1;
+                }
+                idx
+            }
+            None => self.insert_at(prefix, default()).0,
+        };
+        self.nodes[idx as usize]
+            .value
+            .as_mut()
+            .expect("just filled")
     }
 
     /// True if the exact prefix is stored.

@@ -146,6 +146,32 @@ impl FibWalker {
         Some(op)
     }
 
+    /// Apply the contiguous run of ops due at `now` in one walk tick,
+    /// appending each applied op to `applied` (cleared first).
+    ///
+    /// With a non-zero per-entry cost this is exactly
+    /// [`FibWalker::apply_one`] — the next op completes strictly later,
+    /// so the run has length 1 and the owner re-arms its timer as
+    /// before. With a zero-cost calibration (instant hardware) every
+    /// queued op completes at the same instant; draining the whole run
+    /// here collapses what used to be one kernel timer event *per
+    /// entry* into one event per burst, without moving any op's
+    /// completion time. Zero-cost runs consume no RNG (jitter is only
+    /// drawn for non-zero base costs), so the kernel's random stream is
+    /// untouched either way.
+    pub fn apply_batch(&mut self, fib: &mut Fib, now: SimTime, applied: &mut Vec<FibOp>) {
+        applied.clear();
+        let Some(op) = self.apply_one(fib, now) else {
+            return;
+        };
+        applied.push(op);
+        if self.cal.fib_entry_update.is_zero() {
+            while let Some(op) = self.apply_one(fib, now) {
+                applied.push(op);
+            }
+        }
+    }
+
     fn jittered_entry_cost(&self, rng: &mut impl Rng) -> SimDuration {
         let base = self.cal.fib_entry_update.as_nanos();
         if base == 0 {

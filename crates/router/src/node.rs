@@ -21,7 +21,7 @@ use crate::flowcache::{FlowCache, FlowCacheEntry};
 use sc_bfd::{BfdConfig, BfdEvent, BfdSession};
 use sc_bgp::msg::{BgpMessage, UpdateMsg};
 use sc_bgp::session::{DownReason, Session, SessionConfig, SessionEvent};
-use sc_bgp::{AdjRibOut, LocRib, PeerInfo, Route};
+use sc_bgp::{AdjRibOut, LocRib, PeerInfo};
 use sc_net::channel::{ChannelConfig, ChannelEvent};
 use sc_net::wire::udp::port as udp_port;
 use sc_net::wire::{
@@ -180,6 +180,16 @@ pub struct LegacyRouter {
     /// path. The determinism regression tests flip this to prove the
     /// cache never changes a forwarding decision.
     flow_cache_enabled: bool,
+    /// Diagnostics knob mirroring `flow_cache_enabled`: `false` routes
+    /// every outgoing message through the original fresh-`Vec` encode
+    /// path. The wire bytes must be identical either way (regression-
+    /// tested); the perf baseline runs use it to reconstruct the
+    /// pre-refactor control path.
+    zero_alloc_encode: bool,
+    /// Reusable FIB-op scratch shared by all UPDATE processing.
+    ops_buf: Vec<FibOp>,
+    /// Reusable batch buffer for walker ticks.
+    walker_batch_buf: Vec<FibOp>,
     pub stats: RouterStats,
     pub events: Vec<(SimTime, RouterEvent)>,
 }
@@ -200,6 +210,9 @@ impl LegacyRouter {
             arp_timer_armed: false,
             flow_cache: FlowCache::new(),
             flow_cache_enabled: true,
+            zero_alloc_encode: true,
+            ops_buf: Vec::new(),
+            walker_batch_buf: Vec::new(),
             stats: RouterStats::default(),
             events: Vec::new(),
         }
@@ -237,6 +250,13 @@ impl LegacyRouter {
     /// The forwarding flow cache (hit/invalidation counters).
     pub fn flow_cache(&self) -> &FlowCache {
         &self.flow_cache
+    }
+
+    /// Disable (or re-enable) the zero-alloc BGP encode path. The wire
+    /// bytes are identical either way — determinism-regression tested —
+    /// so this only changes allocation behavior (perf baselines).
+    pub fn set_zero_alloc_encode(&mut self, enabled: bool) {
+        self.zero_alloc_encode = enabled;
     }
 
     /// Configure a BGP peer. Must be called before the world starts.
@@ -419,7 +439,15 @@ impl LegacyRouter {
     fn pump_peer(&mut self, idx: usize, ctx: &mut Ctx) {
         let peer = &mut self.peers[idx];
         while let Some(msg) = peer.session.poll_transmit() {
-            peer.chan.send(msg.encode());
+            if self.zero_alloc_encode {
+                // Hot path: encode straight into a recycled channel
+                // buffer — no allocation and no copy per message.
+                let mut buf = peer.chan.take_buffer();
+                msg.encode_into(&mut buf);
+                peer.chan.send(buf);
+            } else {
+                peer.chan.send(msg.encode());
+            }
         }
         peer.chan.flush(ctx);
         if let Some(at) = peer.session.next_wakeup() {
@@ -494,8 +522,18 @@ impl LegacyRouter {
         }
     }
 
+    /// Dispatch a batch of session events. Consecutive UPDATEs — the
+    /// co-timed runs a full-feed replay or churn burst delivers in one
+    /// datagram batch — are handed to [`LegacyRouter::process_updates`]
+    /// as one batch (shared scratch buffers, one pass over the RIB per
+    /// message); interleaved non-UPDATE events flush the pending batch
+    /// first so observable ordering is unchanged.
     fn handle_session_events(&mut self, idx: usize, events: Vec<SessionEvent>, ctx: &mut Ctx) {
+        let mut updates: Vec<UpdateMsg> = Vec::new();
         for ev in events {
+            if !matches!(ev, SessionEvent::Update(_)) && !updates.is_empty() {
+                self.process_updates(idx, std::mem::take(&mut updates), ctx);
+            }
             match ev {
                 SessionEvent::Established(_open) => {
                     let peer_ip = self.peers[idx].cfg.peer_ip;
@@ -531,15 +569,24 @@ impl LegacyRouter {
                     self.peers[idx].chan.reset();
                 }
                 SessionEvent::Update(upd) => {
-                    self.process_update(idx, upd, ctx);
+                    updates.push(upd);
                 }
             }
         }
+        if !updates.is_empty() {
+            self.process_updates(idx, updates, ctx);
+        }
     }
 
-    /// Apply one received UPDATE to the RIB and queue FIB work.
-    fn process_update(&mut self, idx: usize, upd: UpdateMsg, ctx: &mut Ctx) {
-        self.stats.updates_processed += 1;
+    /// Apply a batch of received UPDATEs to the RIB and queue FIB work.
+    ///
+    /// Timing semantics are identical to processing each message alone:
+    /// every message still pays its own [`FibWalker::enqueue_burst`]
+    /// update-processing delay and arms the walker at the same instants.
+    /// What the batch saves is kernel work — one shared FIB-op scratch,
+    /// one ranked-insert pass over the RIB per message via
+    /// [`LocRib::apply_update_batch`] — not modeled hardware time.
+    fn process_updates(&mut self, idx: usize, updates: Vec<UpdateMsg>, ctx: &mut Ctx) {
         let (peer_ip, local_pref, ebgp, peer_router_id) = {
             let p = &self.peers[idx];
             let open = p.session.peer_open();
@@ -550,43 +597,52 @@ impl LegacyRouter {
                 open.map(|o| o.router_id).unwrap_or(p.cfg.peer_ip),
             )
         };
-        let mut ops = Vec::new();
-        for prefix in &upd.withdrawn {
-            if let Some(change) = self.rib.withdraw(*prefix, peer_ip) {
-                if change.best_changed() {
-                    ops.push(match change.new.best {
-                        Some(r) => FibOp::Set {
-                            prefix: *prefix,
-                            next_hop: r.next_hop(),
-                        },
-                        None => FibOp::Remove { prefix: *prefix },
-                    });
+        let from = PeerInfo {
+            peer: peer_ip,
+            router_id: peer_router_id,
+            ebgp,
+            igp_cost: 0,
+        };
+        let mut ops = std::mem::take(&mut self.ops_buf);
+        for upd in &updates {
+            self.stats.updates_processed += 1;
+            ops.clear();
+            for prefix in &upd.withdrawn {
+                if let Some(change) = self.rib.withdraw(*prefix, peer_ip) {
+                    if change.best_changed() {
+                        ops.push(match change.new.best {
+                            Some(r) => FibOp::Set {
+                                prefix: *prefix,
+                                next_hop: r.next_hop(),
+                            },
+                            None => FibOp::Remove { prefix: *prefix },
+                        });
+                    }
                 }
             }
-        }
-        if let Some(attrs) = &upd.attrs {
-            for prefix in &upd.nlri {
-                let route = Route {
-                    prefix: *prefix,
-                    attrs: attrs.clone(),
-                    from: PeerInfo {
-                        peer: peer_ip,
-                        router_id: peer_router_id,
-                        ebgp,
-                        igp_cost: 0,
-                    },
-                    local_pref: attrs.local_pref.unwrap_or(local_pref),
-                };
-                let change = self.rib.update(route);
-                if change.best_changed() {
-                    let nh = change.new.best.as_ref().unwrap().next_hop();
-                    ops.push(FibOp::Set {
-                        prefix: *prefix,
-                        next_hop: nh,
+            // Glean only next-hops installed by *announcements* below
+            // (withdraw-promoted backups were gleaned when they were
+            // first announced) — `announced_from` marks the boundary.
+            let announced_from = ops.len();
+            if let Some(attrs) = &upd.attrs {
+                let local_pref = attrs.local_pref.unwrap_or(local_pref);
+                self.rib
+                    .apply_update_batch(attrs, &upd.nlri, from, local_pref, |change| {
+                        if change.best_changed() {
+                            let nh = change.new.best.as_ref().unwrap().next_hop();
+                            ops.push(FibOp::Set {
+                                prefix: change.prefix,
+                                next_hop: nh,
+                            });
+                        }
                     });
-                    // Glean: resolve the (possibly virtual) next-hop
-                    // proactively, like the paper's router does on route
-                    // reception.
+                // Glean: resolve each newly installed (possibly virtual)
+                // next-hop proactively, like the paper's router does on
+                // route reception.
+                for op in &ops[announced_from..] {
+                    let FibOp::Set { next_hop: nh, .. } = *op else {
+                        continue;
+                    };
                     if self.arp.lookup(nh, ctx.now()).is_none() {
                         if let Some(iface_idx) = self.iface_for_nexthop(nh) {
                             if self.arp.prefetch(nh, ctx.now()) {
@@ -597,11 +653,12 @@ impl LegacyRouter {
                     }
                 }
             }
+            if !ops.is_empty() {
+                self.walker.enqueue_burst(ctx.now(), ops.drain(..), false);
+                self.arm_walker(ctx);
+            }
         }
-        if !ops.is_empty() {
-            self.walker.enqueue_burst(ctx.now(), ops, false);
-            self.arm_walker(ctx);
-        }
+        self.ops_buf = ops;
     }
 
     /// A peer is gone (BFD, hold timer, or notification): purge its
@@ -914,11 +971,15 @@ impl Node for LegacyRouter {
         match token {
             TIMER_WALKER => {
                 self.walker_armed = false;
-                if let Some(op) = self.walker.apply_one(&mut self.fib, ctx.now()) {
+                let mut applied = std::mem::take(&mut self.walker_batch_buf);
+                self.walker
+                    .apply_batch(&mut self.fib, ctx.now(), &mut applied);
+                for op in &applied {
                     // Precise invalidation: only destinations covered by
                     // the changed prefix can have a different best match.
                     self.flow_cache.invalidate_prefix(op.prefix());
                 }
+                self.walker_batch_buf = applied;
                 self.arm_walker(ctx);
             }
             TIMER_ARP => {

@@ -68,6 +68,10 @@ pub struct ScenarioConfig {
     /// every packet down the LPM slow path; results must be identical —
     /// the determinism regression tests prove it).
     pub flow_cache: bool,
+    /// Event scheduler the trial worlds run on. The timer wheel is the
+    /// default; the reference heap produces byte-identical stable
+    /// reports (the determinism regression tests prove it).
+    pub scheduler: sc_sim::SchedulerKind,
 }
 
 impl Default for ScenarioConfig {
@@ -85,6 +89,7 @@ impl Default for ScenarioConfig {
             control_loss: 0.0,
             trace: false,
             flow_cache: true,
+            scheduler: sc_sim::SchedulerKind::default(),
         }
     }
 }
@@ -167,6 +172,7 @@ fn build_fig4(mode: Mode, cfg: &ScenarioConfig) -> BuiltScenario {
         portstatus_failover: false,
         control_loss: cfg.control_loss,
         trace: cfg.trace,
+        scheduler: cfg.scheduler,
     });
     BuiltScenario {
         cfg: cfg.clone(),
@@ -246,7 +252,7 @@ fn build_generic(bp: Blueprint, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenar
     let flow_ips = sample_flow_ips(&universe, cfg.flows, cfg.seed);
     let primary = bp.primary();
 
-    let mut world = World::new(cfg.seed);
+    let mut world = World::with_scheduler(cfg.seed, cfg.scheduler);
     if cfg.trace {
         world.enable_trace(100_000);
     }

@@ -43,8 +43,9 @@ pub mod topo;
 pub use builder::{build_scenario, BuiltScenario, ScenarioConfig};
 pub use events::{EventScript, LinkRef, NodeRef, ProviderSel, ScenarioEvent};
 pub use runner::{
-    expected_budget, mode_label, run_scenario, run_suite, run_suite_with, CycleOutcome,
-    ScenarioOutcome, SuiteConfig, SuiteReport, TrialError, TrialResult,
+    expected_budget, mode_label, parse_completed_cells, run_scenario, run_suite, run_suite_resume,
+    run_suite_with, CompletedCell, CycleOutcome, ScenarioOutcome, SuiteConfig, SuiteReport,
+    TrialError, TrialResult,
 };
 pub use sc_lab::Mode;
 pub use topo::{Blueprint, TopologySpec};

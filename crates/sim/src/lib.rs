@@ -22,11 +22,13 @@
 pub mod link;
 pub mod netutil;
 pub mod node;
+pub mod sched;
 pub mod trace;
 pub mod world;
 
 pub use link::{LinkId, LinkParams};
 pub use netutil::ChannelPort;
 pub use node::{Ctx, Node, NodeId, PortId, TimerToken};
+pub use sched::SchedulerKind;
 pub use trace::{Trace, TraceRecord};
 pub use world::{World, WorldStats};

@@ -98,6 +98,13 @@ impl ChannelPort {
         self.ep.send(msg);
     }
 
+    /// A cleared recycled buffer to encode the next message into; hand
+    /// it back via [`ChannelPort::send`] (zero-alloc, zero-copy: the
+    /// endpoint returns acknowledged messages' buffers to its pool).
+    pub fn take_buffer(&mut self) -> Vec<u8> {
+        self.ep.take_buffer()
+    }
+
     /// Feed a matching datagram; returns delivered events in order.
     pub fn on_datagram(&mut self, d: &UdpDatagram, now: SimTime) -> Vec<ChannelEvent> {
         // A corrupted segment that survived the UDP checksum (or a

@@ -7,12 +7,11 @@
 
 use crate::link::{Endpoint, Link, LinkId, LinkParams};
 use crate::node::{Action, Ctx, Node, NodeId, PortId, TimerToken};
+use crate::sched::{make_scheduler, AnyScheduler, Queued, Scheduler, SchedulerKind};
 use crate::trace::Trace;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sc_net::{Frame, SimDuration, SimTime};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
 /// Kernel counters (cheap, always on).
@@ -29,7 +28,7 @@ pub struct WorldStats {
 }
 
 #[derive(Debug)]
-enum EventKind {
+pub(crate) enum EventKind {
     /// A frame finishing its flight, to be handed to the receiver. The
     /// payload is a pointer-sized [`Frame`], not an owned byte vector —
     /// the queue moves refcounts, never frame bytes.
@@ -53,29 +52,6 @@ enum EventKind {
     Control(usize),
 }
 
-struct Queued {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Queued {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Queued {}
-impl PartialOrd for Queued {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Queued {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 struct Slot {
     node: Option<Box<dyn Node>>,
     name: String,
@@ -90,7 +66,7 @@ type ControlFn = Box<dyn FnOnce(&mut World)>;
 pub struct World {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Queued>>,
+    queue: AnyScheduler,
     nodes: Vec<Slot>,
     links: Vec<Link>,
     rng: SmallRng,
@@ -107,12 +83,22 @@ pub struct World {
 }
 
 impl World {
-    /// A fresh world with the given RNG seed and tracing disabled.
+    /// A fresh world with the given RNG seed and tracing disabled,
+    /// running on the default timer-wheel scheduler.
     pub fn new(seed: u64) -> World {
+        World::with_scheduler(seed, SchedulerKind::default())
+    }
+
+    /// A fresh world on an explicitly chosen event scheduler. Both
+    /// schedulers deliver the identical `(time, seq)` total order, so
+    /// this choice can never change a simulation outcome — the
+    /// determinism regression tests compare suite reports across
+    /// schedulers byte-for-byte to prove it.
+    pub fn with_scheduler(seed: u64, sched: SchedulerKind) -> World {
         World {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: make_scheduler(sched),
             nodes: Vec::new(),
             links: Vec::new(),
             rng: SmallRng::seed_from_u64(seed),
@@ -138,6 +124,11 @@ impl World {
     /// Kernel counters.
     pub fn stats(&self) -> WorldStats {
         self.stats
+    }
+
+    /// Number of events currently queued (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
     }
 
     /// Wall-clock time accumulated inside [`World::run_until`] /
@@ -272,7 +263,7 @@ impl World {
     fn push(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Queued { time, seq, kind }));
+        self.queue.push(Queued { time, seq, kind });
     }
 
     /// Process a single event. Returns `false` when the queue is empty.
@@ -284,7 +275,7 @@ impl World {
     /// [`World::step`] without the start hook (the run loops call this
     /// so per-event wall-clock accounting stays out of the hot loop).
     fn step_inner(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some(ev) = self.queue.pop() else {
             return false;
         };
         debug_assert!(ev.time >= self.now, "event queue went backwards");
@@ -299,16 +290,10 @@ impl World {
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
         let t0 = Instant::now();
-        loop {
-            match self.queue.peek() {
-                Some(Reverse(ev)) if ev.time <= deadline => {
-                    let Reverse(ev) = self.queue.pop().unwrap();
-                    self.now = ev.time;
-                    self.stats.events_processed += 1;
-                    self.handle(ev.kind);
-                }
-                _ => break,
-            }
+        while let Some(ev) = self.queue.pop_before(deadline) {
+            self.now = ev.time;
+            self.stats.events_processed += 1;
+            self.handle(ev.kind);
         }
         self.wall += t0.elapsed();
         if self.now < deadline {

@@ -1,0 +1,28 @@
+//! Cross-version determinism probe: print the stable JSON of a fixed
+//! smoke-shaped suite.
+use sc_lab::Mode;
+use sc_net::SimDuration;
+use sc_scenarios::{run_suite, EventScript, ScenarioConfig, SuiteConfig, TopologySpec};
+
+fn main() {
+    let suite = SuiteConfig {
+        topologies: vec![TopologySpec::Chain {
+            providers: 2,
+            hops: 1,
+        }],
+        scripts: vec![
+            EventScript::primary_cut(),
+            EventScript::primary_flap(SimDuration::from_secs(3), 2),
+        ],
+        modes: vec![Mode::Stock, Mode::Supercharged],
+        workers: None,
+        base: ScenarioConfig {
+            prefixes: 300,
+            flows: 10,
+            seed: 42,
+            ..ScenarioConfig::default()
+        },
+    };
+    let report = run_suite(&suite);
+    print!("{}", report.to_json_stable());
+}
