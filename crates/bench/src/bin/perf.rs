@@ -127,16 +127,6 @@ fn churn_json(label: &str, p: ChurnParams, m: &ChurnMeasurement) -> String {
     )
 }
 
-/// The `events_per_sec` of the `after` entry in a merged trajectory
-/// file (or the only entry of a flat run file).
-fn baseline_events_per_sec(json: &str) -> Option<u64> {
-    let tail = match json.find("\"after\":") {
-        Some(at) => &json[at..],
-        None => json,
-    };
-    extract_u64(tail, "events_per_sec")
-}
-
 fn run_churn_bench(args: &Args) -> (String, u64) {
     let smoke = args.flag("--smoke");
     let base = if smoke {
@@ -281,22 +271,6 @@ fn main() {
     }
     // Regression gate: compare against a committed trajectory point.
     if let Some(path) = args.raw_value("--check") {
-        let committed =
-            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-        let reference =
-            baseline_events_per_sec(&committed).expect("no events_per_sec in check file");
-        let tolerance_pct: u64 = args.value("--tolerance", 20);
-        let floor = reference * (100 - tolerance_pct.min(99)) / 100;
-        if events_per_sec < floor {
-            eprintln!(
-                "PERF REGRESSION: {events_per_sec} events/s < {floor} \
-                 ({tolerance_pct}% below committed {reference} in {path})"
-            );
-            std::process::exit(1);
-        }
-        eprintln!(
-            "perf check ok: {events_per_sec} events/s >= {floor} \
-             (committed {reference} in {path}, tolerance {tolerance_pct}%)"
-        );
+        sc_bench::check_perf_gate(&path, events_per_sec, args.value("--tolerance", 20));
     }
 }

@@ -5,6 +5,7 @@
 
 pub mod churn;
 pub mod fwd;
+pub mod replay;
 
 use sc_net::SimDuration;
 
@@ -60,6 +61,45 @@ impl Table {
         }
         out
     }
+}
+
+/// The `events_per_sec` of the `after` entry in a merged
+/// `BENCH_PR*.json` trajectory file (or the only entry of a flat run
+/// file). Shared by every bench binary's `--check` gate.
+pub fn committed_events_per_sec(json: &str) -> Option<u64> {
+    let tail = match json.find("\"after\":") {
+        Some(at) => &json[at..],
+        None => json,
+    };
+    let needle = "\"events_per_sec\":";
+    let at = tail.find(needle)? + needle.len();
+    let digits: String = tail[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// The `--check FILE [--tolerance PCT]` regression gate shared by the
+/// bench binaries: compare a measured events/s against the committed
+/// trajectory point in `path` and exit 1 on a regression beyond the
+/// tolerance (percent). Tolerance-gated, not exact-match, so
+/// run-to-run jitter does not flake the build.
+pub fn check_perf_gate(path: &str, events_per_sec: u64, tolerance_pct: u64) {
+    let committed = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let reference = committed_events_per_sec(&committed).expect("no events_per_sec in check file");
+    let floor = reference * (100 - tolerance_pct.min(99)) / 100;
+    if events_per_sec < floor {
+        eprintln!(
+            "PERF REGRESSION: {events_per_sec} events/s < {floor} \
+             ({tolerance_pct}% below committed {reference} in {path})"
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "perf check ok: {events_per_sec} events/s >= {floor} \
+         (committed {reference} in {path}, tolerance {tolerance_pct}%)"
+    );
 }
 
 /// Tiny argument helper: `--key value` and `--flag`.

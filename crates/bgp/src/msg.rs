@@ -190,7 +190,9 @@ pub enum BgpMessage {
 }
 
 /// Encode a prefix in BGP NLRI form: length byte + minimal octets.
-fn encode_prefix(p: Ipv4Prefix, out: &mut Vec<u8>) {
+/// Public because the same encoding appears outside UPDATE bodies —
+/// MRT `TABLE_DUMP_V2` RIB records carry it too (`sc-mrt`).
+pub fn encode_prefix(p: Ipv4Prefix, out: &mut Vec<u8>) {
     out.push(p.len());
     let octets = p.network().octets();
     let n = (p.len() as usize).div_ceil(8);
@@ -198,12 +200,12 @@ fn encode_prefix(p: Ipv4Prefix, out: &mut Vec<u8>) {
 }
 
 /// NLRI wire size of one prefix: length byte + minimal octets.
-fn prefix_wire_len(p: Ipv4Prefix) -> usize {
+pub fn prefix_wire_len(p: Ipv4Prefix) -> usize {
     1 + (p.len() as usize).div_ceil(8)
 }
 
 /// Decode a run of NLRI-encoded prefixes filling `buf` entirely.
-fn decode_prefixes(mut buf: &[u8]) -> Result<Vec<Ipv4Prefix>, WireError> {
+pub fn decode_prefixes(mut buf: &[u8]) -> Result<Vec<Ipv4Prefix>, WireError> {
     let mut out = Vec::new();
     while !buf.is_empty() {
         let len = buf[0];

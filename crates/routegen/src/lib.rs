@@ -1,10 +1,10 @@
-//! Synthetic RIPE-RIS-style route feeds.
+//! Synthetic RIPE-RIS-style route feeds and MRT fixture export.
 //!
 //! The paper loads R2 and R3 with "an increasing number of actual BGP
 //! routes collected from the RIPE RIS dataset" (1k … 500k prefixes),
-//! both peers advertising the *same* set. RIS archives are not available
-//! offline, so this crate generates deterministic synthetic full tables
-//! that preserve what the experiments actually depend on:
+//! both peers advertising the *same* set. This crate generates
+//! deterministic synthetic full tables that preserve what the
+//! experiments actually depend on:
 //!
 //! * the prefix **count** (the x-axis of Fig. 5),
 //! * a realistic prefix-length mix (dominated by /24s, per CIDR report),
@@ -13,8 +13,20 @@
 //! * both providers announcing identical prefix sets with themselves as
 //!   next-hop.
 //!
+//! Real RIS archives are still not fetchable from the offline lab, but
+//! they no longer have to be: the [`mrt`] module exports these
+//! synthetic tables *in RIS's own format* — RFC 6396 `TABLE_DUMP_V2`
+//! RIB snapshots and bursty `BGP4MP_ET` update traces — so every
+//! consumer of recorded data (`sc_mrt::RibSnapshot`, the
+//! `FeedSource::MrtReplay` scenario path, `sc-bench replay`) runs
+//! against committed `.mrt` fixtures that are byte-reproducible from a
+//! seed (`cargo run --example routegen_mrt` regenerates them). Swap in
+//! a genuine `bview`/`updates` file and the same pipeline replays it.
+//!
 //! Everything is a pure function of the seed, so two provider routers —
 //! or two controller replicas — can regenerate identical feeds.
+
+pub mod mrt;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

@@ -38,6 +38,54 @@ use supercharger::{Controller, ControllerConfig, PeerLink, RouterLink, SwitchLin
 
 pub const IP_R1: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 
+/// Where the providers' route feeds come from.
+#[derive(Clone, Debug, Default)]
+pub enum FeedSource {
+    /// Deterministic synthetic tables from `sc_routegen` (the default;
+    /// every provider announces `prefixes` prefixes).
+    #[default]
+    Synthetic,
+    /// Feeds seeded from a recorded MRT RIB snapshot, plus an optional
+    /// timed `BGP4MP` update trace replayed on top of the converged
+    /// world with recorded inter-arrival timing. Overrides `prefixes`
+    /// with the snapshot's table size.
+    MrtReplay(MrtReplayFeed),
+}
+
+/// An MRT-backed feed: the `TABLE_DUMP_V2` snapshot that seeds the
+/// provider tables and the `BGP4MP(_ET)` trace replayed after
+/// convergence. Recorded peer `k` maps onto provider `k % providers`
+/// (so the trace's churning peer lands on the primary in every built-in
+/// blueprint), and recorded next-hops are rewritten to the owning
+/// provider's address — the replay analogue of loading RIS routes onto
+/// R2/R3 in the paper's lab.
+#[derive(Clone, Debug)]
+pub struct MrtReplayFeed {
+    /// `TABLE_DUMP_V2` snapshot bytes (e.g. a committed fixture or a
+    /// real `bview` file).
+    pub rib: std::sync::Arc<Vec<u8>>,
+    /// `BGP4MP(_ET)` update-trace bytes; empty = table-only (no timed
+    /// replay).
+    pub updates: std::sync::Arc<Vec<u8>>,
+    /// Warp factor on recorded inter-arrival gaps (`"1"` = recorded
+    /// timing, `"0.25"` = 4× faster).
+    pub time_scale: sc_mrt::TimeScale,
+    /// A silence longer than this (post-warp) splits the trace into
+    /// separate convergence epochs, each measured in its own window.
+    pub epoch_quiet: SimDuration,
+}
+
+impl MrtReplayFeed {
+    pub fn new(rib: Vec<u8>, updates: Vec<u8>) -> MrtReplayFeed {
+        MrtReplayFeed {
+            rib: std::sync::Arc::new(rib),
+            updates: std::sync::Arc::new(updates),
+            time_scale: sc_mrt::TimeScale::REAL,
+            epoch_quiet: SimDuration::from_millis(100),
+        }
+    }
+}
+
 /// Scenario-wide knobs shared by every topology (the generalization of
 /// `LabConfig` minus the Fig. 4 specifics).
 #[derive(Clone, Debug)]
@@ -72,6 +120,9 @@ pub struct ScenarioConfig {
     /// default; the reference heap produces byte-identical stable
     /// reports (the determinism regression tests prove it).
     pub scheduler: sc_sim::SchedulerKind,
+    /// Where provider feeds come from (synthetic tables or an MRT
+    /// snapshot + timed replay).
+    pub feed: FeedSource,
 }
 
 impl Default for ScenarioConfig {
@@ -90,6 +141,7 @@ impl Default for ScenarioConfig {
             trace: false,
             flow_cache: true,
             scheduler: sc_sim::SchedulerKind::default(),
+            feed: FeedSource::Synthetic,
         }
     }
 }
@@ -125,12 +177,19 @@ pub struct BuiltScenario {
     pub feeds: Vec<Vec<UpdateMsg>>,
     /// Index of the primary (highest-preference) provider.
     pub primary: usize,
+    /// Recorded peer addresses of the MRT snapshot (peer-table order;
+    /// empty for synthetic feeds). Replay maps recorded peer `k` onto
+    /// provider `k % providers`.
+    pub replay_peers: Vec<Ipv4Addr>,
 }
 
 /// Build the world for one (topology, mode) pair.
 pub fn build_scenario(topo: &TopologySpec, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenario {
     let mut scn = match topo {
-        TopologySpec::Fig4Lab => build_fig4(mode, cfg),
+        // Fig. 4 with synthetic feeds keeps its bit-exact delegation to
+        // `ConvergenceLab`; an MRT-fed Fig. 4 goes through the generic
+        // builder (same blueprint, snapshot-derived tables).
+        TopologySpec::Fig4Lab if matches!(cfg.feed, FeedSource::Synthetic) => build_fig4(mode, cfg),
         other => build_generic(other.blueprint(), mode, cfg),
     };
     if !cfg.flow_cache {
@@ -194,7 +253,52 @@ fn build_fig4(mode: Mode, cfg: &ScenarioConfig) -> BuiltScenario {
         universe: lab.universe,
         feeds: lab.feeds.to_vec(),
         primary: 0,
+        replay_peers: Vec::new(),
         world: lab.world,
+    }
+}
+
+/// The universe and per-provider feeds for a scenario, from whichever
+/// source the config names. For MRT feeds, recorded peer `i % peers`
+/// seeds provider `i`, with next-hops rewritten to the provider's LAN
+/// address (attribute-run sharing preserved, so NLRI packing matches a
+/// real speaker's). Returns the snapshot's peer addresses for replay
+/// mapping (empty when synthetic).
+#[allow(clippy::type_complexity)]
+fn derive_feeds(
+    cfg: &ScenarioConfig,
+    m: usize,
+) -> (Vec<Ipv4Prefix>, Vec<Vec<UpdateMsg>>, Vec<Ipv4Addr>) {
+    match &cfg.feed {
+        FeedSource::Synthetic => {
+            let universe = prefix_universe(cfg.prefixes, cfg.seed);
+            let feeds = (0..m)
+                .map(|i| {
+                    generate_feed_for(
+                        &FeedConfig::new(cfg.prefixes, cfg.seed, provider_ip(i), provider_asn(i)),
+                        &universe,
+                    )
+                })
+                .collect();
+            (universe, feeds, Vec::new())
+        }
+        FeedSource::MrtReplay(replay) => {
+            let snap = sc_mrt::RibSnapshot::load(&replay.rib)
+                .unwrap_or_else(|e| panic!("MRT RIB snapshot: {e}"));
+            let universe = snap.prefixes();
+            assert!(!universe.is_empty(), "MRT snapshot carries no routes");
+            let peer_n = snap.peers.len().max(1);
+            let feeds = (0..m)
+                .map(|i| {
+                    let routes = snap.routes_for_peer((i % peer_n) as u16);
+                    let rewritten =
+                        sc_mrt::NextHopRewriter::new(provider_ip(i)).rewrite_routes(&routes);
+                    sc_mrt::pack_feed(&rewritten, 300)
+                })
+                .collect();
+            let peers = snap.peers.iter().map(|p| p.addr).collect();
+            (universe, feeds, peers)
+        }
     }
 }
 
@@ -248,9 +352,16 @@ fn build_generic(bp: Blueprint, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenar
         "supercharged mode needs at least one controller"
     );
     assert!(cfg.flows >= 1 && cfg.prefixes >= 1);
-    let universe = prefix_universe(cfg.prefixes, cfg.seed);
+    let (universe, feeds, replay_peers) = derive_feeds(cfg, m);
     let flow_ips = sample_flow_ips(&universe, cfg.flows, cfg.seed);
     let primary = bp.primary();
+    // An MRT snapshot overrides the configured table size; keep the
+    // stored config consistent with what the providers actually
+    // announce (convergence checks and reports read it from there).
+    let cfg = &ScenarioConfig {
+        prefixes: universe.len() as u32,
+        ..cfg.clone()
+    };
 
     let mut world = World::with_scheduler(cfg.seed, cfg.scheduler);
     if cfg.trace {
@@ -577,14 +688,6 @@ fn build_generic(bp: Blueprint, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenar
     }
 
     // --- providers: LAN interface, feed, BGP sessions ---
-    let feeds: Vec<Vec<UpdateMsg>> = (0..m)
-        .map(|i| {
-            generate_feed_for(
-                &FeedConfig::new(cfg.prefixes, cfg.seed, provider_ip(i), provider_asn(i)),
-                &universe,
-            )
-        })
-        .collect();
     for i in 0..m {
         let rn = world.node_mut::<LegacyRouter>(providers[i]);
         rn.add_interface(Interface {
@@ -659,6 +762,7 @@ fn build_generic(bp: Blueprint, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenar
         universe,
         feeds,
         primary,
+        replay_peers,
     }
 }
 

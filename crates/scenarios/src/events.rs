@@ -720,8 +720,14 @@ fn withdraw_of(universe: &[Ipv4Prefix], count: u32) -> UpdateMsg {
 }
 
 /// Schedule a runtime UPDATE injection on a provider router and wake
-/// its sessions so the messages leave immediately.
-fn schedule_injection(scn: &mut BuiltScenario, node: NodeId, at: SimTime, updates: Vec<UpdateMsg>) {
+/// its sessions so the messages leave immediately (shared with the
+/// runner's MRT replay path).
+pub(crate) fn schedule_injection(
+    scn: &mut BuiltScenario,
+    node: NodeId,
+    at: SimTime,
+    updates: Vec<UpdateMsg>,
+) {
     scn.world.schedule(at, move |w| {
         let tokens = w.node_mut::<LegacyRouter>(node).inject_updates(&updates);
         let now = w.now();

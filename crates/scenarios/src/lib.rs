@@ -22,6 +22,13 @@
 //!   through the `sc-traffic` sink, box statistics per scenario, and
 //!   CSV + JSON reports.
 //!
+//! Feeds come from [`builder::FeedSource`]: deterministic synthetic
+//! tables (the default), or `FeedSource::MrtReplay` — an RFC 6396 MRT
+//! RIB snapshot seeding the provider tables plus a recorded `BGP4MP`
+//! update trace replayed with its recorded inter-arrival timing
+//! (time-warpable via `sc_mrt::TimeScale`), each replay burst measured
+//! in its own convergence window.
+//!
 //! ## Quickstart
 //!
 //! ```no_run
@@ -40,7 +47,7 @@ pub mod json;
 pub mod runner;
 pub mod topo;
 
-pub use builder::{build_scenario, BuiltScenario, ScenarioConfig};
+pub use builder::{build_scenario, BuiltScenario, FeedSource, MrtReplayFeed, ScenarioConfig};
 pub use events::{EventScript, LinkRef, NodeRef, ProviderSel, ScenarioEvent};
 pub use runner::{
     expected_budget, mode_label, parse_completed_cells, run_scenario, run_suite, run_suite_resume,

@@ -10,12 +10,13 @@
 //! world is a pure function of its seed and the report rows are placed
 //! by matrix index, not completion order.
 
-use crate::builder::{build_scenario, ScenarioConfig};
-use crate::events::EventScript;
+use crate::builder::{build_scenario, BuiltScenario, FeedSource, ScenarioConfig};
+use crate::events::{schedule_injection, EventScript};
 use crate::json::Json;
 use crate::topo::TopologySpec;
-use sc_lab::harness::{arm_traffic, plan_cycle_measurement, run_cycles_and_harvest};
+use sc_lab::harness::{arm_traffic, merge_epochs, plan_cycle_measurement, run_cycles_and_harvest};
 use sc_lab::{BoxStats, Csv, Mode};
+use sc_mrt::ReplaySchedule;
 use sc_net::{SimDuration, SimTime};
 
 /// Report label for a mode: the paper's "stock" router is the legacy
@@ -116,19 +117,42 @@ pub fn run_scenario(
         )
     });
 
+    // The timed MRT replay riding this trial, if the feed carries one.
+    let replay = match &cfg.feed {
+        FeedSource::MrtReplay(r) if !r.updates.is_empty() => {
+            let sched = ReplaySchedule::compile(&r.updates, r.time_scale)
+                .unwrap_or_else(|e| panic!("MRT update trace: {e}"));
+            (!sched.events.is_empty()).then_some((sched, r.epoch_quiet))
+        }
+        _ => None,
+    };
+
     // Phase 1: converge the control plane.
     let setup_time = scn.run_until_converged();
 
-    // Phases 2-3: probes + script, via the shared harness. Each failure
-    // epoch of the script gets its own measurement window.
+    // Phases 2-3: probes + script (+ replay), via the shared harness.
+    // Every failure onset — a scripted epoch or a replayed burst —
+    // gets its own measurement window.
+    let cfg = &scn.cfg.clone(); // snapshot-derived feeds correct `prefixes`
     let budget = expected_budget(mode, cfg);
-    let epochs = script.epochs();
-    let tail = script.end().saturating_sub(*epochs.last().unwrap());
+    let epochs = match &replay {
+        Some((sched, quiet)) => merge_epochs(&script.epochs(), &sched.epochs(*quiet)),
+        None => script.epochs(),
+    };
+    let replay_end = replay
+        .as_ref()
+        .map(|(s, _)| s.end)
+        .unwrap_or(SimDuration::ZERO);
+    let activity_end = script.end().max(replay_end);
+    let tail = activity_end.saturating_sub(*epochs.last().unwrap());
     let horizon = tail + budget + budget / 2 + SimDuration::from_secs(1);
-    let rate = suggested_rate(cfg, budget + script.end());
+    let rate = suggested_rate(cfg, budget + activity_end);
     let plan = plan_cycle_measurement(scn.world.now(), rate, &epochs, horizon);
     arm_traffic(&mut scn.world, scn.source, scn.sink, &plan);
     script.apply(&mut scn, plan.t_origin);
+    if let Some((sched, _)) = &replay {
+        apply_replay(&mut scn, sched, plan.t_origin);
+    }
 
     // Phase 4: walk the cycle windows and harvest each.
     let harvests = run_cycles_and_harvest(&mut scn.world, scn.sink, &plan, cfg.flows);
@@ -171,6 +195,20 @@ pub fn run_scenario(
         cycles,
         events_processed: scn.world.stats().events_processed,
         events_per_sec: scn.world.events_per_sec() as u64,
+    }
+}
+
+/// Schedule every compiled replay event into the world through the
+/// kernel `Scheduler`, under the shared mapping policy
+/// ([`ReplaySchedule::map_to_providers`]): recorded peer `k` injects on
+/// provider `k % providers` with next-hops rewritten — the same mapping
+/// the snapshot-derived feeds used, so withdrawals hit the routes their
+/// peer actually announced.
+fn apply_replay(scn: &mut BuiltScenario, sched: &ReplaySchedule, t0: SimTime) {
+    let mapped = sched.map_to_providers(&scn.replay_peers, &scn.provider_ips, scn.primary);
+    for (i, at, update) in mapped {
+        let node = scn.providers[i];
+        schedule_injection(scn, node, t0 + at, vec![update]);
     }
 }
 

@@ -1,0 +1,133 @@
+//! End-to-end MRT replay through the scenario engine: the committed
+//! fixtures seed the provider tables, the recorded update trace plays
+//! through the kernel scheduler with warped inter-arrival timing, and
+//! every burst is measured in its own convergence window.
+
+use sc_lab::Mode;
+use sc_net::SimDuration;
+use sc_scenarios::{
+    build_scenario, run_scenario, EventScript, FeedSource, MrtReplayFeed, ScenarioConfig,
+    SuiteReport, TopologySpec,
+};
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = format!("{}/../../tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// The fixture feed, warped 4x faster. At 0.25x the recorded
+/// inter-burst quiet gaps (>= 200 ms) stay above the 40 ms epoch
+/// threshold while intra-burst gaps (microseconds) stay far below it,
+/// so epoch detection recovers exactly the 24 recorded bursts.
+fn replay_feed() -> FeedSource {
+    let mut feed = MrtReplayFeed::new(fixture("ris_rib.mrt"), fixture("ris_updates.mrt"));
+    feed.time_scale = "0.25".parse().unwrap();
+    feed.epoch_quiet = SimDuration::from_millis(40);
+    FeedSource::MrtReplay(feed)
+}
+
+fn replay_cfg() -> ScenarioConfig {
+    ScenarioConfig {
+        flows: 8,
+        rate_pps: Some(2_000),
+        feed: replay_feed(),
+        ..ScenarioConfig::default()
+    }
+}
+
+const TOPO: TopologySpec = TopologySpec::Chain {
+    providers: 2,
+    hops: 1,
+};
+
+#[test]
+fn mrt_feed_seeds_tables_with_rewritten_next_hops() {
+    // Table-only feed (no timed trace).
+    let feed = FeedSource::MrtReplay(MrtReplayFeed::new(fixture("ris_rib.mrt"), Vec::new()));
+    let cfg = ScenarioConfig {
+        flows: 4,
+        feed,
+        ..ScenarioConfig::default()
+    };
+    let scn = build_scenario(&TOPO, Mode::Stock, &cfg);
+    // The snapshot's 256 prefixes override the configured table size.
+    assert_eq!(scn.universe.len(), 256);
+    assert_eq!(scn.cfg.prefixes, 256);
+    assert_eq!(scn.replay_peers.len(), 2);
+    for (i, feed) in scn.feeds.iter().enumerate() {
+        let nlri: usize = feed.iter().map(|u| u.nlri.len()).sum();
+        assert_eq!(nlri, 256, "provider {i} announces the full snapshot");
+        assert!(
+            feed.iter()
+                .all(|u| u.attrs.as_ref().unwrap().next_hop == scn.provider_ips[i]),
+            "provider {i} next-hops rewritten to its own address"
+        );
+        // Recorded attribute runs still share one Arc per run.
+        let distinct: std::collections::HashSet<*const sc_bgp::attrs::RouteAttrs> = feed
+            .iter()
+            .map(|u| std::sync::Arc::as_ptr(u.attrs.as_ref().unwrap()))
+            .collect();
+        assert!(distinct.len() * 4 < nlri, "attribute sharing survived");
+    }
+}
+
+#[test]
+fn replay_trial_measures_every_recorded_burst() {
+    let cfg = replay_cfg();
+    let script = EventScript::new("replay-only", Vec::new());
+    let legacy = run_scenario(&TOPO, &script, Mode::Stock, &cfg);
+    assert_eq!(legacy.prefixes, 256, "snapshot-sized table in the report");
+    assert_eq!(
+        legacy.cycles.len(),
+        24,
+        "one measurement window per recorded burst"
+    );
+    assert_eq!(legacy.unrecovered, 0, "every flow recovered by the end");
+    assert!(legacy.per_flow.iter().all(|g| !g.is_zero()));
+
+    // The supercharged path digests the same replay (provider updates
+    // flow through the controller and on to R1).
+    let sup = run_scenario(&TOPO, &script, Mode::Supercharged, &cfg);
+    assert_eq!(sup.cycles.len(), 24);
+    assert_eq!(sup.unrecovered, 0);
+}
+
+/// Replay is deterministic: identical trials produce byte-identical
+/// stable report rows, and the scheduler kind (timer wheel vs reference
+/// heap) cannot change them — replay events enter through the same
+/// kernel `Scheduler` as everything else.
+#[test]
+fn replay_is_deterministic_and_scheduler_invariant() {
+    let script = EventScript::new("replay-only", Vec::new());
+    let row = |cfg: &ScenarioConfig| {
+        let outcome = run_scenario(&TOPO, &script, Mode::Stock, cfg);
+        SuiteReport::row_json_stable(&outcome).to_string()
+    };
+    let base = replay_cfg();
+    let again = row(&base);
+    assert_eq!(row(&base), again, "two identical runs, identical rows");
+    let heap = ScenarioConfig {
+        scheduler: sc_sim::SchedulerKind::ReferenceHeap,
+        ..replay_cfg()
+    };
+    assert_eq!(row(&heap), again, "scheduler choice is invisible");
+}
+
+/// A failure script composes with a replay feed: scripted epochs and
+/// replay epochs merge into one window schedule.
+#[test]
+fn script_epochs_merge_with_replay_epochs() {
+    let cfg = replay_cfg();
+    // Cut the primary's cable mid-trace (between bursts, so the count
+    // grows by exactly one window).
+    let script = EventScript::new(
+        "mid-replay-cut",
+        vec![sc_scenarios::ScenarioEvent::LinkDown {
+            link: sc_scenarios::LinkRef::ProviderSwitch(sc_scenarios::ProviderSel::Primary),
+            at: SimDuration::from_millis(205),
+        }],
+    );
+    let outcome = run_scenario(&TOPO, &script, Mode::Stock, &cfg);
+    assert_eq!(outcome.cycles.len(), 25, "24 bursts + 1 scripted cut");
+    assert_eq!(outcome.unrecovered, 0, "backup provider carries the rest");
+}

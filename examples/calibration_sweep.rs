@@ -1,0 +1,109 @@
+//! Calibration sweep over a replayed MRT trace: where does
+//! supercharging stop paying?
+//!
+//! ```text
+//! cargo run --release --example calibration_sweep
+//! ```
+//!
+//! Runs the *same* recorded update trace (the committed RIS-style
+//! fixtures, warped 4× faster) followed by a primary-cable cut,
+//! through legacy and supercharged mode across a family of
+//! `Calibration` models — the paper's Nexus 7k FIB walk, hypothetical
+//! faster/slower line cards, and the idealized instant router. The
+//! recorded churn loads realistic table dynamics first; the cut right
+//! after the trace drains is the convergence event whose cost scales
+//! with the FIB walk (a cut placed *inside* the trace would be carved
+//! across the per-burst measurement windows — each window clips gaps
+//! at its close, hiding the full outage). The paper measures one
+//! hardware point; this maps the neighbourhood (ROADMAP:
+//! "scenario-driven calibration sweep") — as the modeled router gets
+//! faster, the supercharged speedup collapses toward 1×.
+
+use supercharged_router::net::SimDuration;
+use supercharged_router::router::Calibration;
+use supercharged_router::scenarios::{
+    run_scenario, EventScript, FeedSource, Mode, MrtReplayFeed, ScenarioConfig, TopologySpec,
+};
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// A calibration scaled from the paper's Nexus 7k by `pct` percent
+/// (FIB entry cost and peer-down processing both scale; 100 = paper).
+fn scaled_cal(pct: u64) -> Calibration {
+    let base = Calibration::nexus7k();
+    Calibration {
+        fib_entry_update: base.fib_entry_update * pct / 100,
+        peer_down_processing: base.peer_down_processing * pct / 100,
+        ..base
+    }
+}
+
+fn main() {
+    let mut feed = MrtReplayFeed::new(fixture("ris_rib.mrt"), fixture("ris_updates.mrt"));
+    feed.time_scale = "0.25".parse().unwrap();
+    feed.epoch_quiet = SimDuration::from_millis(40);
+    let topo = TopologySpec::Chain {
+        providers: 2,
+        hops: 1,
+    };
+    // Cut the primary's cable just after the warped trace drains
+    // (~2.0 s), so the cut's convergence is measured in one full-length
+    // window instead of being carved across replay-burst windows.
+    let script = EventScript::new(
+        "post-replay-cut",
+        vec![supercharged_router::scenarios::ScenarioEvent::LinkDown {
+            link: supercharged_router::scenarios::LinkRef::ProviderSwitch(
+                supercharged_router::scenarios::ProviderSel::Primary,
+            ),
+            at: SimDuration::from_millis(2_500),
+        }],
+    );
+
+    let cals: [(&str, Calibration); 5] = [
+        ("instant", Calibration::instant()),
+        ("4x-faster", scaled_cal(25)),
+        ("2x-faster", scaled_cal(50)),
+        ("nexus7k", scaled_cal(100)),
+        ("2x-slower", scaled_cal(200)),
+    ];
+
+    println!(
+        "calibration sweep: one recorded trace + post-trace cut, {} models x 2 modes\n",
+        cals.len()
+    );
+    println!(
+        "{:>10}  {:>12}  {:>12}  {:>12}  {:>12}  {:>8}  {:>8}",
+        "model", "legacy p50", "sc p50", "legacy p95", "sc p95", "x(p50)", "x(p95)"
+    );
+    for (name, cal) in cals {
+        let cfg = ScenarioConfig {
+            flows: 6,
+            rate_pps: Some(2_000),
+            cal,
+            feed: FeedSource::MrtReplay(feed.clone()),
+            ..ScenarioConfig::default()
+        };
+        let legacy = run_scenario(&topo, &script, Mode::Stock, &cfg);
+        let sup = run_scenario(&topo, &script, Mode::Supercharged, &cfg);
+        let (ls, ss) = (legacy.stats(), sup.stats());
+        let x = |l: SimDuration, s: SimDuration| l.as_nanos() as f64 / s.as_nanos().max(1) as f64;
+        println!(
+            "{:>10}  {:>12}  {:>12}  {:>12}  {:>12}  {:>7.2}x  {:>7.2}x",
+            name,
+            ls.median.to_string(),
+            ss.median.to_string(),
+            ls.p95.to_string(),
+            ss.p95.to_string(),
+            x(ls.median, ss.median),
+            x(ls.p95, ss.p95),
+        );
+    }
+    println!(
+        "\n(every cell replays the same 24-burst fixture trace, then cuts the \
+         primary's cable; tail flows wait out the whole FIB walk, so the \
+         speedup collapses toward 1x as the modeled router approaches instant)"
+    );
+}

@@ -1,0 +1,50 @@
+//! `routegen mrt` — write the committed MRT fixtures.
+//!
+//! ```text
+//! cargo run --example routegen_mrt [-- --out-dir tests/fixtures]
+//! ```
+//!
+//! Regenerates `tests/fixtures/ris_rib.mrt` (a `TABLE_DUMP_V2` RIB
+//! snapshot) and `tests/fixtures/ris_updates.mrt` (a bursty `BGP4MP_ET`
+//! update trace) from `MrtExportConfig::fixture()`. Both are pure
+//! functions of the config, so rerunning this produces byte-identical
+//! files — the `mrt_fixtures_are_byte_reproducible` test pins the
+//! committed bytes to the generator.
+
+use supercharged_router::mrt::{ReplaySchedule, RibSnapshot, TimeScale};
+use supercharged_router::routegen::mrt::{rib_snapshot_mrt, update_trace_mrt, MrtExportConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| format!("{}/tests/fixtures", env!("CARGO_MANIFEST_DIR")));
+    std::fs::create_dir_all(&out_dir).expect("create fixture dir");
+
+    let cfg = MrtExportConfig::fixture();
+    let rib = rib_snapshot_mrt(&cfg);
+    let updates = update_trace_mrt(&cfg);
+
+    let rib_path = format!("{out_dir}/ris_rib.mrt");
+    let upd_path = format!("{out_dir}/ris_updates.mrt");
+    std::fs::write(&rib_path, &rib).expect("write rib fixture");
+    std::fs::write(&upd_path, &updates).expect("write updates fixture");
+
+    let snap = RibSnapshot::load(&rib).expect("snapshot loads");
+    let sched = ReplaySchedule::compile(&updates, TimeScale::REAL).expect("trace compiles");
+    println!(
+        "wrote {rib_path}: {} bytes, {} prefixes x {} peers",
+        rib.len(),
+        snap.routes.len(),
+        snap.peers.len()
+    );
+    println!(
+        "wrote {upd_path}: {} bytes, {} updates over {} ({} prefix events)",
+        updates.len(),
+        sched.events.len(),
+        sched.end,
+        sched.prefix_events()
+    );
+}

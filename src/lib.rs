@@ -18,7 +18,9 @@
 //!   computation, VNH/VMAC provisioning, ARP responder, and the
 //!   data-plane failover procedure.
 //! * [`traffic`] — FPGA-like traffic source/sink and gap measurement.
-//! * [`routegen`] — synthetic RIPE-RIS-style route feeds.
+//! * [`mrt`] — RFC 6396 MRT dump reader/writer and timed route replay.
+//! * [`routegen`] — synthetic RIPE-RIS-style route feeds and MRT
+//!   fixture export.
 //! * [`lab`] — the Fig. 4 evaluation topology and experiment drivers.
 //! * [`scenarios`] — the declarative scenario engine: topology
 //!   generators, failure scripts, and the suite runner.
@@ -38,6 +40,7 @@
 pub use sc_bfd as bfd;
 pub use sc_bgp as bgp;
 pub use sc_lab as lab;
+pub use sc_mrt as mrt;
 pub use sc_net as net;
 pub use sc_openflow as openflow;
 pub use sc_routegen as routegen;

@@ -1,0 +1,58 @@
+//! The committed MRT fixtures are byte-reproducible from the
+//! generator: `cargo run --example routegen_mrt` must always rewrite
+//! exactly what is in git, and the fixtures must load through the
+//! replay pipeline.
+
+use supercharged_router::mrt::{ReplaySchedule, RibSnapshot, TimeScale};
+use supercharged_router::routegen::mrt::{rib_snapshot_mrt, update_trace_mrt, MrtExportConfig};
+use supercharged_router::routegen::prefix_universe;
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn mrt_fixtures_are_byte_reproducible() {
+    let cfg = MrtExportConfig::fixture();
+    assert_eq!(
+        fixture("ris_rib.mrt"),
+        rib_snapshot_mrt(&cfg),
+        "committed ris_rib.mrt differs from the generator — \
+         rerun `cargo run --example routegen_mrt`"
+    );
+    assert_eq!(
+        fixture("ris_updates.mrt"),
+        update_trace_mrt(&cfg),
+        "committed ris_updates.mrt differs from the generator — \
+         rerun `cargo run --example routegen_mrt`"
+    );
+}
+
+#[test]
+fn rib_fixture_is_a_loadable_snapshot() {
+    let cfg = MrtExportConfig::fixture();
+    let snap = RibSnapshot::load(&fixture("ris_rib.mrt")).unwrap();
+    assert_eq!(snap.peers.len(), cfg.peers as usize);
+    assert_eq!(snap.prefixes(), prefix_universe(cfg.prefixes, cfg.seed));
+    for pi in 0..cfg.peers {
+        assert_eq!(
+            snap.routes_for_peer(pi).len(),
+            cfg.prefixes as usize,
+            "peer {pi} covers the full table"
+        );
+    }
+}
+
+#[test]
+fn updates_fixture_is_a_bursty_trace() {
+    let cfg = MrtExportConfig::fixture();
+    let sched = ReplaySchedule::compile(&fixture("ris_updates.mrt"), TimeScale::REAL).unwrap();
+    assert_eq!(
+        sched.prefix_events(),
+        2 * cfg.bursts as usize * cfg.burst_prefixes as usize,
+        "every burst withdraws then re-announces its slice"
+    );
+    let epochs = sched.epochs(sc_net::SimDuration::from_millis(100));
+    assert_eq!(epochs.len(), cfg.bursts as usize, "one epoch per burst");
+}
