@@ -5,7 +5,8 @@
 //! ```text
 //! cargo run --release -p sc-bench --bin scenarios [--prefixes N] \
 //!     [--flows N] [--seed N] [--workers N] [--quick] [--smoke] [--jsonl] \
-//!     [--csv out.csv] [--json out.json]
+//!     [--csv out.csv] [--json out.json] [--invariants] \
+//!     [--scheduler wheel|heap] [--stable-csv out.csv] [--stable-json out.json]
 //! ```
 //!
 //! * default: 10k prefixes, the full 6-topology × 5-script matrix;
@@ -24,13 +25,23 @@
 //!   line is ignored and error rows are retried. The new output holds
 //!   only the remaining cells; append it to the prior file for the
 //!   full matrix.
+//! * `--invariants`: run the `sc-invariant` convergence-invariant
+//!   engine in every trial (off by default so perf trajectories stay
+//!   comparable with uninstrumented baselines), report per-class
+//!   violation durations, and add a two-replica `replica-crash`
+//!   divergence cell to the matrix;
+//! * `--scheduler wheel|heap`: pick the kernel event scheduler (the
+//!   determinism contract says reports are byte-identical either way);
+//! * `--stable-csv out.csv` / `--stable-json out.json`: the
+//!   byte-reproducible report variants (wall-clock columns blanked) —
+//!   what the CI smoke diffs across reruns and schedulers.
 
 use sc_bench::{fig5_label, Args, Table};
 use sc_lab::Mode;
 use sc_net::SimDuration;
 use sc_scenarios::{
     parse_completed_cells, run_suite_resume, EventScript, ScenarioConfig, SuiteConfig, SuiteReport,
-    TopologySpec, TrialResult,
+    TopologySpec, TrialResult, ViolationClass,
 };
 use std::io::Write;
 
@@ -50,6 +61,12 @@ fn main() {
     let flows: usize = args.value("--flows", if smoke { 10 } else { 50 });
     let seed: u64 = args.value("--seed", 42);
     let workers: Option<usize> = args.raw_value("--workers").and_then(|v| v.parse().ok());
+    let invariants = args.flag("--invariants");
+    let scheduler = match args.raw_value("--scheduler").as_deref() {
+        None | Some("wheel") => sc_sim::SchedulerKind::TimerWheel,
+        Some("heap") => sc_sim::SchedulerKind::ReferenceHeap,
+        Some(other) => panic!("--scheduler {other:?}: expected wheel|heap"),
+    };
 
     let topologies = if smoke {
         vec![TopologySpec::Chain {
@@ -92,6 +109,12 @@ fn main() {
         )));
         scripts.push(EventScript::withdraw_burst(prefixes / 4));
     }
+    if invariants {
+        // The replica-divergence probe: cut the primary and crash the
+        // standby controller replica mid-failover. A no-op in legacy
+        // mode (no replicas), so both sides of the cell stay comparable.
+        scripts.push(EventScript::replica_crash(1, SimDuration::from_millis(2)));
+    }
     let suite = SuiteConfig {
         topologies,
         scripts,
@@ -100,6 +123,11 @@ fn main() {
             prefixes,
             flows,
             seed,
+            scheduler,
+            invariants,
+            // Two replicas whenever the divergence cell is in the
+            // matrix, so `replica_crash(1, …)` has a standby to kill.
+            controllers: if invariants { 2 } else { 1 },
             ..ScenarioConfig::default()
         },
         workers,
@@ -141,8 +169,18 @@ fn main() {
 
     if !jsonl {
         let mut table = Table::new(&[
-            "topology", "script", "mode", "median", "p95", "max", "lost", "detect", "rewrites",
-            "cycles", "Mev/s",
+            "topology",
+            "script",
+            "mode",
+            "median",
+            "p95",
+            "max",
+            "lost",
+            "detect",
+            "rewrites",
+            "cycles",
+            "viol b/l/t",
+            "Mev/s",
         ]);
         for row in &report.rows {
             let s = row.stats();
@@ -170,6 +208,17 @@ fn main() {
                 } else {
                     "-".into()
                 },
+                row.invariants
+                    .as_ref()
+                    .map(|inv| {
+                        format!(
+                            "{}/{}/{}",
+                            fig5_label(inv.total(ViolationClass::Blackhole)),
+                            fig5_label(inv.total(ViolationClass::Loop)),
+                            fig5_label(inv.total(ViolationClass::Transit)),
+                        )
+                    })
+                    .unwrap_or_else(|| "-".into()),
                 format!("{:.1}", row.events_per_sec as f64 / 1e6),
             ]);
         }
@@ -198,6 +247,18 @@ fn main() {
     }
     if let Some(path) = args.raw_value("--json") {
         std::fs::write(&path, report.to_json()).expect("write JSON");
+        if !jsonl {
+            println!("wrote {path}");
+        }
+    }
+    if let Some(path) = args.raw_value("--stable-csv") {
+        std::fs::write(&path, report.to_csv_stable()).expect("write stable CSV");
+        if !jsonl {
+            println!("wrote {path}");
+        }
+    }
+    if let Some(path) = args.raw_value("--stable-json") {
+        std::fs::write(&path, report.to_json_stable()).expect("write stable JSON");
         if !jsonl {
             println!("wrote {path}");
         }

@@ -1,0 +1,232 @@
+//! [`WorldView`]: a [`ForwardingView`] backed by a live
+//! [`sc_sim::World`].
+//!
+//! The view replays, read-only, the exact forwarding decision each node
+//! type makes for a probe frame — the router's installed-FIB LPM +
+//! interface scan + ARP resolution ([`sc_router::LegacyRouter`]'s data
+//! plane), and the switch's flow-table match with the L2-learn
+//! table-miss fallback ([`sc_openflow::OfSwitch`]). Nothing is sent,
+//! learned, or counted: sampling the view any number of times leaves
+//! the event stream byte-identical.
+
+use crate::record::{classify, TransitPolicy};
+use crate::walk::{walk, DropReason, ForwardingView, Hop, Step, MAX_WALK_STATES};
+use sc_net::wire::ethernet::EtherType;
+use sc_net::MacAddr;
+use sc_openflow::{Action, FlowKey, OfSwitch};
+use sc_router::LegacyRouter;
+use sc_sim::{NodeId, PortId, World};
+use std::net::Ipv4Addr;
+
+/// Which node plays which role — the only topology knowledge the
+/// engine needs beyond the world's own wiring.
+#[derive(Clone, Debug)]
+pub struct NetModel {
+    /// Every [`LegacyRouter`] (edge router, providers, forwarders).
+    pub routers: Vec<NodeId>,
+    /// Every [`OfSwitch`].
+    pub switches: Vec<NodeId>,
+    /// The probe origin (walks start at its port 0 uplink).
+    pub source: NodeId,
+    /// The destination: a walk arriving here has delivered.
+    pub sink: NodeId,
+}
+
+/// The constant header fields of the probe traffic whose forwarding
+/// the walk predicts (flow rules may match on any of them).
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeSpec {
+    pub src_mac: MacAddr,
+    pub src_ip: Ipv4Addr,
+    /// The first-hop gateway the source addresses frames to.
+    pub gateway_mac: MacAddr,
+    pub udp_src: u16,
+    pub udp_dst: u16,
+}
+
+/// A read-only forwarding view over a world.
+pub struct WorldView<'a> {
+    world: &'a World,
+    model: &'a NetModel,
+    probe: ProbeSpec,
+}
+
+impl<'a> WorldView<'a> {
+    pub fn new(world: &'a World, model: &'a NetModel, probe: ProbeSpec) -> WorldView<'a> {
+        WorldView {
+            world,
+            model,
+            probe,
+        }
+    }
+
+    /// Cross the link out of `(node, port)`: `None` when the egress is
+    /// dark (no link, link down, or dead peer).
+    fn cross(&self, node: NodeId, port: PortId, src_mac: MacAddr, dst_mac: MacAddr) -> Option<Hop> {
+        let link = self.world.link_at(node, port)?;
+        if !self.world.is_link_up(link) {
+            return None;
+        }
+        let peer = self.world.peer_of(node, port)?;
+        if !self.world.is_alive(peer.node) {
+            return None;
+        }
+        Some(Hop {
+            node: peer.node,
+            in_port: peer.port,
+            src_mac,
+            dst_mac,
+        })
+    }
+
+    /// The probe's first hop: the source transmits on port 0, addressed
+    /// to its gateway. `None` when the source uplink itself is dark.
+    pub fn start(&self) -> Option<Hop> {
+        self.cross(
+            self.model.source,
+            PortId(0),
+            self.probe.src_mac,
+            self.probe.gateway_mac,
+        )
+    }
+
+    /// Walk one flow destination from the source.
+    pub fn walk_flow(&self, dst: Ipv4Addr) -> crate::walk::WalkReport {
+        match self.start() {
+            Some(start) => walk(self, start, dst, MAX_WALK_STATES),
+            None => crate::walk::WalkReport::default(), // undelivered
+        }
+    }
+
+    fn router_step(&self, hop: &Hop, dst: Ipv4Addr) -> Step {
+        let r = self.world.node::<LegacyRouter>(hop.node);
+        // NIC filter: the arrival interface only accepts frames
+        // addressed to it.
+        let Some(iface_in) = r.interfaces().iter().find(|i| i.port == hop.in_port) else {
+            return Step::Drop(DropReason::NicFilter);
+        };
+        if hop.dst_mac != iface_in.mac && !hop.dst_mac.is_broadcast() {
+            return Step::Drop(DropReason::NicFilter);
+        }
+        // The installed-FIB forwarding decision, exactly as
+        // `forward_ipv4` takes it (the flow cache is a pure memo of the
+        // same decision, so skipping it changes nothing).
+        let Some((_, entry)) = r.fib().lookup(dst) else {
+            return Step::Drop(DropReason::NoRoute);
+        };
+        let nh = if entry.next_hop == Ipv4Addr::UNSPECIFIED {
+            dst
+        } else {
+            entry.next_hop
+        };
+        let Some(idx) = r.interfaces().iter().position(|i| i.subnet.contains(nh)) else {
+            return Step::Drop(DropReason::NoInterface);
+        };
+        let out = r.interfaces()[idx];
+        let Some(mac) = r.arp().lookup(nh, self.world.now()) else {
+            return Step::Drop(DropReason::ArpUnresolved);
+        };
+        match self.cross(hop.node, out.port, out.mac, mac) {
+            Some(next) => Step::Forward(vec![next]),
+            None => Step::Forward(Vec::new()),
+        }
+    }
+
+    fn switch_step(&self, hop: &Hop, dst: Ipv4Addr) -> Step {
+        let sw = self.world.node::<OfSwitch>(hop.node);
+        let key = FlowKey {
+            in_port: hop.in_port.0 as u16,
+            eth_src: hop.src_mac,
+            eth_dst: hop.dst_mac,
+            eth_type: EtherType::Ipv4.to_u16(),
+            ip_src: Some(self.probe.src_ip),
+            ip_dst: Some(dst),
+            udp_src: Some(self.probe.udp_src),
+            udp_dst: Some(self.probe.udp_dst),
+        };
+        // (out port, src mac, dst mac) egress list.
+        let mut egress: Vec<(PortId, MacAddr, MacAddr)> = Vec::new();
+        if let Some(entry) = sw.table().peek(&key) {
+            let (mut smac, mut dmac) = (hop.src_mac, hop.dst_mac);
+            for action in &entry.actions {
+                match action {
+                    Action::SetDstMac(m) => dmac = *m,
+                    Action::SetSrcMac(m) => smac = *m,
+                    Action::Output(p) => egress.push((PortId(*p as usize), smac, dmac)),
+                    Action::Flood => {
+                        for &p in sw.data_ports() {
+                            if p != hop.in_port {
+                                egress.push((p, smac, dmac));
+                            }
+                        }
+                    }
+                    Action::ToController => {}
+                    Action::Drop => break, // stops the action list
+                }
+            }
+            if egress.is_empty() {
+                return Step::Drop(DropReason::Dropped);
+            }
+        } else if hop.dst_mac.is_unicast() && sw.l2_table().contains_key(&hop.dst_mac) {
+            // L2-learn table miss with a known destination.
+            let out = sw.l2_table()[&hop.dst_mac];
+            if out == hop.in_port {
+                return Step::Drop(DropReason::Dropped);
+            }
+            egress.push((out, hop.src_mac, hop.dst_mac));
+        } else {
+            // Unknown destination: flood the data ports.
+            for &p in sw.data_ports() {
+                if p != hop.in_port {
+                    egress.push((p, hop.src_mac, hop.dst_mac));
+                }
+            }
+        }
+        Step::Forward(
+            egress
+                .into_iter()
+                .filter_map(|(p, s, d)| self.cross(hop.node, p, s, d))
+                .collect(),
+        )
+    }
+}
+
+impl ForwardingView for WorldView<'_> {
+    fn step(&self, hop: &Hop, dst: Ipv4Addr) -> Step {
+        if hop.node == self.model.sink {
+            return Step::Deliver;
+        }
+        if self.model.routers.contains(&hop.node) {
+            return self.router_step(hop, dst);
+        }
+        if self.model.switches.contains(&hop.node) {
+            return self.switch_step(hop, dst);
+        }
+        // Controller, source, or anything else: not a forwarder.
+        Step::Drop(DropReason::NotForwarding)
+    }
+}
+
+/// One engine sample: walk every flow, classify against the policy,
+/// and return per-class "≥1 flow in violation" flags in
+/// [`crate::record::CLASSES`] order — the shape
+/// [`crate::record::InvariantRecorder::record`] consumes.
+pub fn sample_flags(
+    world: &World,
+    model: &NetModel,
+    probe: ProbeSpec,
+    policy: &TransitPolicy,
+    flows: &[Ipv4Addr],
+) -> [bool; 3] {
+    let view = WorldView::new(world, model, probe);
+    let now = world.now();
+    let mut flags = [false; 3];
+    for &dst in flows {
+        let report = view.walk_flow(dst);
+        let forbidden = policy.forbids(&report.visited, dst, now);
+        if let Some(class) = classify(&report, forbidden) {
+            flags[class as usize] = true;
+        }
+    }
+    flags
+}

@@ -186,6 +186,38 @@ pub fn arm_traffic(world: &mut World, source: NodeId, sink: NodeId, plan: &Measu
     });
 }
 
+/// A shared read-mostly observer invoked as `(world, window, at)` by
+/// [`schedule_window_samples`].
+pub type WindowSampler = std::rc::Rc<dyn Fn(&mut World, usize, SimTime)>;
+
+/// Pre-schedule one sampler invocation every `cadence` inside each of
+/// the plan's measurement windows: window `w` is sampled at `t_open`,
+/// `t_open + cadence`, … strictly before `t_close`. Because every
+/// sample is a kernel control event scheduled *before* the world runs,
+/// the event stream — and therefore any report derived from it — stays
+/// deterministic and byte-reproducible; the sampler must only read.
+/// The invariant engine rides on this; any periodic in-window observer
+/// can. Returns the number of samples scheduled.
+pub fn schedule_window_samples(
+    world: &mut World,
+    plan: &MeasurementPlan,
+    cadence: SimDuration,
+    sampler: WindowSampler,
+) -> usize {
+    assert!(cadence > SimDuration::ZERO, "sampling cadence must be > 0");
+    let mut scheduled = 0;
+    for (w, cycle) in plan.cycles.iter().enumerate() {
+        let mut t = cycle.t_open;
+        while t < cycle.t_close {
+            let s = sampler.clone();
+            world.schedule(t, move |world| s(world, w, t));
+            scheduled += 1;
+            t += cadence;
+        }
+    }
+    scheduled
+}
+
 /// The harvested per-flow measurements of one trial.
 #[derive(Clone, Debug)]
 pub struct Harvest {

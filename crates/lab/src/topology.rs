@@ -169,6 +169,9 @@ pub struct ConvergenceLab {
     pub r2: NodeId,
     pub r3: NodeId,
     pub controllers: Vec<NodeId>,
+    /// Switch ↔ controller links, one per replica (replica-divergence
+    /// scripts cut or delay these).
+    pub controller_links: Vec<LinkId>,
     pub source: NodeId,
     pub sink: NodeId,
     /// The link the experiment cuts (R2 ↔ switch).
@@ -292,6 +295,7 @@ impl ConvergenceLab {
             },
         ];
         let mut controllers = Vec::new();
+        let mut controller_links = Vec::new();
         for ci in 0..controllers_n {
             let ctrl_cfg = ControllerConfig {
                 name: format!("supercharger-{ci}"),
@@ -342,8 +346,9 @@ impl ConvergenceLab {
                 loss: cfg.control_loss,
                 ..lanp
             };
-            let (_, sw_port_ctrl, _) = world.connect(switch, ctrl, ctrl_link);
+            let (ctrl_l, sw_port_ctrl, _) = world.connect(switch, ctrl, ctrl_link);
             sw_ctrl_ports.push(sw_port_ctrl);
+            controller_links.push(ctrl_l);
             controllers.push(ctrl);
         }
 
@@ -508,6 +513,7 @@ impl ConvergenceLab {
             r2,
             r3,
             controllers,
+            controller_links,
             source,
             sink,
             r2_link,

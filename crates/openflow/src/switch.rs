@@ -166,6 +166,12 @@ impl OfSwitch {
         &self.l2
     }
 
+    /// The registered data ports, in registration order — the flood
+    /// domain observers need to replay the table-miss broadcast.
+    pub fn data_ports(&self) -> &[PortId] {
+        &self.data_ports
+    }
+
     /// Number of hardware operations still pending.
     pub fn pending_ops(&self) -> usize {
         self.pending.len()

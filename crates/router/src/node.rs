@@ -339,6 +339,20 @@ impl LegacyRouter {
         &self.fib
     }
 
+    /// The configured interfaces, in `add_interface` order — read-only
+    /// introspection for observers replaying the forwarding decision
+    /// (interface index positions match [`Self::iface_for_nexthop`]).
+    pub fn interfaces(&self) -> &[Interface] {
+        &self.interfaces
+    }
+
+    /// Read-only view of the ARP cache (static entries, learned entries
+    /// subject to expiry at `now`) — unlike the forwarding path's
+    /// resolve, this never queues a request or parks a frame.
+    pub fn arp(&self) -> &ArpClient {
+        &self.arp
+    }
+
     pub fn rib(&self) -> &LocRib {
         &self.rib
     }

@@ -123,6 +123,15 @@ pub struct ScenarioConfig {
     /// Where provider feeds come from (synthetic tables or an MRT
     /// snapshot + timed replay).
     pub feed: FeedSource,
+    /// Run the convergence-invariant engine (`sc-invariant`): walk the
+    /// installed FIBs every `invariant_cadence` inside each measurement
+    /// window and report per-class violation durations. Off by default
+    /// — the samples are deterministic but not free, and the perf-gated
+    /// benches compare against uninstrumented baselines.
+    pub invariants: bool,
+    /// Sampling cadence of the invariant engine; also the resolution of
+    /// every violation-duration figure it reports.
+    pub invariant_cadence: SimDuration,
 }
 
 impl Default for ScenarioConfig {
@@ -142,6 +151,8 @@ impl Default for ScenarioConfig {
             flow_cache: true,
             scheduler: sc_sim::SchedulerKind::default(),
             feed: FeedSource::Synthetic,
+            invariants: false,
+            invariant_cadence: SimDuration::from_millis(5),
         }
     }
 }
@@ -159,6 +170,9 @@ pub struct BuiltScenario {
     pub provider_ips: Vec<Ipv4Addr>,
     pub forwarders: Vec<NodeId>,
     pub controllers: Vec<NodeId>,
+    /// Switch ↔ controller links, one per replica (replica-divergence
+    /// scripts cut or delay these).
+    pub controller_links: Vec<LinkId>,
     pub source: NodeId,
     pub sink: NodeId,
     /// Provider i ↔ switch (the "pull the cable" target).
@@ -243,6 +257,7 @@ fn build_fig4(mode: Mode, cfg: &ScenarioConfig) -> BuiltScenario {
         provider_ips: vec![IP_R2, IP_R3],
         forwarders: Vec::new(),
         controllers: lab.controllers,
+        controller_links: lab.controller_links,
         source: lab.source,
         sink: lab.sink,
         provider_switch_links: vec![lab.r2_link, lab.r3_link],
@@ -574,6 +589,7 @@ fn build_generic(bp: Blueprint, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenar
         0
     };
     let mut controllers = Vec::new();
+    let mut controller_links = Vec::new();
     let mut sw_ctrl_ports = Vec::new();
     for ci in 0..controllers_n {
         let ctrl_cfg = ControllerConfig {
@@ -618,8 +634,9 @@ fn build_generic(bp: Blueprint, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenar
             loss: cfg.control_loss,
             ..lanp
         };
-        let (_, sw_port_ctrl, _) = world.connect(switch, ctrl, ctrl_link);
+        let (ctrl_l, sw_port_ctrl, _) = world.connect(switch, ctrl, ctrl_link);
         sw_ctrl_ports.push(sw_port_ctrl);
+        controller_links.push(ctrl_l);
         controllers.push(ctrl);
     }
 
@@ -752,6 +769,7 @@ fn build_generic(bp: Blueprint, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenar
         provider_ips: (0..m).map(provider_ip).collect(),
         forwarders,
         controllers,
+        controller_links,
         source,
         sink,
         provider_switch_links,

@@ -198,6 +198,22 @@ pub enum ScenarioEvent {
         cycles: u32,
         period: SimDuration,
     },
+    /// Crash controller replica `replica` (all its links drop) — the
+    /// replica-divergence probe, typically fired mid-failover. A legacy
+    /// build has no replicas and ignores it, so one script drives both
+    /// sides of a comparison cell.
+    CrashReplica {
+        replica: usize,
+        at: SimDuration,
+    },
+    /// Partition controller replica `replica` from the switch for
+    /// `delay`, then restore — the slow-replica divergence probe.
+    /// Ignored in legacy builds, like [`ScenarioEvent::CrashReplica`].
+    DelayReplica {
+        replica: usize,
+        at: SimDuration,
+        delay: SimDuration,
+    },
 }
 
 impl ScenarioEvent {
@@ -207,11 +223,13 @@ impl ScenarioEvent {
             ScenarioEvent::LinkDown { at, .. }
             | ScenarioEvent::LinkUp { at, .. }
             | ScenarioEvent::NodeCrash { at, .. }
-            | ScenarioEvent::WithdrawBurst { at, .. } => at,
+            | ScenarioEvent::WithdrawBurst { at, .. }
+            | ScenarioEvent::CrashReplica { at, .. } => at,
             ScenarioEvent::LinkFlap {
                 at, period, cycles, ..
             } => at + period * cycles.saturating_sub(1) as u64 + period / 2,
             ScenarioEvent::SessionReset { at, outage, .. } => at + outage,
+            ScenarioEvent::DelayReplica { at, delay, .. } => at + delay,
             ScenarioEvent::ChurnBurst {
                 at, period, cycles, ..
             } => at + period * cycles.saturating_sub(1) as u64 + period / 2,
@@ -228,7 +246,12 @@ impl ScenarioEvent {
             | ScenarioEvent::NodeCrash { at, .. }
             | ScenarioEvent::WithdrawBurst { at, .. }
             | ScenarioEvent::SessionReset { at, .. } => vec![at],
-            ScenarioEvent::LinkUp { .. } => Vec::new(),
+            // Restorations are not onsets, and replica events perturb
+            // the control plane *during* a co-scripted failover rather
+            // than starting a convergence cycle of their own.
+            ScenarioEvent::LinkUp { .. }
+            | ScenarioEvent::CrashReplica { .. }
+            | ScenarioEvent::DelayReplica { .. } => Vec::new(),
             ScenarioEvent::LinkFlap {
                 at, period, cycles, ..
             }
@@ -326,6 +349,15 @@ impl fmt::Display for ScenarioEvent {
                 fmt_dur(at),
                 fmt_dur(period)
             ),
+            ScenarioEvent::CrashReplica { replica, at } => {
+                write!(f, "crash_replica controller:{replica} @{}", fmt_dur(at))
+            }
+            ScenarioEvent::DelayReplica { replica, at, delay } => write!(
+                f,
+                "delay_replica controller:{replica} @{} delay={}",
+                fmt_dur(at),
+                fmt_dur(delay)
+            ),
         }
     }
 }
@@ -384,6 +416,15 @@ impl FromStr for ScenarioEvent {
                     .map_err(|e| format!("{e}"))?,
                 period: parse_dur(kv(toks.get(5).ok_or("missing period")?, "period")?)?,
             }),
+            Some("crash_replica") => Ok(ScenarioEvent::CrashReplica {
+                replica: ctrl_of(toks.get(1).ok_or("missing controller")?)?,
+                at: at_tok(2)?,
+            }),
+            Some("delay_replica") => Ok(ScenarioEvent::DelayReplica {
+                replica: ctrl_of(toks.get(1).ok_or("missing controller")?)?,
+                at: at_tok(2)?,
+                delay: parse_dur(kv(toks.get(3).ok_or("missing delay")?, "delay")?)?,
+            }),
             other => Err(format!("unknown event {other:?}")),
         }
     }
@@ -393,6 +434,13 @@ fn sel_of(tok: &str) -> Result<ProviderSel, String> {
     tok.strip_prefix("provider:")
         .ok_or_else(|| format!("expected provider:…, got {tok:?}"))?
         .parse()
+}
+
+fn ctrl_of(tok: &str) -> Result<usize, String> {
+    tok.strip_prefix("controller:")
+        .ok_or_else(|| format!("expected controller:…, got {tok:?}"))?
+        .parse()
+        .map_err(|e| format!("{e}"))
 }
 
 /// A named schedule of events.
@@ -469,6 +517,40 @@ impl EventScript {
         )
     }
 
+    /// Replica-divergence probe: cut the primary at the origin and
+    /// crash controller replica `replica` mid-failover, `after` later.
+    pub fn replica_crash(replica: usize, after: SimDuration) -> EventScript {
+        EventScript::new(
+            "replica-crash",
+            vec![
+                ScenarioEvent::LinkDown {
+                    link: LinkRef::ProviderSwitch(ProviderSel::Primary),
+                    at: SimDuration::ZERO,
+                },
+                ScenarioEvent::CrashReplica { replica, at: after },
+            ],
+        )
+    }
+
+    /// Cut the primary and partition controller replica `replica` for
+    /// `delay`, starting `after` into the failover.
+    pub fn replica_delay(replica: usize, after: SimDuration, delay: SimDuration) -> EventScript {
+        EventScript::new(
+            "replica-delay",
+            vec![
+                ScenarioEvent::LinkDown {
+                    link: LinkRef::ProviderSwitch(ProviderSel::Primary),
+                    at: SimDuration::ZERO,
+                },
+                ScenarioEvent::DelayReplica {
+                    replica,
+                    at: after,
+                    delay,
+                },
+            ],
+        )
+    }
+
     /// Staggered double failure: cut the primary, then crash the
     /// third-ranked provider shortly after (needs ≥3 providers).
     pub fn staggered_double(gap: SimDuration) -> EventScript {
@@ -528,6 +610,18 @@ impl EventScript {
                 | ScenarioEvent::WithdrawBurst { provider, .. }
                 | ScenarioEvent::ChurnBurst { provider, .. } => {
                     resolve_provider(scn, provider)?;
+                }
+                ScenarioEvent::CrashReplica { replica, .. }
+                | ScenarioEvent::DelayReplica { replica, .. } => {
+                    // Legacy builds have no replicas and ignore these
+                    // events; a supercharged build must have the named
+                    // replica.
+                    if !scn.controllers.is_empty() && replica >= scn.controllers.len() {
+                        return Err(format!(
+                            "controller {replica} out of range ({} replicas)",
+                            scn.controllers.len()
+                        ));
+                    }
                 }
             }
         }
@@ -624,6 +718,21 @@ impl EventScript {
                         schedule_injection(scn, node, w_at + period / 2, reannounce.clone());
                     }
                 }
+                ScenarioEvent::CrashReplica { replica, at } => {
+                    // Legacy builds have no replicas: the event is a
+                    // no-op so one script drives both comparison modes.
+                    if let Some(&n) = scn.controllers.get(replica) {
+                        scn.world.schedule(t0 + at, move |w| w.crash_node(n));
+                    }
+                }
+                ScenarioEvent::DelayReplica { replica, at, delay } => {
+                    if let Some(&l) = scn.controller_links.get(replica) {
+                        scn.world
+                            .schedule(t0 + at, move |w| w.set_link_up(l, false));
+                        scn.world
+                            .schedule(t0 + at + delay, move |w| w.set_link_up(l, true));
+                    }
+                }
             }
         }
     }
@@ -662,7 +771,7 @@ impl FromStr for EventScript {
     }
 }
 
-fn resolve_provider(scn: &BuiltScenario, sel: ProviderSel) -> Result<usize, String> {
+pub(crate) fn resolve_provider(scn: &BuiltScenario, sel: ProviderSel) -> Result<usize, String> {
     let m = scn.providers.len();
     let idx = match sel {
         ProviderSel::Primary => scn.primary,
@@ -754,6 +863,8 @@ mod tests {
             EventScript::primary_session_reset(ms(150)),
             EventScript::withdraw_burst(100),
             EventScript::staggered_double(ms(200)),
+            EventScript::replica_crash(1, ms(2)),
+            EventScript::replica_delay(0, ms(2), ms(40)),
             EventScript::new(
                 "mixed",
                 vec![
@@ -859,6 +970,17 @@ mod tests {
             ],
         );
         assert_eq!(double.epochs(), vec![SimDuration::ZERO, ms(50)]);
+        // Replica events perturb a failover already in progress; they
+        // are not onsets, so the probe scripts measure one window (the
+        // primary cut at the origin).
+        assert_eq!(
+            EventScript::replica_crash(1, ms(2)).epochs(),
+            vec![SimDuration::ZERO]
+        );
+        assert_eq!(
+            EventScript::replica_delay(0, ms(2), ms(40)).epochs(),
+            vec![SimDuration::ZERO]
+        );
     }
 
     #[test]

@@ -54,5 +54,6 @@ pub use runner::{
     run_suite_with, CompletedCell, CycleOutcome, ScenarioOutcome, SuiteConfig, SuiteReport,
     TrialError, TrialResult,
 };
+pub use sc_invariant::{InvariantReport, ViolationClass, WindowViolations};
 pub use sc_lab::Mode;
 pub use topo::{Blueprint, TopologySpec};

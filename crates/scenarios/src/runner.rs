@@ -11,13 +11,23 @@
 //! by matrix index, not completion order.
 
 use crate::builder::{build_scenario, BuiltScenario, FeedSource, ScenarioConfig};
-use crate::events::{schedule_injection, EventScript};
+use crate::events::{resolve_provider, schedule_injection, EventScript, ScenarioEvent};
 use crate::json::Json;
 use crate::topo::TopologySpec;
-use sc_lab::harness::{arm_traffic, merge_epochs, plan_cycle_measurement, run_cycles_and_harvest};
+use sc_invariant::{
+    sample_flags, InvariantRecorder, InvariantReport, NetModel, ProbeSpec, TransitPolicy,
+    TransitRule, ViolationClass,
+};
+use sc_lab::harness::{
+    arm_traffic, merge_epochs, plan_cycle_measurement, run_cycles_and_harvest,
+    schedule_window_samples,
+};
+use sc_lab::topology::{IP_SOURCE, MAC_R1, MAC_SOURCE};
 use sc_lab::{BoxStats, Csv, Mode};
 use sc_mrt::ReplaySchedule;
 use sc_net::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Report label for a mode: the paper's "stock" router is the legacy
 /// baseline every scenario compares against.
@@ -94,6 +104,9 @@ pub struct ScenarioOutcome {
     /// trajectory metric. Machine- and run-dependent; excluded from the
     /// `*_stable` report variants.
     pub events_per_sec: u64,
+    /// Per-window violation durations from the convergence-invariant
+    /// engine; `None` unless [`ScenarioConfig::invariants`] is on.
+    pub invariants: Option<InvariantReport>,
 }
 
 impl ScenarioOutcome {
@@ -154,6 +167,39 @@ pub fn run_scenario(
         apply_replay(&mut scn, sched, plan.t_origin);
     }
 
+    // The convergence-invariant engine: pre-schedule one FIB walk every
+    // `invariant_cadence` inside each cycle window. The samples are
+    // read-only kernel events, so the trial stays byte-reproducible —
+    // they just aren't free, hence the opt-in.
+    let recorder = cfg.invariants.then(|| {
+        let model = NetModel {
+            routers: std::iter::once(scn.r1)
+                .chain(scn.providers.iter().copied())
+                .chain(scn.forwarders.iter().copied())
+                .collect(),
+            switches: vec![scn.switch],
+            source: scn.source,
+            sink: scn.sink,
+        };
+        let probe = ProbeSpec {
+            src_mac: MAC_SOURCE,
+            src_ip: IP_SOURCE,
+            gateway_mac: MAC_R1,
+            udp_src: sc_traffic::PROBE_SRC_PORT,
+            udp_dst: sc_net::wire::udp::port::PROBE,
+        };
+        let policy = transit_policy(script, &scn, plan.t_origin);
+        let flows = scn.flow_ips.clone();
+        let recorder = Rc::new(RefCell::new(InvariantRecorder::new(plan.cycles.len())));
+        let rec = recorder.clone();
+        let sampler = Rc::new(move |world: &mut sc_sim::World, w: usize, _at: SimTime| {
+            let flags = sample_flags(world, &model, probe, &policy, &flows);
+            rec.borrow_mut().record(w, world.now(), flags);
+        });
+        schedule_window_samples(&mut scn.world, &plan, cfg.invariant_cadence, sampler);
+        recorder
+    });
+
     // Phase 4: walk the cycle windows and harvest each.
     let harvests = run_cycles_and_harvest(&mut scn.world, scn.sink, &plan, cfg.flows);
     let cycles: Vec<CycleOutcome> = plan
@@ -195,7 +241,54 @@ pub fn run_scenario(
         cycles,
         events_processed: scn.world.stats().events_processed,
         events_per_sec: scn.world.events_per_sec() as u64,
+        invariants: recorder.map(|rec| rec.borrow().clone().report()),
     }
+}
+
+/// The transit bans a script implies: a provider that withdrew a prefix
+/// has disclaimed transit for it until it re-announces, so a delivered
+/// probe crossing it is a violation even though connectivity looks
+/// fine.
+fn transit_policy(script: &EventScript, scn: &BuiltScenario, t0: SimTime) -> TransitPolicy {
+    let mut rules = Vec::new();
+    for ev in &script.events {
+        match *ev {
+            ScenarioEvent::WithdrawBurst {
+                provider,
+                at,
+                count,
+            } => {
+                let i = resolve_provider(scn, provider).unwrap();
+                rules.push(TransitRule {
+                    node: scn.providers[i],
+                    prefixes: scn.universe.iter().take(count as usize).copied().collect(),
+                    from: t0 + at,
+                    until: SimTime::MAX,
+                });
+            }
+            ScenarioEvent::ChurnBurst {
+                provider,
+                at,
+                count,
+                cycles,
+                period,
+            } => {
+                let i = resolve_provider(scn, provider).unwrap();
+                let prefixes: Vec<_> = scn.universe.iter().take(count as usize).copied().collect();
+                for c in 0..cycles as u64 {
+                    let from = t0 + at + period * c;
+                    rules.push(TransitRule {
+                        node: scn.providers[i],
+                        prefixes: prefixes.clone(),
+                        from,
+                        until: from + period / 2,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    TransitPolicy { rules }
 }
 
 /// Schedule every compiled replay event into the world through the
@@ -253,13 +346,19 @@ impl SuiteConfig {
     }
 }
 
-/// A trial that died: which matrix cell, and the panic message. One bad
-/// trial no longer aborts a 100-trial sweep — it lands here instead.
+/// A trial that died: which matrix cell, the configuration it ran
+/// under, and the panic message. One bad trial no longer aborts a
+/// 100-trial sweep — it lands here instead. The config fields mirror
+/// the ones [`CompletedCell`] keys on, so error rows in a report carry
+/// enough context for a resume to re-run (not skip) them.
 #[derive(Clone, Debug)]
 pub struct TrialError {
     pub topology: String,
     pub script: String,
     pub mode: Mode,
+    pub prefixes: u32,
+    pub seed: u64,
+    pub flows: usize,
     pub error: String,
 }
 
@@ -464,6 +563,9 @@ fn run_suite_filtered(
                         topology: topo.label(),
                         script: script.name.clone(),
                         mode: *mode,
+                        prefixes: base.prefixes,
+                        seed: base.seed,
+                        flows: base.flows,
                         error: panic_message(payload.as_ref()),
                     }),
                 };
@@ -499,7 +601,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// The CSV column set; `error` is last so error rows can pad every
 /// metric column and append the message.
-const CSV_HEADER: [&str; 20] = [
+const CSV_HEADER: [&str; 23] = [
     "topology",
     "script",
     "mode",
@@ -519,6 +621,9 @@ const CSV_HEADER: [&str; 20] = [
     "cycle_unrecovered",
     "events",
     "events_per_sec",
+    "viol_blackhole_us",
+    "viol_loop_us",
+    "viol_transit_us",
     "error",
 ];
 
@@ -548,6 +653,14 @@ impl SuiteReport {
             let joined = |f: &dyn Fn(&CycleOutcome) -> String| {
                 row.cycles.iter().map(f).collect::<Vec<_>>().join(";")
             };
+            // Invariant columns stay blank when the engine was off — a
+            // zero would be indistinguishable from "checked and clean".
+            let viol = |c: ViolationClass| {
+                row.invariants
+                    .as_ref()
+                    .map(|inv| us(inv.total(c)))
+                    .unwrap_or_default()
+            };
             csv.row(&[
                 row.topology.clone(),
                 row.script.clone(),
@@ -574,14 +687,21 @@ impl SuiteReport {
                 } else {
                     String::new()
                 },
+                viol(ViolationClass::Blackhole),
+                viol(ViolationClass::Loop),
+                viol(ViolationClass::Transit),
                 String::new(),
             ]);
         }
         for e in &self.errors {
+            // Config columns stay populated on error rows so a resume
+            // keyed off the report re-keys the cell correctly.
             let mut fields = vec![
                 e.topology.clone(),
                 e.script.clone(),
                 mode_label(e.mode).to_string(),
+                e.prefixes.to_string(),
+                e.flows.to_string(),
             ];
             fields.resize(CSV_HEADER.len() - 1, String::new());
             fields.push(e.error.clone());
@@ -666,16 +786,50 @@ impl SuiteReport {
                 Json::Array(
                     row.cycles
                         .iter()
-                        .map(|c| {
+                        .enumerate()
+                        .map(|(i, c)| {
                             let mut cy = Json::object();
                             cy.push("fail_at_ns", Json::Int(c.fail_at.as_nanos()))
                                 .push("unrecovered", Json::Int(c.unrecovered as u64))
                                 .push("stats_ns", stats_obj(&c.stats()));
+                            if let Some(w) =
+                                row.invariants.as_ref().and_then(|inv| inv.windows.get(i))
+                            {
+                                cy.push("inv_samples", Json::Int(w.samples))
+                                    .push(
+                                        "viol_blackhole_ns",
+                                        ns(w.duration(ViolationClass::Blackhole)),
+                                    )
+                                    .push("viol_loop_ns", ns(w.duration(ViolationClass::Loop)))
+                                    .push(
+                                        "viol_transit_ns",
+                                        ns(w.duration(ViolationClass::Transit)),
+                                    );
+                            }
                             cy
                         })
                         .collect(),
                 ),
             );
+        // The invariant block only appears when the engine ran, so
+        // reports from uninstrumented runs keep their prior byte shape.
+        if let Some(inv) = &row.invariants {
+            let mut o = Json::object();
+            o.push("samples", Json::Int(inv.samples()))
+                .push(
+                    "viol_blackhole_ns",
+                    ns(inv.total(ViolationClass::Blackhole)),
+                )
+                .push("viol_loop_ns", ns(inv.total(ViolationClass::Loop)))
+                .push("viol_transit_ns", ns(inv.total(ViolationClass::Transit)))
+                .push(
+                    "hits_blackhole",
+                    Json::Int(inv.hits(ViolationClass::Blackhole)),
+                )
+                .push("hits_loop", Json::Int(inv.hits(ViolationClass::Loop)))
+                .push("hits_transit", Json::Int(inv.hits(ViolationClass::Transit)));
+            obj.push("invariants", o);
+        }
         obj
     }
 
@@ -686,6 +840,9 @@ impl SuiteReport {
         obj.push("topology", Json::str(&e.topology))
             .push("script", Json::str(&e.script))
             .push("mode", Json::str(mode_label(e.mode)))
+            .push("prefixes", Json::Int(e.prefixes as u64))
+            .push("seed", Json::Int(e.seed))
+            .push("flows", Json::Int(e.flows as u64))
             .push("error", Json::str(&e.error));
         obj
     }

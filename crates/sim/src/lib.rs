@@ -26,7 +26,7 @@ pub mod sched;
 pub mod trace;
 pub mod world;
 
-pub use link::{LinkId, LinkParams};
+pub use link::{Endpoint, LinkId, LinkParams};
 pub use netutil::ChannelPort;
 pub use node::{Ctx, Node, NodeId, PortId, TimerToken};
 pub use sched::SchedulerKind;

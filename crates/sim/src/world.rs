@@ -233,6 +233,20 @@ impl World {
         self.links[link.0].up
     }
 
+    /// The link attached to `(node, port)`, if any — read-only topology
+    /// introspection for observers (e.g. the invariant engine's FIB
+    /// walks) that trace frames through the wiring without sending any.
+    pub fn link_at(&self, node: NodeId, port: PortId) -> Option<LinkId> {
+        self.nodes.get(node.0)?.ports.get(port.0).copied().flatten()
+    }
+
+    /// The far end of the link attached to `(node, port)`, if any.
+    pub fn peer_of(&self, node: NodeId, port: PortId) -> Option<Endpoint> {
+        let link = &self.links[self.link_at(node, port)?.0];
+        let here = Endpoint { node, port };
+        link.direction_from(here).map(|(_, peer)| peer)
+    }
+
     /// Crash a node: it stops receiving frames and timers, and all its
     /// links go down (peers see carrier loss).
     pub fn crash_node(&mut self, id: NodeId) {

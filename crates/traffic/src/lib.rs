@@ -21,6 +21,11 @@ use std::any::Any;
 
 const TIMER_TICK: TimerToken = TimerToken(1);
 
+/// UDP source port of every probe frame. Exported so flow-table
+/// predictors (the `sc-invariant` walker) can build the exact key the
+/// switch will see.
+pub const PROBE_SRC_PORT: u16 = 49152;
+
 /// Traffic source configuration.
 #[derive(Clone, Debug)]
 pub struct SourceConfig {
@@ -126,7 +131,7 @@ impl TrafficSource {
                         dst_mac: cfg.gateway_mac,
                         src_ip: cfg.ip,
                         dst_ip: *dst,
-                        src_port: 49152,
+                        src_port: PROBE_SRC_PORT,
                         dst_port: udp_port::PROBE,
                     },
                     64,

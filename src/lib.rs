@@ -21,6 +21,9 @@
 //! * [`mrt`] — RFC 6396 MRT dump reader/writer and timed route replay.
 //! * [`routegen`] — synthetic RIPE-RIS-style route feeds and MRT
 //!   fixture export.
+//! * [`invariant`] — the continuous convergence-invariant engine:
+//!   in-window FIB walks classifying blackholes, loops and transit
+//!   violations.
 //! * [`lab`] — the Fig. 4 evaluation topology and experiment drivers.
 //! * [`scenarios`] — the declarative scenario engine: topology
 //!   generators, failure scripts, and the suite runner.
@@ -39,6 +42,7 @@
 
 pub use sc_bfd as bfd;
 pub use sc_bgp as bgp;
+pub use sc_invariant as invariant;
 pub use sc_lab as lab;
 pub use sc_mrt as mrt;
 pub use sc_net as net;
