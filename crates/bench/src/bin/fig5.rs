@@ -68,15 +68,12 @@ fn main() {
         "      probe load: 64-byte UDP frames, auto-rated (<=14kpps/flow, the paper's rate)\n"
     );
 
-    let t0 = std::time::Instant::now();
-    let stock = run_fig5_sweep(Mode::Stock, &counts, trials, &base);
-    eprintln!("stock sweep done in {:.1}s", t0.elapsed().as_secs_f64());
-    let t1 = std::time::Instant::now();
-    let supercharged = run_fig5_sweep(Mode::Supercharged, &counts, trials, &base);
-    eprintln!(
-        "supercharged sweep done in {:.1}s\n",
-        t1.elapsed().as_secs_f64()
-    );
+    let (stock, took) =
+        sc_bench::timing::timed(|| run_fig5_sweep(Mode::Stock, &counts, trials, &base));
+    eprintln!("stock sweep done in {:.1}s", took.as_secs_f64());
+    let (supercharged, took) =
+        sc_bench::timing::timed(|| run_fig5_sweep(Mode::Supercharged, &counts, trials, &base));
+    eprintln!("supercharged sweep done in {:.1}s\n", took.as_secs_f64());
 
     let mut table = Table::new(&[
         "prefixes",

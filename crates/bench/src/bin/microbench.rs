@@ -17,11 +17,11 @@
 //! cargo run --release -p sc-bench --bin microbench [--prefixes N]
 //! ```
 
+use sc_bench::timing::timed;
 use sc_bench::{Args, Table};
 use sc_lab::topology::{IP_R2, IP_R3, MAC_R2, MAC_R3};
 use sc_routegen::{generate_feed_for, prefix_universe, FeedConfig};
 use std::net::Ipv4Addr;
-use std::time::Instant;
 use supercharger::engine::PeerSpec;
 use supercharger::{Engine, EngineConfig};
 
@@ -80,18 +80,17 @@ fn main() {
 
     let mut e = engine();
     let mut latencies: Vec<u128> = Vec::with_capacity(feed_r2.len() + feed_r3.len());
-    let total_start = Instant::now();
     // The paper's feed order: first peer's full table, then the second's
     // (which flips every prefix from unprotected to a backup-group).
-    for (peer, feed) in [(IP_R2, &feed_r2), (IP_R3, &feed_r3)] {
-        for upd in feed {
-            let t = Instant::now();
-            let actions = e.process_update(peer, upd);
-            std::hint::black_box(&actions);
-            latencies.push(t.elapsed().as_nanos());
+    let ((), total) = timed(|| {
+        for (peer, feed) in [(IP_R2, &feed_r2), (IP_R3, &feed_r3)] {
+            for upd in feed {
+                let (actions, took) = timed(|| e.process_update(peer, upd));
+                std::hint::black_box(&actions);
+                latencies.push(took.as_nanos());
+            }
         }
-    }
-    let total = total_start.elapsed();
+    });
     let routes = e.stats.routes_learned;
     latencies.sort_unstable();
 

@@ -125,6 +125,9 @@ fn main() {
             seed,
             scheduler,
             invariants,
+            // The shell injects the one sanctioned clock so rows carry
+            // the events_per_sec trajectory.
+            wall_clock: Some(sc_bench::timing::wall_clock),
             // Two replicas whenever the divergence cell is in the
             // matrix, so `replica_crash(1, …)` has a standby to kill.
             controllers: if invariants { 2 } else { 1 },
@@ -151,20 +154,21 @@ fn main() {
         }
     }
 
-    let t0 = std::time::Instant::now();
-    let report = run_suite_resume(&suite, &completed, |_, result| {
-        if !jsonl {
-            return;
-        }
-        let line = match result {
-            TrialResult::Ok(row) => SuiteReport::row_json(row).to_string(),
-            TrialResult::Err(e) => SuiteReport::error_json(e).to_string(),
-        };
-        // One locked write per row: rows from parallel workers never
-        // interleave mid-line.
-        let stdout = std::io::stdout();
-        let mut out = stdout.lock();
-        let _ = writeln!(out, "{line}");
+    let (report, elapsed) = sc_bench::timing::timed(|| {
+        run_suite_resume(&suite, &completed, |_, result| {
+            if !jsonl {
+                return;
+            }
+            let line = match result {
+                TrialResult::Ok(row) => SuiteReport::row_json(row).to_string(),
+                TrialResult::Err(e) => SuiteReport::error_json(e).to_string(),
+            };
+            // One locked write per row: rows from parallel workers never
+            // interleave mid-line.
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            let _ = writeln!(out, "{line}");
+        })
     });
 
     if !jsonl {
@@ -236,7 +240,7 @@ fn main() {
                 e.error
             );
         }
-        println!("\nwall time: {:.1}s", t0.elapsed().as_secs_f64());
+        println!("\nwall time: {:.1}s", elapsed.as_secs_f64());
     }
 
     if let Some(path) = args.raw_value("--csv") {

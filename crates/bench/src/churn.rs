@@ -278,9 +278,7 @@ impl ChurnMeasurement {
 
 /// Drive a churn world to its horizon, timing the run.
 pub fn run_churn(cw: &mut ChurnWorld) -> ChurnMeasurement {
-    let t0 = std::time::Instant::now();
-    cw.world.run_until(cw.end);
-    let wall = t0.elapsed();
+    let ((), wall) = crate::timing::timed(|| cw.world.run_until(cw.end));
     let r1 = cw.world.node::<LegacyRouter>(cw.r1);
     ChurnMeasurement {
         events: cw.world.stats().events_processed,

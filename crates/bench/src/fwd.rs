@@ -170,9 +170,7 @@ impl FwdMeasurement {
 /// Drive a forwarding world to the end of its window, timing the run.
 pub fn run_forwarding(fw: &mut ForwardingWorld) -> FwdMeasurement {
     let end = fw.stop + SimDuration::from_millis(50);
-    let t0 = std::time::Instant::now();
-    fw.world.run_until(end);
-    let wall = t0.elapsed();
+    let ((), wall) = crate::timing::timed(|| fw.world.run_until(end));
     let sent = fw.world.node::<TrafficSource>(fw.source).packets_sent;
     let forwarded = fw.world.node::<LegacyRouter>(fw.router).stats.forwarded;
     FwdMeasurement {

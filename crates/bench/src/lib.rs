@@ -6,6 +6,7 @@
 pub mod churn;
 pub mod fwd;
 pub mod replay;
+pub mod timing;
 
 use sc_net::SimDuration;
 

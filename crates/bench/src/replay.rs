@@ -284,9 +284,7 @@ impl ReplayMeasurement {
 
 /// Drive a replay world to its horizon, timing the run.
 pub fn run_replay(rw: &mut ReplayWorld) -> ReplayMeasurement {
-    let t0 = std::time::Instant::now();
-    rw.world.run_until(rw.end);
-    let wall = t0.elapsed();
+    let ((), wall) = crate::timing::timed(|| rw.world.run_until(rw.end));
     let r1 = rw.world.node::<LegacyRouter>(rw.r1);
     ReplayMeasurement {
         events: rw.world.stats().events_processed,

@@ -1,0 +1,128 @@
+//! Per-crate policy: which severity each rule carries in each crate,
+//! the layering ranks the import graph must respect, and the one file
+//! allowed to read the wall clock.
+//!
+//! The table is source, not a config file, on purpose: policy changes
+//! are code-reviewed diffs next to the rules they tune, and the checker
+//! stays dependency-free (no TOML parser needed beyond the 20-line
+//! `[dependencies]` scanner in `workspace.rs`).
+
+use crate::rules::Rule;
+
+/// How a finding is treated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Rule disabled here: no diagnostic at all.
+    Allow,
+    /// Reported, but `--deny` does not fail on it.
+    Warn,
+    /// Reported; `--deny` exits non-zero.
+    Deny,
+}
+
+impl Severity {
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// What role a crate plays, which decides its default severities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrateKind {
+    /// Simulation/core logic: everything must be a pure function of the
+    /// seed, so all determinism rules deny.
+    Sim,
+    /// Outermost shells (bench harnesses, this checker): wall-clock
+    /// timing is their job and hasher determinism is a warning, not a
+    /// failure.
+    Shell,
+}
+
+/// One workspace crate the checker knows about.
+pub struct CrateInfo {
+    /// Package name as in `Cargo.toml` (`supercharger`, not `core`).
+    pub name: &'static str,
+    /// Directory under `crates/`.
+    pub dir: &'static str,
+    /// Layering rank: a crate may only depend on strictly lower ranks.
+    pub layer: u8,
+    pub kind: CrateKind,
+}
+
+/// The workspace layering map (mirrors ROADMAP's architecture: wire
+/// types < kernel/protocol state machines < devices < measurement <
+/// shells). `cargo run -p sc-check` fails if `Cargo.toml` grows an
+/// edge that flows upward or sideways.
+pub const CRATES: &[CrateInfo] = &[
+    ci("sc-net", "net", 0, CrateKind::Sim),
+    ci("sc-sim", "sim", 1, CrateKind::Sim),
+    ci("sc-bgp", "bgp", 1, CrateKind::Sim),
+    ci("sc-bfd", "bfd", 1, CrateKind::Sim),
+    ci("sc-mrt", "mrt", 2, CrateKind::Sim),
+    ci("sc-openflow", "openflow", 2, CrateKind::Sim),
+    ci("sc-traffic", "traffic", 2, CrateKind::Sim),
+    ci("sc-router", "router", 3, CrateKind::Sim),
+    ci("supercharger", "core", 3, CrateKind::Sim),
+    ci("sc-routegen", "routegen", 3, CrateKind::Sim),
+    ci("sc-invariant", "invariant", 4, CrateKind::Sim),
+    ci("sc-lab", "lab", 5, CrateKind::Sim),
+    ci("sc-scenarios", "scenarios", 6, CrateKind::Sim),
+    ci("sc-bench", "bench", 7, CrateKind::Shell),
+    ci("sc-check", "check", 7, CrateKind::Shell),
+];
+
+const fn ci(name: &'static str, dir: &'static str, layer: u8, kind: CrateKind) -> CrateInfo {
+    CrateInfo {
+        name,
+        dir,
+        layer,
+        kind,
+    }
+}
+
+/// Look up a crate by package name. Unknown crates (a future PR's new
+/// crate before this table learns about it) default to the strict
+/// `Sim` policy with no layering rank — determinism rules apply from
+/// the crate's first commit.
+pub fn crate_info(name: &str) -> Option<&'static CrateInfo> {
+    CRATES.iter().find(|c| c.name == name)
+}
+
+/// Crates whose state machines must stay transport-agnostic: naming
+/// `sc_net::channel` types here blocks the sans-io refactor (ROADMAP:
+/// "Sans-io core + real-I/O shell").
+pub const SANS_IO_CRATES: &[&str] = &["sc-bgp", "sc-bfd", "supercharger"];
+
+/// The single file allowed to touch `Instant`/`SystemTime`: the bench
+/// shell's timing module, which every other harness goes through.
+pub const WALL_CLOCK_ALLOWLIST: &[&str] = &["crates/bench/src/timing.rs"];
+
+/// The severity of `rule` inside `crate_name`.
+pub fn severity(rule: Rule, crate_name: &str) -> Severity {
+    let kind = crate_info(crate_name)
+        .map(|c| c.kind)
+        .unwrap_or(CrateKind::Sim);
+    match (rule, kind) {
+        // Hashers: sim/core crates must be deterministic; shells only
+        // report results (their maps never feed back into a trial), so
+        // a stray HashMap there is noise worth flagging, not a failure.
+        (Rule::NoDefaultHasher, CrateKind::Sim) => Severity::Deny,
+        (Rule::NoDefaultHasher, CrateKind::Shell) => Severity::Warn,
+        // Wall clock: denied everywhere; the allowlist file (not a
+        // crate-level hole) is carved out in the engine.
+        (Rule::NoWallClock, _) => Severity::Deny,
+        // Ambient randomness: even benches must be seeded — perf worlds
+        // are replayed for byte-identical event streams.
+        (Rule::NoAmbientRandomness, _) => Severity::Deny,
+        (Rule::Layering, _) => Severity::Deny,
+        (Rule::UnsafeNeedsSafetyComment, _) => Severity::Deny,
+        (Rule::AllowNeedsJustification, _) => Severity::Deny,
+        // A malformed waiver is always an error: a waiver that silently
+        // fails to parse would silently stop waiving.
+        (Rule::WaiverSyntax, _) => Severity::Deny,
+    }
+}

@@ -1,0 +1,511 @@
+//! A small lossless Rust lexer.
+//!
+//! Purpose-built for static analysis, not compilation: it splits a
+//! source file into tokens whose byte spans exactly tile the input
+//! (nothing is dropped, nothing overlaps), so the rule engine can strip
+//! comments and string/char literals and scan only *code* for hazard
+//! patterns. It understands everything that can hide a fake match:
+//! nested block comments, ordinary strings with escapes, raw strings
+//! with any hash depth (including byte/C-string prefixes), raw
+//! identifiers, and the `'a` lifetime vs `'a'` char-literal ambiguity.
+//!
+//! It never panics, whatever bytes it is fed — the property tests in
+//! `tests/lexer_props.rs` fuzz it with arbitrary input and check the
+//! tiling invariant on every run.
+
+/// What a token is. The rule engine treats `Ident`/`Num`/`Punct` as
+/// scannable code and everything else as opaque.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Whitespace run.
+    Ws,
+    /// `// …` to end of line (doc `///` and `//!` included).
+    LineComment,
+    /// `/* … */`, nesting respected; unterminated runs to EOF.
+    BlockComment,
+    /// `"…"`, `b"…"`, `c"…"` with backslash escapes; unterminated runs
+    /// to EOF.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br##"…"##`, `cr"…"` — no escapes, closed by a
+    /// quote followed by the opening hash count.
+    RawStr,
+    /// `'x'`, `'\n'`, `'\u{1F600}'`, `'🦀'`.
+    Char,
+    /// `'label` / `'lifetime` (a quote followed by an identifier with
+    /// no closing quote).
+    Lifetime,
+    /// Identifier or keyword (`r#raw` identifiers included).
+    Ident,
+    /// Number literal body (`0x5c`, `1_000u64`; a decimal point splits
+    /// into `Num Punct Num`, which is fine for pattern scanning).
+    Num,
+    /// A single punctuation byte (`::` is two `:` tokens).
+    Punct,
+    /// Anything else (stray quote, non-UTF8 punctuation byte, …).
+    Other,
+}
+
+/// One token: kind plus the byte span `[start, end)` and the 1-based
+/// line its first byte sits on.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text (empty if the span is not valid UTF-8, which
+    /// only happens for `Other` bytes inside malformed input).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// The single byte of a `Punct` token, `0` for any other kind —
+    /// puncts are always exactly one byte, so the rule engine matches
+    /// them this way without slicing.
+    pub fn punct_byte(&self, src: &str) -> u8 {
+        if self.kind == TokKind::Punct {
+            src.as_bytes().get(self.start).copied().unwrap_or(0)
+        } else {
+            0
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Length of the UTF-8 sequence starting with `b` (1 for malformed
+/// leading bytes — the lexer only needs an upper bound that keeps it
+/// from splitting well-formed chars).
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    }
+}
+
+/// Tokenize `src`. The returned spans exactly tile `0..src.len()`.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    b: &'s [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.i < self.b.len() {
+            let start = self.i;
+            let kind = self.next_token();
+            debug_assert!(self.i > start, "lexer must always advance");
+            // Belt and braces for release builds: never loop forever.
+            if self.i <= start {
+                self.i = start + 1;
+            }
+            // The token is tagged with the line of its first byte; its
+            // own newlines advance the counter for the next token.
+            let line = self.line;
+            let newlines = self.b[start..self.i]
+                .iter()
+                .filter(|&&c| c == b'\n')
+                .count();
+            self.line += newlines as u32;
+            self.out.push(Tok {
+                kind,
+                start,
+                end: self.i,
+                line,
+            });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn next_token(&mut self) -> TokKind {
+        let c = self.b[self.i];
+        if c.is_ascii_whitespace() {
+            while self.peek(0).is_some_and(|b| b.is_ascii_whitespace()) {
+                self.i += 1;
+            }
+            return TokKind::Ws;
+        }
+        if c == b'/' {
+            match self.peek(1) {
+                Some(b'/') => {
+                    while self.peek(0).is_some_and(|b| b != b'\n') {
+                        self.i += 1;
+                    }
+                    return TokKind::LineComment;
+                }
+                Some(b'*') => {
+                    self.i += 2;
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match (self.peek(0), self.peek(1)) {
+                            (Some(b'/'), Some(b'*')) => {
+                                depth += 1;
+                                self.i += 2;
+                            }
+                            (Some(b'*'), Some(b'/')) => {
+                                depth -= 1;
+                                self.i += 2;
+                            }
+                            (Some(_), _) => self.i += 1,
+                            (None, _) => break,
+                        }
+                    }
+                    return TokKind::BlockComment;
+                }
+                _ => {
+                    self.i += 1;
+                    return TokKind::Punct;
+                }
+            }
+        }
+        if c == b'"' {
+            self.i += 1;
+            self.consume_escaped_until(b'"');
+            return TokKind::Str;
+        }
+        // String-literal prefixes: r"", r#""#, b"", br#""#, c"", cr"",
+        // plus raw identifiers r#ident. Anything that does not complete
+        // a prefix falls through to the identifier path.
+        if matches!(c, b'r' | b'b' | b'c') {
+            if let Some(kind) = self.try_prefixed_string() {
+                return kind;
+            }
+        }
+        if c == b'\'' {
+            return self.char_or_lifetime();
+        }
+        if is_ident_start(c) {
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.i += 1;
+            }
+            return TokKind::Ident;
+        }
+        if c.is_ascii_digit() {
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.i += 1;
+            }
+            return TokKind::Num;
+        }
+        self.i += 1;
+        if c.is_ascii_punctuation() {
+            TokKind::Punct
+        } else {
+            TokKind::Other
+        }
+    }
+
+    /// Consume bytes until an unescaped `close` (or EOF), starting just
+    /// past the opening quote. A backslash always escapes exactly the
+    /// next byte — enough to keep `"\""` and `'\''` from closing early.
+    fn consume_escaped_until(&mut self, close: u8) {
+        while let Some(b) = self.peek(0) {
+            self.i += 1;
+            if b == b'\\' {
+                if self.peek(0).is_some() {
+                    self.i += 1;
+                }
+            } else if b == close {
+                return;
+            }
+        }
+    }
+
+    /// Try to lex `r`/`b`/`c`-prefixed string forms at the cursor.
+    /// Returns `None` (cursor untouched) if this is just an identifier
+    /// that happens to start with those letters.
+    fn try_prefixed_string(&mut self) -> Option<TokKind> {
+        let mut j = 0usize;
+        let mut raw = false;
+        // Optional b/c, optional r — in that order (br"", cr"") — or a
+        // bare r ("r#raw-ident" is also handled here).
+        match self.peek(j) {
+            Some(b'b') | Some(b'c') => {
+                j += 1;
+                if self.peek(j) == Some(b'r') {
+                    raw = true;
+                    j += 1;
+                }
+            }
+            Some(b'r') => {
+                raw = true;
+                j += 1;
+            }
+            _ => {}
+        }
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek(j + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if self.peek(j + hashes) == Some(b'"') {
+                // Raw string: scan for `"` followed by `hashes` hashes.
+                self.i += j + hashes + 1;
+                while let Some(b) = self.peek(0) {
+                    self.i += 1;
+                    if b == b'"' {
+                        let mut k = 0;
+                        while k < hashes && self.peek(k) == Some(b'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            self.i += hashes;
+                            return Some(TokKind::RawStr);
+                        }
+                    }
+                }
+                return Some(TokKind::RawStr); // unterminated: to EOF
+            }
+            if hashes == 1 && self.peek(j + 1).is_some_and(is_ident_start) {
+                // Raw identifier r#ident.
+                self.i += j + 1;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.i += 1;
+                }
+                return Some(TokKind::Ident);
+            }
+            return None;
+        }
+        // Non-raw byte/C string: b"…" / c"…" with escapes.
+        if j > 0 && self.peek(j) == Some(b'"') {
+            self.i += j + 1;
+            self.consume_escaped_until(b'"');
+            return Some(TokKind::Str);
+        }
+        None
+    }
+
+    /// Disambiguate `'a'` (char), `'\n'` (escaped char), `'a`
+    /// (lifetime/label), and a stray quote.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.i += 1;
+                self.consume_escaped_until(b'\'');
+                TokKind::Char
+            }
+            Some(c) => {
+                // One UTF-8 char followed by a closing quote ⇒ char
+                // literal; this check comes first so `'_'` and `'r''`
+                // read as chars, not lifetimes.
+                let l = utf8_len(c);
+                if self.peek(1 + l) == Some(b'\'') {
+                    self.i += 1 + l + 1;
+                    return TokKind::Char;
+                }
+                if is_ident_start(c) {
+                    self.i += 2;
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.i += 1;
+                    }
+                    return TokKind::Lifetime;
+                }
+                self.i += 1;
+                TokKind::Other
+            }
+            None => {
+                self.i += 1;
+                TokKind::Other
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).iter().map(|t| t.kind).collect()
+    }
+
+    /// The tiling invariant every caller relies on.
+    fn assert_tiles(src: &str) {
+        let toks = lex(src);
+        let mut at = 0usize;
+        for t in &toks {
+            assert_eq!(t.start, at, "gap/overlap at byte {at} in {src:?}");
+            assert!(t.end > t.start, "empty token in {src:?}");
+            at = t.end;
+        }
+        assert_eq!(at, src.len(), "tokens do not cover {src:?}");
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        assert_eq!(
+            kinds("let x = 42;"),
+            vec![
+                TokKind::Ident,
+                TokKind::Ws,
+                TokKind::Ident,
+                TokKind::Ws,
+                TokKind::Punct,
+                TokKind::Ws,
+                TokKind::Num,
+                TokKind::Punct
+            ]
+        );
+        assert_tiles("let x = 42;");
+    }
+
+    #[test]
+    fn double_colon_is_two_puncts() {
+        let src = "std::time";
+        let toks = lex(src);
+        let texts: Vec<&str> = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(texts, vec!["std", ":", ":", "time"]);
+    }
+
+    #[test]
+    fn comments_strings_chars_are_opaque() {
+        let src = "// HashMap\n/* Instant */ \"thread_rng\" 'u' b\"x\"";
+        let k = kinds(src);
+        assert!(k.contains(&TokKind::LineComment));
+        assert!(k.contains(&TokKind::BlockComment));
+        assert!(k.contains(&TokKind::Str));
+        assert!(k.contains(&TokKind::Char));
+        assert!(
+            !k.contains(&TokKind::Ident),
+            "nothing leaked as code: {k:?}"
+        );
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let src = "/* a /* b */ c */ x";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert_eq!(toks[0].text(src), "/* a /* b */ c */");
+        assert_eq!(toks.last().unwrap().kind, TokKind::Ident);
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let src = r####"r#"has "quotes" and // fake comment"# after"####;
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::RawStr);
+        assert!(toks[0].text(src).ends_with("\"#"));
+        assert_eq!(toks.last().unwrap().text(src), "after");
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn byte_and_c_string_prefixes() {
+        for src in [
+            "b\"bytes\" x",
+            "br##\"raw\"## x",
+            "c\"cstr\" x",
+            "cr\"r\" x",
+        ] {
+            let toks = lex(src);
+            assert!(
+                matches!(toks[0].kind, TokKind::Str | TokKind::RawStr),
+                "{src}: {:?}",
+                toks[0].kind
+            );
+            assert_eq!(toks.last().unwrap().text(src), "x", "{src}");
+            assert_tiles(src);
+        }
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let src = "r#type = 1";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::Ident);
+        assert_eq!(toks[0].text(src), "r#type");
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let src = "<'a> 'a' '\\n' 'static '_'";
+        let got: Vec<(TokKind, &str)> = lex(src)
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::Ws | TokKind::Punct))
+            .map(|t| (t.kind, t.text(src)))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (TokKind::Lifetime, "'a"),
+                (TokKind::Char, "'a'"),
+                (TokKind::Char, "'\\n'"),
+                (TokKind::Lifetime, "'static"),
+                (TokKind::Char, "'_'"),
+            ]
+        );
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn multibyte_char_literal() {
+        let src = "'🦀' x";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::Char);
+        assert_eq!(toks[0].text(src), "'🦀'");
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn unterminated_everything_reaches_eof_without_panic() {
+        for src in [
+            "\"never closed",
+            "/* open /* deeper",
+            "r#\"open",
+            "'\\",
+            "'",
+        ] {
+            assert_tiles(src);
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_inside_tokens() {
+        let src = "a\n/* x\ny */\nb";
+        let toks: Vec<(TokKind, u32)> = lex(src)
+            .iter()
+            .filter(|t| t.kind != TokKind::Ws)
+            .map(|t| (t.kind, t.line))
+            .collect();
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, 1),
+                (TokKind::BlockComment, 2),
+                (TokKind::Ident, 4)
+            ]
+        );
+    }
+}

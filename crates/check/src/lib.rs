@@ -1,0 +1,48 @@
+//! `sc-check`: determinism & layering static analysis for the
+//! workspace.
+//!
+//! A discrete-event simulator's entire value rests on replayability —
+//! every report must be a pure function of the scenario seed. That
+//! property is global and fragile: one `HashMap::new()` in a hot path,
+//! one `Instant::now()` in the kernel, one `thread_rng()` anywhere, and
+//! runs stop being byte-identical. `sc-check` makes the property
+//! machine-checked instead of review-checked: a lossless lexer
+//! ([`lex`]) strips comments and literals, a rule engine ([`rules`])
+//! scans what remains, per-crate policy ([`config`]) decides severity,
+//! and CI runs `cargo run -p sc-check -- --deny` on every push.
+//!
+//! See the README "Static analysis" section for the rule glossary and
+//! waiver syntax.
+
+pub mod config;
+pub mod lex;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use std::path::Path;
+
+use report::Report;
+
+/// Run the full analysis over the workspace at `root`.
+pub fn run(root: &Path) -> Result<Report, String> {
+    let ws = workspace::load(root)?;
+    let mut diagnostics = Vec::new();
+    let mut waived = 0usize;
+    let files_scanned = ws.files.len();
+    for f in &ws.files {
+        let src = std::fs::read_to_string(&f.path)
+            .map_err(|e| format!("cannot read {}: {e}", f.path.display()))?;
+        let mut fa = rules::analyze_source(&f.crate_name, &f.rel_path, &src);
+        diagnostics.append(&mut fa.diagnostics);
+        waived += fa.waived;
+    }
+    diagnostics.extend(ws.layering);
+    diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(Report {
+        diagnostics,
+        files_scanned,
+        crates_scanned: ws.crates,
+        waived,
+    })
+}

@@ -1,0 +1,77 @@
+//! CLI shell for `sc-check`.
+//!
+//! ```text
+//! cargo run -p sc-check -- [--root PATH] [--json] [--out FILE] [--deny]
+//! ```
+//!
+//! `--root` defaults to the workspace root this binary was built from.
+//! `--json` prints the machine-readable report to stdout instead of the
+//! human one; `--out FILE` additionally writes the JSON to a file (CI
+//! uploads it as an artifact); `--deny` exits non-zero if any
+//! deny-severity finding survives waivers.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let mut json = false;
+    let mut deny = false;
+    let mut out_file: Option<PathBuf> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => match argv.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--out" => match argv.next() {
+                Some(p) => out_file = Some(PathBuf::from(p)),
+                None => return usage("--out needs a path"),
+            },
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let report = match sc_check::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sc-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &out_file {
+        if let Err(e) = std::fs::write(path, report.json()) {
+            eprintln!("sc-check: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if json {
+        print!("{}", report.json());
+    } else {
+        print!("{}", report.human());
+    }
+
+    if deny && report.deny_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("sc-check: {err}");
+    }
+    eprintln!("usage: sc-check [--root PATH] [--json] [--out FILE] [--deny]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,164 @@
+//! Rendering: human `file:line` diagnostics and a machine-readable
+//! JSON report (hand-rolled — the checker takes no dependencies).
+
+use crate::config::Severity;
+use crate::rules::Diagnostic;
+
+/// Everything one run produced, ready to render.
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    pub files_scanned: usize,
+    pub crates_scanned: usize,
+    pub waived: usize,
+}
+
+impl Report {
+    pub fn deny_count(&self) -> usize {
+        self.count(Severity::Deny)
+    }
+
+    pub fn warn_count(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// One `file:line: severity[rule] message` line per finding, plus a
+    /// trailing summary — the default terminal output.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}:{}: {}[{}] {}\n",
+                d.file,
+                d.line,
+                d.severity.label(),
+                d.rule.id(),
+                d.message
+            ));
+        }
+        out.push_str(&format!(
+            "sc-check: {} files in {} crates: {} deny, {} warn, {} waived\n",
+            self.files_scanned,
+            self.crates_scanned,
+            self.deny_count(),
+            self.warn_count(),
+            self.waived
+        ));
+        out
+    }
+
+    /// The `--json` form consumed by CI.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"crate\": \"{}\", \
+                 \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                d.rule.id(),
+                d.severity.label(),
+                json_escape(&d.krate),
+                json_escape(&d.file),
+                d.line,
+                json_escape(&d.message)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"summary\": {{\"files\": {}, \"crates\": {}, \"deny\": {}, \
+             \"warn\": {}, \"waived\": {}}}\n}}\n",
+            self.files_scanned,
+            self.crates_scanned,
+            self.deny_count(),
+            self.warn_count(),
+            self.waived
+        ));
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            rule: Rule::NoWallClock,
+            severity: Severity::Deny,
+            krate: "sc-sim".to_string(),
+            file: "crates/sim/src/world.rs".to_string(),
+            line: 7,
+            message: "say \"no\"\tto clocks".to_string(),
+        }
+    }
+
+    #[test]
+    fn human_line_has_file_line_rule() {
+        let r = Report {
+            diagnostics: vec![diag()],
+            files_scanned: 1,
+            crates_scanned: 1,
+            waived: 0,
+        };
+        let h = r.human();
+        assert!(h.contains("crates/sim/src/world.rs:7: deny[no-wall-clock]"));
+        assert!(h.contains("1 deny, 0 warn"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let r = Report {
+            diagnostics: vec![diag()],
+            files_scanned: 3,
+            crates_scanned: 2,
+            waived: 1,
+        };
+        let j = r.json();
+        assert!(j.contains("\\\"no\\\"\\tto clocks"), "{j}");
+        assert!(j.contains("\"deny\": 1"));
+        assert!(j.contains("\"waived\": 1"));
+        // Sanity: balanced braces so downstream JSON parsers accept it.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced: {j}"
+        );
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let r = Report {
+            diagnostics: vec![],
+            files_scanned: 0,
+            crates_scanned: 0,
+            waived: 0,
+        };
+        let j = r.json();
+        assert!(j.contains("\"diagnostics\": []"), "{j}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Workspace discovery: enumerate `crates/*/src/**/*.rs` in sorted
+//! order, read each crate's package name, and check the `Cargo.toml`
+//! dependency edges against the layering ranks in [`crate::config`].
+//!
+//! The manifest "parser" here reads exactly the subset of TOML the
+//! workspace uses (`[section]` headers, `key = …` lines) — enough to
+//! find the package name and the `[dependencies]` block without
+//! pulling in a TOML crate.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::{self, Severity};
+use crate::rules::{Diagnostic, Rule};
+
+/// One source file to analyze.
+pub struct SourceFile {
+    /// Package name from the owning crate's manifest.
+    pub crate_name: String,
+    /// Workspace-relative, `/`-separated (`crates/sim/src/world.rs`).
+    pub rel_path: String,
+    pub path: PathBuf,
+}
+
+/// The scannable workspace: every source file plus layering findings
+/// from the manifests themselves.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub layering: Vec<Diagnostic>,
+    pub crates: usize,
+}
+
+/// Load the workspace rooted at `root` (the directory holding
+/// `crates/`).
+pub fn load(root: &Path) -> Result<Workspace, String> {
+    let crates_dir = root.join("crates");
+    let mut dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.join("Cargo.toml").is_file())
+        .collect();
+    dirs.sort();
+
+    let mut ws = Workspace {
+        files: Vec::new(),
+        layering: Vec::new(),
+        crates: 0,
+    };
+    for dir in dirs {
+        let manifest_path = dir.join("Cargo.toml");
+        let manifest = fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+        let dir_name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let crate_name = package_name(&manifest).unwrap_or_else(|| dir_name.clone());
+        ws.crates += 1;
+
+        check_layering(
+            &crate_name,
+            &format!("crates/{dir_name}/Cargo.toml"),
+            &manifest,
+            &mut ws.layering,
+        );
+
+        let src = dir.join("src");
+        if src.is_dir() {
+            let mut files = Vec::new();
+            collect_rs(&src, &mut files)?;
+            files.sort();
+            for path in files {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                ws.files.push(SourceFile {
+                    crate_name: crate_name.clone(),
+                    rel_path: rel,
+                    path,
+                });
+            }
+        }
+    }
+    Ok(ws)
+}
+
+/// The `name = "…"` value from the `[package]` section.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(section) = line.strip_prefix('[') {
+            in_package = section.trim_end_matches(']') == "package";
+            continue;
+        }
+        if in_package {
+            if let Some(v) = line.strip_prefix("name") {
+                let v = v.trim_start().strip_prefix('=')?.trim();
+                return Some(v.trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Verify every `[dependencies]` edge points at a strictly lower
+/// layering rank. `[dev-dependencies]` are exempt (tests may reach
+/// anywhere) and crates the rank table doesn't know are skipped.
+fn check_layering(crate_name: &str, rel_path: &str, manifest: &str, out: &mut Vec<Diagnostic>) {
+    let Some(me) = config::crate_info(crate_name) else {
+        return;
+    };
+    let mut in_deps = false;
+    for (idx, raw) in manifest.lines().enumerate() {
+        let line = raw.trim();
+        if let Some(section) = line.strip_prefix('[') {
+            in_deps = section.trim_end_matches(']') == "dependencies";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Dep name: the key up to `.`, `=`, or whitespace.
+        let dep = line
+            .split(|c: char| c == '.' || c == '=' || c.is_whitespace())
+            .next()
+            .unwrap_or("");
+        let Some(them) = config::crate_info(dep) else {
+            continue;
+        };
+        if them.layer >= me.layer {
+            out.push(Diagnostic {
+                rule: Rule::Layering,
+                severity: Severity::Deny,
+                krate: crate_name.to_string(),
+                file: rel_path.to_string(),
+                line: (idx + 1) as u32,
+                message: format!(
+                    "`{crate_name}` (layer {}) depends on `{dep}` (layer {}); \
+                     dependencies must point strictly down the stack — move \
+                     shared types into a lower crate instead",
+                    me.layer, them.layer
+                ),
+            });
+        }
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_parses_workspace_style_manifest() {
+        let m = "[package]\nname = \"sc-sim\"\nversion.workspace = true\n";
+        assert_eq!(package_name(m).as_deref(), Some("sc-sim"));
+    }
+
+    #[test]
+    fn upward_dependency_is_flagged_with_line() {
+        let m = "[package]\nname = \"sc-net\"\n\n[dependencies]\nsc-sim.workspace = true\n";
+        let mut out = Vec::new();
+        check_layering("sc-net", "crates/net/Cargo.toml", m, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 5);
+        assert_eq!(out[0].rule, Rule::Layering);
+    }
+
+    #[test]
+    fn dev_dependencies_are_exempt() {
+        let m = "[package]\nname = \"sc-net\"\n\n[dev-dependencies]\nsc-sim.workspace = true\n";
+        let mut out = Vec::new();
+        check_layering("sc-net", "crates/net/Cargo.toml", m, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn downward_dependency_is_fine() {
+        let m = "[package]\nname = \"sc-sim\"\n\n[dependencies]\nsc-net.workspace = true\n";
+        let mut out = Vec::new();
+        check_layering("sc-sim", "crates/sim/Cargo.toml", m, &mut out);
+        assert!(out.is_empty());
+    }
+}

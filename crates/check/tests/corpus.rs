@@ -1,0 +1,181 @@
+//! Self-test corpus: every rule must fire on its `*_bad.rs` exemplar
+//! and stay silent on the matching `*_good.rs` one. The snippets live
+//! under `tests/corpus/` as plain data — they are analyzed, never
+//! compiled.
+
+use sc_check::config::Severity;
+use sc_check::rules::{analyze_source, FileAnalysis, Rule};
+
+const SIM_CRATE: &str = "supercharger";
+const SIM_PATH: &str = "crates/core/src/corpus.rs";
+
+fn analyze(crate_name: &str, rel_path: &str, src: &str) -> FileAnalysis {
+    analyze_source(crate_name, rel_path, src)
+}
+
+fn rules_of(fa: &FileAnalysis) -> Vec<Rule> {
+    fa.diagnostics.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn default_hasher_bad_and_good() {
+    let bad = analyze(SIM_CRATE, SIM_PATH, include_str!("corpus/hasher_bad.rs"));
+    assert_eq!(
+        rules_of(&bad),
+        vec![Rule::NoDefaultHasher, Rule::NoDefaultHasher]
+    );
+    let lines: Vec<u32> = bad.diagnostics.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![1, 4], "the `use` and the `::new()`");
+    assert!(bad.diagnostics.iter().all(|d| d.severity == Severity::Deny));
+
+    let good = analyze(SIM_CRATE, SIM_PATH, include_str!("corpus/hasher_good.rs"));
+    assert!(good.diagnostics.is_empty(), "{:?}", good.diagnostics);
+}
+
+#[test]
+fn default_hasher_is_only_a_warning_in_shell_crates() {
+    let fa = analyze(
+        "sc-bench",
+        "crates/bench/src/corpus.rs",
+        include_str!("corpus/hasher_bad.rs"),
+    );
+    assert!(!fa.diagnostics.is_empty());
+    assert!(fa.diagnostics.iter().all(|d| d.severity == Severity::Warn));
+}
+
+#[test]
+fn wall_clock_bad_and_good() {
+    let bad = analyze(
+        SIM_CRATE,
+        SIM_PATH,
+        include_str!("corpus/wall_clock_bad.rs"),
+    );
+    assert_eq!(rules_of(&bad), vec![Rule::NoWallClock, Rule::NoWallClock]);
+
+    let good = analyze(
+        SIM_CRATE,
+        SIM_PATH,
+        include_str!("corpus/wall_clock_good.rs"),
+    );
+    assert!(good.diagnostics.is_empty(), "{:?}", good.diagnostics);
+}
+
+#[test]
+fn wall_clock_allowlist_file_is_exempt() {
+    let fa = analyze(
+        "sc-bench",
+        "crates/bench/src/timing.rs",
+        include_str!("corpus/wall_clock_bad.rs"),
+    );
+    assert!(fa.diagnostics.is_empty(), "{:?}", fa.diagnostics);
+}
+
+#[test]
+fn ambient_randomness_bad_and_good() {
+    let bad = analyze(
+        SIM_CRATE,
+        SIM_PATH,
+        include_str!("corpus/randomness_bad.rs"),
+    );
+    assert_eq!(
+        rules_of(&bad),
+        vec![
+            Rule::NoAmbientRandomness,
+            Rule::NoAmbientRandomness,
+            Rule::NoAmbientRandomness
+        ],
+        "thread_rng, OsRng and rand::random"
+    );
+
+    let good = analyze(
+        SIM_CRATE,
+        SIM_PATH,
+        include_str!("corpus/randomness_good.rs"),
+    );
+    assert!(good.diagnostics.is_empty(), "{:?}", good.diagnostics);
+}
+
+#[test]
+fn layering_fires_only_in_sans_io_crates() {
+    let src = include_str!("corpus/layering_bad.rs");
+    let bad = analyze("sc-bgp", "crates/bgp/src/corpus.rs", src);
+    assert_eq!(rules_of(&bad), vec![Rule::Layering]);
+
+    // A device/orchestration crate may drive channels directly.
+    let lab = analyze("sc-lab", "crates/lab/src/corpus.rs", src);
+    assert!(lab.diagnostics.is_empty(), "{:?}", lab.diagnostics);
+
+    let good = analyze(
+        "sc-bgp",
+        "crates/bgp/src/corpus.rs",
+        include_str!("corpus/layering_good.rs"),
+    );
+    assert!(good.diagnostics.is_empty(), "{:?}", good.diagnostics);
+}
+
+#[test]
+fn unsafe_needs_safety_comment() {
+    let bad = analyze(SIM_CRATE, SIM_PATH, include_str!("corpus/unsafe_bad.rs"));
+    assert_eq!(rules_of(&bad), vec![Rule::UnsafeNeedsSafetyComment]);
+
+    let good = analyze(SIM_CRATE, SIM_PATH, include_str!("corpus/unsafe_good.rs"));
+    assert!(good.diagnostics.is_empty(), "{:?}", good.diagnostics);
+}
+
+#[test]
+fn allow_needs_justification() {
+    let bad = analyze(SIM_CRATE, SIM_PATH, include_str!("corpus/allow_bad.rs"));
+    assert_eq!(rules_of(&bad), vec![Rule::AllowNeedsJustification]);
+
+    let good = analyze(SIM_CRATE, SIM_PATH, include_str!("corpus/allow_good.rs"));
+    assert!(good.diagnostics.is_empty(), "{:?}", good.diagnostics);
+}
+
+#[test]
+fn wellformed_waivers_suppress_and_are_counted() {
+    let fa = analyze(SIM_CRATE, SIM_PATH, include_str!("corpus/waiver_good.rs"));
+    assert!(fa.diagnostics.is_empty(), "{:?}", fa.diagnostics);
+    assert_eq!(fa.waived, 2, "standing + trailing waiver");
+}
+
+#[test]
+fn malformed_waivers_error_and_do_not_waive() {
+    let fa = analyze(SIM_CRATE, SIM_PATH, include_str!("corpus/waiver_bad.rs"));
+    let syntax = rules_of(&fa)
+        .iter()
+        .filter(|r| **r == Rule::WaiverSyntax)
+        .count();
+    assert_eq!(
+        syntax, 3,
+        "missing reason, unknown rule, wrong verb: {fa:?}"
+    );
+    assert!(
+        rules_of(&fa).contains(&Rule::NoWallClock),
+        "a broken waiver must not suppress the finding it sat on: {fa:?}"
+    );
+    assert_eq!(fa.waived, 0);
+}
+
+#[test]
+fn test_code_is_exempt_but_cfg_not_test_is_not() {
+    let good = analyze(
+        SIM_CRATE,
+        SIM_PATH,
+        include_str!("corpus/test_code_good.rs"),
+    );
+    assert!(good.diagnostics.is_empty(), "{:?}", good.diagnostics);
+
+    let bad = analyze(
+        SIM_CRATE,
+        SIM_PATH,
+        include_str!("corpus/cfg_not_test_bad.rs"),
+    );
+    assert_eq!(rules_of(&bad), vec![Rule::NoWallClock, Rule::NoWallClock]);
+}
+
+#[test]
+fn hazard_names_in_literals_and_comments_are_invisible() {
+    let fa = analyze(SIM_CRATE, SIM_PATH, include_str!("corpus/decoys_good.rs"));
+    assert!(fa.diagnostics.is_empty(), "{:?}", fa.diagnostics);
+    assert_eq!(fa.waived, 0);
+}

@@ -1,0 +1,4 @@
+#[cfg(not(test))]
+pub fn clock() -> std::time::Instant {
+    std::time::Instant::now()
+}

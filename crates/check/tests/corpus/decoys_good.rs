@@ -1,0 +1,11 @@
+//! Hazard names in opaque positions: HashMap, Instant, thread_rng and
+//! sc_net::channel may all appear in docs, comments and literals.
+
+pub const PLAIN: &str = "HashMap SystemTime thread_rng";
+pub const RAW: &str = r#"use std::time::Instant; rand::random()"#;
+pub const BYTES: &[u8] = b"OsRng unsafe";
+/* block comment decoys: sc_net::channel HashSet from_entropy */
+
+pub fn lifetime_not_char<'a>(_x: &'a u8) -> char {
+    'I'
+}

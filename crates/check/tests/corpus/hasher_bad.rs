@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+
+pub fn has_dup(xs: &[u32]) -> bool {
+    let mut seen = HashMap::new();
+    for x in xs {
+        if seen.insert(*x, ()).is_some() {
+            return true;
+        }
+    }
+    false
+}

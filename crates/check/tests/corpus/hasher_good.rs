@@ -1,0 +1,14 @@
+use sc_net::{FxHashMap, FxHashSet};
+use std::collections::BTreeMap;
+
+pub fn count(xs: &[u32]) -> (FxHashMap<u32, u32>, FxHashSet<u32>, BTreeMap<u32, u32>) {
+    let mut m = FxHashMap::default();
+    let mut s = FxHashSet::default();
+    let mut b = BTreeMap::new();
+    for x in xs {
+        *m.entry(*x).or_insert(0) += 1;
+        s.insert(*x);
+        *b.entry(*x).or_insert(0) += 1;
+    }
+    (m, s, b)
+}

@@ -1,0 +1,5 @@
+use sc_net::channel::{ChannelConfig, ChannelEvent};
+
+pub fn open(cfg: ChannelConfig) -> ChannelEvent {
+    todo!()
+}

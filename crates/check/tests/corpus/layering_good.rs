@@ -1,0 +1,5 @@
+use sc_net::wire::{EtherType, EthernetRepr};
+
+pub fn kind(frame: &EthernetRepr) -> EtherType {
+    frame.ethertype
+}

@@ -1,0 +1,5 @@
+pub fn roll() -> u8 {
+    let mut rng = rand::thread_rng();
+    let _ = OsRng;
+    rand::random()
+}

@@ -1,0 +1,4 @@
+pub fn first_byte(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer to at least one initialized byte.
+    unsafe { *p }
+}

@@ -1,0 +1,8 @@
+// sc-check: allow(no-wall-clock)
+use std::time::Instant;
+
+// sc-check: allow(no-such-rule) -- the rule id has a typo
+fn f() {}
+
+// sc-check: deny(no-wall-clock) -- wrong verb entirely
+fn g() {}

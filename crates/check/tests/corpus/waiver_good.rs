@@ -1,0 +1,7 @@
+// sc-check: allow(no-wall-clock) -- corpus exemplar: a standing waiver covers the line below
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    let t0 = Instant::now(); // sc-check: allow(no-wall-clock) -- corpus exemplar: a trailing waiver covers its own line
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,6 @@
+use std::time::Duration;
+
+pub fn measure(clock: sc_sim::WallClock) -> Duration {
+    let t0 = clock();
+    clock().saturating_sub(t0)
+}

@@ -1,0 +1,104 @@
+//! Property tests for the lexer and the rule engine's decoy blindness.
+//!
+//! The vendored proptest stand-in has no `String` strategy and no
+//! shrinking, so arbitrary sources are built two ways: raw byte soup
+//! pushed through `from_utf8_lossy`, and a concatenation of Rust-ish
+//! fragments that exercise every tricky token form.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sc_check::lex::lex;
+use sc_check::rules::analyze_source;
+
+/// The invariant every caller relies on: token spans exactly tile the
+/// input — no gaps, no overlaps, no empty tokens.
+fn tiles(src: &str) -> Result<(), String> {
+    let toks = lex(src);
+    let mut at = 0usize;
+    for t in &toks {
+        if t.start != at {
+            return Err(format!("gap/overlap at byte {at} in {src:?}"));
+        }
+        if t.end <= t.start {
+            return Err(format!("empty token at byte {at} in {src:?}"));
+        }
+        at = t.end;
+    }
+    if at != src.len() {
+        return Err(format!("tokens stop at {at}/{} in {src:?}", src.len()));
+    }
+    Ok(())
+}
+
+/// Rust-ish fragments covering every token form the lexer special-cases,
+/// including pathological unterminated openers.
+fn fragment() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("fn f(x: u32) -> u32 { x + 1 }\n"),
+        Just("// line comment with HashMap inside\n"),
+        Just("/* block /* nested */ comment */"),
+        Just("let s = \"string with \\\" escape\";\n"),
+        Just("let r = r#\"raw \"quoted\" text\"#;\n"),
+        Just("let b = br##\"deep raw\"##;\n"),
+        Just("let c = 'x';"),
+        Just("let e = '\\n';"),
+        Just("let u = '\u{1F980}';"),
+        Just("fn g<'a>(v: &'a [u8]) {}\n"),
+        Just("let n = 1_000u64 + 0x5c;"),
+        Just("let id = r#type;"),
+        Just("::<>#![]{}()"),
+        // Unterminated openers: everything after them is swallowed.
+        Just("\"never closed "),
+        Just("/* never closed "),
+        Just("r###\"never closed "),
+        Just("'"),
+        Just("\\"),
+    ]
+}
+
+/// Fragments that mention every hazard name, all in opaque positions.
+/// Each is balanced/self-contained so concatenations stay opaque.
+fn decoy() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("// HashMap HashSet RandomState Instant SystemTime\n"),
+        Just("/* thread_rng OsRng from_entropy rand::random */"),
+        Just("let a = \"sc_net::channel unsafe ThreadRng\";\n"),
+        Just("let b = r##\"Instant::now() #[allow(dead_code)]\"##;\n"),
+        Just("let c = b\"SystemTime HashMap\";\n"),
+        Just("let l: Option<&'static str> = None;\n"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_and_tile(bytes in vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        prop_assert!(tiles(&src).is_ok(), "{:?}", tiles(&src));
+    }
+
+    #[test]
+    fn fragment_soup_never_panics_and_tiles(parts in vec(fragment(), 0..48)) {
+        let src = parts.concat();
+        prop_assert!(tiles(&src).is_ok(), "{:?}", tiles(&src));
+    }
+
+    #[test]
+    fn lexing_is_deterministic(parts in vec(fragment(), 0..24)) {
+        let src = parts.concat();
+        let a = lex(&src);
+        let b = lex(&src);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!(x.kind == y.kind && x.start == y.start && x.end == y.end);
+        }
+    }
+
+    #[test]
+    fn decoy_soup_produces_no_findings(parts in vec(decoy(), 0..32)) {
+        let src = parts.concat();
+        let fa = analyze_source("supercharger", "crates/core/src/soup.rs", &src);
+        prop_assert!(fa.diagnostics.is_empty(), "{:?} from {src:?}", fa.diagnostics);
+    }
+}

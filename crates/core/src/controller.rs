@@ -21,6 +21,7 @@ use sc_bfd::{BfdConfig, BfdEvent, BfdSession};
 use sc_bgp::msg::BgpMessage;
 use sc_bgp::session::{DownReason, Session, SessionConfig, SessionEvent};
 use sc_bgp::PeerId;
+// sc-check: allow(layering) -- the controller still drives channels directly; unpicking this is the ROADMAP sans-io refactor
 use sc_net::channel::{ChannelConfig, ChannelEvent};
 use sc_net::wire::udp::port as udp_port;
 use sc_net::wire::{

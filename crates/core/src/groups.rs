@@ -9,8 +9,10 @@
 
 use crate::vnh::VnhAllocator;
 use sc_bgp::PeerId;
+// Deterministic hasher, not std's randomly seeded SipHash: controller
+// state must be identical across runs (sc-check `no-default-hasher`).
+use sc_net::FxHashMap;
 use sc_net::MacAddr;
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// Dense group identifier.
@@ -44,14 +46,14 @@ pub struct BackupGroup {
 /// The table of all live backup-groups.
 #[derive(Debug)]
 pub struct GroupTable {
-    by_key: HashMap<Vec<PeerId>, GroupId>,
+    by_key: FxHashMap<Vec<PeerId>, GroupId>,
     /// Retired groups indexed by key: a re-request for the same key
     /// *resurrects* the group (its VNH, VMAC and installed rule are all
     /// still valid) instead of burning a fresh VNH — table-load churn
     /// cycles through candidate pairs rapidly and would otherwise
     /// exhaust the pool.
-    retired_by_key: HashMap<Vec<PeerId>, GroupId>,
-    by_vnh: HashMap<Ipv4Addr, GroupId>,
+    retired_by_key: FxHashMap<Vec<PeerId>, GroupId>,
+    by_vnh: FxHashMap<Ipv4Addr, GroupId>,
     groups: Vec<Option<BackupGroup>>,
     alloc: VnhAllocator,
     free_ids: Vec<u32>,
@@ -60,9 +62,9 @@ pub struct GroupTable {
 impl GroupTable {
     pub fn new(alloc: VnhAllocator) -> GroupTable {
         GroupTable {
-            by_key: HashMap::new(),
-            retired_by_key: HashMap::new(),
-            by_vnh: HashMap::new(),
+            by_key: FxHashMap::default(),
+            retired_by_key: FxHashMap::default(),
+            by_vnh: FxHashMap::default(),
             groups: Vec::new(),
             alloc,
             free_ids: Vec::new(),

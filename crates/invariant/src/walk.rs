@@ -9,8 +9,10 @@
 //! of the FIB state.
 
 use sc_net::MacAddr;
+// Deterministic hasher, not std's randomly seeded SipHash: the walker
+// runs inside byte-reproducible trials (sc-check `no-default-hasher`).
+use sc_net::FxHashMap;
 use sc_sim::{NodeId, PortId};
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// One L2 arrival: a probe for `dst` lands on `node` via `in_port`,
@@ -109,7 +111,7 @@ pub fn walk<V: ForwardingView + ?Sized>(
     max_states: usize,
 ) -> WalkReport {
     let mut report = WalkReport::default();
-    let mut color: HashMap<Hop, Color> = HashMap::new();
+    let mut color: FxHashMap<Hop, Color> = FxHashMap::default();
     let mut stack = vec![Task::Enter(start)];
     let mut expanded = 0usize;
     while let Some(task) = stack.pop() {
@@ -154,6 +156,7 @@ pub const MAX_WALK_STATES: usize = 65_536;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     /// A map-backed view for tests: hop → step.
     pub struct MapView(pub HashMap<Hop, Step>);

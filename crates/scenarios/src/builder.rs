@@ -132,6 +132,12 @@ pub struct ScenarioConfig {
     /// Sampling cadence of the invariant engine; also the resolution of
     /// every violation-duration figure it reports.
     pub invariant_cadence: SimDuration,
+    /// Monotonic clock injected into trial worlds so the wall-clock
+    /// `events_per_sec` perf column gets recorded. `None` (the default)
+    /// leaves worlds clock-free — the kernel itself never reads real
+    /// time (sc-check `no-wall-clock`), so perf reporting is strictly
+    /// opt-in by the outermost shell (`sc_bench::timing::wall_clock`).
+    pub wall_clock: Option<sc_sim::WallClock>,
 }
 
 impl Default for ScenarioConfig {
@@ -153,6 +159,7 @@ impl Default for ScenarioConfig {
             feed: FeedSource::Synthetic,
             invariants: false,
             invariant_cadence: SimDuration::from_millis(5),
+            wall_clock: None,
         }
     }
 }
@@ -379,6 +386,9 @@ fn build_generic(bp: Blueprint, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenar
     };
 
     let mut world = World::with_scheduler(cfg.seed, cfg.scheduler);
+    if let Some(clock) = cfg.wall_clock {
+        world.set_wall_clock(clock);
+    }
     if cfg.trace {
         world.enable_trace(100_000);
     }

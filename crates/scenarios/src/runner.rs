@@ -430,7 +430,9 @@ pub fn run_suite_resume(
     completed: &[CompletedCell],
     on_trial: impl Fn(usize, &TrialResult) + Sync,
 ) -> SuiteReport {
-    let done: std::collections::HashSet<(&str, &str, &str)> = completed
+    // Deterministic hasher (sc-check `no-default-hasher`); membership
+    // only, but the suite's reports must never depend on hasher seeds.
+    let done: sc_net::FxHashSet<(&str, &str, &str)> = completed
         .iter()
         .filter(|c| {
             c.prefixes == suite.base.prefixes as u64

@@ -9,6 +9,14 @@ use sc_scenarios::{
     TopologySpec,
 };
 
+/// A test-local monotonic clock (tests sit outside the `no-wall-clock`
+/// boundary; production worlds get `sc_bench::timing::wall_clock`).
+fn test_wall_clock() -> std::time::Duration {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    EPOCH.get_or_init(std::time::Instant::now).elapsed()
+}
+
 fn small(seed: u64) -> ScenarioConfig {
     ScenarioConfig {
         prefixes: 300,
@@ -256,6 +264,9 @@ fn suite_json_is_deterministic_from_seed() {
             prefixes: 200,
             flows: 5,
             seed: 11,
+            // Worlds only record the wall-clock perf column when the
+            // shell injects a clock (the kernel itself is clock-free).
+            wall_clock: Some(test_wall_clock),
             ..ScenarioConfig::default()
         },
     };

@@ -31,4 +31,4 @@ pub use netutil::ChannelPort;
 pub use node::{Ctx, Node, NodeId, PortId, TimerToken};
 pub use sched::SchedulerKind;
 pub use trace::{Trace, TraceRecord};
-pub use world::{World, WorldStats};
+pub use world::{WallClock, World, WorldStats};

@@ -12,7 +12,16 @@ use crate::trace::Trace;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sc_net::{Frame, SimDuration, SimTime};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// A monotonic elapsed-time source (readings only ever compared against
+/// each other, so the epoch is arbitrary). The kernel itself never
+/// reads the wall clock — the sc-check `no-wall-clock` rule forbids it
+/// here — so perf accounting only happens when the outermost shell
+/// (`sc_bench::timing::wall_clock`) injects a source via
+/// [`World::set_wall_clock`]. Everything the simulation computes stays
+/// a pure function of the seed either way.
+pub type WallClock = fn() -> Duration;
 
 /// Kernel counters (cheap, always on).
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
@@ -75,8 +84,10 @@ pub struct World {
     started: bool,
     controls: Vec<Option<ControlFn>>,
     /// Wall-clock time spent inside the run loops (perf reporting only;
-    /// never consulted by the simulation itself).
+    /// never consulted by the simulation itself). Stays zero until a
+    /// shell injects a [`WallClock`].
     wall: Duration,
+    wall_clock: Option<WallClock>,
     /// Recycled action buffer handed to each dispatch — one allocation
     /// for the lifetime of the world instead of one per handler call.
     action_buf: Vec<Action>,
@@ -107,6 +118,7 @@ impl World {
             started: false,
             controls: Vec::new(),
             wall: Duration::ZERO,
+            wall_clock: None,
             action_buf: Vec::new(),
         }
     }
@@ -131,8 +143,17 @@ impl World {
         self.queue.len()
     }
 
+    /// Install the shell's monotonic clock; from now on the run loops
+    /// accumulate [`World::wall_time`]. Benches and the scenario runner
+    /// pass `sc_bench::timing::wall_clock`; worlds without a clock
+    /// simply report no perf figures.
+    pub fn set_wall_clock(&mut self, clock: WallClock) {
+        self.wall_clock = Some(clock);
+    }
+
     /// Wall-clock time accumulated inside [`World::run_until`] /
-    /// [`World::run_until_idle`] so far.
+    /// [`World::run_until_idle`] so far (zero unless a clock was
+    /// injected via [`World::set_wall_clock`]).
     pub fn wall_time(&self) -> Duration {
         self.wall
     }
@@ -140,8 +161,12 @@ impl World {
     /// Events processed per wall-clock second across all run calls so
     /// far — the kernel's perf trajectory metric. Wall-clock only; two
     /// runs of the same seed produce identical event streams but
-    /// different `events_per_sec`.
+    /// different `events_per_sec`. Returns 0.0 when no wall clock was
+    /// injected (perf unmeasured, not infinitely fast).
     pub fn events_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
         self.stats.events_processed as f64 / self.wall.as_secs_f64().max(1e-9)
     }
 
@@ -303,13 +328,13 @@ impl World {
     /// at `min(deadline, drained)`. Events *at* the deadline run.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
-        let t0 = Instant::now();
+        let t0 = self.wall_clock.map(|clock| clock());
         while let Some(ev) = self.queue.pop_before(deadline) {
             self.now = ev.time;
             self.stats.events_processed += 1;
             self.handle(ev.kind);
         }
-        self.wall += t0.elapsed();
+        self.accumulate_wall(t0);
         if self.now < deadline {
             self.now = deadline;
         }
@@ -325,7 +350,7 @@ impl World {
     /// runaway-loop guard). Returns the final virtual time.
     pub fn run_until_idle(&mut self, max_events: u64) -> SimTime {
         self.ensure_started();
-        let t0 = Instant::now();
+        let t0 = self.wall_clock.map(|clock| clock());
         let mut n = 0u64;
         while self.step_inner() {
             n += 1;
@@ -334,8 +359,17 @@ impl World {
                 "run_until_idle exceeded {max_events} events"
             );
         }
-        self.wall += t0.elapsed();
+        self.accumulate_wall(t0);
         self.now
+    }
+
+    /// Credit one run loop's elapsed time against [`World::wall_time`]
+    /// (`t0` is the loop-entry reading; `None` when no clock is
+    /// installed).
+    fn accumulate_wall(&mut self, t0: Option<Duration>) {
+        if let (Some(clock), Some(t0)) = (self.wall_clock, t0) {
+            self.wall += clock().saturating_sub(t0);
+        }
     }
 
     fn ensure_started(&mut self) {
