@@ -30,6 +30,15 @@
 //!   comparable with uninstrumented baselines), report per-class
 //!   violation durations, and add a two-replica `replica-crash`
 //!   divergence cell to the matrix;
+//! * `--chaos`: the fail-safe soak — replace the script library with
+//!   the seeded chaos schedule ([`EventScript::chaos`]: primary cut +
+//!   lossy control channel + dropped flow-mods + controller
+//!   crash/restart + partition) and switch on the robustness stack
+//!   (controller keepalive beacons, router liveness deadline, direct
+//!   fallback BGP sessions). Chaos events no-op in legacy mode, so the
+//!   legacy rows stay the do-no-harm baseline. Stable reports remain
+//!   byte-identical across reruns and schedulers — chaos is seeded,
+//!   not random;
 //! * `--scheduler wheel|heap`: pick the kernel event scheduler (the
 //!   determinism contract says reports are byte-identical either way);
 //! * `--stable-csv out.csv` / `--stable-json out.json`: the
@@ -62,6 +71,7 @@ fn main() {
     let seed: u64 = args.value("--seed", 42);
     let workers: Option<usize> = args.raw_value("--workers").and_then(|v| v.parse().ok());
     let invariants = args.flag("--invariants");
+    let chaos = args.flag("--chaos");
     let scheduler = match args.raw_value("--scheduler").as_deref() {
         None | Some("wheel") => sc_sim::SchedulerKind::TimerWheel,
         Some("heap") => sc_sim::SchedulerKind::ReferenceHeap,
@@ -115,6 +125,12 @@ fn main() {
         // mode (no replicas), so both sides of the cell stay comparable.
         scripts.push(EventScript::replica_crash(1, SimDuration::from_millis(2)));
     }
+    if chaos {
+        // The soak cell replaces the library: one seeded chaos schedule,
+        // both modes. The legacy row ignores every controller-targeted
+        // event and anchors the do-no-harm comparison.
+        scripts = vec![EventScript::chaos(seed)];
+    }
     let suite = SuiteConfig {
         topologies,
         scripts,
@@ -131,6 +147,15 @@ fn main() {
             // Two replicas whenever the divergence cell is in the
             // matrix, so `replica_crash(1, …)` has a standby to kill.
             controllers: if invariants { 2 } else { 1 },
+            // The robustness stack rides only the chaos soak: keepalive
+            // beacons every 10 ms, a 50 ms router-side liveness
+            // deadline (must exceed half the BFD detection time so a
+            // dead primary is already BFD-stale when degraded recompute
+            // quarantines it), and direct fallback BGP sessions so
+            // degraded mode has routes to fall back on.
+            echo_interval: chaos.then(|| SimDuration::from_millis(10)),
+            controller_deadline: chaos.then(|| SimDuration::from_millis(50)),
+            fallback_sessions: chaos,
             ..ScenarioConfig::default()
         },
         workers,

@@ -137,6 +137,25 @@ impl BfdSession {
         base.saturating_mul(self.remote_detect_mult as u64)
     }
 
+    /// True when liveness evidence is stale: the session is not Up, or
+    /// more than half the detection time has passed since the last
+    /// received control packet. A live peer transmits at 75–100 % of
+    /// the negotiated interval, so with the standard detect-mult of 3
+    /// its silence never exceeds ~⅓ of the detection time — half is a
+    /// comfortable margin. Degraded-mode route selection in `sc-router`
+    /// uses this to quarantine next-hops whose BFD is formally Up but
+    /// has gone quiet (the cable was very likely pulled; the detection
+    /// timer just hasn't expired yet).
+    pub fn is_stale(&self, now: SimTime) -> bool {
+        match (self.state, self.detect_deadline) {
+            (BfdState::Up, Some(deadline)) => now + self.detection_time() / 2 >= deadline,
+            // Up without a deadline cannot happen (the deadline arms on
+            // the packet that brought the session Up); treat as fresh.
+            (BfdState::Up, None) => false,
+            _ => true,
+        }
+    }
+
     /// Feed a received control packet (UDP payload, already demuxed to
     /// this session). Returns state-change events.
     pub fn on_packet(&mut self, pkt: &BfdPacket, now: SimTime) -> Vec<BfdEvent> {

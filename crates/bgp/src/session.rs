@@ -42,6 +42,12 @@ pub enum DownReason {
     /// timer. Distinct from [`DownReason::AdminDown`] so event logs can
     /// tell dataplane failure from operator shutdown.
     BfdDown,
+    /// The owner's liveness watchdog expired: the peer (a supercharger
+    /// controller beaconing sub-second keepalives) went silent for
+    /// longer than its configured deadline, far inside the negotiated
+    /// hold time. The session is torn down so graceful degradation can
+    /// start without waiting out the RFC 4271 3-second hold floor.
+    LivenessExpired,
 }
 
 /// Events surfaced to the session owner.
@@ -223,6 +229,16 @@ impl Session {
             (SessionState::OpenSent, BgpMessage::Keepalive) => {
                 self.fsm_error("KEEPALIVE before OPEN")
             }
+        }
+    }
+
+    /// Queue an immediate KEEPALIVE, out of schedule. BGP only bounds
+    /// the keepalive rate from below (one per hold interval); a speaker
+    /// acting as a liveness beacon may send them as often as it likes.
+    /// No-op outside Established.
+    pub fn send_keepalive(&mut self) {
+        if self.state == SessionState::Established {
+            self.out.push_back(BgpMessage::Keepalive);
         }
     }
 

@@ -40,6 +40,8 @@ const TIMER_ROUTER_CHAN: TimerToken = TimerToken(11);
 const TIMER_ROUTER_SESSION: TimerToken = TimerToken(12);
 const TIMER_REACTION: TimerToken = TimerToken(13);
 const TIMER_RETIRE: TimerToken = TimerToken(14);
+const TIMER_FLOWMOD_ACK: TimerToken = TimerToken(15);
+const TIMER_ECHO: TimerToken = TimerToken(16);
 const PEER_TIMER_BASE: u64 = 100;
 const PEER_TIMER_STRIDE: u64 = 10;
 
@@ -104,6 +106,21 @@ pub struct ControllerConfig {
     /// off the supercharged switch, carrier detection beats BFD's
     /// detect-mult x interval by an order of magnitude.
     pub portstatus_failover: bool,
+    /// Seed for the retry backoff jitter — the only randomness this node
+    /// is allowed (sc-check `no-ambient-randomness`).
+    pub seed: u64,
+    /// Send an OpenFlow ECHO_REQUEST to the switch at this cadence so
+    /// the switch-side liveness deadline keeps hearing from us even when
+    /// no flow-mods flow. `None` disables keepalives.
+    pub echo_interval: Option<SimDuration>,
+    /// How long an issued flow-mod batch may stay unacked (no
+    /// BARRIER_REPLY) before its first retry; later retries back off
+    /// exponentially from here.
+    pub ack_timeout: SimDuration,
+    /// Retry attempts before the controller gives the batch up and
+    /// declares itself degraded (the switch is not programmable; the
+    /// routers' own BGP fallback is the remaining convergence path).
+    pub max_flowmod_attempts: u32,
 }
 
 /// Timestamped controller events, for the experiment harness.
@@ -116,6 +133,26 @@ pub enum ControllerEvent {
     FailoverIssued { peer: PeerId, rewrites: usize },
     RepairQueued { peer: PeerId, announcements: usize },
     ArpAnswered { vnh: Ipv4Addr },
+    FlowBatchRetry { token: u64, attempt: u32 },
+    FlowBatchGiveUp { token: u64 },
+}
+
+/// Robustness counters (acked flow programming).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct ControllerStats {
+    /// Unacked flow-mod batches re-sent after a backoff expiry.
+    pub flowmod_retries: u64,
+    /// Batches abandoned after `max_flowmod_attempts` — each one flips
+    /// the controller into its degraded state until an ack returns.
+    pub flowmod_giveups: u64,
+}
+
+/// One flow-mod batch awaiting its barrier ack.
+struct UnackedBatch {
+    token: u64,
+    msgs: Vec<OfMessage>,
+    attempt: u32,
+    deadline: SimTime,
 }
 
 struct PeerSessionState {
@@ -145,6 +182,14 @@ pub struct Controller {
     /// Retired groups awaiting the rule-grace purge: (eligible_at, group).
     retire_queue: VecDeque<(SimTime, sc_net::Ipv4Prefix, crate::groups::GroupId)>,
     retire_armed: Option<SimTime>,
+    /// Flow-mod batches fenced by a barrier whose reply is still out.
+    /// Tokens are assigned in send order, so the deque stays sorted and
+    /// a reply acks every batch with a token ≤ its own (cumulative).
+    unacked: VecDeque<UnackedBatch>,
+    barrier_token: u64,
+    ack_timer_armed: Option<SimTime>,
+    degraded: bool,
+    pub stats: ControllerStats,
     pub events: Vec<(SimTime, ControllerEvent)>,
 }
 
@@ -227,9 +272,20 @@ impl Controller {
             reaction_armed: false,
             retire_queue: VecDeque::new(),
             retire_armed: None,
+            unacked: VecDeque::new(),
+            barrier_token: 0,
+            ack_timer_armed: None,
+            degraded: false,
+            stats: ControllerStats::default(),
             events: Vec::new(),
             cfg,
         }
+    }
+
+    /// Has the controller given up on programming the switch (unacked
+    /// flow-mods exhausted their retries)? Cleared by the next ack.
+    pub fn degraded(&self) -> bool {
+        self.degraded
     }
 
     pub fn engine(&self) -> &Engine {
@@ -266,6 +322,111 @@ impl Controller {
         self.switch_chan.flush(ctx);
     }
 
+    /// Send a batch of FLOW_MODs fenced by a barrier, and track it until
+    /// the BARRIER_REPLY acks it. Unacked batches are re-sent on a
+    /// bounded exponential backoff with seeded jitter; after
+    /// `max_flowmod_attempts` the batch is abandoned and the controller
+    /// declares itself degraded.
+    fn send_flow_batch(&mut self, ctx: &mut Ctx, msgs: Vec<OfMessage>) {
+        if msgs.is_empty() {
+            return;
+        }
+        self.barrier_token += 1;
+        let token = self.barrier_token;
+        for m in &msgs {
+            self.of_send(ctx, m.clone());
+        }
+        self.of_send(ctx, OfMessage::BarrierRequest { token });
+        let deadline = ctx.now() + self.backoff(token, 0);
+        self.unacked.push_back(UnackedBatch {
+            token,
+            msgs,
+            attempt: 0,
+            deadline,
+        });
+        self.arm_ack_timer(ctx);
+    }
+
+    /// Deterministic backoff before retry `attempt + 1` of batch
+    /// `token`: `ack_timeout × 2^attempt` (exponent capped) plus a
+    /// jitter in `[0, ack_timeout/4)` that is a pure function of
+    /// `(seed, token, attempt)` — replicas desynchronize their retry
+    /// storms without any ambient randomness.
+    fn backoff(&self, token: u64, attempt: u32) -> SimDuration {
+        let step = self.cfg.ack_timeout * (1u64 << attempt.min(4));
+        let span = (self.cfg.ack_timeout.as_micros() / 4).max(1);
+        let jitter = splitmix64(
+            self.cfg
+                .seed
+                .wrapping_add(token.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .wrapping_add(attempt as u64),
+        ) % span;
+        step + SimDuration::from_micros(jitter)
+    }
+
+    fn arm_ack_timer(&mut self, ctx: &mut Ctx) {
+        if let Some(at) = self.unacked.iter().map(|b| b.deadline).min() {
+            if self.ack_timer_armed != Some(at) {
+                self.ack_timer_armed = Some(at);
+                ctx.set_timer_at(at, TIMER_FLOWMOD_ACK);
+            }
+        }
+    }
+
+    fn on_barrier_reply(&mut self, token: u64) {
+        while let Some(front) = self.unacked.front() {
+            if front.token <= token {
+                self.unacked.pop_front();
+            } else {
+                break;
+            }
+        }
+        // An ack proves the switch is programmable again: leave the
+        // degraded state (the `flowmod_giveups` counter keeps the
+        // history).
+        self.degraded = false;
+    }
+
+    fn retry_unacked(&mut self, ctx: &mut Ctx) {
+        self.ack_timer_armed = None;
+        let now = ctx.now();
+        let mut resend: Vec<(u64, Vec<OfMessage>)> = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.unacked.len());
+        while let Some(mut b) = self.unacked.pop_front() {
+            if b.deadline > now {
+                kept.push_back(b);
+                continue;
+            }
+            b.attempt += 1;
+            if b.attempt >= self.cfg.max_flowmod_attempts {
+                self.stats.flowmod_giveups += 1;
+                self.degraded = true;
+                self.events
+                    .push((now, ControllerEvent::FlowBatchGiveUp { token: b.token }));
+                continue;
+            }
+            self.stats.flowmod_retries += 1;
+            self.events.push((
+                now,
+                ControllerEvent::FlowBatchRetry {
+                    token: b.token,
+                    attempt: b.attempt,
+                },
+            ));
+            b.deadline = now + self.backoff(b.token, b.attempt);
+            resend.push((b.token, b.msgs.clone()));
+            kept.push_back(b);
+        }
+        self.unacked = kept;
+        for (token, msgs) in resend {
+            for m in msgs {
+                self.of_send(ctx, m);
+            }
+            self.of_send(ctx, OfMessage::BarrierRequest { token });
+        }
+        self.arm_ack_timer(ctx);
+    }
+
     fn flow_mod(command: FlowModCommand, vmac: MacAddr, actions: Vec<Action>) -> OfMessage {
         OfMessage::FlowMod {
             command,
@@ -286,7 +447,8 @@ impl Controller {
                 self.router_session.queue_update(update);
             }
         }
-        // Switch side.
+        // Switch side: the whole run is one fenced batch.
+        let mut batch = Vec::new();
         for action in actions {
             let msg = match action {
                 EngineAction::FlowAdd {
@@ -320,9 +482,10 @@ impl Controller {
                 EngineAction::Announce { .. } | EngineAction::Withdraw { .. } => None,
             };
             if let Some(m) = msg {
-                self.of_send(ctx, m);
+                batch.push(m);
             }
         }
+        self.send_flow_batch(ctx, batch);
         self.pump_router(ctx);
     }
 
@@ -338,16 +501,17 @@ impl Controller {
 
     fn drain_retired(&mut self, ctx: &mut Ctx) {
         let now = ctx.now();
+        let mut batch = Vec::new();
         while let Some((at, _, group)) = self.retire_queue.front().copied() {
             if at > now {
                 break;
             }
             self.retire_queue.pop_front();
             if let Some(vmac) = self.engine.purge_retired(group) {
-                let msg = Self::flow_mod(FlowModCommand::Delete, vmac, Vec::new());
-                self.of_send(ctx, msg);
+                batch.push(Self::flow_mod(FlowModCommand::Delete, vmac, Vec::new()));
             }
         }
+        self.send_flow_batch(ctx, batch);
         self.retire_armed = None;
         self.arm_retire_timer(ctx);
     }
@@ -490,7 +654,6 @@ impl Controller {
             );
             self.pending_flowmods.push_back(msg);
         }
-        self.pending_flowmods.push_back(OfMessage::BarrierRequest);
         if !self.reaction_armed {
             self.reaction_armed = true;
             ctx.set_timer_after(self.cfg.reaction_delay, TIMER_REACTION);
@@ -517,13 +680,16 @@ impl Controller {
                     },
                     actions: vec![Action::ToController, Action::Flood],
                 };
-                self.of_send(ctx, arp_rule);
+                self.send_flow_batch(ctx, vec![arp_rule]);
             }
             OfMessage::PacketIn { in_port, frame } => {
                 self.handle_packet_in(ctx, in_port, &frame);
             }
             OfMessage::EchoRequest(d) => {
                 self.of_send(ctx, OfMessage::EchoReply(d));
+            }
+            OfMessage::BarrierReply { token } => {
+                self.on_barrier_reply(token);
             }
             OfMessage::PortStatus { port, up } if self.cfg.portstatus_failover && !up => {
                 // Carrier loss on a port a peer hangs off: run the
@@ -670,6 +836,9 @@ impl Node for Controller {
     fn on_start(&mut self, ctx: &mut Ctx) {
         // Kick the OpenFlow handshake and all active transports.
         self.of_send(ctx, OfMessage::Hello);
+        if let Some(iv) = self.cfg.echo_interval {
+            ctx.set_timer_after(iv, TIMER_ECHO);
+        }
         for idx in 0..self.peers.len() {
             self.peers[idx].chan.flush(ctx);
             if let Some(bfd) = self.peers[idx].bfd.as_mut() {
@@ -791,11 +960,22 @@ impl Node for Controller {
             }
             TIMER_REACTION => {
                 self.reaction_armed = false;
-                while let Some(msg) = self.pending_flowmods.pop_front() {
-                    self.of_send(ctx, msg);
-                }
+                let batch: Vec<OfMessage> = self.pending_flowmods.drain(..).collect();
+                self.send_flow_batch(ctx, batch);
             }
             TIMER_RETIRE => self.drain_retired(ctx),
+            TIMER_FLOWMOD_ACK => self.retry_unacked(ctx),
+            TIMER_ECHO => {
+                if let Some(iv) = self.cfg.echo_interval {
+                    // Liveness beacons to both fail-safe watchdogs: an
+                    // OpenFlow echo for the switch agent's deadline and
+                    // an out-of-schedule BGP KEEPALIVE for the router's.
+                    self.of_send(ctx, OfMessage::EchoRequest(Vec::new()));
+                    self.router_session.send_keepalive();
+                    self.pump_router(ctx);
+                    ctx.set_timer_after(iv, TIMER_ECHO);
+                }
+            }
             TimerToken(t) if t >= PEER_TIMER_BASE => {
                 let idx = ((t - PEER_TIMER_BASE) / PEER_TIMER_STRIDE) as usize;
                 if idx >= self.peers.len() {
@@ -827,4 +1007,12 @@ impl Node for Controller {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+}
+
+/// SplitMix64 mix (Steele et al.) — the jitter hash for retry backoff.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }

@@ -340,6 +340,10 @@ impl ConvergenceLab {
                 reaction_delay: cfg.reaction_delay,
                 rule_grace: SimDuration::from_secs(600),
                 portstatus_failover: cfg.portstatus_failover,
+                seed: cfg.seed,
+                echo_interval: None,
+                ack_timeout: SimDuration::from_millis(50),
+                max_flowmod_attempts: 5,
             };
             let ctrl = world.add_node(Controller::new(ctrl_cfg, PortId(0)));
             let ctrl_link = LinkParams {

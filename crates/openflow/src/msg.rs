@@ -93,8 +93,16 @@ pub enum OfMessage {
         port: u16,
         up: bool,
     },
-    BarrierRequest,
-    BarrierReply,
+    /// Fence: the switch replies once every earlier flow-mod has been
+    /// applied. The token round-trips so the controller can match acks
+    /// to pending batches cumulatively (a reply acks every batch with a
+    /// token ≤ the replied one).
+    BarrierRequest {
+        token: u64,
+    },
+    BarrierReply {
+        token: u64,
+    },
     StatsRequest,
     StatsReply {
         lookups: u64,
@@ -293,8 +301,8 @@ impl OfMessage {
             OfMessage::PacketIn { .. } => T_PACKET_IN,
             OfMessage::PacketOut { .. } => T_PACKET_OUT,
             OfMessage::PortStatus { .. } => T_PORT_STATUS,
-            OfMessage::BarrierRequest => T_BARRIER_REQ,
-            OfMessage::BarrierReply => T_BARRIER_REP,
+            OfMessage::BarrierRequest { .. } => T_BARRIER_REQ,
+            OfMessage::BarrierReply { .. } => T_BARRIER_REP,
             OfMessage::StatsRequest => T_STATS_REQ,
             OfMessage::StatsReply { .. } => T_STATS_REP,
         }
@@ -304,11 +312,10 @@ impl OfMessage {
     pub fn encode(&self, xid: u32) -> Vec<u8> {
         let mut body = Vec::new();
         match self {
-            OfMessage::Hello
-            | OfMessage::FeaturesRequest
-            | OfMessage::BarrierRequest
-            | OfMessage::BarrierReply
-            | OfMessage::StatsRequest => {}
+            OfMessage::Hello | OfMessage::FeaturesRequest | OfMessage::StatsRequest => {}
+            OfMessage::BarrierRequest { token } | OfMessage::BarrierReply { token } => {
+                body.extend_from_slice(&token.to_be_bytes());
+            }
             OfMessage::EchoRequest(d) | OfMessage::EchoReply(d) => {
                 body.extend_from_slice(d);
             }
@@ -434,8 +441,18 @@ impl OfMessage {
                     up: body[2] != 0,
                 }
             }
-            T_BARRIER_REQ => OfMessage::BarrierRequest,
-            T_BARRIER_REP => OfMessage::BarrierReply,
+            T_BARRIER_REQ => {
+                need(body, 8)?;
+                OfMessage::BarrierRequest {
+                    token: u64::from_be_bytes(body[0..8].try_into().unwrap()),
+                }
+            }
+            T_BARRIER_REP => {
+                need(body, 8)?;
+                OfMessage::BarrierReply {
+                    token: u64::from_be_bytes(body[0..8].try_into().unwrap()),
+                }
+            }
             T_STATS_REQ => OfMessage::StatsRequest,
             T_STATS_REP => {
                 need(body, 20)?;
@@ -484,8 +501,8 @@ mod tests {
             datapath_id: 0xdead_beef_0bad_cafe,
             n_ports: 18,
         });
-        roundtrip(OfMessage::BarrierRequest);
-        roundtrip(OfMessage::BarrierReply);
+        roundtrip(OfMessage::BarrierRequest { token: 7 });
+        roundtrip(OfMessage::BarrierReply { token: u64::MAX });
         roundtrip(OfMessage::StatsRequest);
         roundtrip(OfMessage::EchoRequest(vec![1, 2, 3]));
         roundtrip(OfMessage::EchoReply(vec![]));

@@ -29,6 +29,8 @@ use std::collections::VecDeque;
 const TIMER_INSTALL: TimerToken = TimerToken(2);
 /// Timer tokens for controller channels: BASE + index.
 const TIMER_CHANNEL_BASE: u64 = 10;
+/// Timer tokens for controller liveness deadlines: BASE + index.
+const TIMER_DEADLINE_BASE: u64 = 1000;
 
 /// What to do with a frame no flow entry matches.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -54,6 +56,11 @@ pub struct SwitchConfig {
     /// Install latency for each subsequent back-to-back FLOW_MOD.
     pub install_per_rule: SimDuration,
     pub table_miss: TableMiss,
+    /// Controller liveness deadline: if a controller channel stays
+    /// silent this long after having spoken, the switch declares that
+    /// controller dead, resets the channel back to listening, and keeps
+    /// its installed rules (fail-secure). `None` disables the watchdog.
+    pub controller_deadline: Option<SimDuration>,
 }
 
 impl SwitchConfig {
@@ -65,6 +72,7 @@ impl SwitchConfig {
             install_base: SimDuration::from_millis(15),
             install_per_rule: SimDuration::from_millis(2),
             table_miss: TableMiss::L2Learn,
+            controller_deadline: None,
         }
     }
 }
@@ -78,6 +86,12 @@ pub struct SwitchStats {
     pub dropped: u64,
     pub packet_ins: u64,
     pub flow_mods_applied: u64,
+    /// Controllers declared dead (deadline miss or channel reset by a
+    /// restarted peer).
+    pub controller_deaths: u64,
+    /// FLOW_MODs discarded by the scripted chaos budget
+    /// ([`OfSwitch::set_drop_flowmods`]).
+    pub chaos_dropped_mods: u64,
 }
 
 /// A queued hardware operation (FLOW_MOD waiting for TCAM programming,
@@ -95,6 +109,7 @@ enum PendingOp {
     Barrier {
         done_at: SimTime,
         xid: u32,
+        token: u64,
         controller: usize,
     },
 }
@@ -117,6 +132,16 @@ pub struct OfSwitch {
     /// paper: data-plane reliability via redundant switches, control
     /// reliability via redundant controllers).
     controllers: Vec<ChannelPort>,
+    /// Per-controller liveness: has this channel ever spoken, and when
+    /// was it last heard from (any datagram counts — data, ack or
+    /// keepalive all prove the peer's process is alive).
+    ctrl_live: Vec<bool>,
+    last_heard: Vec<SimTime>,
+    deadline_armed: Vec<bool>,
+    /// Scripted chaos: discard this many incoming FLOW_MODs (and any
+    /// barriers that arrive while the budget is open, so the loss is
+    /// not silently acked).
+    drop_flowmods: u32,
     pending: VecDeque<PendingOp>,
     install_busy_until: SimTime,
     install_timer_armed: Option<SimTime>,
@@ -132,6 +157,10 @@ impl OfSwitch {
             l2: FxHashMap::default(),
             data_ports: Vec::new(),
             controllers: Vec::new(),
+            ctrl_live: Vec::new(),
+            last_heard: Vec::new(),
+            deadline_armed: Vec::new(),
+            drop_flowmods: 0,
             pending: VecDeque::new(),
             install_busy_until: SimTime::ZERO,
             install_timer_armed: None,
@@ -154,6 +183,19 @@ impl OfSwitch {
     pub fn attach_controller(&mut self, mut chan: ChannelPort) {
         chan.timer = TimerToken(TIMER_CHANNEL_BASE + self.controllers.len() as u64);
         self.controllers.push(chan);
+        self.ctrl_live.push(false);
+        self.last_heard.push(SimTime::ZERO);
+        self.deadline_armed.push(false);
+    }
+
+    /// Scripted chaos: silently discard the next `count` FLOW_MODs.
+    pub fn set_drop_flowmods(&mut self, count: u32) {
+        self.drop_flowmods = count;
+    }
+
+    /// Whether controller `idx` is currently considered alive.
+    pub fn controller_live(&self, idx: usize) -> bool {
+        self.ctrl_live.get(idx).copied().unwrap_or(false)
     }
 
     /// Read-only view of the flow table (for tests/experiments).
@@ -202,6 +244,20 @@ impl OfSwitch {
 
     /// Process a control message from controller `idx`.
     fn on_control(&mut self, ctx: &mut Ctx, idx: usize, xid: u32, msg: OfMessage) {
+        if self.drop_flowmods > 0 {
+            match msg {
+                OfMessage::FlowMod { .. } => {
+                    // Chaos budget: eat the mod. Only FLOW_MODs consume
+                    // the budget; fencing barriers are swallowed too so
+                    // the controller sees a missing ack, not a lie.
+                    self.drop_flowmods -= 1;
+                    self.stats.chaos_dropped_mods += 1;
+                    return;
+                }
+                OfMessage::BarrierRequest { .. } => return,
+                _ => {}
+            }
+        }
         match msg {
             OfMessage::Hello => {
                 self.reply_to_controller(ctx, idx, xid, OfMessage::Hello);
@@ -245,11 +301,12 @@ impl OfSwitch {
                 });
                 self.arm_install_timer(ctx);
             }
-            OfMessage::BarrierRequest => {
+            OfMessage::BarrierRequest { token } => {
                 let done_at = self.install_busy_until.max(ctx.now());
                 self.pending.push_back(PendingOp::Barrier {
                     done_at,
                     xid,
+                    token,
                     controller: idx,
                 });
                 self.arm_install_timer(ctx);
@@ -284,10 +341,60 @@ impl OfSwitch {
             OfMessage::FeaturesReply { .. }
             | OfMessage::PacketIn { .. }
             | OfMessage::PortStatus { .. }
-            | OfMessage::BarrierReply
+            | OfMessage::BarrierReply { .. }
             | OfMessage::StatsReply { .. }
             | OfMessage::EchoReply(_) => {}
         }
+    }
+
+    /// Arm the liveness watchdog for controller `idx` (one outstanding
+    /// timer per channel; re-armed from its own expiry while traffic
+    /// keeps arriving).
+    fn arm_deadline(&mut self, ctx: &mut Ctx, idx: usize) {
+        let Some(deadline) = self.cfg.controller_deadline else {
+            return;
+        };
+        if !self.deadline_armed[idx] {
+            self.deadline_armed[idx] = true;
+            ctx.set_timer_at(
+                self.last_heard[idx] + deadline,
+                TimerToken(TIMER_DEADLINE_BASE + idx as u64),
+            );
+        }
+    }
+
+    fn check_deadline(&mut self, ctx: &mut Ctx, idx: usize) {
+        let Some(deadline) = self.cfg.controller_deadline else {
+            return;
+        };
+        if idx >= self.controllers.len() {
+            return;
+        }
+        self.deadline_armed[idx] = false;
+        if !self.ctrl_live[idx] {
+            return;
+        }
+        let due = self.last_heard[idx] + deadline;
+        if due <= ctx.now() {
+            // Silent past the deadline: the controller is gone. Keep the
+            // installed rules (fail-secure — the data plane must not
+            // blink) but stop believing in FlowModify service.
+            self.mark_controller_dead(idx);
+        } else {
+            self.deadline_armed[idx] = true;
+            ctx.set_timer_at(due, TimerToken(TIMER_DEADLINE_BASE + idx as u64));
+        }
+    }
+
+    fn mark_controller_dead(&mut self, idx: usize) {
+        if self.ctrl_live[idx] {
+            self.ctrl_live[idx] = false;
+            self.stats.controller_deaths += 1;
+        }
+        // Back to listening: a restarted controller re-handshakes from
+        // scratch. Undelivered queue state from the old incarnation is
+        // discarded with the endpoint.
+        self.controllers[idx].reset();
     }
 
     fn arm_install_timer(&mut self, ctx: &mut Ctx) {
@@ -343,9 +450,17 @@ impl OfSwitch {
                     }
                 }
                 PendingOp::Barrier {
-                    xid, controller, ..
+                    xid,
+                    token,
+                    controller,
+                    ..
                 } => {
-                    self.reply_to_controller(ctx, controller, xid, OfMessage::BarrierReply);
+                    self.reply_to_controller(
+                        ctx,
+                        controller,
+                        xid,
+                        OfMessage::BarrierReply { token },
+                    );
                 }
             }
         }
@@ -465,16 +580,32 @@ impl Node for OfSwitch {
         if !self.controllers.is_empty() {
             if let Ok(Some(d)) = open_udp_frame(&frame) {
                 if let Some(idx) = self.controllers.iter().position(|c| c.matches(&d)) {
+                    // Any datagram from the controller — data, ack or
+                    // keepalive — proves its process is alive.
+                    self.ctrl_live[idx] = true;
+                    self.last_heard[idx] = ctx.now();
+                    self.arm_deadline(ctx, idx);
                     let chan = &mut self.controllers[idx];
                     let events = chan.on_datagram(&d, ctx.now());
                     chan.flush(ctx);
+                    let mut peer_closed = false;
                     for ev in events {
-                        if let ChannelEvent::Delivered(bytes) = ev {
-                            match OfMessage::decode(&bytes) {
+                        match ev {
+                            ChannelEvent::Delivered(bytes) => match OfMessage::decode(&bytes) {
                                 Ok((xid, msg)) => self.on_control(ctx, idx, xid, msg),
                                 Err(_) => { /* malformed control message */ }
-                            }
+                            },
+                            ChannelEvent::PeerClosed => peer_closed = true,
+                            _ => {}
                         }
+                    }
+                    if peer_closed {
+                        // A fresh SYN hit our established endpoint: the
+                        // controller process restarted. Declare the old
+                        // incarnation dead and fall back to listening —
+                        // the replacement's SYN retransmission completes
+                        // the new handshake.
+                        self.mark_controller_dead(idx);
                     }
                     self.controllers[idx].flush(ctx);
                     return;
@@ -487,6 +618,9 @@ impl Node for OfSwitch {
     fn on_timer(&mut self, ctx: &mut Ctx, token: TimerToken) {
         match token {
             TIMER_INSTALL => self.drain_installs(ctx),
+            TimerToken(t) if t >= TIMER_DEADLINE_BASE => {
+                self.check_deadline(ctx, (t - TIMER_DEADLINE_BASE) as usize);
+            }
             TimerToken(t) if t >= TIMER_CHANNEL_BASE => {
                 let idx = (t - TIMER_CHANNEL_BASE) as usize;
                 if let Some(chan) = self.controllers.get_mut(idx) {

@@ -147,6 +147,27 @@ proptest! {
         }
     }
 
+    /// Barrier/ack and echo control messages survive encode→decode for
+    /// arbitrary tokens, xids, and echo payloads — the acked
+    /// flow-programming path depends on tokens round-tripping exactly.
+    #[test]
+    fn barrier_and_echo_roundtrip(
+        token in any::<u64>(), xid in any::<u32>(),
+        echo in vec(any::<u8>(), 0..48),
+    ) {
+        for msg in [
+            OfMessage::BarrierRequest { token },
+            OfMessage::BarrierReply { token },
+            OfMessage::EchoRequest(echo.clone()),
+            OfMessage::EchoReply(echo.clone()),
+        ] {
+            let enc = msg.encode(xid);
+            let (x2, dec) = OfMessage::decode(&enc).unwrap();
+            prop_assert_eq!(x2, xid);
+            prop_assert_eq!(dec, msg);
+        }
+    }
+
     /// A wildcard-only match accepts every key; a fully-specified match
     /// accepts exactly its own key.
     #[test]

@@ -394,14 +394,14 @@ fn barrier_completes_after_pending_installs() {
                 actions: vec![Action::Drop],
             },
         ),
-        (t0, OfMessage::BarrierRequest),
+        (t0, OfMessage::BarrierRequest { token: 42 }),
     ];
     lab.world.run_until(SimTime::from_millis(100));
     let ctrl = lab.world.node::<StubController>(lab.ctrl);
     let barrier = ctrl
         .received
         .iter()
-        .find(|(_, _, m)| matches!(m, OfMessage::BarrierReply))
+        .find(|(_, _, m)| matches!(m, OfMessage::BarrierReply { token: 42 }))
         .expect("barrier reply received");
     // Barrier must not complete before the 15ms install finishes.
     assert!(barrier.0 >= t0 + SimDuration::from_millis(15));

@@ -40,6 +40,7 @@ const PEER_TIMER_STRIDE: u64 = 10;
 const PEER_TIMER_CHANNEL: u64 = 0;
 const PEER_TIMER_SESSION: u64 = 1;
 const PEER_TIMER_BFD: u64 = 2;
+const PEER_TIMER_DEADLINE: u64 = 3;
 
 /// A router interface: one attachment to the network.
 #[derive(Clone, Copy, Debug)]
@@ -81,6 +82,19 @@ pub struct PeerConfig {
     pub originate: Vec<UpdateMsg>,
     /// Which interface the peer is reached through.
     pub iface: usize,
+    /// This session terminates at a supercharger controller replica.
+    /// While *every* controller session is down (after having been up)
+    /// the router is **degraded**: the legacy BGP path drives the FIB
+    /// directly and nothing waits on FlowModify. The interval is
+    /// tracked for the per-cycle `degraded_us` stat.
+    pub controller: bool,
+    /// Liveness watchdog: tear the session down if the peer sends
+    /// nothing for this long while Established. Pairs with a peer that
+    /// beacons sub-second keepalives (the supercharger's
+    /// `echo_interval`) to detect controller death far inside the BGP
+    /// hold floor. `None` (the default) leaves detection to the hold
+    /// timer and BFD.
+    pub deadline: Option<SimDuration>,
 }
 
 impl PeerConfig {
@@ -97,6 +111,8 @@ impl PeerConfig {
             bfd: None,
             originate: Vec::new(),
             iface: 0,
+            controller: false,
+            deadline: None,
         }
     }
 }
@@ -127,6 +143,21 @@ pub enum RouterEvent {
         peer: Ipv4Addr,
         messages: usize,
     },
+    /// Every controller-marked session is down: the router stopped
+    /// waiting on the supercharger and the legacy path owns the FIB.
+    DegradedEnter,
+    /// A controller session re-established; supercharging resumes.
+    DegradedExit,
+    /// A non-controller peer died while controller routes still owned
+    /// the FIB: the router installed fallback next-hops over them
+    /// without tearing the controller sessions down (the controller may
+    /// be healthy and about to repair the data plane itself — or dead,
+    /// in which case waiting for the liveness deadline would concede
+    /// the race legacy BGP wins at BFD speed).
+    FallbackOverrideEnter,
+    /// Fresh controller liveness evidence arrived (or degradation made
+    /// the override moot): controller routes own the FIB again.
+    FallbackOverrideExit,
 }
 
 /// Data-plane and control-plane counters.
@@ -149,6 +180,11 @@ struct PeerState {
     bfd: Option<BfdSession>,
     session_wakeup_armed: Option<SimTime>,
     bfd_wakeup_armed: Option<SimTime>,
+    /// Last instant any transport traffic arrived from this peer (feeds
+    /// the liveness watchdog when `cfg.deadline` is set).
+    last_heard: SimTime,
+    /// Due time of the one outstanding watchdog timer, if armed.
+    deadline_armed: Option<SimTime>,
     /// What we advertise to this peer (RFC 4271 §3.2): seeded from
     /// `cfg.originate`, mutated by [`LegacyRouter::inject_updates`], and
     /// replayed in full on *every* session establishment — the RFC 4271
@@ -190,6 +226,19 @@ pub struct LegacyRouter {
     ops_buf: Vec<FibOp>,
     /// Reusable batch buffer for walker ticks.
     walker_batch_buf: Vec<FibOp>,
+    /// Did any controller-marked session ever establish? Degradation is
+    /// only entered after supercharging was actually in force — a world
+    /// that never had a live controller is just legacy, not degraded.
+    controller_was_up: bool,
+    /// Open degraded interval, if the router is degraded right now.
+    degraded_since: Option<SimTime>,
+    /// Closed degraded intervals (enter, exit).
+    degraded_log: Vec<(SimTime, SimTime)>,
+    /// FIB shadow override in force: controller routes are still in the
+    /// RIB (sessions up), but the FIB points at fallback next-hops.
+    fib_shadow: bool,
+    /// Prefixes the shadow override rewrote (what an exit must revert).
+    shadow_overridden: Vec<Ipv4Prefix>,
     pub stats: RouterStats,
     pub events: Vec<(SimTime, RouterEvent)>,
 }
@@ -213,6 +262,11 @@ impl LegacyRouter {
             zero_alloc_encode: true,
             ops_buf: Vec::new(),
             walker_batch_buf: Vec::new(),
+            controller_was_up: false,
+            degraded_since: None,
+            degraded_log: Vec::new(),
+            fib_shadow: false,
+            shadow_overridden: Vec::new(),
             stats: RouterStats::default(),
             events: Vec::new(),
         }
@@ -294,6 +348,8 @@ impl LegacyRouter {
             bfd,
             session_wakeup_armed: None,
             bfd_wakeup_armed: None,
+            last_heard: SimTime::ZERO,
+            deadline_armed: None,
             adj_out,
             establishments: 0,
             purged: false,
@@ -410,6 +466,160 @@ impl LegacyRouter {
             .map(|p| p.adj_out.len())
     }
 
+    /// Is the router degraded right now (all controller-marked sessions
+    /// down after supercharging had been in force)?
+    pub fn degraded(&self) -> bool {
+        self.degraded_since.is_some()
+    }
+
+    /// Every degraded interval so far, the currently open one capped at
+    /// `now`. The runner intersects these with cycle windows for the
+    /// per-cycle `degraded_us` column.
+    pub fn degraded_intervals(&self, now: SimTime) -> Vec<(SimTime, SimTime)> {
+        let mut v = self.degraded_log.clone();
+        if let Some(s) = self.degraded_since {
+            if now > s {
+                v.push((s, now));
+            }
+        }
+        v
+    }
+
+    /// No controller-marked session is Established (vacuously false with
+    /// none configured).
+    fn controller_sessions_all_down(&self) -> bool {
+        let mut any = false;
+        for p in &self.peers {
+            if p.cfg.controller {
+                any = true;
+                if p.session.state() == sc_bgp::SessionState::Established {
+                    return false;
+                }
+            }
+        }
+        any
+    }
+
+    /// Is the FIB shadow override in force (fallback next-hops installed
+    /// over still-present controller routes)?
+    pub fn fib_shadow(&self) -> bool {
+        self.fib_shadow
+    }
+
+    /// Any controller-marked session currently Established.
+    fn controller_established(&self) -> bool {
+        self.peers
+            .iter()
+            .any(|p| p.cfg.controller && p.session.state() == sc_bgp::SessionState::Established)
+    }
+
+    /// Liveness evidence for the peer at `peer_ip` is stale: its BFD
+    /// session (if any) is Down, or Up but silent past half the
+    /// detection time. Peers without BFD are never stale — the hold
+    /// timer is their only truth.
+    fn peer_bfd_stale(&self, peer_ip: Ipv4Addr, now: SimTime) -> bool {
+        self.peers
+            .iter()
+            .find(|p| p.cfg.peer_ip == peer_ip)
+            .and_then(|p| p.bfd.as_ref())
+            .map(|bfd| bfd.is_stale(now))
+            .unwrap_or(false)
+    }
+
+    /// The next-hop degraded-mode route selection would install for
+    /// `prefix`: the best RIB candidate that is neither from a
+    /// controller-marked peer nor from a peer whose BFD has gone quiet
+    /// (see [`BfdSession::is_stale`]). Falls back to the unfiltered best
+    /// when every candidate is suspect — a stale route beats no route.
+    fn fallback_nh(&self, prefix: Ipv4Prefix, now: SimTime) -> Option<Ipv4Addr> {
+        let candidates = self.rib.candidates(prefix);
+        candidates
+            .iter()
+            .find(|r| {
+                let from_controller = self
+                    .peers
+                    .iter()
+                    .any(|p| p.cfg.controller && p.cfg.peer_ip == r.from.peer);
+                !from_controller && !self.peer_bfd_stale(r.from.peer, now)
+            })
+            .or_else(|| candidates.first())
+            .map(|r| r.next_hop())
+    }
+
+    /// A non-controller peer just died while controller routes own the
+    /// FIB: install fallback next-hops *over* them without touching the
+    /// controller sessions. If the controller is alive it repairs the
+    /// data plane itself within its detection time and its next sign of
+    /// life reverts the override; if it is dead, the data plane is
+    /// already converging at the same BFD-paced instant legacy would —
+    /// the liveness deadline then only formalizes the degradation.
+    fn shadow_enter(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        let mut ops: Vec<FibOp> = Vec::new();
+        let mut overridden = Vec::new();
+        for (prefix, routes) in self.rib.iter() {
+            let Some(best) = routes.first() else { continue };
+            let best_is_controller = self
+                .peers
+                .iter()
+                .any(|p| p.cfg.controller && p.cfg.peer_ip == best.from.peer);
+            if !best_is_controller {
+                continue;
+            }
+            let eff = self.fallback_nh(prefix, now);
+            if let Some(nh) = eff {
+                if nh != best.next_hop() {
+                    ops.push(FibOp::Set {
+                        prefix,
+                        next_hop: nh,
+                    });
+                    overridden.push(prefix);
+                }
+            }
+        }
+        self.fib_shadow = true;
+        self.shadow_overridden = overridden;
+        self.events.push((now, RouterEvent::FallbackOverrideEnter));
+        ctx.trace("bgp", || {
+            format!(
+                "fallback override: {} prefixes shadowed",
+                self.shadow_overridden.len()
+            )
+        });
+        if !ops.is_empty() {
+            // Same delay class as a session-loss purge: the override is
+            // this router's answer to the same failure legacy answers
+            // with a purge, so it must not be cheaper.
+            self.walker.enqueue_burst(now, ops, true);
+            self.arm_walker(ctx);
+        }
+    }
+
+    /// Fresh controller liveness evidence: put the controller routes
+    /// back in charge of every prefix the shadow override rewrote.
+    fn shadow_exit(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        self.fib_shadow = false;
+        let overridden = std::mem::take(&mut self.shadow_overridden);
+        let ops: Vec<FibOp> = overridden
+            .into_iter()
+            .filter_map(|prefix| {
+                self.rib.best(prefix).map(|r| FibOp::Set {
+                    prefix,
+                    next_hop: r.next_hop(),
+                })
+            })
+            .collect();
+        self.events.push((now, RouterEvent::FallbackOverrideExit));
+        ctx.trace("bgp", || {
+            format!("fallback override lifted: {} prefixes", ops.len())
+        });
+        if !ops.is_empty() {
+            self.walker.enqueue_burst(now, ops, false);
+            self.arm_walker(ctx);
+        }
+    }
+
     // --------------------------------------------------------- helpers
 
     fn iface_for_nexthop(&self, nh: Ipv4Addr) -> Option<usize> {
@@ -515,6 +725,52 @@ impl LegacyRouter {
         }
     }
 
+    /// Arm the liveness watchdog for a deadline-configured peer (one
+    /// outstanding timer; the fire handler re-arms while traffic keeps
+    /// arriving).
+    fn arm_peer_deadline(&mut self, idx: usize, ctx: &mut Ctx) {
+        let Some(d) = self.peers[idx].cfg.deadline else {
+            return;
+        };
+        let due = self.peers[idx].last_heard + d;
+        if self.peers[idx].deadline_armed.is_none() {
+            self.peers[idx].deadline_armed = Some(due);
+            ctx.set_timer_at(
+                due,
+                TimerToken(PEER_TIMER_BASE + idx as u64 * PEER_TIMER_STRIDE + PEER_TIMER_DEADLINE),
+            );
+        }
+    }
+
+    /// The watchdog fired: if traffic arrived since arming, re-arm at
+    /// the pushed-out due time; otherwise the peer has gone silent past
+    /// its deadline — tear the session down now (same teardown as BFD)
+    /// instead of waiting out the hold timer.
+    fn check_peer_deadline(&mut self, idx: usize, ctx: &mut Ctx) {
+        self.peers[idx].deadline_armed = None;
+        let Some(d) = self.peers[idx].cfg.deadline else {
+            return;
+        };
+        if self.peers[idx].session.state() != sc_bgp::SessionState::Established {
+            return; // re-armed on the next establishment
+        }
+        if ctx.now() < self.peers[idx].last_heard + d {
+            self.arm_peer_deadline(idx, ctx);
+            return;
+        }
+        let peer_ip = self.peers[idx].cfg.peer_ip;
+        ctx.trace("bgp", || {
+            format!("peer {peer_ip} silent past liveness deadline")
+        });
+        self.peers[idx].session.stop(DownReason::LivenessExpired);
+        self.peer_down(idx, DownReason::LivenessExpired, ctx);
+        // Drop the transport like a BFD-triggered reset: the active
+        // side's reconnect SYN retries until the peer returns, and the
+        // fresh establishment replays the Adj-RIB-Out (reconciliation).
+        self.peers[idx].chan.reset();
+        self.pump_peer(idx, ctx);
+    }
+
     fn on_bfd_event(&mut self, idx: usize, ev: BfdEvent, ctx: &mut Ctx) {
         match ev {
             BfdEvent::Up => {}
@@ -553,7 +809,20 @@ impl LegacyRouter {
                     let peer_ip = self.peers[idx].cfg.peer_ip;
                     self.peers[idx].purged = false;
                     self.peers[idx].establishments += 1;
+                    if self.peers[idx].cfg.controller {
+                        self.controller_was_up = true;
+                        if let Some(since) = self.degraded_since.take() {
+                            // Reconciliation: the returning controller
+                            // replays its announced state over this fresh
+                            // session; normal UPDATE processing resyncs
+                            // the RIB from there.
+                            self.degraded_log.push((since, ctx.now()));
+                            self.events.push((ctx.now(), RouterEvent::DegradedExit));
+                        }
+                    }
                     self.events.push((ctx.now(), RouterEvent::PeerUp(peer_ip)));
+                    self.peers[idx].last_heard = ctx.now();
+                    self.arm_peer_deadline(idx, ctx);
                     ctx.trace("bgp", || format!("session with {peer_ip} established"));
                     // RFC 4271 §9.4: advertise the Adj-RIB-Out on every
                     // establishment — including re-establishments after
@@ -690,24 +959,71 @@ impl LegacyRouter {
                 reason,
             },
         ));
+        if self.peers[idx].cfg.controller
+            && self.controller_was_up
+            && self.degraded_since.is_none()
+            && self.controller_sessions_all_down()
+        {
+            self.degraded_since = Some(ctx.now());
+            self.events.push((ctx.now(), RouterEvent::DegradedEnter));
+            if self.fib_shadow {
+                // Degradation formalizes the override: the purge below
+                // recomputes every affected prefix, so there is nothing
+                // to revert — just retire the shadow bookkeeping.
+                self.fib_shadow = false;
+                self.shadow_overridden.clear();
+                self.events
+                    .push((ctx.now(), RouterEvent::FallbackOverrideExit));
+            }
+        }
         let changes = self.rib.withdraw_peer(peer_ip);
         ctx.trace("bgp", || {
             format!("peer {peer_ip} down; {} prefixes affected", changes.len())
         });
-        let ops: Vec<FibOp> = changes
-            .into_iter()
-            .filter(|c| c.best_changed())
-            .map(|c| match c.new.best {
-                Some(r) => FibOp::Set {
-                    prefix: c.prefix,
-                    next_hop: r.next_hop(),
-                },
+        // A degraded recompute quarantines BFD-quiet next-hops: a
+        // fallback peer that has been silent past half its detection
+        // time is very likely dead even though its timer hasn't expired
+        // — churning the FIB toward it first would pay a second full
+        // churn when the timer fires moments later.
+        let quarantine = self.peers[idx].cfg.controller && self.degraded_since.is_some();
+        let now = ctx.now();
+        let mut ops: Vec<FibOp> = Vec::with_capacity(changes.len());
+        for c in changes {
+            if !c.best_changed() {
+                continue;
+            }
+            ops.push(match c.new.best {
+                Some(ref r) => {
+                    let nh = if quarantine && self.peer_bfd_stale(r.from.peer, now) {
+                        self.fallback_nh(c.prefix, now)
+                            .unwrap_or_else(|| r.next_hop())
+                    } else {
+                        r.next_hop()
+                    };
+                    FibOp::Set {
+                        prefix: c.prefix,
+                        next_hop: nh,
+                    }
+                }
                 None => FibOp::Remove { prefix: c.prefix },
-            })
-            .collect();
+            });
+        }
         if !ops.is_empty() {
             self.walker.enqueue_burst(ctx.now(), ops, true);
             self.arm_walker(ctx);
+        }
+        if !self.peers[idx].cfg.controller
+            && !self.fib_shadow
+            && self.degraded_since.is_none()
+            && self.controller_was_up
+            && self.controller_established()
+        {
+            // A data peer died while controller routes own the FIB: the
+            // flow rules behind their virtual next-hops may now steer
+            // into the failed path, and only a live controller can know.
+            // Shadow the FIB onto fallback paths at BFD pace; the
+            // controller's next sign of life lifts the override.
+            self.shadow_enter(ctx);
         }
     }
 
@@ -880,6 +1196,15 @@ impl LegacyRouter {
         }
         // BGP transport: find the matching channel.
         if let Some(idx) = self.peers.iter().position(|p| p.chan.matches(d)) {
+            self.peers[idx].last_heard = now;
+            if self.fib_shadow
+                && self.peers[idx].cfg.controller
+                && self.peers[idx].session.state() == sc_bgp::SessionState::Established
+            {
+                // Any transport traffic from an Established controller
+                // session is proof of life: lift the fallback override.
+                self.shadow_exit(ctx);
+            }
             let events = self.peers[idx].chan.on_datagram(d, now);
             let mut session_events = Vec::new();
             for ev in events {
@@ -1023,6 +1348,9 @@ impl Node for LegacyRouter {
                     PEER_TIMER_BFD => {
                         self.peers[idx].bfd_wakeup_armed = None;
                         self.pump_bfd(idx, ctx);
+                    }
+                    PEER_TIMER_DEADLINE => {
+                        self.check_peer_deadline(idx, ctx);
                     }
                     _ => {}
                 }

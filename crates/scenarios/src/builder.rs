@@ -38,6 +38,13 @@ use supercharger::{Controller, ControllerConfig, PeerLink, RouterLink, SwitchLin
 
 pub const IP_R1: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 
+/// LOCAL_PREF R1 assigns to controller-learned routes when
+/// [`ScenarioConfig::fallback_sessions`] is on: strictly above every
+/// blueprint provider preference, so supercharged paths win while any
+/// controller session lives and the direct eBGP fallback takes over the
+/// instant the last one dies.
+pub const CONTROLLER_PREF: u32 = 1_000;
+
 /// Where the providers' route feeds come from.
 #[derive(Clone, Debug, Default)]
 pub enum FeedSource {
@@ -109,7 +116,40 @@ pub struct ScenarioConfig {
     /// Controller compute/REST latency before FLOW_MODs leave.
     pub reaction_delay: SimDuration,
     /// Frame-loss probability on controller↔switch links.
+    ///
+    /// Deprecated alias: prefer [`ScenarioConfig::link_params`] with
+    /// [`crate::events::LinkRef::ControllerSwitch`], which can set
+    /// loss, corruption, and latency on *any* resolvable link. This
+    /// scalar is kept for existing cells and composes with
+    /// `link_params` (params win where both name the same link).
     pub control_loss: f64,
+    /// Per-link parameter overrides applied after the world is wired:
+    /// each [`crate::events::LinkRef`] resolves against the built
+    /// topology and replaces that link's [`LinkParams`] wholesale
+    /// (loss, corruption, latency, bandwidth).
+    pub link_params: Vec<(crate::events::LinkRef, LinkParams)>,
+    /// Keepalive/echo beacon interval of each controller replica (to
+    /// both the switch agent and R1). `None` (the default) sends no
+    /// beacons, leaving liveness to BGP hold timers — the pre-fail-safe
+    /// behavior.
+    pub echo_interval: Option<SimDuration>,
+    /// Liveness deadline armed against the beacons on the switch agent
+    /// and on R1's controller sessions: silence for this long flips the
+    /// node out of supercharging (the router enters **Degraded**).
+    /// `None` disables the watchdogs.
+    pub controller_deadline: Option<SimDuration>,
+    /// BGP hold time R1 proposes on its controller sessions (the
+    /// fallback detection path when no `controller_deadline` watchdog
+    /// is armed; RFC 4271 floors negotiated holds at 3 s).
+    pub controller_hold: SimDuration,
+    /// Graceful degradation (supercharged mode only): R1 keeps direct
+    /// eBGP fallback sessions to every provider at the blueprint's
+    /// local-prefs while controller sessions import at
+    /// [`CONTROLLER_PREF`]. The supercharged paths shadow the fallback
+    /// routes until every controller session is gone, at which point
+    /// the purge promotes the fallback routes and legacy BGP drives the
+    /// FIB directly.
+    pub fallback_sessions: bool,
     /// Keep a bounded event trace.
     pub trace: bool,
     /// Router forwarding flow cache (diagnostics knob: `false` forces
@@ -153,6 +193,11 @@ impl Default for ScenarioConfig {
             controllers: 1,
             reaction_delay: SimDuration::from_millis(3),
             control_loss: 0.0,
+            link_params: Vec::new(),
+            echo_interval: None,
+            controller_deadline: None,
+            controller_hold: SimDuration::from_secs(90),
+            fallback_sessions: false,
             trace: false,
             flow_cache: true,
             scheduler: sc_sim::SchedulerKind::default(),
@@ -202,6 +247,11 @@ pub struct BuiltScenario {
     /// empty for synthetic feeds). Replay maps recorded peer `k` onto
     /// provider `k % providers`.
     pub replay_peers: Vec<Ipv4Addr>,
+    /// Restart factories: the exact config each controller replica was
+    /// built from, so a `restart_controller` chaos event can boot a
+    /// fresh process into the crashed slot. Empty for legacy builds and
+    /// the bit-exact Fig. 4 delegation (no restart support there).
+    pub controller_cfgs: Vec<ControllerConfig>,
 }
 
 /// Build the world for one (topology, mode) pair.
@@ -223,6 +273,11 @@ pub fn build_scenario(topo: &TopologySpec, mode: Mode, cfg: &ScenarioConfig) -> 
                 .node_mut::<LegacyRouter>(id)
                 .set_flow_cache_enabled(false);
         }
+    }
+    for (link, params) in &cfg.link_params {
+        let l =
+            crate::events::resolve_link(&scn, *link).unwrap_or_else(|e| panic!("link_params: {e}"));
+        scn.world.set_link_params(l, *params);
     }
     scn
 }
@@ -276,6 +331,7 @@ fn build_fig4(mode: Mode, cfg: &ScenarioConfig) -> BuiltScenario {
         feeds: lab.feeds.to_vec(),
         primary: 0,
         replay_peers: Vec::new(),
+        controller_cfgs: Vec::new(),
         world: lab.world,
     }
 }
@@ -397,6 +453,7 @@ fn build_generic(bp: Blueprint, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenar
     // --- nodes ---
     let switch = world.add_node(OfSwitch::new(SwitchConfig {
         table_miss: TableMiss::L2Learn,
+        controller_deadline: cfg.controller_deadline,
         ..SwitchConfig::paper_defaults("scenario-switch")
     }));
     let r1 = world.add_node(LegacyRouter::new(RouterConfig {
@@ -601,9 +658,14 @@ fn build_generic(bp: Blueprint, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenar
     let mut controllers = Vec::new();
     let mut controller_links = Vec::new();
     let mut sw_ctrl_ports = Vec::new();
+    let mut controller_cfgs = Vec::new();
     for ci in 0..controllers_n {
         let ctrl_cfg = ControllerConfig {
             name: format!("supercharger-{ci}"),
+            seed: cfg.seed.wrapping_add(ci as u64),
+            echo_interval: cfg.echo_interval,
+            ack_timeout: SimDuration::from_millis(50),
+            max_flowmod_attempts: 5,
             asn: 65000,
             router_id: Ipv4Addr::new(99, 99, 99, ci as u8 + 1),
             ip: controller_ip(ci),
@@ -639,6 +701,7 @@ fn build_generic(bp: Blueprint, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenar
             rule_grace: SimDuration::from_secs(600),
             portstatus_failover: false,
         };
+        controller_cfgs.push(ctrl_cfg.clone());
         let ctrl = world.add_node(Controller::new(ctrl_cfg, PortId(0)));
         let ctrl_link = LinkParams {
             loss: cfg.control_loss,
@@ -707,8 +770,42 @@ fn build_generic(bp: Blueprint, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenar
                     r1n.add_peer(PeerConfig {
                         local_port: (40000 + ci) as u16,
                         remote_port: 179,
+                        local_pref: if cfg.fallback_sessions {
+                            CONTROLLER_PREF
+                        } else {
+                            sc_bgp::decision::DEFAULT_LOCAL_PREF
+                        },
+                        hold_time: cfg.controller_hold,
+                        controller: true,
+                        deadline: cfg.controller_deadline,
                         ..PeerConfig::ebgp(controller_ip(ci), controller_mac(ci), true)
                     });
+                }
+                if cfg.fallback_sessions {
+                    // Graceful-degradation shadow plane: direct eBGP to
+                    // every provider at the blueprint's preferences —
+                    // identical policy to a Stock build, just parked
+                    // below CONTROLLER_PREF until degradation promotes
+                    // it. The fallback BFD runs detect_mult 2 (vs the
+                    // stock plane's 3): worst-case fallback detection is
+                    // 2 × interval past the last rx, which never exceeds
+                    // the stock session's best case, so a degraded churn
+                    // starts no later than the legacy baseline's
+                    // regardless of jitter phase.
+                    for (i, spec) in bp.providers.iter().enumerate() {
+                        r1n.add_peer(PeerConfig {
+                            local_pref: spec.local_pref,
+                            local_port: (46000 + i) as u16,
+                            remote_port: 179,
+                            bfd: (cfg.bfd && i == primary).then_some(BfdConfig {
+                                local_discr: 12,
+                                desired_min_tx: cfg.bfd_interval,
+                                required_min_rx: cfg.bfd_interval,
+                                detect_mult: 2,
+                            }),
+                            ..PeerConfig::ebgp(provider_ip(i), provider_mac(i), true)
+                        });
+                    }
                 }
             }
         }
@@ -751,6 +848,22 @@ fn build_generic(bp: Blueprint, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenar
                         ..PeerConfig::ebgp(controller_ip(ci), controller_mac(ci), false)
                     });
                 }
+                if cfg.fallback_sessions {
+                    rn.add_peer(PeerConfig {
+                        local_port: 179,
+                        remote_port: (46000 + i) as u16,
+                        bfd: (cfg.bfd && i == primary).then(|| BfdConfig {
+                            local_discr: (80 + i) as u32,
+                            desired_min_tx: cfg.bfd_interval,
+                            required_min_rx: cfg.bfd_interval,
+                            // Mirrors the R1-side fallback mult: degraded
+                            // detection beats the stock plane's worst case.
+                            detect_mult: 2,
+                        }),
+                        originate: feeds[i].clone(),
+                        ..PeerConfig::ebgp(IP_R1, MAC_R1, false)
+                    });
+                }
             }
         }
     }
@@ -791,6 +904,7 @@ fn build_generic(bp: Blueprint, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenar
         feeds,
         primary,
         replay_peers,
+        controller_cfgs,
     }
 }
 
@@ -854,12 +968,22 @@ impl BuiltScenario {
                     _ => false,
                 }
             }
-            Mode::Supercharged => self.controllers.iter().all(|&c| {
-                match self.world.node::<Controller>(c).bfd_snapshot(primary_ip) {
-                    Some((sc_bfd::BfdState::Up, det)) => det <= fast,
-                    _ => false,
-                }
-            }),
+            Mode::Supercharged => {
+                let ctrl_ok = self.controllers.iter().all(|&c| {
+                    match self.world.node::<Controller>(c).bfd_snapshot(primary_ip) {
+                        Some((sc_bfd::BfdState::Up, det)) => det <= fast,
+                        _ => false,
+                    }
+                });
+                let fallback_ok = !self.cfg.fallback_sessions
+                    || matches!(
+                        self.world
+                            .node::<LegacyRouter>(self.r1)
+                            .bfd_snapshot(primary_ip),
+                        Some((sc_bfd::BfdState::Up, det)) if det <= fast
+                    );
+                ctrl_ok && fallback_ok
+            }
         }
     }
 
@@ -912,6 +1036,44 @@ impl BuiltScenario {
                     } => Some(*rewrites),
                     _ => None,
                 }),
+        }
+    }
+
+    /// Router-side degraded time overlapping `[from, until]` — how long
+    /// R1 was driving the FIB itself (every controller session down)
+    /// within one measurement window. Always zero in legacy mode (no
+    /// controller sessions exist to lose).
+    pub fn degraded_in_window(&self, from: SimTime, until: SimTime) -> SimDuration {
+        let now = self.world.now();
+        self.world
+            .node::<LegacyRouter>(self.r1)
+            .degraded_intervals(now)
+            .iter()
+            .map(|&(start, end)| {
+                let lo = start.max(from);
+                let hi = end.min(until);
+                if hi > lo {
+                    hi - lo
+                } else {
+                    SimDuration::ZERO
+                }
+            })
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    /// Flow-mod batches the controllers re-sent after a missed barrier
+    /// ack, summed across replicas (supercharged only). A replica that
+    /// crashed and restarted counts from its fresh process — retry
+    /// counters are process state, not oracle state.
+    pub fn flowmod_retries(&self) -> Option<u64> {
+        match self.mode {
+            Mode::Stock => None,
+            Mode::Supercharged => Some(
+                self.controllers
+                    .iter()
+                    .map(|&c| self.world.node::<Controller>(c).stats.flowmod_retries)
+                    .sum(),
+            ),
         }
     }
 }

@@ -82,6 +82,10 @@ pub enum LinkRef {
     /// The routeless arc closing a ring (cutting it must be harmless —
     /// the null-test).
     RingCloser,
+    /// Controller replica `c`'s control channel to the switch (the
+    /// chaos layer's favorite victim; legacy builds have none and
+    /// events targeting it no-op).
+    ControllerSwitch(usize),
 }
 
 impl fmt::Display for LinkRef {
@@ -91,6 +95,7 @@ impl fmt::Display for LinkRef {
             LinkRef::ProviderPath(p) => write!(f, "provider_path:{p}"),
             LinkRef::ForwarderUplink(j) => write!(f, "forwarder_uplink:{j}"),
             LinkRef::RingCloser => write!(f, "ring_closer"),
+            LinkRef::ControllerSwitch(c) => write!(f, "controller_switch:{c}"),
         }
     }
 }
@@ -112,6 +117,11 @@ impl FromStr for LinkRef {
                 rest.parse().map_err(|e| format!("{e}"))?,
             ));
         }
+        if let Some(rest) = s.strip_prefix("controller_switch:") {
+            return Ok(LinkRef::ControllerSwitch(
+                rest.parse().map_err(|e| format!("{e}"))?,
+            ));
+        }
         Err(format!("bad link ref {s:?}"))
     }
 }
@@ -122,6 +132,9 @@ pub enum NodeRef {
     Provider(ProviderSel),
     Forwarder(usize),
     Controller(usize),
+    /// The OpenFlow switch (partition endpoint; crashing it is legal
+    /// chaos too).
+    Switch,
 }
 
 impl fmt::Display for NodeRef {
@@ -130,6 +143,7 @@ impl fmt::Display for NodeRef {
             NodeRef::Provider(p) => write!(f, "provider:{p}"),
             NodeRef::Forwarder(j) => write!(f, "forwarder:{j}"),
             NodeRef::Controller(c) => write!(f, "controller:{c}"),
+            NodeRef::Switch => write!(f, "switch"),
         }
     }
 }
@@ -137,6 +151,9 @@ impl fmt::Display for NodeRef {
 impl FromStr for NodeRef {
     type Err = String;
     fn from_str(s: &str) -> Result<NodeRef, String> {
+        if s == "switch" {
+            return Ok(NodeRef::Switch);
+        }
         if let Some(rest) = s.strip_prefix("provider:") {
             return Ok(NodeRef::Provider(rest.parse()?));
         }
@@ -214,6 +231,53 @@ pub enum ScenarioEvent {
         at: SimDuration,
         delay: SimDuration,
     },
+    /// Chaos: seeded stochastic faults on a link from `at` to `until` —
+    /// drop each frame with probability `loss_ppm` and flip one byte
+    /// with probability `corrupt_ppm` (both parts-per-million, so the
+    /// event stays `Eq` and text-exact). Healing restores the link's
+    /// apply-time parameters. Faults apply to frames *emitted* while
+    /// active; in-flight frames are unaffected.
+    SetLinkFaults {
+        link: LinkRef,
+        at: SimDuration,
+        loss_ppm: u32,
+        corrupt_ppm: u32,
+        until: SimDuration,
+    },
+    /// Chaos: sever every wired link between `a` and `b` at `at`,
+    /// restore at `heal`. A pair with no wired link fails validation;
+    /// a controller endpoint a legacy build lacks no-ops.
+    Partition {
+        a: NodeRef,
+        b: NodeRef,
+        at: SimDuration,
+        heal: SimDuration,
+    },
+    /// Chaos: crash controller replica `replica` (process death — links
+    /// drop, liveness watchdogs fire, the router degrades). Unlike
+    /// [`ScenarioEvent::CrashReplica`] this *is* a convergence onset:
+    /// it opens its own measurement window rather than perturbing one
+    /// already in progress. Legacy builds no-op.
+    CrashController {
+        replica: usize,
+        at: SimDuration,
+    },
+    /// Chaos: boot a fresh controller process into crashed slot
+    /// `replica` (links return, handshakes and engine resync rerun —
+    /// the reconciliation path). No-op if the slot is still alive or
+    /// the build keeps no restart factory (legacy, Fig. 4 delegation).
+    RestartController {
+        replica: usize,
+        at: SimDuration,
+    },
+    /// Chaos: from `at`, the switch silently discards the next `count`
+    /// FlowMods and swallows barriers while the budget lasts — the
+    /// controller sees missing acks and must retry (or give up into
+    /// degradation).
+    DropFlowMods {
+        count: u32,
+        at: SimDuration,
+    },
 }
 
 impl ScenarioEvent {
@@ -224,12 +288,17 @@ impl ScenarioEvent {
             | ScenarioEvent::LinkUp { at, .. }
             | ScenarioEvent::NodeCrash { at, .. }
             | ScenarioEvent::WithdrawBurst { at, .. }
-            | ScenarioEvent::CrashReplica { at, .. } => at,
+            | ScenarioEvent::CrashReplica { at, .. }
+            | ScenarioEvent::CrashController { at, .. }
+            | ScenarioEvent::RestartController { at, .. }
+            | ScenarioEvent::DropFlowMods { at, .. } => at,
             ScenarioEvent::LinkFlap {
                 at, period, cycles, ..
             } => at + period * cycles.saturating_sub(1) as u64 + period / 2,
             ScenarioEvent::SessionReset { at, outage, .. } => at + outage,
             ScenarioEvent::DelayReplica { at, delay, .. } => at + delay,
+            ScenarioEvent::SetLinkFaults { until, .. } => until,
+            ScenarioEvent::Partition { heal, .. } => heal,
             ScenarioEvent::ChurnBurst {
                 at, period, cycles, ..
             } => at + period * cycles.saturating_sub(1) as u64 + period / 2,
@@ -246,12 +315,21 @@ impl ScenarioEvent {
             | ScenarioEvent::NodeCrash { at, .. }
             | ScenarioEvent::WithdrawBurst { at, .. }
             | ScenarioEvent::SessionReset { at, .. } => vec![at],
+            // Chaos onsets that start perturbing traffic or degrade the
+            // router open their own measurement window.
+            ScenarioEvent::SetLinkFaults { at, .. }
+            | ScenarioEvent::Partition { at, .. }
+            | ScenarioEvent::CrashController { at, .. } => vec![at],
             // Restorations are not onsets, and replica events perturb
             // the control plane *during* a co-scripted failover rather
-            // than starting a convergence cycle of their own.
+            // than starting a convergence cycle of their own. A
+            // controller restart and a flow-mod drop budget likewise
+            // only modulate a window already open.
             ScenarioEvent::LinkUp { .. }
             | ScenarioEvent::CrashReplica { .. }
-            | ScenarioEvent::DelayReplica { .. } => Vec::new(),
+            | ScenarioEvent::DelayReplica { .. }
+            | ScenarioEvent::RestartController { .. }
+            | ScenarioEvent::DropFlowMods { .. } => Vec::new(),
             ScenarioEvent::LinkFlap {
                 at, period, cycles, ..
             }
@@ -295,6 +373,17 @@ fn kv<'a>(tok: &'a str, key: &str) -> Result<&'a str, String> {
     tok.strip_prefix(key)
         .and_then(|r| r.strip_prefix('='))
         .ok_or_else(|| format!("expected {key}=…, got {tok:?}"))
+}
+
+fn parse_ppm(s: &str) -> Result<u32, String> {
+    let num = s
+        .strip_suffix("ppm")
+        .ok_or_else(|| format!("probability {s:?} needs a ppm suffix"))?;
+    let v: u32 = num.parse().map_err(|e| format!("ppm {s:?}: {e}"))?;
+    if v > 1_000_000 {
+        return Err(format!("{v}ppm exceeds 1000000 (certainty)"));
+    }
+    Ok(v)
 }
 
 impl fmt::Display for ScenarioEvent {
@@ -358,6 +447,35 @@ impl fmt::Display for ScenarioEvent {
                 fmt_dur(at),
                 fmt_dur(delay)
             ),
+            ScenarioEvent::SetLinkFaults {
+                link,
+                at,
+                loss_ppm,
+                corrupt_ppm,
+                until,
+            } => write!(
+                f,
+                "set_link_faults {link} @{} loss={loss_ppm}ppm corrupt={corrupt_ppm}ppm until={}",
+                fmt_dur(at),
+                fmt_dur(until)
+            ),
+            ScenarioEvent::Partition { a, b, at, heal } => write!(
+                f,
+                "partition {a} {b} @{} heal={}",
+                fmt_dur(at),
+                fmt_dur(heal)
+            ),
+            ScenarioEvent::CrashController { replica, at } => {
+                write!(f, "crash_controller controller:{replica} @{}", fmt_dur(at))
+            }
+            ScenarioEvent::RestartController { replica, at } => write!(
+                f,
+                "restart_controller controller:{replica} @{}",
+                fmt_dur(at)
+            ),
+            ScenarioEvent::DropFlowMods { count, at } => {
+                write!(f, "drop_flow_mods @{} count={count}", fmt_dur(at))
+            }
         }
     }
 }
@@ -424,6 +542,33 @@ impl FromStr for ScenarioEvent {
                 replica: ctrl_of(toks.get(1).ok_or("missing controller")?)?,
                 at: at_tok(2)?,
                 delay: parse_dur(kv(toks.get(3).ok_or("missing delay")?, "delay")?)?,
+            }),
+            Some("set_link_faults") => Ok(ScenarioEvent::SetLinkFaults {
+                link: toks.get(1).ok_or("missing link")?.parse()?,
+                at: at_tok(2)?,
+                loss_ppm: parse_ppm(kv(toks.get(3).ok_or("missing loss")?, "loss")?)?,
+                corrupt_ppm: parse_ppm(kv(toks.get(4).ok_or("missing corrupt")?, "corrupt")?)?,
+                until: parse_dur(kv(toks.get(5).ok_or("missing until")?, "until")?)?,
+            }),
+            Some("partition") => Ok(ScenarioEvent::Partition {
+                a: toks.get(1).ok_or("missing endpoint a")?.parse()?,
+                b: toks.get(2).ok_or("missing endpoint b")?.parse()?,
+                at: at_tok(3)?,
+                heal: parse_dur(kv(toks.get(4).ok_or("missing heal")?, "heal")?)?,
+            }),
+            Some("crash_controller") => Ok(ScenarioEvent::CrashController {
+                replica: ctrl_of(toks.get(1).ok_or("missing controller")?)?,
+                at: at_tok(2)?,
+            }),
+            Some("restart_controller") => Ok(ScenarioEvent::RestartController {
+                replica: ctrl_of(toks.get(1).ok_or("missing controller")?)?,
+                at: at_tok(2)?,
+            }),
+            Some("drop_flow_mods") => Ok(ScenarioEvent::DropFlowMods {
+                at: at_tok(1)?,
+                count: kv(toks.get(2).ok_or("missing count")?, "count")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?,
             }),
             other => Err(format!("unknown event {other:?}")),
         }
@@ -569,6 +714,62 @@ impl EventScript {
         )
     }
 
+    /// A seeded chaos schedule: the paper's primary cut at the origin
+    /// (the measured convergence event) overlaid with a deterministic
+    /// pseudo-random mix of fail-safe stressors — a lossy/corrupting
+    /// window on the controller channel, a dropped-flow-mod budget, a
+    /// controller crash/restart pair, and a short switch↔controller
+    /// partition after the restart. A pure function of `seed`
+    /// (splitmix64 throughout): the same seed always yields the same
+    /// script, so chaos cells stay byte-identical across reruns and
+    /// schedulers. Every chaos target no-ops in a legacy build, so one
+    /// script drives both sides of a comparison cell.
+    pub fn chaos(seed: u64) -> EventScript {
+        let mut ctr = 0u64;
+        let mut next = |hi: u64| -> u64 {
+            ctr += 1;
+            splitmix64(seed.wrapping_add(ctr.wrapping_mul(0x9e37_79b9_7f4a_7c15))) % hi
+        };
+        let us = SimDuration::from_micros;
+        let fault_at = next(20_000);
+        let drop_at = next(5_000);
+        let crash_at = 20_000 + next(40_000);
+        let restart_at = crash_at + 50_000 + next(100_000);
+        let part_at = restart_at + 10_000 + next(20_000);
+        let events = vec![
+            ScenarioEvent::LinkDown {
+                link: LinkRef::ProviderSwitch(ProviderSel::Primary),
+                at: SimDuration::ZERO,
+            },
+            ScenarioEvent::SetLinkFaults {
+                link: LinkRef::ControllerSwitch(0),
+                at: us(fault_at),
+                loss_ppm: (50_000 + next(150_000)) as u32,
+                corrupt_ppm: next(50_000) as u32,
+                until: us(fault_at + 100_000 + next(200_000)),
+            },
+            ScenarioEvent::DropFlowMods {
+                count: (1 + next(3)) as u32,
+                at: us(drop_at),
+            },
+            ScenarioEvent::CrashController {
+                replica: 0,
+                at: us(crash_at),
+            },
+            ScenarioEvent::RestartController {
+                replica: 0,
+                at: us(restart_at),
+            },
+            ScenarioEvent::Partition {
+                a: NodeRef::Controller(0),
+                b: NodeRef::Switch,
+                at: us(part_at),
+                heal: us(part_at + 20_000 + next(40_000)),
+            },
+        ];
+        EventScript::new("chaos", events)
+    }
+
     /// The last instant the script touches the world (relative to the
     /// origin).
     pub fn end(&self) -> SimDuration {
@@ -612,7 +813,9 @@ impl EventScript {
                     resolve_provider(scn, provider)?;
                 }
                 ScenarioEvent::CrashReplica { replica, .. }
-                | ScenarioEvent::DelayReplica { replica, .. } => {
+                | ScenarioEvent::DelayReplica { replica, .. }
+                | ScenarioEvent::CrashController { replica, .. }
+                | ScenarioEvent::RestartController { replica, .. } => {
                     // Legacy builds have no replicas and ignore these
                     // events; a supercharged build must have the named
                     // replica.
@@ -623,6 +826,26 @@ impl EventScript {
                         ));
                     }
                 }
+                ScenarioEvent::SetLinkFaults {
+                    link, at, until, ..
+                } => {
+                    // A fault window on a controller link a legacy
+                    // build lacks is a no-op, like the replica events.
+                    if !matches!(link, LinkRef::ControllerSwitch(_)) || !scn.controllers.is_empty()
+                    {
+                        resolve_link(scn, link)?;
+                    }
+                    if until <= at {
+                        return Err(format!("set_link_faults heals at {until} ≤ onset {at}"));
+                    }
+                }
+                ScenarioEvent::Partition { a, b, at, heal } => {
+                    resolve_pair_links(scn, a, b)?;
+                    if heal <= at {
+                        return Err(format!("partition heals at {heal} ≤ onset {at}"));
+                    }
+                }
+                ScenarioEvent::DropFlowMods { .. } => {}
             }
         }
         Ok(())
@@ -733,6 +956,69 @@ impl EventScript {
                             .schedule(t0 + at + delay, move |w| w.set_link_up(l, true));
                     }
                 }
+                ScenarioEvent::SetLinkFaults {
+                    link,
+                    at,
+                    loss_ppm,
+                    corrupt_ppm,
+                    until,
+                } => {
+                    // Controller-link faults no-op in legacy builds,
+                    // like the replica events, so one chaos script
+                    // drives both comparison modes.
+                    let l = match link {
+                        LinkRef::ControllerSwitch(_) if scn.controllers.is_empty() => continue,
+                        _ => resolve_link(scn, link).unwrap(),
+                    };
+                    // Heal back to the *apply-time* parameters, which
+                    // include builder-level overrides.
+                    let orig = scn.world.link_params(l);
+                    scn.world.schedule(t0 + at, move |w| {
+                        let mut p = w.link_params(l);
+                        p.loss = loss_ppm as f64 / 1e6;
+                        p.corrupt = corrupt_ppm as f64 / 1e6;
+                        w.set_link_params(l, p);
+                    });
+                    scn.world
+                        .schedule(t0 + until, move |w| w.set_link_params(l, orig));
+                }
+                ScenarioEvent::Partition { a, b, at, heal } => {
+                    for l in resolve_pair_links(scn, a, b).unwrap() {
+                        scn.world
+                            .schedule(t0 + at, move |w| w.set_link_up(l, false));
+                        scn.world
+                            .schedule(t0 + heal, move |w| w.set_link_up(l, true));
+                    }
+                }
+                ScenarioEvent::CrashController { replica, at } => {
+                    if let Some(&n) = scn.controllers.get(replica) {
+                        scn.world.schedule(t0 + at, move |w| w.crash_node(n));
+                    }
+                }
+                ScenarioEvent::RestartController { replica, at } => {
+                    // Needs both a replica slot and a restart factory;
+                    // no-op otherwise (legacy, Fig. 4 delegation).
+                    if let (Some(&n), Some(cfg)) = (
+                        scn.controllers.get(replica),
+                        scn.controller_cfgs.get(replica).cloned(),
+                    ) {
+                        scn.world.schedule(t0 + at, move |w| {
+                            if !w.node_alive(n) {
+                                w.restart_node(
+                                    n,
+                                    supercharger::Controller::new(cfg, sc_sim::PortId(0)),
+                                );
+                            }
+                        });
+                    }
+                }
+                ScenarioEvent::DropFlowMods { count, at } => {
+                    let sw = scn.switch;
+                    scn.world.schedule(t0 + at, move |w| {
+                        w.node_mut::<sc_openflow::OfSwitch>(sw)
+                            .set_drop_flowmods(count);
+                    });
+                }
             }
         }
     }
@@ -789,7 +1075,7 @@ pub(crate) fn resolve_provider(scn: &BuiltScenario, sel: ProviderSel) -> Result<
     }
 }
 
-fn resolve_link(scn: &BuiltScenario, link: LinkRef) -> Result<LinkId, String> {
+pub(crate) fn resolve_link(scn: &BuiltScenario, link: LinkRef) -> Result<LinkId, String> {
     match link {
         LinkRef::ProviderSwitch(sel) => Ok(scn.provider_switch_links[resolve_provider(scn, sel)?]),
         LinkRef::ProviderPath(sel) => Ok(scn.provider_path_links[resolve_provider(scn, sel)?]),
@@ -801,6 +1087,64 @@ fn resolve_link(scn: &BuiltScenario, link: LinkRef) -> Result<LinkId, String> {
         LinkRef::RingCloser => scn
             .ring_closer_link
             .ok_or_else(|| "topology has no ring closer".to_string()),
+        LinkRef::ControllerSwitch(c) => scn
+            .controller_links
+            .get(c)
+            .copied()
+            .ok_or_else(|| format!("controller {c} out of range")),
+    }
+}
+
+/// Every wired link between two partitionable endpoints. Controller
+/// endpoints a legacy build lacks resolve to the empty set (the
+/// partition no-ops); a pair the topology never wires is an error.
+pub(crate) fn resolve_pair_links(
+    scn: &BuiltScenario,
+    a: NodeRef,
+    b: NodeRef,
+) -> Result<Vec<LinkId>, String> {
+    use NodeRef::{Controller, Forwarder, Provider, Switch};
+    match (a, b) {
+        (Switch, Provider(sel)) | (Provider(sel), Switch) => {
+            Ok(vec![scn.provider_switch_links[resolve_provider(scn, sel)?]])
+        }
+        (Switch, Controller(c)) | (Controller(c), Switch) => {
+            if !scn.controllers.is_empty() && c >= scn.controllers.len() {
+                return Err(format!(
+                    "controller {c} out of range ({} replicas)",
+                    scn.controllers.len()
+                ));
+            }
+            Ok(scn.controller_links.get(c).copied().into_iter().collect())
+        }
+        (Provider(sel), Forwarder(j)) | (Forwarder(j), Provider(sel)) => {
+            let i = resolve_provider(scn, sel)?;
+            if scn.blueprint.providers[i].entry == Some(j) {
+                Ok(vec![scn.provider_path_links[i]])
+            } else {
+                Err(format!("provider {i} has no link to forwarder {j}"))
+            }
+        }
+        (Forwarder(j), Forwarder(k)) => {
+            let mut v = Vec::new();
+            if scn.blueprint.forwarders.get(j).and_then(|f| f.next) == Some(k) {
+                v.push(scn.forwarder_up_links[j]);
+            }
+            if scn.blueprint.forwarders.get(k).and_then(|f| f.next) == Some(j) {
+                v.push(scn.forwarder_up_links[k]);
+            }
+            if let (Some(l), Some(rc)) = (scn.ring_closer_link, scn.blueprint.ring_closer) {
+                if rc == (j, k) || rc == (k, j) {
+                    v.push(l);
+                }
+            }
+            if v.is_empty() {
+                Err(format!("no wired link between forwarders {j} and {k}"))
+            } else {
+                Ok(v)
+            }
+        }
+        _ => Err(format!("no partitionable link between {a} and {b}")),
     }
 }
 
@@ -817,7 +1161,17 @@ fn resolve_node(scn: &BuiltScenario, node: NodeRef) -> Result<NodeId, String> {
             .get(c)
             .copied()
             .ok_or_else(|| format!("controller {c} out of range")),
+        NodeRef::Switch => Ok(scn.switch),
     }
+}
+
+/// Sebastiano Vigna's splitmix64 — the workspace's stock seeded
+/// stateless mixer (also used for flow-mod retry jitter in sc-core).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 fn withdraw_of(universe: &[Ipv4Prefix], count: u32) -> UpdateMsg {
@@ -865,6 +1219,44 @@ mod tests {
             EventScript::staggered_double(ms(200)),
             EventScript::replica_crash(1, ms(2)),
             EventScript::replica_delay(0, ms(2), ms(40)),
+            EventScript::chaos(7),
+            EventScript::chaos(0xDEAD_BEEF),
+            EventScript::new(
+                "havoc",
+                vec![
+                    ScenarioEvent::SetLinkFaults {
+                        link: LinkRef::ControllerSwitch(1),
+                        at: ms(2),
+                        loss_ppm: 125_000,
+                        corrupt_ppm: 7,
+                        until: ms(90),
+                    },
+                    ScenarioEvent::Partition {
+                        a: NodeRef::Switch,
+                        b: NodeRef::Controller(0),
+                        at: ms(4),
+                        heal: ms(60),
+                    },
+                    ScenarioEvent::Partition {
+                        a: NodeRef::Provider(ProviderSel::Primary),
+                        b: NodeRef::Forwarder(2),
+                        at: ms(5),
+                        heal: ms(65),
+                    },
+                    ScenarioEvent::CrashController {
+                        replica: 1,
+                        at: ms(8),
+                    },
+                    ScenarioEvent::RestartController {
+                        replica: 1,
+                        at: ms(80),
+                    },
+                    ScenarioEvent::DropFlowMods {
+                        count: 3,
+                        at: ms(1),
+                    },
+                ],
+            ),
             EventScript::new(
                 "mixed",
                 vec![
@@ -914,6 +1306,38 @@ mod tests {
                 .parse::<EventScript>()
                 .is_err()
         );
+        // ppm values need the suffix and must stay within one million.
+        assert!(
+            "script x\nset_link_faults controller_switch:0 @0us loss=5 corrupt=0ppm until=1ms"
+                .parse::<EventScript>()
+                .is_err()
+        );
+        assert!(
+            "script x\nset_link_faults controller_switch:0 @0us loss=1000001ppm corrupt=0ppm until=1ms"
+                .parse::<EventScript>()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn chaos_is_a_pure_function_of_seed() {
+        assert_eq!(EventScript::chaos(42), EventScript::chaos(42));
+        assert_ne!(EventScript::chaos(42), EventScript::chaos(43));
+        // The measured convergence event (primary cut at the origin) is
+        // always present regardless of seed.
+        for seed in 0..16u64 {
+            let s = EventScript::chaos(seed);
+            assert!(s.events.iter().any(|e| matches!(
+                e,
+                ScenarioEvent::LinkDown {
+                    link: LinkRef::ProviderSwitch(ProviderSel::Primary),
+                    at,
+                } if *at == SimDuration::ZERO
+            )));
+            // And the whole script survives the text round-trip.
+            let text = s.to_string();
+            assert_eq!(text.parse::<EventScript>().unwrap(), s);
+        }
     }
 
     #[test]
@@ -981,6 +1405,41 @@ mod tests {
             EventScript::replica_delay(0, ms(2), ms(40)).epochs(),
             vec![SimDuration::ZERO]
         );
+        // Chaos onsets: link faults, partitions and controller crashes
+        // are degradations (epochs); restarts and flow-mod drops are
+        // not.
+        let havoc = EventScript::new(
+            "h",
+            vec![
+                ScenarioEvent::SetLinkFaults {
+                    link: LinkRef::ControllerSwitch(0),
+                    at: ms(3),
+                    loss_ppm: 1,
+                    corrupt_ppm: 0,
+                    until: ms(9),
+                },
+                ScenarioEvent::Partition {
+                    a: NodeRef::Switch,
+                    b: NodeRef::Controller(0),
+                    at: ms(3),
+                    heal: ms(7),
+                },
+                ScenarioEvent::CrashController {
+                    replica: 0,
+                    at: ms(5),
+                },
+                ScenarioEvent::RestartController {
+                    replica: 0,
+                    at: ms(20),
+                },
+                ScenarioEvent::DropFlowMods {
+                    count: 2,
+                    at: ms(1),
+                },
+            ],
+        );
+        assert_eq!(havoc.epochs(), vec![ms(3), ms(5)], "merged + deduped");
+        assert_eq!(havoc.end(), ms(20), "restart is the last touch");
     }
 
     #[test]

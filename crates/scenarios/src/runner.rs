@@ -65,6 +65,9 @@ pub struct CycleOutcome {
     pub per_flow: Vec<SimDuration>,
     /// Flows whose gap never closed within the cycle window.
     pub unrecovered: usize,
+    /// Time R1 spent in router-driven degraded mode (every controller
+    /// session down) inside this cycle's window. Zero in legacy mode.
+    pub degraded: SimDuration,
 }
 
 impl CycleOutcome {
@@ -95,6 +98,9 @@ pub struct ScenarioOutcome {
     pub setup_time: SimTime,
     /// Flow rewrites issued by the controller (supercharged only).
     pub flow_rewrites: Option<usize>,
+    /// Flow-mod batches re-sent after a missed barrier ack, summed over
+    /// replicas (supercharged only).
+    pub flowmod_retries: Option<u64>,
     /// One entry per scripted failure epoch, in onset order.
     pub cycles: Vec<CycleOutcome>,
     /// Kernel events the trial processed (deterministic: a pure
@@ -210,6 +216,7 @@ pub fn run_scenario(
             fail_at: w.t_fail,
             per_flow: h.per_flow.clone(),
             unrecovered: h.unrecovered,
+            degraded: scn.degraded_in_window(w.t_fail, w.t_close),
         })
         .collect();
     // Pooled view: per-flow worst gap over all cycles; end-state health
@@ -238,6 +245,7 @@ pub fn run_scenario(
         detected_at: scn.detected_at(plan.t_fail),
         setup_time,
         flow_rewrites: scn.flow_rewrites(),
+        flowmod_retries: scn.flowmod_retries(),
         cycles,
         events_processed: scn.world.stats().events_processed,
         events_per_sec: scn.world.events_per_sec() as u64,
@@ -603,7 +611,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// The CSV column set; `error` is last so error rows can pad every
 /// metric column and append the message.
-const CSV_HEADER: [&str; 23] = [
+const CSV_HEADER: [&str; 25] = [
     "topology",
     "script",
     "mode",
@@ -626,6 +634,8 @@ const CSV_HEADER: [&str; 23] = [
     "viol_blackhole_us",
     "viol_loop_us",
     "viol_transit_us",
+    "degraded_us",
+    "flowmod_retries",
     "error",
 ];
 
@@ -692,6 +702,17 @@ impl SuiteReport {
                 viol(ViolationClass::Blackhole),
                 viol(ViolationClass::Loop),
                 viol(ViolationClass::Transit),
+                // Degraded time per cycle (`;`-joined like the other
+                // cycle columns); blank in legacy mode, where the
+                // concept does not exist.
+                if row.flowmod_retries.is_some() {
+                    joined(&|c| us(c.degraded))
+                } else {
+                    String::new()
+                },
+                row.flowmod_retries
+                    .map(|n| n.to_string())
+                    .unwrap_or_default(),
                 String::new(),
             ]);
         }
@@ -765,6 +786,26 @@ impl SuiteReport {
                     None => Json::str("n/a"),
                 },
             )
+            .push(
+                "flowmod_retries",
+                match row.flowmod_retries {
+                    Some(n) => Json::Int(n),
+                    None => Json::str("n/a"),
+                },
+            )
+            .push(
+                "degraded_ns",
+                match row.flowmod_retries {
+                    // Same applicability as the retries counter: the
+                    // degradation machinery only exists supercharged.
+                    Some(_) => ns(row
+                        .cycles
+                        .iter()
+                        .map(|c| c.degraded)
+                        .fold(SimDuration::ZERO, |a, b| a + b)),
+                    None => Json::str("n/a"),
+                },
+            )
             .push("perf", {
                 let mut perf = Json::object();
                 perf.push("events", Json::Int(row.events_processed));
@@ -794,6 +835,9 @@ impl SuiteReport {
                             cy.push("fail_at_ns", Json::Int(c.fail_at.as_nanos()))
                                 .push("unrecovered", Json::Int(c.unrecovered as u64))
                                 .push("stats_ns", stats_obj(&c.stats()));
+                            if row.flowmod_retries.is_some() {
+                                cy.push("degraded_ns", ns(c.degraded));
+                            }
                             if let Some(w) =
                                 row.invariants.as_ref().and_then(|inv| inv.windows.get(i))
                             {

@@ -258,6 +258,20 @@ impl World {
         self.links[link.0].up
     }
 
+    /// The link's current fault/timing parameters.
+    pub fn link_params(&self, link: LinkId) -> LinkParams {
+        self.links[link.0].params
+    }
+
+    /// Replace a link's parameters mid-run (scripted chaos: loss or
+    /// corruption bursts, latency shifts). Frames already in flight keep
+    /// the timing they were emitted with; future emissions see the new
+    /// parameters. Faults stay seeded — which frames are hit is still a
+    /// pure function of the world seed.
+    pub fn set_link_params(&mut self, link: LinkId, params: LinkParams) {
+        self.links[link.0].params = params;
+    }
+
     /// The link attached to `(node, port)`, if any — read-only topology
     /// introspection for observers (e.g. the invariant engine's FIB
     /// walks) that trace frames through the wiring without sending any.
@@ -279,6 +293,35 @@ impl World {
         let attached: Vec<LinkId> = self.nodes[id.0].ports.iter().flatten().copied().collect();
         for l in attached {
             self.set_link_up(l, false);
+        }
+    }
+
+    /// Is the node slot alive (i.e. not crashed)?
+    pub fn node_alive(&self, id: NodeId) -> bool {
+        self.nodes[id.0].alive
+    }
+
+    /// Revive a crashed node slot with a fresh node object (a process
+    /// restart: the replacement boots from its own initial state, not
+    /// the crashed instance's memory). All the slot's links come back up
+    /// (peers see carrier return), and if the world already started the
+    /// replacement's `on_start` hook runs immediately — re-armed timers
+    /// and handshakes flow from there. Restarting a slot that is still
+    /// alive is a driver bug and panics.
+    pub fn restart_node(&mut self, id: NodeId, node: impl Node) {
+        assert!(
+            !self.nodes[id.0].alive,
+            "restart_node on a node that is still alive"
+        );
+        self.nodes[id.0].name = node.name().to_string();
+        self.nodes[id.0].node = Some(Box::new(node));
+        self.nodes[id.0].alive = true;
+        let attached: Vec<LinkId> = self.nodes[id.0].ports.iter().flatten().copied().collect();
+        for l in attached {
+            self.set_link_up(l, true);
+        }
+        if self.started {
+            self.dispatch(id, |node, ctx| node.on_start(ctx));
         }
     }
 
@@ -662,6 +705,59 @@ mod tests {
         assert_eq!(w.node::<Echo>(b).seen.len(), 1);
         // The victim's peer observed carrier loss on their shared link.
         assert_eq!(w.node::<Echo>(c).link_events, vec![(PortId(0), false)]);
+    }
+
+    #[test]
+    fn restart_node_revives_links_and_reruns_start() {
+        let mut w = World::new(10);
+        let a = w.add_node(Ticker {
+            name: "ticker".into(),
+            period: SimDuration::from_millis(10),
+            ticks: 0,
+            max_ticks: 8,
+            out_port: PortId(0),
+        });
+        let b = w.add_node(Echo::new("victim", SimDuration::ZERO));
+        w.connect(a, b, LinkParams::default());
+        w.schedule(SimTime::from_millis(15), move |w| w.crash_node(b));
+        w.schedule(SimTime::from_millis(45), move |w| {
+            w.restart_node(b, Echo::new("victim", SimDuration::ZERO));
+        });
+        w.run_until_idle(10_000);
+        assert!(w.is_alive(b));
+        // The replacement boots from fresh state: it saw only the ticks
+        // after the restart (50, 60, 70, 80), not the pre-crash one.
+        assert_eq!(w.node::<Echo>(b).seen.len(), 4);
+        // The replacement observed the carrier-return edge of its own
+        // revival (links come back up as part of the restart).
+        assert_eq!(w.node::<Echo>(b).link_events, vec![(PortId(0), true)]);
+    }
+
+    #[test]
+    fn set_link_params_applies_future_faults_only() {
+        let mut w = World::new(11);
+        let a = w.add_node(Ticker {
+            name: "ticker".into(),
+            period: SimDuration::from_millis(1),
+            ticks: 0,
+            max_ticks: 100,
+            out_port: PortId(0),
+        });
+        let b = w.add_node(Echo::new("sink", SimDuration::ZERO));
+        let (l, _pa, _pb) = w.connect(a, b, LinkParams::default());
+        // Total loss for the middle half of the run, then revert.
+        w.schedule(SimTime::from_millis(25), move |w| {
+            let p = w.link_params(l);
+            w.set_link_params(l, LinkParams { loss: 1.0, ..p });
+        });
+        w.schedule(SimTime::from_millis(75), move |w| {
+            let p = w.link_params(l);
+            w.set_link_params(l, LinkParams { loss: 0.0, ..p });
+        });
+        w.run_until_idle(10_000);
+        let delivered = w.node::<Echo>(b).seen.len();
+        assert_eq!(delivered, 50, "ticks 1..=25 and 76..=100 arrive");
+        assert_eq!(w.stats().frames_dropped_loss, 50);
     }
 
     #[test]
