@@ -8,8 +8,9 @@
 //!     [--smoke] [--prefixes N] [--flows N] [--rate PPS] [--ms MS] \
 //!     [--repeat K] [--label NAME] [--out FILE]
 //! cargo run --release -p sc-bench --bin perf -- \
-//!     --churn [--smoke] [--baseline] [--sched heap|wheel] \
-//!     [--legacy-encode] [--prefixes N] [--providers K] [--bursts B]
+//!     --churn [--smoke] [--baseline] [--sched heap|wheel|sharded] \
+//!     [--shards N] [--cells C] [--legacy-encode] [--prefixes N] \
+//!     [--providers K] [--bursts B]
 //! cargo run --release -p sc-bench --bin perf -- \
 //!     --merge baseline.json after.json [--out BENCH_PR4.json]
 //! cargo run --release -p sc-bench --bin perf -- \
@@ -26,6 +27,11 @@
 //! `--churn --baseline` reconstructs the pre-refactor control path
 //! (reference heap scheduler + fresh-`Vec` encode); the event stream
 //! is identical either way, so the events/s ratio isolates kernel cost.
+//! `--churn --shards N` runs the sharded parallel kernel; pair it with
+//! `--cells C` (C replicated churn cells, ring-connected by idle
+//! links) so there is real per-shard work to spread. The event stream
+//! is identical at any shard count — the events/s ratio against
+//! `--shards 1` on the same cell count is the parallel speedup.
 //! `--check FILE` compares the run against the `after` entry of a
 //! committed trajectory point and fails (exit 1) on a regression
 //! beyond the tolerance (percent, default 20) — tolerance-gated so
@@ -105,7 +111,7 @@ fn churn_json(label: &str, p: ChurnParams, m: &ChurnMeasurement) -> String {
         concat!(
             "{{\"label\":\"{}\",\"bench\":\"control_churn\",",
             "\"prefixes\":{},\"providers\":{},\"bursts\":{},\"burst_prefixes\":{},",
-            "\"scheduler\":\"{}\",\"legacy_encode\":{},",
+            "\"cells\":{},\"scheduler\":\"{}\",\"legacy_encode\":{},",
             "\"events\":{},\"updates_processed\":{},\"fib_ops_applied\":{},",
             "\"wall_ms\":{:.3},\"events_per_sec\":{}}}"
         ),
@@ -114,9 +120,11 @@ fn churn_json(label: &str, p: ChurnParams, m: &ChurnMeasurement) -> String {
         p.providers,
         p.bursts,
         p.burst_prefixes,
+        p.cells.max(1),
         match p.scheduler {
-            SchedulerKind::TimerWheel => "wheel",
-            SchedulerKind::ReferenceHeap => "heap",
+            SchedulerKind::TimerWheel => "wheel".into(),
+            SchedulerKind::ReferenceHeap => "heap".into(),
+            SchedulerKind::Sharded { shards } => format!("sharded-{shards}"),
         },
         p.legacy_encode,
         m.events,
@@ -137,12 +145,20 @@ fn run_churn_bench(args: &Args) -> (String, u64) {
     let baseline = args.flag("--baseline");
     // An explicit --sched overrides the --baseline default (heap), so
     // e.g. `--baseline --sched wheel` isolates the legacy encode path.
-    let scheduler = match args.raw_value("--sched").as_deref() {
-        Some("heap") => SchedulerKind::ReferenceHeap,
-        Some("wheel") => SchedulerKind::TimerWheel,
-        None if baseline => SchedulerKind::ReferenceHeap,
-        None => SchedulerKind::TimerWheel,
-        Some(other) => panic!("unknown --sched {other} (heap|wheel)"),
+    // `--shards N` selects the sharded parallel kernel and likewise
+    // overrides the defaults.
+    let shards: Option<usize> = args.raw_value("--shards").map(|s| {
+        s.parse()
+            .unwrap_or_else(|e| panic!("bad --shards {s}: {e}"))
+    });
+    let scheduler = match (args.raw_value("--sched").as_deref(), shards) {
+        (Some("heap"), _) => SchedulerKind::ReferenceHeap,
+        (Some("wheel"), _) => SchedulerKind::TimerWheel,
+        (Some("sharded") | None, Some(n)) => SchedulerKind::Sharded { shards: n.max(1) },
+        (Some("sharded"), None) => SchedulerKind::Sharded { shards: 2 },
+        (None, None) if baseline => SchedulerKind::ReferenceHeap,
+        (None, None) => SchedulerKind::TimerWheel,
+        (Some(other), _) => panic!("unknown --sched {other} (heap|wheel|sharded)"),
     };
     let p = ChurnParams {
         prefixes: args.value("--prefixes", base.prefixes),
@@ -158,6 +174,7 @@ fn run_churn_bench(args: &Args) -> (String, u64) {
         seed: args.value("--seed", base.seed),
         scheduler,
         legacy_encode: baseline || args.flag("--legacy-encode"),
+        cells: args.value("--cells", base.cells),
     };
     let repeat: u32 = args.value("--repeat", if smoke { 1 } else { 3 });
     let label = args.raw_value("--label").unwrap_or_else(|| {

@@ -43,6 +43,7 @@ fn sched_name(s: SchedulerKind) -> &'static str {
     match s {
         SchedulerKind::TimerWheel => "wheel",
         SchedulerKind::ReferenceHeap => "heap",
+        SchedulerKind::Sharded { .. } => "sharded",
     }
 }
 

@@ -6,7 +6,8 @@
 //! cargo run --release -p sc-bench --bin scenarios [--prefixes N] \
 //!     [--flows N] [--seed N] [--workers N] [--quick] [--smoke] [--jsonl] \
 //!     [--csv out.csv] [--json out.json] [--invariants] \
-//!     [--scheduler wheel|heap] [--stable-csv out.csv] [--stable-json out.json]
+//!     [--scheduler wheel|heap|sharded] [--shards N] \
+//!     [--stable-csv out.csv] [--stable-json out.json]
 //! ```
 //!
 //! * default: 10k prefixes, the full 6-topology × 5-script matrix;
@@ -15,7 +16,16 @@
 //!   seconds-scale sanity run CI executes on every push;
 //! * `--workers N`: pin the suite worker pool (default: one thread per
 //!   core) — perf trajectories want a fixed, machine-independent degree
-//!   of parallelism;
+//!   of parallelism. When `--shards` > 1 each trial runs on `shards`
+//!   threads of its own, so the pool is capped at
+//!   `available_parallelism / shards`: `--workers × --shards` never
+//!   oversubscribes the machine (an oversized `--workers` is clamped,
+//!   not honored);
+//! * `--shards N`: run every trial world on the sharded parallel
+//!   kernel with N regions (`--scheduler sharded` alone defaults to
+//!   2). Stable reports are byte-identical to the single-threaded
+//!   schedulers at any shard count — the determinism contract CI
+//!   enforces;
 //! * `--jsonl`: stream one JSON object per trial to stdout *as each
 //!   trial completes* instead of buffering the whole report — long
 //!   sweeps become watchable and `tail -f`-able. Errors stream inline
@@ -39,8 +49,9 @@
 //!   legacy rows stay the do-no-harm baseline. Stable reports remain
 //!   byte-identical across reruns and schedulers — chaos is seeded,
 //!   not random;
-//! * `--scheduler wheel|heap`: pick the kernel event scheduler (the
-//!   determinism contract says reports are byte-identical either way);
+//! * `--scheduler wheel|heap|sharded`: pick the kernel event scheduler
+//!   (the determinism contract says reports are byte-identical across
+//!   all of them);
 //! * `--stable-csv out.csv` / `--stable-json out.json`: the
 //!   byte-reproducible report variants (wall-clock columns blanked) —
 //!   what the CI smoke diffs across reruns and schedulers.
@@ -72,10 +83,14 @@ fn main() {
     let workers: Option<usize> = args.raw_value("--workers").and_then(|v| v.parse().ok());
     let invariants = args.flag("--invariants");
     let chaos = args.flag("--chaos");
-    let scheduler = match args.raw_value("--scheduler").as_deref() {
-        None | Some("wheel") => sc_sim::SchedulerKind::TimerWheel,
-        Some("heap") => sc_sim::SchedulerKind::ReferenceHeap,
-        Some(other) => panic!("--scheduler {other:?}: expected wheel|heap"),
+    let shards: Option<usize> = args.raw_value("--shards").and_then(|v| v.parse().ok());
+    let scheduler = match (args.raw_value("--scheduler").as_deref(), shards) {
+        (Some("heap"), _) => sc_sim::SchedulerKind::ReferenceHeap,
+        (Some("wheel"), _) => sc_sim::SchedulerKind::TimerWheel,
+        (Some("sharded") | None, Some(n)) => sc_sim::SchedulerKind::Sharded { shards: n.max(1) },
+        (Some("sharded"), None) => sc_sim::SchedulerKind::Sharded { shards: 2 },
+        (None, None) => sc_sim::SchedulerKind::TimerWheel,
+        (Some(other), _) => panic!("--scheduler {other:?}: expected wheel|heap|sharded"),
     };
 
     let topologies = if smoke {

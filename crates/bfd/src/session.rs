@@ -221,8 +221,17 @@ impl BfdSession {
             BfdState::AdminDown => unreachable!("handled above"),
         }
 
-        // Receipt of any valid packet re-arms the detection timer.
-        self.detect_deadline = Some(now + self.detection_time());
+        // Receipt of any valid packet re-arms the detection timer — but
+        // the timer only runs in Init/Up (RFC 5880 §6.8.4). A deadline
+        // left armed across a Down transition would pin `next_wakeup`
+        // in the past once it expired (poll's detection branch ignores
+        // Down), and the owner would spin re-arming an already-due
+        // timer until the next handshake packet.
+        if matches!(self.state, BfdState::Init | BfdState::Up) {
+            self.detect_deadline = Some(now + self.detection_time());
+        } else {
+            self.detect_deadline = None;
+        }
         events
     }
 

@@ -101,6 +101,16 @@ pub const SANS_IO_CRATES: &[&str] = &["sc-bgp", "sc-bfd", "supercharger"];
 /// shell's timing module, which every other harness goes through.
 pub const WALL_CLOCK_ALLOWLIST: &[&str] = &["crates/bench/src/timing.rs"];
 
+/// Files allowed to spawn threads outside `sc-sim` (which hosts the
+/// sharded parallel kernel and is exempt crate-wide): the suite
+/// runners, which fan whole independent trials out across a worker
+/// pool. Everything else must stay single-threaded — `no-ambient-
+/// threading` denies `thread::spawn`/`scope`/`Builder` and `rayon`.
+pub const THREADING_ALLOWLIST: &[&str] = &[
+    "crates/scenarios/src/runner.rs",
+    "crates/lab/src/experiments.rs",
+];
+
 /// The severity of `rule` inside `crate_name`.
 pub fn severity(rule: Rule, crate_name: &str) -> Severity {
     let kind = crate_info(crate_name)
@@ -118,6 +128,10 @@ pub fn severity(rule: Rule, crate_name: &str) -> Severity {
         // Ambient randomness: even benches must be seeded — perf worlds
         // are replayed for byte-identical event streams.
         (Rule::NoAmbientRandomness, _) => Severity::Deny,
+        // Threading: the sharded kernel crate owns all simulation
+        // parallelism; the runner files are carved out in the engine.
+        (Rule::NoAmbientThreading, _) if crate_name == "sc-sim" => Severity::Allow,
+        (Rule::NoAmbientThreading, _) => Severity::Deny,
         (Rule::Layering, _) => Severity::Deny,
         (Rule::UnsafeNeedsSafetyComment, _) => Severity::Deny,
         (Rule::AllowNeedsJustification, _) => Severity::Deny,

@@ -25,6 +25,7 @@ pub enum Rule {
     NoDefaultHasher,
     NoWallClock,
     NoAmbientRandomness,
+    NoAmbientThreading,
     Layering,
     UnsafeNeedsSafetyComment,
     AllowNeedsJustification,
@@ -38,6 +39,7 @@ impl Rule {
         Rule::NoDefaultHasher,
         Rule::NoWallClock,
         Rule::NoAmbientRandomness,
+        Rule::NoAmbientThreading,
         Rule::Layering,
         Rule::UnsafeNeedsSafetyComment,
         Rule::AllowNeedsJustification,
@@ -49,6 +51,7 @@ impl Rule {
             Rule::NoDefaultHasher => "no-default-hasher",
             Rule::NoWallClock => "no-wall-clock",
             Rule::NoAmbientRandomness => "no-ambient-randomness",
+            Rule::NoAmbientThreading => "no-ambient-threading",
             Rule::Layering => "layering",
             Rule::UnsafeNeedsSafetyComment => "unsafe-needs-safety-comment",
             Rule::AllowNeedsJustification => "allow-needs-justification",
@@ -157,6 +160,7 @@ fn scan_idents(
     findings: &mut Vec<(Rule, u32, String)>,
 ) {
     let wall_clock_allowed = config::WALL_CLOCK_ALLOWLIST.contains(&rel_path);
+    let threading_allowed = config::THREADING_ALLOWLIST.contains(&rel_path);
     let sans_io = config::SANS_IO_CRATES.contains(&crate_name);
     for (i, t) in code.iter().enumerate() {
         if t.kind != TokKind::Ident {
@@ -193,6 +197,34 @@ fn scan_idents(
                         "`{name}` draws ambient entropy; seed a `SmallRng` from \
                          the scenario seed so runs replay byte-identically"
                     ),
+                ));
+            }
+            // `thread_local!` is a different identifier and stays
+            // legal — per-thread caches don't order events, spawns do.
+            "thread"
+                if !threading_allowed
+                    && (path_seq(code, i, &["thread", "spawn"], src)
+                        || path_seq(code, i, &["thread", "scope"], src)
+                        || path_seq(code, i, &["thread", "Builder"], src)) =>
+            {
+                findings.push((
+                    Rule::NoAmbientThreading,
+                    t.line,
+                    "spawning threads outside the sharded kernel (`sc-sim`) or \
+                     a suite runner creates ambient parallelism; simulation \
+                     state machines must stay single-threaded so event order \
+                     is a pure function of the seed"
+                        .to_string(),
+                ));
+            }
+            "rayon" if !threading_allowed => {
+                findings.push((
+                    Rule::NoAmbientThreading,
+                    t.line,
+                    "`rayon` pools are ambient parallelism; the only sanctioned \
+                     threading lives in the sharded kernel (`sc-sim`) and the \
+                     suite runners"
+                        .to_string(),
                 ));
             }
             "rand" if path_seq(code, i, &["rand", "random"], src) => {

@@ -96,6 +96,54 @@ fn ambient_randomness_bad_and_good() {
 }
 
 #[test]
+fn ambient_threading_bad_and_good() {
+    let bad = analyze(SIM_CRATE, SIM_PATH, include_str!("corpus/threading_bad.rs"));
+    assert_eq!(
+        rules_of(&bad),
+        vec![
+            Rule::NoAmbientThreading,
+            Rule::NoAmbientThreading,
+            Rule::NoAmbientThreading,
+            Rule::NoAmbientThreading
+        ],
+        "std::thread::spawn, thread::scope, thread::Builder and rayon"
+    );
+    assert!(bad.diagnostics.iter().all(|d| d.severity == Severity::Deny));
+
+    // thread_local!, available_parallelism and test-only spawns stay legal.
+    let good = analyze(
+        SIM_CRATE,
+        SIM_PATH,
+        include_str!("corpus/threading_good.rs"),
+    );
+    assert!(good.diagnostics.is_empty(), "{:?}", good.diagnostics);
+}
+
+#[test]
+fn ambient_threading_exempts_kernel_and_suite_runners() {
+    let src = include_str!("corpus/threading_bad.rs");
+    // The sharded kernel crate owns simulation parallelism.
+    let sim = analyze("sc-sim", "crates/sim/src/world.rs", src);
+    assert!(sim.diagnostics.is_empty(), "{:?}", sim.diagnostics);
+    // The suite runner files fan independent trials across a pool.
+    for path in [
+        "crates/scenarios/src/runner.rs",
+        "crates/lab/src/experiments.rs",
+    ] {
+        let krate = if path.contains("scenarios") {
+            "sc-scenarios"
+        } else {
+            "sc-lab"
+        };
+        let fa = analyze(krate, path, src);
+        assert!(fa.diagnostics.is_empty(), "{path}: {:?}", fa.diagnostics);
+    }
+    // Same code elsewhere in those crates still denies.
+    let other = analyze("sc-scenarios", "crates/scenarios/src/builder.rs", src);
+    assert!(!other.diagnostics.is_empty());
+}
+
+#[test]
 fn layering_fires_only_in_sans_io_crates() {
     let src = include_str!("corpus/layering_bad.rs");
     let bad = analyze("sc-bgp", "crates/bgp/src/corpus.rs", src);

@@ -1,0 +1,10 @@
+use std::thread;
+
+fn fan_out() {
+    std::thread::spawn(|| {});
+    thread::scope(|s| {
+        s.spawn(|| {});
+    });
+    let b = thread::Builder::new();
+    rayon::join(|| {}, || {});
+}

@@ -9,10 +9,22 @@
 //! is the paper's convergence distribution.
 
 use crate::calibration::Calibration;
-use rand::Rng;
 use sc_net::{Ipv4Prefix, PrefixTrie, SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
+
+/// One step of the splitmix64 generator (the walker's private jitter
+/// stream — counted per walker, so the draw sequence is a pure function
+/// of the router's seed and its own walk history, independent of every
+/// other node and of the executor).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// One installed FIB entry: where traffic for a prefix goes *right now*.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -57,10 +69,16 @@ pub struct FibWalker {
     pub bursts: u64,
     /// Completion time of the most recently applied op (for tests).
     pub last_apply_at: Option<SimTime>,
+    /// Jitter stream state (see [`splitmix64`]).
+    jitter_state: u64,
 }
 
 impl FibWalker {
-    pub fn new(cal: Calibration) -> FibWalker {
+    /// `seed` roots the per-entry jitter stream; routers pass their
+    /// router-id so each walker jitters independently but reproducibly.
+    pub fn new(cal: Calibration, seed: u64) -> FibWalker {
+        let mut jitter_state = seed ^ 0x6A09_E667_F3BC_C909;
+        splitmix64(&mut jitter_state);
         FibWalker {
             cal,
             queue: VecDeque::new(),
@@ -68,6 +86,7 @@ impl FibWalker {
             ops_applied: 0,
             bursts: 0,
             last_apply_at: None,
+            jitter_state,
         }
     }
 
@@ -120,12 +139,14 @@ impl FibWalker {
     }
 
     /// When the next op completes (the owner arms a timer at this time),
-    /// or `None` when quiescent.
-    pub fn next_apply_at(&self, rng: &mut impl Rng) -> Option<SimTime> {
+    /// or `None` when quiescent. Consumes a jitter draw for non-zero
+    /// entry costs (`&mut self` for exactly that reason).
+    pub fn next_apply_at(&mut self) -> Option<SimTime> {
         if self.queue.is_empty() {
             return None;
         }
-        Some(self.busy_until + self.jittered_entry_cost(rng))
+        let cost = self.jittered_entry_cost();
+        Some(self.busy_until + cost)
     }
 
     /// Apply exactly one pending op to `fib` at time `now` (the owner's
@@ -156,9 +177,9 @@ impl FibWalker {
     /// queued op completes at the same instant; draining the whole run
     /// here collapses what used to be one kernel timer event *per
     /// entry* into one event per burst, without moving any op's
-    /// completion time. Zero-cost runs consume no RNG (jitter is only
-    /// drawn for non-zero base costs), so the kernel's random stream is
-    /// untouched either way.
+    /// completion time. Zero-cost runs consume no jitter draw (jitter
+    /// is only drawn for non-zero base costs), so the walker's stream
+    /// position is untouched either way.
     pub fn apply_batch(&mut self, fib: &mut Fib, now: SimTime, applied: &mut Vec<FibOp>) {
         applied.clear();
         let Some(op) = self.apply_one(fib, now) else {
@@ -172,7 +193,7 @@ impl FibWalker {
         }
     }
 
-    fn jittered_entry_cost(&self, rng: &mut impl Rng) -> SimDuration {
+    fn jittered_entry_cost(&mut self) -> SimDuration {
         let base = self.cal.fib_entry_update.as_nanos();
         if base == 0 {
             return SimDuration::ZERO;
@@ -184,15 +205,14 @@ impl FibWalker {
         let span = base * pct / 100;
         let lo = base - span;
         let hi = base + span;
-        SimDuration::from_nanos(rng.gen_range(lo..=hi))
+        let x = splitmix64(&mut self.jitter_state);
+        SimDuration::from_nanos(lo + x % (hi - lo + 1))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     fn p(s: &str) -> Ipv4Prefix {
         s.parse().unwrap()
@@ -204,13 +224,9 @@ mod tests {
 
     /// Drive the walker to quiescence, returning (prefix, completion
     /// time) per applied op.
-    fn drain(
-        walker: &mut FibWalker,
-        fib: &mut Fib,
-        rng: &mut SmallRng,
-    ) -> Vec<(Ipv4Prefix, SimTime)> {
+    fn drain(walker: &mut FibWalker, fib: &mut Fib) -> Vec<(Ipv4Prefix, SimTime)> {
         let mut out = Vec::new();
-        while let Some(at) = walker.next_apply_at(rng) {
+        while let Some(at) = walker.next_apply_at() {
             let op = walker.apply_one(fib, at).unwrap();
             out.push((op.prefix(), at));
         }
@@ -219,12 +235,11 @@ mod tests {
 
     #[test]
     fn ops_apply_in_order_with_per_entry_cost() {
-        let mut rng = SmallRng::seed_from_u64(1);
         let cal = Calibration {
             fib_entry_jitter_pct: 0,
             ..Calibration::nexus7k()
         };
-        let mut w = FibWalker::new(cal);
+        let mut w = FibWalker::new(cal, 7);
         let mut fib = Fib::new();
         let ops = vec![
             FibOp::Set {
@@ -241,7 +256,7 @@ mod tests {
             },
         ];
         w.enqueue_burst(SimTime::from_secs(1), ops, true);
-        let log = drain(&mut w, &mut fib, &mut rng);
+        let log = drain(&mut w, &mut fib);
         assert_eq!(log.len(), 3);
         // First completes after peer-down processing + one entry.
         let first_expected =
@@ -257,8 +272,7 @@ mod tests {
     #[test]
     fn linear_walk_matches_fig5_model() {
         // 10k entries must take ≈ 285ms + 10k × 281µs ≈ 3.1s.
-        let mut rng = SmallRng::seed_from_u64(2);
-        let mut w = FibWalker::new(Calibration::nexus7k());
+        let mut w = FibWalker::new(Calibration::nexus7k(), 7);
         let mut fib = Fib::new();
         let ops: Vec<FibOp> = (0..10_000u32)
             .map(|i| FibOp::Set {
@@ -267,7 +281,7 @@ mod tests {
             })
             .collect();
         w.enqueue_burst(SimTime::ZERO, ops, true);
-        let log = drain(&mut w, &mut fib, &mut rng);
+        let log = drain(&mut w, &mut fib);
         let total = log.last().unwrap().1;
         let expect = Calibration::nexus7k().expected_full_walk(10_000);
         let ratio = total.as_nanos() as f64 / expect.as_nanos() as f64;
@@ -279,8 +293,7 @@ mod tests {
 
     #[test]
     fn remove_ops_delete_entries() {
-        let mut rng = SmallRng::seed_from_u64(3);
-        let mut w = FibWalker::new(Calibration::instant());
+        let mut w = FibWalker::new(Calibration::instant(), 7);
         let mut fib = Fib::new();
         w.enqueue_burst(
             SimTime::ZERO,
@@ -290,7 +303,7 @@ mod tests {
             }],
             false,
         );
-        drain(&mut w, &mut fib, &mut rng);
+        drain(&mut w, &mut fib);
         assert_eq!(fib.len(), 1);
         w.enqueue_burst(
             SimTime::from_secs(1),
@@ -299,18 +312,17 @@ mod tests {
             }],
             false,
         );
-        drain(&mut w, &mut fib, &mut rng);
+        drain(&mut w, &mut fib);
         assert!(fib.is_empty());
     }
 
     #[test]
     fn burst_while_walking_joins_tail() {
-        let mut rng = SmallRng::seed_from_u64(4);
         let cal = Calibration {
             fib_entry_jitter_pct: 0,
             ..Calibration::nexus7k()
         };
-        let mut w = FibWalker::new(cal);
+        let mut w = FibWalker::new(cal, 7);
         let mut fib = Fib::new();
         w.enqueue_burst(
             SimTime::ZERO,
@@ -327,7 +339,7 @@ mod tests {
             true,
         );
         // Apply the first, then a second burst lands mid-walk.
-        let t1 = w.next_apply_at(&mut rng).unwrap();
+        let t1 = w.next_apply_at().unwrap();
         w.apply_one(&mut fib, t1);
         w.enqueue_burst(
             t1,
@@ -337,7 +349,7 @@ mod tests {
             }],
             false,
         );
-        let log = drain(&mut w, &mut fib, &mut rng);
+        let log = drain(&mut w, &mut fib);
         assert_eq!(log.len(), 2);
         assert_eq!(log[0].0, p("2.0.0.0/24"), "FIFO preserved");
         assert_eq!(log[1].0, p("3.0.0.0/24"));
@@ -346,11 +358,10 @@ mod tests {
 
     #[test]
     fn jitter_bounds_respected() {
-        let mut rng = SmallRng::seed_from_u64(5);
         let cal = Calibration::nexus7k(); // 10% jitter
-        let w = FibWalker::new(cal);
+        let mut w = FibWalker::new(cal, 7);
         for _ in 0..1000 {
-            let c = w.jittered_entry_cost(&mut rng);
+            let c = w.jittered_entry_cost();
             let base = cal.fib_entry_update.as_nanos();
             assert!(c.as_nanos() >= base * 90 / 100);
             assert!(c.as_nanos() <= base * 110 / 100);
@@ -359,8 +370,7 @@ mod tests {
 
     #[test]
     fn instant_calibration_applies_immediately() {
-        let mut rng = SmallRng::seed_from_u64(6);
-        let mut w = FibWalker::new(Calibration::instant());
+        let mut w = FibWalker::new(Calibration::instant(), 7);
         let _fib = Fib::new();
         w.enqueue_burst(
             SimTime::from_millis(5),
@@ -370,7 +380,7 @@ mod tests {
             }],
             true,
         );
-        let at = w.next_apply_at(&mut rng).unwrap();
+        let at = w.next_apply_at().unwrap();
         assert_eq!(at, SimTime::from_millis(5));
     }
 }

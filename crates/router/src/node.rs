@@ -246,6 +246,7 @@ pub struct LegacyRouter {
 impl LegacyRouter {
     pub fn new(cfg: RouterConfig) -> LegacyRouter {
         let cal = cfg.cal;
+        let jitter_seed = u64::from(u32::from(cfg.router_id));
         LegacyRouter {
             cfg,
             interfaces: Vec::new(),
@@ -253,7 +254,7 @@ impl LegacyRouter {
             peers: Vec::new(),
             rib: LocRib::new(),
             fib: Fib::new(),
-            walker: FibWalker::new(cal),
+            walker: FibWalker::new(cal, jitter_seed),
             walker_armed: false,
             arp: ArpClient::new(),
             arp_timer_armed: false,
@@ -634,7 +635,7 @@ impl LegacyRouter {
         if self.walker_armed {
             return;
         }
-        if let Some(at) = self.walker.next_apply_at(ctx.rng()) {
+        if let Some(at) = self.walker.next_apply_at() {
             self.walker_armed = true;
             ctx.set_timer_at(at, TIMER_WALKER);
         }
@@ -1340,13 +1341,24 @@ impl Node for LegacyRouter {
                         self.peers[idx].chan.on_timer(ctx);
                     }
                     PEER_TIMER_SESSION => {
-                        self.peers[idx].session_wakeup_armed = None;
+                        // Clear the armed marker only when this fire IS the
+                        // armed wakeup. A receive-driven pump may have re-armed
+                        // at a different instant while this (now stale) timer
+                        // was still queued; clearing unconditionally would let
+                        // the stale fire re-arm a wakeup that is already
+                        // pending, breeding duplicate timers that re-seed each
+                        // other every cycle.
+                        if self.peers[idx].session_wakeup_armed == Some(ctx.now()) {
+                            self.peers[idx].session_wakeup_armed = None;
+                        }
                         let events = self.peers[idx].session.poll(ctx.now());
                         self.handle_session_events(idx, events, ctx);
                         self.pump_peer(idx, ctx);
                     }
                     PEER_TIMER_BFD => {
-                        self.peers[idx].bfd_wakeup_armed = None;
+                        if self.peers[idx].bfd_wakeup_armed == Some(ctx.now()) {
+                            self.peers[idx].bfd_wakeup_armed = None;
+                        }
                         self.pump_bfd(idx, ctx);
                     }
                     PEER_TIMER_DEADLINE => {

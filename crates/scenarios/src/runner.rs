@@ -543,13 +543,22 @@ fn run_suite_filtered(
     // memory simultaneously. Workers pull the next job index from a
     // shared cursor; rows land in their matrix slot, so the report is
     // identical regardless of scheduling.
+    //
+    // Under a sharded trial scheduler each trial itself runs on
+    // `shards` threads, so the pool is capped at
+    // `available_parallelism / shards` — workers × shards never
+    // oversubscribes the machine, even when `--workers` asks for more.
+    let shards = match suite.base.scheduler {
+        sc_sim::SchedulerKind::Sharded { shards } => shards.max(1),
+        _ => 1,
+    };
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let workers = suite
         .workers
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        })
+        .unwrap_or(avail)
+        .min((avail / shards).max(1))
         .max(1)
         .min(jobs.len().max(1));
     let slots: Vec<std::sync::Mutex<Option<TrialResult>>> =

@@ -1,0 +1,143 @@
+//! Sharded-kernel determinism over the scenario engine: for random
+//! topologies, seeds, and shard counts, a trial run on the parallel
+//! `Sharded` scheduler must produce a stable report byte-identical to
+//! the serial `ReferenceHeap` oracle. Event keys are a pure function of
+//! the emitting state machine (origin-tagged sequence numbers), so not
+//! even the kernel event count may move — the conservative-lookahead
+//! windows only change *when* work happens on the wall clock, never
+//! *what* happens in virtual time.
+
+use proptest::prelude::*;
+use sc_lab::Mode;
+use sc_net::SimDuration;
+use sc_scenarios::{
+    build_scenario, run_scenario, EventScript, ScenarioConfig, SuiteReport, TopologySpec,
+};
+use sc_sim::SchedulerKind;
+
+fn tiny(seed: u64, scheduler: SchedulerKind) -> ScenarioConfig {
+    ScenarioConfig {
+        prefixes: 120,
+        flows: 4,
+        seed,
+        scheduler,
+        ..ScenarioConfig::default()
+    }
+}
+
+/// One trial, rendered as its byte-reproducible stable JSON row.
+fn stable_row(topo: &TopologySpec, mode: Mode, cfg: &ScenarioConfig) -> String {
+    let out = run_scenario(topo, &EventScript::primary_cut(), mode, cfg);
+    format!(
+        "{} events={}",
+        SuiteReport::row_json_stable(&out),
+        out.events_processed
+    )
+}
+
+fn arb_topo() -> impl Strategy<Value = TopologySpec> {
+    prop_oneof![
+        (2usize..4, 1usize..3)
+            .prop_map(|(providers, hops)| TopologySpec::Chain { providers, hops }),
+        (3usize..6).prop_map(|peers| TopologySpec::IxpHub { peers }),
+        (1usize..3).prop_map(|half| TopologySpec::FatTreePod { k: half * 2 }),
+        (0u64..1_000).prop_map(|seed| TopologySpec::Random { seed }),
+    ]
+}
+
+proptest! {
+    // Each case runs two full trials; keep the count modest — the
+    // deterministic seed floor below pins the corners regardless.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The hard determinism contract, property-tested: any topology ×
+    /// seed × shard count × mode matches the reference heap byte for
+    /// byte.
+    #[test]
+    fn sharded_matches_reference_heap(
+        topo in arb_topo(),
+        seed in 1u64..1_000,
+        shards in 1usize..6,
+        supercharged in any::<bool>(),
+    ) {
+        let mode = if supercharged { Mode::Supercharged } else { Mode::Stock };
+        let sharded = stable_row(&topo, mode, &tiny(seed, SchedulerKind::Sharded { shards }));
+        let heap = stable_row(&topo, mode, &tiny(seed, SchedulerKind::ReferenceHeap));
+        prop_assert_eq!(sharded, heap, "{topo:?} seed={seed} shards={shards}");
+    }
+}
+
+/// The named corners the issue calls out — chain, fat-tree pod, IXP hub
+/// — pinned outside proptest so a regression names the exact shape.
+#[test]
+fn named_topologies_are_shard_invariant() {
+    for topo in [
+        TopologySpec::Chain {
+            providers: 2,
+            hops: 2,
+        },
+        TopologySpec::FatTreePod { k: 4 },
+        TopologySpec::IxpHub { peers: 4 },
+    ] {
+        let heap = stable_row(
+            &topo,
+            Mode::Supercharged,
+            &tiny(11, SchedulerKind::ReferenceHeap),
+        );
+        for shards in [2usize, 3, 8] {
+            let sharded = stable_row(
+                &topo,
+                Mode::Supercharged,
+                &tiny(11, SchedulerKind::Sharded { shards }),
+            );
+            assert_eq!(sharded, heap, "{topo:?} shards={shards}");
+        }
+    }
+}
+
+/// The conservative lookahead horizon the builder's shard map induces:
+/// every provider's 10 µs LAN link to the switch becomes a cross-shard
+/// edge (providers round-robin over shards, the switch stays on shard
+/// 0), and nothing in the wiring is faster — so the safe window is
+/// exactly that latency. One shard (or a serial scheduler) has no
+/// cross-shard edges and therefore no horizon.
+#[test]
+fn lookahead_horizon_is_the_min_cross_shard_latency() {
+    let lan = SimDuration::from_micros(10);
+    for topo in [
+        TopologySpec::Chain {
+            providers: 2,
+            hops: 2,
+        },
+        TopologySpec::FatTreePod { k: 4 },
+        TopologySpec::IxpHub { peers: 4 },
+    ] {
+        let scn = build_scenario(
+            &topo,
+            Mode::Supercharged,
+            &tiny(7, SchedulerKind::Sharded { shards: 2 }),
+        );
+        assert_eq!(
+            scn.world.lookahead(),
+            Some(lan),
+            "{topo:?}: horizon = provider LAN latency"
+        );
+        // The builder round-robins providers over shards.
+        assert_eq!(scn.world.shard_of(scn.providers[0]), 0, "{topo:?}");
+        assert_eq!(scn.world.shard_of(scn.providers[1]), 1, "{topo:?}");
+
+        let single = build_scenario(
+            &topo,
+            Mode::Supercharged,
+            &tiny(7, SchedulerKind::Sharded { shards: 1 }),
+        );
+        assert_eq!(single.world.lookahead(), None, "{topo:?}: one shard");
+
+        let serial = build_scenario(
+            &topo,
+            Mode::Supercharged,
+            &tiny(7, SchedulerKind::TimerWheel),
+        );
+        assert_eq!(serial.world.lookahead(), None, "{topo:?}: serial kernel");
+    }
+}

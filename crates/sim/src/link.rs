@@ -8,9 +8,17 @@
 //! * fault injection: probabilistic **loss** and byte **corruption**
 //!   (the corrupted frame is still delivered — receivers must detect it
 //!   via checksums, which is exactly what the wire formats do).
+//!
+//! Fault draws come from a counted splitmix64 stream **per link
+//! direction**, seeded from `(world seed, link index, direction)`. Which
+//! frames are hit is therefore a pure function of the seed and the
+//! per-direction emission order — independent of how emissions on
+//! *other* links interleave globally. That independence is what lets
+//! the sharded kernel replay the exact same fault pattern as the
+//! single-threaded reference executor.
 
 use crate::node::{NodeId, PortId};
-use sc_net::{SimDuration, SimTime};
+use sc_net::{Frame, SimDuration, SimTime};
 
 /// Index of a link within a [`crate::World`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -80,8 +88,25 @@ pub struct Endpoint {
     pub port: PortId,
 }
 
+/// One step of the splitmix64 generator: advances `state` and returns
+/// a well-mixed 64-bit draw.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a 64-bit draw to a uniform `f64` in `[0, 1)`.
+#[inline]
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 /// Internal link state.
-#[derive(Debug)]
+#[derive(Clone, Copy, Debug)]
 pub(crate) struct Link {
     pub a: Endpoint,
     pub b: Endpoint,
@@ -89,17 +114,49 @@ pub(crate) struct Link {
     pub up: bool,
     /// Per-direction transmitter-busy horizon: [a->b, b->a].
     pub busy_until: [SimTime; 2],
+    /// Per-direction counted fault-stream state (see the module docs).
+    pub fault_state: [u64; 2],
 }
 
 impl Link {
-    pub(crate) fn new(a: Endpoint, b: Endpoint, params: LinkParams) -> Link {
+    pub(crate) fn new(a: Endpoint, b: Endpoint, params: LinkParams, fault_seed: u64) -> Link {
+        // Decorrelate the two directions: run each sub-seed through one
+        // mix round so nearby link indices don't yield nearby streams.
+        let mut s0 = fault_seed;
+        let mut s1 = fault_seed ^ 0xD1B5_4A32_D192_ED03;
+        splitmix64(&mut s0);
+        splitmix64(&mut s1);
         Link {
             a,
             b,
             params,
             up: true,
             busy_until: [SimTime::ZERO; 2],
+            fault_state: [s0, s1],
         }
+    }
+
+    /// Run one frame through this direction's seeded fault stream just
+    /// before it enters the wire. Returns `None` when the frame is lost,
+    /// otherwise `Some(corrupted)` — on corruption one bit has been
+    /// flipped in place (copy-on-write, so shared holders are safe).
+    pub(crate) fn apply_faults(&mut self, dir: usize, frame: &mut Frame) -> Option<bool> {
+        if self.params.loss > 0.0
+            && unit_f64(splitmix64(&mut self.fault_state[dir])) < self.params.loss
+        {
+            return None;
+        }
+        let mut corrupted = false;
+        if self.params.corrupt > 0.0
+            && unit_f64(splitmix64(&mut self.fault_state[dir])) < self.params.corrupt
+            && !frame.is_empty()
+        {
+            let idx = (splitmix64(&mut self.fault_state[dir]) % frame.len() as u64) as usize;
+            let bit = (splitmix64(&mut self.fault_state[dir]) % 8) as u32;
+            frame.make_mut()[idx] ^= 1u8 << bit;
+            corrupted = true;
+        }
+        Some(corrupted)
     }
 
     /// Given the sending endpoint, the direction index and the receiver.
@@ -156,7 +213,7 @@ mod tests {
             node: NodeId(1),
             port: PortId(0),
         };
-        let mut link = Link::new(a, b, LinkParams::gigabit(SimDuration::from_micros(10)));
+        let mut link = Link::new(a, b, LinkParams::gigabit(SimDuration::from_micros(10)), 0);
         let now = SimTime::from_micros(100);
         // Two back-to-back 64B frames: second starts when first finishes.
         let t1 = link.schedule_arrival(0, now, 64);
@@ -181,7 +238,7 @@ mod tests {
             node: NodeId(7),
             port: PortId(1),
         };
-        let link = Link::new(a, b, LinkParams::default());
+        let link = Link::new(a, b, LinkParams::default(), 0);
         assert_eq!(link.direction_from(a), Some((0, b)));
         assert_eq!(link.direction_from(b), Some((1, a)));
         let stranger = Endpoint {

@@ -5,7 +5,6 @@
 //! kernel applies those effects after the handler returns, which keeps
 //! borrow structure simple and event ordering explicit.
 
-use rand::rngs::SmallRng;
 use sc_net::{Frame, SimDuration, SimTime};
 use std::any::Any;
 use std::fmt;
@@ -52,7 +51,6 @@ pub struct Ctx<'a> {
     pub(crate) now: SimTime,
     pub(crate) node: NodeId,
     pub(crate) actions: Vec<Action>,
-    pub(crate) rng: &'a mut SmallRng,
     pub(crate) trace: &'a mut crate::trace::Trace,
 }
 
@@ -101,11 +99,6 @@ impl<'a> Ctx<'a> {
         });
     }
 
-    /// The kernel's deterministic RNG (seeded per-world).
-    pub fn rng(&mut self) -> &mut SmallRng {
-        self.rng
-    }
-
     /// Record a trace line (no-op unless tracing is enabled on the world).
     pub fn trace(&mut self, category: &'static str, message: impl FnOnce() -> String) {
         let node = self.node;
@@ -117,8 +110,13 @@ impl<'a> Ctx<'a> {
 /// A device attached to the simulated network.
 ///
 /// Implementations must be `'static` so the kernel can own them and tests
-/// can downcast via [`Node::as_any`].
-pub trait Node: Any {
+/// can downcast via [`Node::as_any`], and `Send` so the sharded kernel
+/// can hand a shard's nodes to a worker thread for one lookahead window.
+/// Nodes never run concurrently with anything that can observe them —
+/// the barrier returns them before any control or accessor touches the
+/// world — so no node ever needs interior synchronization (`Sync` is
+/// deliberately *not* required).
+pub trait Node: Any + Send {
     /// Human-readable name for traces and panics.
     fn name(&self) -> &str;
 
