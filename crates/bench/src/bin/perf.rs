@@ -88,6 +88,93 @@ fn extract_str(json: &str, key: &str) -> Option<String> {
     Some(json[at..at + end].to_string())
 }
 
+/// Split a JSON object's top level into `(key, raw value)` pairs —
+/// string/escape-aware, depth-tracked, no JSON parser. Raw values keep
+/// their exact bytes, so whatever a hand-edited trajectory point
+/// carries survives a round trip.
+fn top_level_fields(json: &str) -> Vec<(String, String)> {
+    let body = json
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .unwrap_or_default();
+    let mut fields = Vec::new();
+    let (mut depth, mut in_str, mut esc) = (0u32, false, false);
+    let mut start = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            _ if esc => esc = false,
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => depth -= 1,
+            ',' if !in_str && depth == 0 => {
+                fields.push(body[start..i].to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if !body[start..].trim().is_empty() {
+        fields.push(body[start..].to_string());
+    }
+    fields
+        .into_iter()
+        .filter_map(|f| {
+            let f = f.trim();
+            let (k, v) = f.split_once(':')?;
+            Some((k.trim().trim_matches('"').to_string(), v.trim().to_string()))
+        })
+        .collect()
+}
+
+/// The keys the merged shape itself owns; anything else on a prior
+/// trajectory point (scaling arrays, notes, …) is cargo to preserve.
+const MERGE_KEYS: [&str; 4] = ["bench", "speedup_events_per_sec", "baseline", "after"];
+
+/// Resolve one `--merge` operand to `(flat run JSON, extra fields)`.
+/// A plain run file passes through; a previously merged trajectory
+/// point stands in for its own `after` run — so
+/// `--merge BENCH_PRn.json new.json` chains PRs without re-running the
+/// old baseline — and donates its extra top-level keys.
+fn unwrap_point(json: &str) -> (String, Vec<(String, String)>) {
+    let fields = top_level_fields(json);
+    match fields.iter().find(|(k, _)| k == "after") {
+        Some((_, after_run)) => (
+            after_run.clone(),
+            fields
+                .iter()
+                .filter(|(k, _)| !MERGE_KEYS.contains(&k.as_str()))
+                .cloned()
+                .collect(),
+        ),
+        None => (json.trim().to_string(), Vec::new()),
+    }
+}
+
+fn merge_points(baseline_raw: &str, after_raw: &str) -> String {
+    let (baseline, extra_b) = unwrap_point(baseline_raw);
+    let (after, extra_a) = unwrap_point(after_raw);
+    let bench = extract_str(&baseline, "bench").unwrap_or_else(|| "dataplane_forward".into());
+    let b = extract_u64(&baseline, "events_per_sec").expect("baseline events_per_sec");
+    let a = extract_u64(&after, "events_per_sec").expect("after events_per_sec");
+    let speedup = a as f64 / b.max(1) as f64;
+    let mut out = format!(
+        "{{\"bench\":\"{bench}\",\"speedup_events_per_sec\":{speedup:.2},\n \"baseline\":{baseline},\n \"after\":{after}"
+    );
+    // Extra keys ride along, the newer file winning a name collision.
+    let mut extras = extra_b;
+    for (k, v) in extra_a {
+        extras.retain(|(ek, _)| *ek != k);
+        extras.push((k, v));
+    }
+    for (k, v) in extras {
+        out.push_str(&format!(",\n \"{k}\":{v}"));
+    }
+    out.push_str("}\n");
+    out
+}
+
 fn merge(baseline_path: &str, after_path: &str) -> String {
     let read = |p: &str| {
         std::fs::read_to_string(p)
@@ -95,15 +182,7 @@ fn merge(baseline_path: &str, after_path: &str) -> String {
             .trim()
             .to_string()
     };
-    let baseline = read(baseline_path);
-    let after = read(after_path);
-    let bench = extract_str(&baseline, "bench").unwrap_or_else(|| "dataplane_forward".into());
-    let b = extract_u64(&baseline, "events_per_sec").expect("baseline events_per_sec");
-    let a = extract_u64(&after, "events_per_sec").expect("after events_per_sec");
-    let speedup = a as f64 / b.max(1) as f64;
-    format!(
-        "{{\"bench\":\"{bench}\",\"speedup_events_per_sec\":{speedup:.2},\n \"baseline\":{baseline},\n \"after\":{after}}}\n"
-    )
+    merge_points(&read(baseline_path), &read(after_path))
 }
 
 fn churn_json(label: &str, p: ChurnParams, m: &ChurnMeasurement) -> String {
@@ -289,5 +368,68 @@ fn main() {
     // Regression gate: compare against a committed trajectory point.
     if let Some(path) = args.raw_value("--check") {
         sc_bench::check_perf_gate(&path, events_per_sec, args.value("--tolerance", 20));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RUN_A: &str = r#"{"label":"base","bench":"control_churn","events_per_sec":2000000}"#;
+    const RUN_B: &str = r#"{"label":"new","bench":"control_churn","events_per_sec":3000000}"#;
+
+    #[test]
+    fn merges_two_flat_runs() {
+        let out = merge_points(RUN_A, RUN_B);
+        assert!(out.contains("\"speedup_events_per_sec\":1.50"));
+        assert!(out.contains("\"baseline\":{\"label\":\"base\""));
+        assert!(out.contains("\"after\":{\"label\":\"new\""));
+    }
+
+    #[test]
+    fn merged_baseline_stands_in_for_its_after_run() {
+        let prior = merge_points(RUN_A, RUN_B);
+        let next = r#"{"label":"pr10","bench":"control_churn","events_per_sec":2970000}"#;
+        let out = merge_points(&prior, next);
+        // Baseline = the prior point's after (3.0 M), not its baseline.
+        assert!(out.contains("\"speedup_events_per_sec\":0.99"), "{out}");
+        assert!(out.contains("\"baseline\":{\"label\":\"new\""), "{out}");
+        assert!(out.contains("\"after\":{\"label\":\"pr10\""), "{out}");
+    }
+
+    #[test]
+    fn extra_keys_survive_the_merge_byte_for_byte() {
+        let scaling = r#"[
+  {"label":"shards-1","events_per_sec":3168837},
+  {"label":"shards-2","events_per_sec":2149498}]"#;
+        let prior = format!(
+            "{{\"bench\":\"control_churn\",\"speedup_events_per_sec\":1.27,\n \"baseline\":{RUN_A},\n \"after\":{RUN_B},\n \"scaling_note\":\"commas, {{braces}} and [brackets] in strings\",\n \"scaling\":{scaling}}}"
+        );
+        let out = merge_points(
+            &prior,
+            r#"{"label":"pr10","bench":"control_churn","events_per_sec":3100000}"#,
+        );
+        assert!(
+            out.contains("\"scaling_note\":\"commas, {braces} and [brackets] in strings\""),
+            "{out}"
+        );
+        assert!(out.contains(&format!("\"scaling\":{scaling}")), "{out}");
+        // And a re-merge keeps them again: the cargo is durable.
+        let again = merge_points(
+            &out,
+            r#"{"label":"pr11","bench":"control_churn","events_per_sec":3200000}"#,
+        );
+        assert!(again.contains("\"scaling_note\""), "{again}");
+        assert!(again.contains("\"scaling\":"), "{again}");
+    }
+
+    #[test]
+    fn top_level_split_respects_nesting_and_strings() {
+        let fields =
+            top_level_fields(r#"{"a":1,"b":{"x":[1,2],"y":"s,t\"r"},"c":[{"k":"}"},2],"d":"e"}"#);
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["a", "b", "c", "d"]);
+        assert_eq!(fields[1].1, r#"{"x":[1,2],"y":"s,t\"r"}"#);
+        assert_eq!(fields[2].1, r#"[{"k":"}"},2]"#);
     }
 }

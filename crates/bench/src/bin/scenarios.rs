@@ -6,7 +6,7 @@
 //! cargo run --release -p sc-bench --bin scenarios [--prefixes N] \
 //!     [--flows N] [--seed N] [--workers N] [--quick] [--smoke] [--jsonl] \
 //!     [--csv out.csv] [--json out.json] [--invariants] \
-//!     [--scheduler wheel|heap|sharded] [--shards N] \
+//!     [--scheduler wheel|heap|sharded] [--shards N] [--trace] \
 //!     [--stable-csv out.csv] [--stable-json out.json]
 //! ```
 //!
@@ -49,6 +49,10 @@
 //!   legacy rows stay the do-no-harm baseline. Stable reports remain
 //!   byte-identical across reruns and schedulers — chaos is seeded,
 //!   not random;
+//! * `--trace`: run every trial with the sc-trace flight recorder on.
+//!   Report rows gain the per-cycle causal phase columns
+//!   (`detect_us`/`notify_us`/`program_us`/`fib_us`); use the `trace`
+//!   binary to export the underlying JSONL/Chrome artifacts;
 //! * `--scheduler wheel|heap|sharded`: pick the kernel event scheduler
 //!   (the determinism contract says reports are byte-identical across
 //!   all of them);
@@ -83,6 +87,7 @@ fn main() {
     let workers: Option<usize> = args.raw_value("--workers").and_then(|v| v.parse().ok());
     let invariants = args.flag("--invariants");
     let chaos = args.flag("--chaos");
+    let trace = args.flag("--trace");
     let shards: Option<usize> = args.raw_value("--shards").and_then(|v| v.parse().ok());
     let scheduler = match (args.raw_value("--scheduler").as_deref(), shards) {
         (Some("heap"), _) => sc_sim::SchedulerKind::ReferenceHeap,
@@ -171,6 +176,9 @@ fn main() {
             echo_interval: chaos.then(|| SimDuration::from_millis(10)),
             controller_deadline: chaos.then(|| SimDuration::from_millis(50)),
             fallback_sessions: chaos,
+            // Flight recorder on: reports gain the per-cycle causal
+            // phase columns (detect/notify/program/fib µs).
+            trace,
             ..ScenarioConfig::default()
         },
         workers,

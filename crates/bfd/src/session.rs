@@ -64,6 +64,8 @@ pub struct BfdSession {
     /// Diagnostics.
     pub packets_sent: u64,
     pub packets_received: u64,
+    /// FSM state changes (any direction), for the metrics registry.
+    pub transitions: u64,
 }
 
 impl BfdSession {
@@ -84,7 +86,16 @@ impl BfdSession {
             jitter_state: cfg.local_discr as u64 ^ 0x9e37_79b9_7f4a_7c15,
             packets_sent: 0,
             packets_received: 0,
+            transitions: 0,
         }
+    }
+
+    /// Fold this session's counters into a metrics registry (the
+    /// embedding node calls this; the sans-io session never sees one).
+    pub fn fold_metrics(&self, reg: &mut sc_net::metrics::Registry) {
+        reg.add("bfd.packets_sent", self.packets_sent);
+        reg.add("bfd.packets_received", self.packets_received);
+        reg.add("bfd.transitions", self.transitions);
     }
 
     /// Begin transmitting (the session starts in Down and bootstraps via
@@ -107,6 +118,9 @@ impl BfdSession {
     /// `AdminDown` and hold its own session Down without flapping.
     pub fn admin_down(&mut self) -> Option<BfdEvent> {
         let was_up = self.state == BfdState::Up;
+        if self.state != BfdState::AdminDown {
+            self.transitions += 1;
+        }
         self.state = BfdState::AdminDown;
         self.diag = BfdDiag::AdministrativelyDown;
         self.detect_deadline = None;
@@ -180,6 +194,7 @@ impl BfdSession {
         if pkt.state == BfdState::AdminDown {
             if self.state != BfdState::Down {
                 self.state = BfdState::Down;
+                self.transitions += 1;
                 self.diag = BfdDiag::NeighborSignaledDown;
                 self.detect_deadline = None;
                 if was_up {
@@ -193,9 +208,11 @@ impl BfdSession {
             BfdState::Down => match pkt.state {
                 BfdState::Down => {
                     self.state = BfdState::Init;
+                    self.transitions += 1;
                 }
                 BfdState::Init => {
                     self.state = BfdState::Up;
+                    self.transitions += 1;
                     self.diag = BfdDiag::None;
                     self.adopt_fast_cadence(now);
                     events.push(BfdEvent::Up);
@@ -205,6 +222,7 @@ impl BfdSession {
             BfdState::Init => match pkt.state {
                 BfdState::Init | BfdState::Up => {
                     self.state = BfdState::Up;
+                    self.transitions += 1;
                     self.diag = BfdDiag::None;
                     self.adopt_fast_cadence(now);
                     events.push(BfdEvent::Up);
@@ -214,6 +232,7 @@ impl BfdSession {
             BfdState::Up => {
                 if pkt.state == BfdState::Down {
                     self.state = BfdState::Down;
+                    self.transitions += 1;
                     self.diag = BfdDiag::NeighborSignaledDown;
                     events.push(BfdEvent::Down(BfdDiag::NeighborSignaledDown));
                 }
@@ -245,6 +264,7 @@ impl BfdSession {
             if now >= deadline && matches!(self.state, BfdState::Init | BfdState::Up) {
                 let was_up = self.state == BfdState::Up;
                 self.state = BfdState::Down;
+                self.transitions += 1;
                 self.diag = BfdDiag::DetectionTimeExpired;
                 self.detect_deadline = None;
                 // Forget the remote's identity and timing (it is gone).

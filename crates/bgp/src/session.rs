@@ -95,6 +95,8 @@ pub struct Session {
     pub updates_in: u64,
     /// Count of UPDATEs queued for sending (diagnostics).
     pub updates_out: u64,
+    /// FSM state changes (any direction), for the metrics registry.
+    pub transitions: u64,
 }
 
 impl Session {
@@ -109,11 +111,28 @@ impl Session {
             keepalive_at: None,
             updates_in: 0,
             updates_out: 0,
+            transitions: 0,
         }
     }
 
     pub fn state(&self) -> SessionState {
         self.state
+    }
+
+    /// Move the FSM to `next`, counting actual changes.
+    fn enter(&mut self, next: SessionState) {
+        if self.state != next {
+            self.transitions += 1;
+        }
+        self.state = next;
+    }
+
+    /// Fold this session's counters into a metrics registry (the
+    /// embedding node calls this; the sans-io session never sees one).
+    pub fn fold_metrics(&self, reg: &mut sc_net::metrics::Registry) {
+        reg.add("bgp.updates_in", self.updates_in);
+        reg.add("bgp.updates_out", self.updates_out);
+        reg.add("bgp.transitions", self.transitions);
     }
 
     /// The peer's OPEN message, once received.
@@ -137,7 +156,7 @@ impl Session {
             hold_secs,
             self.cfg.router_id,
         )));
-        self.state = SessionState::OpenSent;
+        self.enter(SessionState::OpenSent);
         // Use a generous "open hold" until negotiation completes.
         self.hold_deadline = Some(now + self.cfg.hold_time);
     }
@@ -152,7 +171,7 @@ impl Session {
     }
 
     fn reset(&mut self) {
-        self.state = SessionState::Idle;
+        self.enter(SessionState::Idle);
         self.out.clear();
         self.peer_open = None;
         self.hold_deadline = None;
@@ -183,7 +202,7 @@ impl Session {
             }));
         let ev = SessionEvent::Down(DownReason::FsmError(what));
         // Keep the NOTIFICATION queued for transmission, then idle.
-        self.state = SessionState::Idle;
+        self.enter(SessionState::Idle);
         self.peer_open = None;
         self.hold_deadline = None;
         self.keepalive_at = None;
@@ -200,12 +219,12 @@ impl Session {
                     .min(SimDuration::from_secs(open.hold_time as u64));
                 self.peer_open = Some(open);
                 self.out.push_back(BgpMessage::Keepalive);
-                self.state = SessionState::OpenConfirm;
+                self.enter(SessionState::OpenConfirm);
                 self.refresh_hold(now);
                 Vec::new()
             }
             (SessionState::OpenConfirm, BgpMessage::Keepalive) => {
-                self.state = SessionState::Established;
+                self.enter(SessionState::Established);
                 self.refresh_hold(now);
                 self.schedule_keepalive(now);
                 vec![SessionEvent::Established(self.peer_open.unwrap())]
@@ -263,7 +282,7 @@ impl Session {
                 self.out.push_back(BgpMessage::Notification(
                     NotificationMsg::hold_timer_expired(),
                 ));
-                self.state = SessionState::Idle;
+                self.enter(SessionState::Idle);
                 self.peer_open = None;
                 self.hold_deadline = None;
                 self.keepalive_at = None;

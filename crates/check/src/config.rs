@@ -132,6 +132,13 @@ pub fn severity(rule: Rule, crate_name: &str) -> Severity {
         // parallelism; the runner files are carved out in the engine.
         (Rule::NoAmbientThreading, _) if crate_name == "sc-sim" => Severity::Allow,
         (Rule::NoAmbientThreading, _) => Severity::Deny,
+        // Printing: simulation code must speak through sc-trace /
+        // metrics, never ambient stdio (output interleaves across suite
+        // workers and is invisible to the determinism contract). Shells
+        // are CLIs — printing is their job; `bin/` files are carved out
+        // in the engine.
+        (Rule::NoAmbientPrint, CrateKind::Sim) => Severity::Deny,
+        (Rule::NoAmbientPrint, CrateKind::Shell) => Severity::Allow,
         (Rule::Layering, _) => Severity::Deny,
         (Rule::UnsafeNeedsSafetyComment, _) => Severity::Deny,
         (Rule::AllowNeedsJustification, _) => Severity::Deny,

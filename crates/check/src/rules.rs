@@ -26,6 +26,7 @@ pub enum Rule {
     NoWallClock,
     NoAmbientRandomness,
     NoAmbientThreading,
+    NoAmbientPrint,
     Layering,
     UnsafeNeedsSafetyComment,
     AllowNeedsJustification,
@@ -40,6 +41,7 @@ impl Rule {
         Rule::NoWallClock,
         Rule::NoAmbientRandomness,
         Rule::NoAmbientThreading,
+        Rule::NoAmbientPrint,
         Rule::Layering,
         Rule::UnsafeNeedsSafetyComment,
         Rule::AllowNeedsJustification,
@@ -52,6 +54,7 @@ impl Rule {
             Rule::NoWallClock => "no-wall-clock",
             Rule::NoAmbientRandomness => "no-ambient-randomness",
             Rule::NoAmbientThreading => "no-ambient-threading",
+            Rule::NoAmbientPrint => "no-ambient-print",
             Rule::Layering => "layering",
             Rule::UnsafeNeedsSafetyComment => "unsafe-needs-safety-comment",
             Rule::AllowNeedsJustification => "allow-needs-justification",
@@ -178,7 +181,12 @@ fn scan_idents(
                     ),
                 ));
             }
-            name @ ("Instant" | "SystemTime") if !wall_clock_allowed => {
+            // `TracePhase::Instant` is the Chrome trace-phase name, not
+            // std::time — only that one qualifier is exempt, so
+            // `time::Instant` still fires.
+            name @ ("Instant" | "SystemTime")
+                if !wall_clock_allowed && !qualified_by(code, i, "TracePhase", src) =>
+            {
                 findings.push((
                     Rule::NoWallClock,
                     t.line,
@@ -227,6 +235,23 @@ fn scan_idents(
                         .to_string(),
                 ));
             }
+            // Macro call shape only (`name` + `!` + open bracket): a
+            // local named `dbg` compared with `!=` is not a finding.
+            name @ ("println" | "eprintln" | "print" | "eprint" | "dbg")
+                if !rel_path.contains("/bin/")
+                    && pb(code, i + 1, src) == b'!'
+                    && matches!(pb(code, i + 2, src), b'(' | b'[' | b'{') =>
+            {
+                findings.push((
+                    Rule::NoAmbientPrint,
+                    t.line,
+                    format!(
+                        "`{name}!` writes to ambient stdio from simulation code; \
+                         emit a trace event (`Ctx::trace_instant`) or a metrics \
+                         counter instead — CLIs under `bin/` may print"
+                    ),
+                ));
+            }
             "rand" if path_seq(code, i, &["rand", "random"], src) => {
                 findings.push((
                     Rule::NoAmbientRandomness,
@@ -255,6 +280,15 @@ fn scan_idents(
 /// The punct byte of `code[i]` (`0` if out of range or not a punct).
 fn pb(code: &[&Tok], i: usize, src: &str) -> u8 {
     code.get(i).map(|t| t.punct_byte(src)).unwrap_or(0)
+}
+
+/// Is `code[i]` written as `prefix::code[i]`?
+fn qualified_by(code: &[&Tok], i: usize, prefix: &str, src: &str) -> bool {
+    i >= 3
+        && pb(code, i - 1, src) == b':'
+        && pb(code, i - 2, src) == b':'
+        && code[i - 3].kind == TokKind::Ident
+        && code[i - 3].text(src) == prefix
 }
 
 /// Does `code[i..]` spell the `::`-joined path `segments`?

@@ -120,6 +120,39 @@ fn ambient_threading_bad_and_good() {
 }
 
 #[test]
+fn ambient_print_bad_and_good() {
+    let bad = analyze(SIM_CRATE, SIM_PATH, include_str!("corpus/print_bad.rs"));
+    assert_eq!(
+        rules_of(&bad),
+        vec![
+            Rule::NoAmbientPrint,
+            Rule::NoAmbientPrint,
+            Rule::NoAmbientPrint
+        ],
+        "println!, eprintln! and dbg!"
+    );
+    assert!(bad.diagnostics.iter().all(|d| d.severity == Severity::Deny));
+
+    // Trace/metrics emission, a `dbg` local, and test prints stay legal.
+    let good = analyze(SIM_CRATE, SIM_PATH, include_str!("corpus/print_good.rs"));
+    assert!(good.diagnostics.is_empty(), "{:?}", good.diagnostics);
+}
+
+#[test]
+fn ambient_print_exempts_clis_and_shell_crates() {
+    let src = include_str!("corpus/print_bad.rs");
+    // A `bin/` CLI inside a Sim-kind crate prints by design.
+    let cli = analyze("sc-scenarios", "crates/scenarios/src/bin/report.rs", src);
+    assert!(cli.diagnostics.is_empty(), "{:?}", cli.diagnostics);
+    // Shell crates are CLIs wholesale.
+    let shell = analyze("sc-bench", "crates/bench/src/lib.rs", src);
+    assert!(shell.diagnostics.is_empty(), "{:?}", shell.diagnostics);
+    // Library code in a Sim crate still denies.
+    let lib = analyze("sc-scenarios", "crates/scenarios/src/runner.rs", src);
+    assert!(!lib.diagnostics.is_empty());
+}
+
+#[test]
 fn ambient_threading_exempts_kernel_and_suite_runners() {
     let src = include_str!("corpus/threading_bad.rs");
     // The sharded kernel crate owns simulation parallelism.

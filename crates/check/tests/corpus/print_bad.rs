@@ -1,0 +1,7 @@
+pub fn apply(&mut self, ops: &[FibOp]) {
+    println!("applying {} ops", ops.len());
+    for op in ops {
+        eprintln!("op: {op:?}");
+        self.table.insert(dbg!(op.prefix), op.next_hop);
+    }
+}

@@ -1,0 +1,21 @@
+pub fn apply(&mut self, ctx: &mut Ctx, ops: &[FibOp]) {
+    // The sanctioned channels: trace events and metrics counters.
+    ctx.trace_instant("program", "fib.apply", 0, ops.len() as u64, String::new);
+    ctx.metrics().add("fib.ops_applied", ops.len() as u64);
+    for op in ops {
+        self.table.insert(op.prefix, op.next_hop);
+    }
+    // A local that merely *names* dbg is not a macro invocation.
+    let dbg = ops.len();
+    if dbg != 0 {
+        self.applied += dbg as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("test output is fine");
+    }
+}

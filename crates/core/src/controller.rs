@@ -288,6 +288,20 @@ impl Controller {
         self.degraded
     }
 
+    /// Fold this controller's lifetime counters — the router-facing and
+    /// every peer-facing BGP session, per-peer BFD, and the flow-mod
+    /// robustness stats — into a metrics registry. Call once, after a
+    /// run: the counters are totals, not deltas.
+    pub fn fold_metrics(&self, reg: &mut sc_net::metrics::Registry) {
+        self.router_session.fold_metrics(reg);
+        for p in &self.peers {
+            p.session.fold_metrics(reg);
+            if let Some(bfd) = &p.bfd {
+                bfd.fold_metrics(reg);
+            }
+        }
+    }
+
     pub fn engine(&self) -> &Engine {
         &self.engine
     }
@@ -333,6 +347,9 @@ impl Controller {
         }
         self.barrier_token += 1;
         let token = self.barrier_token;
+        ctx.span_begin("program", "flowmod.batch", token, msgs.len() as u64);
+        ctx.metrics().inc("ctl.flow_batches");
+        ctx.metrics().add("ctl.flow_mods", msgs.len() as u64);
         for m in &msgs {
             self.of_send(ctx, m.clone());
         }
@@ -373,9 +390,12 @@ impl Controller {
         }
     }
 
-    fn on_barrier_reply(&mut self, token: u64) {
+    fn on_barrier_reply(&mut self, ctx: &mut Ctx, token: u64) {
         while let Some(front) = self.unacked.front() {
             if front.token <= token {
+                // Cumulative ack: one BARRIER_REPLY closes every batch
+                // with a token at or below its own.
+                ctx.span_end("program", "flowmod.batch", front.token, 0);
                 self.unacked.pop_front();
             } else {
                 break;
@@ -384,6 +404,9 @@ impl Controller {
         // An ack proves the switch is programmable again: leave the
         // degraded state (the `flowmod_giveups` counter keeps the
         // history).
+        if self.degraded {
+            ctx.trace_instant("bgp", "ctl.degraded.exit", 0, 0, String::new);
+        }
         self.degraded = false;
     }
 
@@ -400,12 +423,32 @@ impl Controller {
             b.attempt += 1;
             if b.attempt >= self.cfg.max_flowmod_attempts {
                 self.stats.flowmod_giveups += 1;
+                if !self.degraded {
+                    ctx.trace_instant("bgp", "ctl.degraded.enter", b.token, 0, String::new);
+                }
                 self.degraded = true;
+                ctx.span_end("program", "flowmod.batch", b.token, 0);
+                ctx.trace_instant(
+                    "program",
+                    "flowmod.giveup",
+                    b.token,
+                    b.attempt as u64,
+                    String::new,
+                );
+                ctx.metrics().inc("ctl.flowmod_giveups");
                 self.events
                     .push((now, ControllerEvent::FlowBatchGiveUp { token: b.token }));
                 continue;
             }
             self.stats.flowmod_retries += 1;
+            ctx.trace_instant(
+                "program",
+                "flowmod.retry",
+                b.token,
+                b.attempt as u64,
+                String::new,
+            );
+            ctx.metrics().inc("ctl.flowmod_retries");
             self.events.push((
                 now,
                 ControllerEvent::FlowBatchRetry {
@@ -610,7 +653,10 @@ impl Controller {
                 self.peers[idx].failed_over = true;
                 self.events
                     .push((ctx.now(), ControllerEvent::PeerDown(peer_id)));
-                ctx.trace("supercharger", || format!("BFD: peer {peer_id} down"));
+                ctx.metrics().inc("ctl.bfd_downs");
+                ctx.trace_instant("detect", "bfd.down", idx as u64, 0, || {
+                    format!("BFD: peer {peer_id} down")
+                });
                 // Fast path: Listing 2, after the modeled reaction delay.
                 let plan = self.engine.failover_plan(peer_id);
                 self.issue_failover(ctx, peer_id, &plan);
@@ -623,6 +669,7 @@ impl Controller {
                 self.pump_peer(idx, ctx);
                 // Slow path: control-plane repair toward the router.
                 let actions = self.engine.peer_down_repair(peer_id);
+                ctx.trace_instant("bgp", "repair.queued", 0, actions.len() as u64, String::new);
                 self.events.push((
                     ctx.now(),
                     ControllerEvent::RepairQueued {
@@ -643,6 +690,14 @@ impl Controller {
                 rewrites: plan.rewrites.len(),
             },
         ));
+        ctx.metrics().inc("ctl.failovers");
+        ctx.trace_instant(
+            "bgp",
+            "failover.plan",
+            0,
+            plan.rewrites.len() as u64,
+            || format!("failover plan for {peer}: {} rewrites", plan.rewrites.len()),
+        );
         for rw in &plan.rewrites {
             let msg = Self::flow_mod(
                 FlowModCommand::Modify,
@@ -689,7 +744,7 @@ impl Controller {
                 self.of_send(ctx, OfMessage::EchoReply(d));
             }
             OfMessage::BarrierReply { token } => {
-                self.on_barrier_reply(token);
+                self.on_barrier_reply(ctx, token);
             }
             OfMessage::PortStatus { port, up } if self.cfg.portstatus_failover && !up => {
                 // Carrier loss on a port a peer hangs off: run the
@@ -804,6 +859,13 @@ impl Controller {
                         let plan = self.engine.failover_plan(peer_id);
                         self.issue_failover(ctx, peer_id, &plan);
                         let actions = self.engine.peer_down_repair(peer_id);
+                        ctx.trace_instant(
+                            "bgp",
+                            "repair.queued",
+                            0,
+                            actions.len() as u64,
+                            String::new,
+                        );
                         self.events.push((
                             ctx.now(),
                             ControllerEvent::RepairQueued {

@@ -210,7 +210,8 @@ impl ConvergenceLab {
 
         let mut world = World::with_scheduler(cfg.seed, cfg.scheduler);
         if cfg.trace {
-            world.enable_trace(100_000);
+            world.enable_trace(1_000_000);
+            world.enable_metrics();
         }
         let lanp = LinkParams::gigabit(SimDuration::from_micros(10));
 

@@ -22,6 +22,8 @@
 //! * [`checksum`] — the internet checksum (RFC 1071).
 //! * [`channel`] — a poll-based reliable, in-order message transport state
 //!   machine (a deliberately simplified TCP; see `DESIGN.md` §2).
+//! * [`metrics`] — deterministic counters and log-linear histograms (the
+//!   metrics half of sc-trace); lives here so every layer can record.
 //!
 //! Everything here is deterministic and allocation-conscious; nothing
 //! performs I/O.
@@ -31,6 +33,7 @@ pub mod checksum;
 pub mod frame;
 pub mod fxhash;
 pub mod mac;
+pub mod metrics;
 pub mod prefix;
 pub mod time;
 pub mod trie;

@@ -392,6 +392,25 @@ impl LegacyRouter {
 
     // ------------------------------------------------------ inspection
 
+    /// Fold this router's lifetime counters — data plane, flow cache,
+    /// every peer's BGP and BFD session — into a metrics registry. Call
+    /// once, after a run: the counters are totals, not deltas.
+    pub fn fold_metrics(&self, reg: &mut sc_net::metrics::Registry) {
+        reg.add("router.forwarded", self.stats.forwarded);
+        reg.add("router.local_delivered", self.stats.local_delivered);
+        reg.add("router.dropped_no_route", self.stats.dropped_no_route);
+        reg.add("router.updates_processed", self.stats.updates_processed);
+        reg.add("flowcache.hits", self.flow_cache.hits);
+        reg.add("flowcache.misses", self.flow_cache.misses);
+        reg.add("flowcache.invalidated", self.flow_cache.invalidated);
+        for p in &self.peers {
+            p.session.fold_metrics(reg);
+            if let Some(bfd) = &p.bfd {
+                bfd.fold_metrics(reg);
+            }
+        }
+    }
+
     pub fn fib(&self) -> &Fib {
         &self.fib
     }
@@ -581,13 +600,21 @@ impl LegacyRouter {
         self.fib_shadow = true;
         self.shadow_overridden = overridden;
         self.events.push((now, RouterEvent::FallbackOverrideEnter));
-        ctx.trace("bgp", || {
-            format!(
-                "fallback override: {} prefixes shadowed",
-                self.shadow_overridden.len()
-            )
-        });
+        ctx.metrics().inc("router.shadow_enters");
+        ctx.trace_instant(
+            "bgp",
+            "shadow.enter",
+            0,
+            self.shadow_overridden.len() as u64,
+            || {
+                format!(
+                    "fallback override: {} prefixes shadowed",
+                    self.shadow_overridden.len()
+                )
+            },
+        );
         if !ops.is_empty() {
+            ctx.trace_instant("program", "fib.burst", 0, ops.len() as u64, String::new);
             // Same delay class as a session-loss purge: the override is
             // this router's answer to the same failure legacy answers
             // with a purge, so it must not be cheaper.
@@ -612,10 +639,11 @@ impl LegacyRouter {
             })
             .collect();
         self.events.push((now, RouterEvent::FallbackOverrideExit));
-        ctx.trace("bgp", || {
+        ctx.trace_instant("bgp", "shadow.exit", 0, ops.len() as u64, || {
             format!("fallback override lifted: {} prefixes", ops.len())
         });
         if !ops.is_empty() {
+            ctx.trace_instant("program", "fib.burst", 0, ops.len() as u64, String::new);
             self.walker.enqueue_burst(now, ops, false);
             self.arm_walker(ctx);
         }
@@ -760,7 +788,8 @@ impl LegacyRouter {
             return;
         }
         let peer_ip = self.peers[idx].cfg.peer_ip;
-        ctx.trace("bgp", || {
+        ctx.metrics().inc("router.liveness_expiries");
+        ctx.trace_instant("detect", "liveness.expired", idx as u64, 0, || {
             format!("peer {peer_ip} silent past liveness deadline")
         });
         self.peers[idx].session.stop(DownReason::LivenessExpired);
@@ -780,7 +809,10 @@ impl LegacyRouter {
                 // the BGP session down without waiting for the hold
                 // timer (that is BFD's whole purpose).
                 let peer_ip = self.peers[idx].cfg.peer_ip;
-                ctx.trace("bfd", || format!("peer {peer_ip} down (bfd)"));
+                ctx.metrics().inc("router.bfd_downs");
+                ctx.trace_instant("detect", "bfd.down", idx as u64, 0, || {
+                    format!("peer {peer_ip} down (bfd)")
+                });
                 self.peers[idx].session.stop(DownReason::BfdDown);
                 self.peer_down(idx, DownReason::BfdDown, ctx);
                 // The transport restarts too (BGP drops its TCP
@@ -819,12 +851,15 @@ impl LegacyRouter {
                             // the RIB from there.
                             self.degraded_log.push((since, ctx.now()));
                             self.events.push((ctx.now(), RouterEvent::DegradedExit));
+                            ctx.trace_instant("bgp", "degraded.exit", 0, 0, String::new);
                         }
                     }
                     self.events.push((ctx.now(), RouterEvent::PeerUp(peer_ip)));
                     self.peers[idx].last_heard = ctx.now();
                     self.arm_peer_deadline(idx, ctx);
-                    ctx.trace("bgp", || format!("session with {peer_ip} established"));
+                    ctx.trace_instant("bgp", "session.up", idx as u64, 0, || {
+                        format!("session with {peer_ip} established")
+                    });
                     // RFC 4271 §9.4: advertise the Adj-RIB-Out on every
                     // establishment — including re-establishments after
                     // a flap, which the old `feed_sent` latch skipped.
@@ -887,6 +922,13 @@ impl LegacyRouter {
             ebgp,
             igp_cost: 0,
         };
+        ctx.trace_instant(
+            "bgp",
+            "rib.apply",
+            idx as u64,
+            updates.len() as u64,
+            String::new,
+        );
         let mut ops = std::mem::take(&mut self.ops_buf);
         for upd in &updates {
             self.stats.updates_processed += 1;
@@ -938,6 +980,8 @@ impl LegacyRouter {
                 }
             }
             if !ops.is_empty() {
+                ctx.trace_instant("program", "fib.burst", 0, ops.len() as u64, String::new);
+                ctx.metrics().add("fib.burst_ops", ops.len() as u64);
                 self.walker.enqueue_burst(ctx.now(), ops.drain(..), false);
                 self.arm_walker(ctx);
             }
@@ -967,6 +1011,8 @@ impl LegacyRouter {
         {
             self.degraded_since = Some(ctx.now());
             self.events.push((ctx.now(), RouterEvent::DegradedEnter));
+            ctx.metrics().inc("router.degraded_enters");
+            ctx.trace_instant("bgp", "degraded.enter", 0, 0, String::new);
             if self.fib_shadow {
                 // Degradation formalizes the override: the purge below
                 // recomputes every affected prefix, so there is nothing
@@ -978,9 +1024,13 @@ impl LegacyRouter {
             }
         }
         let changes = self.rib.withdraw_peer(peer_ip);
-        ctx.trace("bgp", || {
-            format!("peer {peer_ip} down; {} prefixes affected", changes.len())
-        });
+        ctx.trace_instant(
+            "detect",
+            "session.down",
+            idx as u64,
+            changes.len() as u64,
+            || format!("peer {peer_ip} down; {} prefixes affected", changes.len()),
+        );
         // A degraded recompute quarantines BFD-quiet next-hops: a
         // fallback peer that has been silent past half its detection
         // time is very likely dead even though its timer hasn't expired
@@ -1010,6 +1060,8 @@ impl LegacyRouter {
             });
         }
         if !ops.is_empty() {
+            ctx.trace_instant("program", "fib.burst", 0, ops.len() as u64, String::new);
+            ctx.metrics().add("fib.burst_ops", ops.len() as u64);
             self.walker.enqueue_burst(ctx.now(), ops, true);
             self.arm_walker(ctx);
         }
@@ -1314,10 +1366,26 @@ impl Node for LegacyRouter {
                 let mut applied = std::mem::take(&mut self.walker_batch_buf);
                 self.walker
                     .apply_batch(&mut self.fib, ctx.now(), &mut applied);
+                let invalidated_before = self.flow_cache.invalidated;
                 for op in &applied {
                     // Precise invalidation: only destinations covered by
                     // the changed prefix can have a different best match.
                     self.flow_cache.invalidate_prefix(op.prefix());
+                }
+                if !applied.is_empty() {
+                    ctx.trace_instant("program", "fib.apply", 0, applied.len() as u64, String::new);
+                    let dropped = self.flow_cache.invalidated - invalidated_before;
+                    if dropped > 0 {
+                        ctx.trace_instant(
+                            "program",
+                            "flowcache.invalidate",
+                            0,
+                            dropped,
+                            String::new,
+                        );
+                    }
+                    ctx.metrics().inc("fib.apply_batches");
+                    ctx.metrics().add("fib.ops_applied", applied.len() as u64);
                 }
                 self.walker_batch_buf = applied;
                 self.arm_walker(ctx);

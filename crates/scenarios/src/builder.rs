@@ -455,7 +455,8 @@ fn build_generic(bp: Blueprint, mode: Mode, cfg: &ScenarioConfig) -> BuiltScenar
         world.set_wall_clock(clock);
     }
     if cfg.trace {
-        world.enable_trace(100_000);
+        world.enable_trace(1_000_000);
+        world.enable_metrics();
     }
     let lanp = LinkParams::gigabit(SimDuration::from_micros(10));
 

@@ -44,15 +44,17 @@
 pub mod builder;
 pub mod events;
 pub mod json;
+pub mod phases;
 pub mod runner;
 pub mod topo;
 
 pub use builder::{build_scenario, BuiltScenario, FeedSource, MrtReplayFeed, ScenarioConfig};
 pub use events::{EventScript, LinkRef, NodeRef, ProviderSel, ScenarioEvent};
+pub use phases::{reconstruct_cycle, CyclePhases};
 pub use runner::{
-    expected_budget, mode_label, parse_completed_cells, run_scenario, run_suite, run_suite_resume,
-    run_suite_with, CompletedCell, CycleOutcome, ScenarioOutcome, SuiteConfig, SuiteReport,
-    TrialError, TrialResult,
+    expected_budget, mode_label, parse_completed_cells, run_scenario, run_scenario_traced,
+    run_suite, run_suite_resume, run_suite_with, CompletedCell, CycleOutcome, ScenarioOutcome,
+    SuiteConfig, SuiteReport, TraceArtifacts, TrialError, TrialResult,
 };
 pub use sc_invariant::{InvariantReport, ViolationClass, WindowViolations};
 pub use sc_lab::Mode;

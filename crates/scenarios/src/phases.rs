@@ -1,0 +1,200 @@
+//! Causal convergence-timeline reconstruction from sc-trace records.
+//!
+//! A convergence cycle — failure onset to the last flow's recovery — is
+//! opaque in the aggregate `cycle_*` columns: the same 80 ms can be 75 ms
+//! of BFD detection plus 5 ms of FIB work, or the reverse, and the fix
+//! differs completely. This module stitches the kernel's trace records
+//! into a per-cycle phase breakdown:
+//!
+//! * **detect** — failure onset → the first `detect`-category event
+//!   (`bfd.down`, `session.down`, `liveness.expired`);
+//! * **notify** — detection → the first `program`-category event (the
+//!   controller's reaction delay + plan computation supercharged; RIB
+//!   withdrawal → first FIB burst legacy);
+//! * **program** — first → last `program` event before restoration
+//!   (flow-mod batches and acks supercharged; FIB walker batches and
+//!   flow-cache invalidations legacy);
+//! * **fib** — last programming action → measured restoration (the tail
+//!   the data plane needed after the final table write).
+//!
+//! Anchors are clamped into `[t_fail, t_restored]`, so the four phases
+//! sum *exactly* to the measured per-cycle convergence time: the
+//! breakdown partitions the measurement, it never re-estimates it.
+//! Reconstruction is pure post-processing over the flight-recorder ring
+//! — it can never perturb the simulation it explains.
+
+use sc_net::{SimDuration, SimTime};
+use sc_sim::TraceEvent;
+
+/// One cycle's convergence time split into causal phases. All four
+/// durations sum to the measured per-cycle convergence (worst per-flow
+/// gap) by construction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CyclePhases {
+    /// Failure onset → first detection event.
+    pub detect: SimDuration,
+    /// Detection → first programming action.
+    pub notify: SimDuration,
+    /// First → last programming action before restoration.
+    pub program: SimDuration,
+    /// Last programming action → measured restoration.
+    pub fib: SimDuration,
+}
+
+impl CyclePhases {
+    /// The phases re-assembled — equals the measured convergence time.
+    pub fn total(&self) -> SimDuration {
+        self.detect + self.notify + self.program + self.fib
+    }
+}
+
+/// Reconstruct the phase breakdown of one measurement cycle from the
+/// merged trace. `records` must be in trace order (the ring's native
+/// order); `conv` is the cycle's measured convergence time (worst
+/// per-flow gap). Returns `None` when the cycle never converged
+/// (`conv == 0` means no gap was measured) or when no detection event
+/// landed inside the window — a blank column is honest, a zero is not.
+pub fn reconstruct_cycle(
+    records: &[TraceEvent],
+    t_fail: SimTime,
+    t_close: SimTime,
+    conv: SimDuration,
+) -> Option<CyclePhases> {
+    if conv == SimDuration::ZERO {
+        return None;
+    }
+    let t_restored = t_fail + conv;
+    let in_cycle = |e: &TraceEvent| e.time >= t_fail && e.time < t_close;
+    let t_detect = records
+        .iter()
+        .find(|e| in_cycle(e) && e.cat == "detect")
+        .map(|e| e.time)?
+        .min(t_restored);
+    // First and last programming actions attributable to this failure:
+    // at or after detection, at or before the measured restoration.
+    let mut t_p0: Option<SimTime> = None;
+    let mut t_p1: Option<SimTime> = None;
+    for e in records.iter().filter(|e| in_cycle(e)) {
+        if e.cat != "program" || e.time < t_detect {
+            continue;
+        }
+        if t_p0.is_none() {
+            t_p0 = Some(e.time.min(t_restored));
+        }
+        if e.time <= t_restored {
+            t_p1 = Some(e.time);
+        }
+    }
+    // No programming observed (e.g. the ring evicted it, or recovery
+    // needed no table change): collapse notify/program to zero and let
+    // `fib` carry the remainder — the sum must still be exact.
+    let t_p0 = t_p0.unwrap_or(t_detect).max(t_detect);
+    let t_p1 = t_p1.unwrap_or(t_p0).max(t_p0);
+    Some(CyclePhases {
+        detect: t_detect - t_fail,
+        notify: t_p0 - t_detect,
+        program: t_p1 - t_p0,
+        fib: t_restored - t_p1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_sim::{NodeId, TracePhase};
+
+    fn ev(t_ns: u64, cat: &'static str) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_nanos(t_ns),
+            cause: 0,
+            sub: 0,
+            node: NodeId(0),
+            phase: TracePhase::Instant,
+            cat,
+            name: cat,
+            id: 0,
+            v: 0,
+            detail: String::new(),
+        }
+    }
+
+    const US: u64 = 1_000;
+
+    #[test]
+    fn phases_partition_the_measured_cycle() {
+        // fail at 100us, detect at 190us, program at 195us..240us,
+        // restored at 250us.
+        let records = vec![
+            ev(50 * US, "program"), // pre-failure noise: ignored
+            ev(190 * US, "detect"),
+            ev(195 * US, "program"),
+            ev(240 * US, "program"),
+            ev(400 * US, "program"), // after restoration: ignored for p1
+        ];
+        let p = reconstruct_cycle(
+            &records,
+            SimTime::from_nanos(100 * US),
+            SimTime::from_nanos(500 * US),
+            SimDuration::from_micros(150),
+        )
+        .unwrap();
+        assert_eq!(p.detect, SimDuration::from_micros(90));
+        assert_eq!(p.notify, SimDuration::from_micros(5));
+        assert_eq!(p.program, SimDuration::from_micros(45));
+        assert_eq!(p.fib, SimDuration::from_micros(10));
+        assert_eq!(p.total(), SimDuration::from_micros(150));
+    }
+
+    #[test]
+    fn no_detection_or_no_convergence_is_blank() {
+        let records = vec![ev(190 * US, "program")];
+        assert!(reconstruct_cycle(
+            &records,
+            SimTime::from_nanos(100 * US),
+            SimTime::from_nanos(500 * US),
+            SimDuration::from_micros(150),
+        )
+        .is_none());
+        assert!(reconstruct_cycle(
+            &[ev(190 * US, "detect")],
+            SimTime::from_nanos(100 * US),
+            SimTime::from_nanos(500 * US),
+            SimDuration::ZERO,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn missing_program_events_fold_into_fib_tail() {
+        let records = vec![ev(120 * US, "detect")];
+        let p = reconstruct_cycle(
+            &records,
+            SimTime::from_nanos(100 * US),
+            SimTime::from_nanos(500 * US),
+            SimDuration::from_micros(100),
+        )
+        .unwrap();
+        assert_eq!(p.detect, SimDuration::from_micros(20));
+        assert_eq!(p.notify, SimDuration::ZERO);
+        assert_eq!(p.program, SimDuration::ZERO);
+        assert_eq!(p.fib, SimDuration::from_micros(80));
+        assert_eq!(p.total(), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn late_detection_clamps_to_restoration() {
+        // Detection recorded after the measured restoration (a sibling
+        // session noticing late): the breakdown still partitions conv.
+        let records = vec![ev(300 * US, "detect")];
+        let p = reconstruct_cycle(
+            &records,
+            SimTime::from_nanos(100 * US),
+            SimTime::from_nanos(500 * US),
+            SimDuration::from_micros(150),
+        )
+        .unwrap();
+        assert_eq!(p.total(), SimDuration::from_micros(150));
+        assert_eq!(p.detect, SimDuration::from_micros(150));
+        assert_eq!(p.fib, SimDuration::ZERO);
+    }
+}

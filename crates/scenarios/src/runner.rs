@@ -13,6 +13,7 @@
 use crate::builder::{build_scenario, BuiltScenario, FeedSource, ScenarioConfig};
 use crate::events::{resolve_provider, schedule_injection, EventScript, ScenarioEvent};
 use crate::json::Json;
+use crate::phases::{reconstruct_cycle, CyclePhases};
 use crate::topo::TopologySpec;
 use sc_invariant::{
     sample_flags, InvariantRecorder, InvariantReport, NetModel, ProbeSpec, TransitPolicy,
@@ -68,6 +69,11 @@ pub struct CycleOutcome {
     /// Time R1 spent in router-driven degraded mode (every controller
     /// session down) inside this cycle's window. Zero in legacy mode.
     pub degraded: SimDuration,
+    /// Causal phase breakdown reconstructed from the trace
+    /// ([`crate::phases`]); `None` unless [`ScenarioConfig::trace`] was
+    /// on and the cycle's anchors were observed. When present, the four
+    /// phases sum exactly to this cycle's measured worst per-flow gap.
+    pub phases: Option<CyclePhases>,
 }
 
 impl CycleOutcome {
@@ -121,6 +127,20 @@ impl ScenarioOutcome {
     }
 }
 
+/// The exported observability artifacts of one traced trial: the
+/// flight-recorder ring in both serializations plus the merged metrics
+/// registry. Every field is byte-reproducible across reruns, schedulers
+/// and shard counts (the determinism contract).
+#[derive(Clone, Debug)]
+pub struct TraceArtifacts {
+    /// One JSON object per trace record (first line is the meta header).
+    pub jsonl: String,
+    /// Chrome `trace_event` JSON — open in Perfetto / `chrome://tracing`.
+    pub chrome: String,
+    /// The counters/histograms registry (kernel + per-node folds).
+    pub metrics_json: String,
+}
+
 /// Run one scenario trial end to end.
 pub fn run_scenario(
     topo: &TopologySpec,
@@ -128,6 +148,18 @@ pub fn run_scenario(
     mode: Mode,
     cfg: &ScenarioConfig,
 ) -> ScenarioOutcome {
+    run_scenario_traced(topo, script, mode, cfg).0
+}
+
+/// [`run_scenario`], also returning the trace artifacts when
+/// [`ScenarioConfig::trace`] is on (`None` otherwise). The outcome is
+/// identical either way — export happens after the world stops.
+pub fn run_scenario_traced(
+    topo: &TopologySpec,
+    script: &EventScript,
+    mode: Mode,
+    cfg: &ScenarioConfig,
+) -> (ScenarioOutcome, Option<TraceArtifacts>) {
     let mut scn = build_scenario(topo, mode, cfg);
     script.validate(&scn).unwrap_or_else(|e| {
         panic!(
@@ -208,6 +240,13 @@ pub fn run_scenario(
 
     // Phase 4: walk the cycle windows and harvest each.
     let harvests = run_cycles_and_harvest(&mut scn.world, scn.sink, &plan, cfg.flows);
+    // Snapshot the flight recorder once (ring order == causal order) for
+    // per-cycle phase reconstruction and the exported artifacts.
+    let trace_records: Option<Vec<sc_sim::TraceEvent>> = scn
+        .world
+        .trace()
+        .is_enabled()
+        .then(|| scn.world.trace().records().cloned().collect());
     let cycles: Vec<CycleOutcome> = plan
         .cycles
         .iter()
@@ -217,6 +256,15 @@ pub fn run_scenario(
             per_flow: h.per_flow.clone(),
             unrecovered: h.unrecovered,
             degraded: scn.degraded_in_window(w.t_fail, w.t_close),
+            phases: trace_records.as_deref().and_then(|recs| {
+                let conv = h
+                    .per_flow
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(SimDuration::ZERO);
+                reconstruct_cycle(recs, w.t_fail, w.t_close, conv)
+            }),
         })
         .collect();
     // Pooled view: per-flow worst gap over all cycles; end-state health
@@ -232,7 +280,34 @@ pub fn run_scenario(
         .collect();
     let unrecovered = cycles.last().map(|c| c.unrecovered).unwrap_or(0);
 
-    ScenarioOutcome {
+    // Export artifacts last: fold every node's lifetime counters into
+    // the kernel-merged registry, then serialize the ring. The fold is
+    // pure inspection over stopped nodes, so the outcome above is
+    // untouched.
+    let artifacts = trace_records.is_some().then(|| {
+        let mut folded = sc_net::metrics::Registry::enabled();
+        for id in std::iter::once(scn.r1)
+            .chain(scn.providers.iter().copied())
+            .chain(scn.forwarders.iter().copied())
+        {
+            scn.world
+                .node::<sc_router::LegacyRouter>(id)
+                .fold_metrics(&mut folded);
+        }
+        for &c in &scn.controllers {
+            scn.world
+                .node::<supercharger::Controller>(c)
+                .fold_metrics(&mut folded);
+        }
+        scn.world.metrics_mut().merge(&folded);
+        TraceArtifacts {
+            jsonl: scn.world.trace().to_jsonl(),
+            chrome: scn.world.trace().to_chrome(),
+            metrics_json: scn.world.metrics().to_json(),
+        }
+    });
+
+    let outcome = ScenarioOutcome {
         topology: scn.blueprint.label.clone(),
         script: script.name.clone(),
         mode,
@@ -250,7 +325,8 @@ pub fn run_scenario(
         events_processed: scn.world.stats().events_processed,
         events_per_sec: scn.world.events_per_sec() as u64,
         invariants: recorder.map(|rec| rec.borrow().clone().report()),
-    }
+    };
+    (outcome, artifacts)
 }
 
 /// The transit bans a script implies: a provider that withdrew a prefix
@@ -620,7 +696,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// The CSV column set; `error` is last so error rows can pad every
 /// metric column and append the message.
-const CSV_HEADER: [&str; 25] = [
+const CSV_HEADER: [&str; 29] = [
     "topology",
     "script",
     "mode",
@@ -645,6 +721,10 @@ const CSV_HEADER: [&str; 25] = [
     "viol_transit_us",
     "degraded_us",
     "flowmod_retries",
+    "detect_us",
+    "notify_us",
+    "program_us",
+    "fib_us",
     "error",
 ];
 
@@ -681,6 +761,16 @@ impl SuiteReport {
                     .as_ref()
                     .map(|inv| us(inv.total(c)))
                     .unwrap_or_default()
+            };
+            // Phase columns stay fully blank for untraced rows; a traced
+            // row joins per-cycle values, blanking cycles whose anchors
+            // the reconstructor could not find.
+            let phase = |f: &dyn Fn(&CyclePhases) -> SimDuration| {
+                if row.cycles.iter().any(|c| c.phases.is_some()) {
+                    joined(&|c| c.phases.as_ref().map(|p| us(f(p))).unwrap_or_default())
+                } else {
+                    String::new()
+                }
             };
             csv.row(&[
                 row.topology.clone(),
@@ -722,6 +812,13 @@ impl SuiteReport {
                 row.flowmod_retries
                     .map(|n| n.to_string())
                     .unwrap_or_default(),
+                // Trace-reconstructed phase columns (`;`-joined per
+                // cycle, like the other cycle columns); blank when the
+                // trial ran untraced or a cycle's anchors were missing.
+                phase(&|p| p.detect),
+                phase(&|p| p.notify),
+                phase(&|p| p.program),
+                phase(&|p| p.fib),
                 String::new(),
             ]);
         }
@@ -846,6 +943,14 @@ impl SuiteReport {
                                 .push("stats_ns", stats_obj(&c.stats()));
                             if row.flowmod_retries.is_some() {
                                 cy.push("degraded_ns", ns(c.degraded));
+                            }
+                            // Phase fields appear only on traced runs, so
+                            // untraced reports keep their prior byte shape.
+                            if let Some(p) = &c.phases {
+                                cy.push("detect_ns", ns(p.detect))
+                                    .push("notify_ns", ns(p.notify))
+                                    .push("program_ns", ns(p.program))
+                                    .push("fib_ns", ns(p.fib));
                             }
                             if let Some(w) =
                                 row.invariants.as_ref().and_then(|inv| inv.windows.get(i))

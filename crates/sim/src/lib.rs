@@ -16,8 +16,10 @@
 //! * [`world::World`] — the kernel: owns nodes, links, the event queue
 //!   and the RNG; provides failure injection (link down, node crash) and
 //!   scripted control events for experiment drivers.
-//! * [`trace`] — a bounded in-memory trace of annotated events for tests
-//!   and debugging.
+//! * [`trace`] — sc-trace: a deterministic, causally-keyed flight
+//!   recorder whose exports are byte-identical across every scheduler
+//!   at any shard count (plus a counters/histograms registry living in
+//!   `sc_net::metrics`).
 
 pub mod link;
 pub mod netutil;
@@ -30,5 +32,5 @@ pub use link::{Endpoint, LinkId, LinkParams};
 pub use netutil::ChannelPort;
 pub use node::{Ctx, Node, NodeId, PortId, TimerToken};
 pub use sched::SchedulerKind;
-pub use trace::{Trace, TraceRecord};
+pub use trace::{Trace, TraceEvent, TracePhase};
 pub use world::{WallClock, World, WorldStats};

@@ -50,8 +50,12 @@ pub(crate) enum Action {
 pub struct Ctx<'a> {
     pub(crate) now: SimTime,
     pub(crate) node: NodeId,
+    /// Origin key of the kernel event being dispatched — the causal
+    /// stamp for every trace record this invocation emits.
+    pub(crate) cause: u64,
     pub(crate) actions: Vec<Action>,
     pub(crate) trace: &'a mut crate::trace::Trace,
+    pub(crate) metrics: &'a mut sc_net::metrics::Registry,
 }
 
 impl<'a> Ctx<'a> {
@@ -99,11 +103,84 @@ impl<'a> Ctx<'a> {
         });
     }
 
-    /// Record a trace line (no-op unless tracing is enabled on the world).
+    /// Record a free-form trace line (no-op unless tracing is enabled).
     pub fn trace(&mut self, category: &'static str, message: impl FnOnce() -> String) {
-        let node = self.node;
-        let now = self.now;
-        self.trace.record(now, node, category, message);
+        self.trace_instant(category, category, 0, 0, message);
+    }
+
+    /// Record a structured point event. `detail` only renders when
+    /// tracing is enabled; the disabled path is a single branch.
+    pub fn trace_instant(
+        &mut self,
+        cat: &'static str,
+        name: &'static str,
+        id: u64,
+        v: u64,
+        detail: impl FnOnce() -> String,
+    ) {
+        self.trace.emit(
+            self.now,
+            self.cause,
+            self.node,
+            crate::trace::TracePhase::Instant,
+            cat,
+            name,
+            id,
+            v,
+            detail,
+        );
+    }
+
+    /// Open a span; close it with [`Ctx::span_end`] using the same
+    /// `name` and correlation `id` (possibly from a later invocation).
+    pub fn span_begin(&mut self, cat: &'static str, name: &'static str, id: u64, v: u64) {
+        self.trace.emit(
+            self.now,
+            self.cause,
+            self.node,
+            crate::trace::TracePhase::Begin,
+            cat,
+            name,
+            id,
+            v,
+            String::new,
+        );
+    }
+
+    /// Close a span opened by [`Ctx::span_begin`].
+    pub fn span_end(&mut self, cat: &'static str, name: &'static str, id: u64, v: u64) {
+        self.trace.emit(
+            self.now,
+            self.cause,
+            self.node,
+            crate::trace::TracePhase::End,
+            cat,
+            name,
+            id,
+            v,
+            String::new,
+        );
+    }
+
+    /// Record a sampled counter value on this node's timeline.
+    pub fn trace_counter(&mut self, cat: &'static str, name: &'static str, v: u64) {
+        self.trace.emit(
+            self.now,
+            self.cause,
+            self.node,
+            crate::trace::TracePhase::Counter,
+            cat,
+            name,
+            0,
+            v,
+            String::new,
+        );
+    }
+
+    /// The world's metrics registry (counters + histograms). Recording
+    /// is a no-op unless the registry is enabled on the world.
+    pub fn metrics(&mut self) -> &mut sc_net::metrics::Registry {
+        self.metrics
     }
 }
 

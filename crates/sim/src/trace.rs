@@ -1,28 +1,103 @@
-//! Bounded in-memory event tracing.
+//! sc-trace: deterministic causal tracing (flight recorder).
 //!
-//! Tracing is opt-in: when disabled (the default for large sweeps) the
-//! record call is a branch and nothing else, so hot paths stay cheap.
+//! Tracing is opt-in and zero-cost-when-off: the record call is one
+//! branch and nothing else on the disabled path (names are
+//! `&'static str`, details are closures that never run). When enabled,
+//! every record is stamped with sim-time plus a **causal key**:
+//!
+//! * `cause` — the origin key of the kernel event whose dispatch
+//!   produced this record (the same `(time, origin)` total order the
+//!   scheduler uses), and
+//! * `sub` — the record's index within that one dispatch.
+//!
+//! `(time, cause, sub)` is globally unique and sorting by it
+//! reconstructs the exact serial processing order. That is what makes
+//! trace output part of the byte-identical determinism contract: the
+//! sharded kernel records into per-shard rings during a lookahead
+//! window, and the barrier merge-sorts the batches back into the world
+//! ring, producing the same bytes as the reference serial run at any
+//! shard count.
+//!
+//! Eviction in the bounded ring is also scheduler-independent: a shard
+//! ring only evicts a record once `capacity` younger records exist *on
+//! the same shard*, and those younger records alone would evict it from
+//! the merged ring too — so bounded shard rings followed by a merged
+//! truncation retain exactly the records a serial bounded ring would.
 
 use crate::node::NodeId;
 use sc_net::SimTime;
 use std::collections::VecDeque;
+use std::fmt::Write as _;
 
-/// One trace line.
-#[derive(Clone, Debug)]
-pub struct TraceRecord {
-    pub time: SimTime,
-    pub node: NodeId,
-    pub category: &'static str,
-    pub message: String,
+/// How a record renders on a timeline (Chrome `trace_event` phases).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TracePhase {
+    /// A point event ("i" in Chrome).
+    // sc-check: allow(no-wall-clock) -- the Chrome trace-phase name, not std::time
+    Instant,
+    /// Opens a span; paired with [`TracePhase::End`] by `id` ("B").
+    Begin,
+    /// Closes a span ("E").
+    End,
+    /// A sampled counter value ("C").
+    Counter,
 }
 
-/// A bounded ring of trace records.
+impl TracePhase {
+    fn chrome(self) -> &'static str {
+        match self {
+            TracePhase::Instant => "i",
+            TracePhase::Begin => "B",
+            TracePhase::End => "E",
+            TracePhase::Counter => "C",
+        }
+    }
+}
+
+/// One structured trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub time: SimTime,
+    /// Origin key of the kernel event whose dispatch produced this.
+    pub cause: u64,
+    /// Index of this record within its dispatch.
+    pub sub: u32,
+    pub node: NodeId,
+    pub phase: TracePhase,
+    /// Coarse category ("detect", "program", "bgp", "kernel", ...).
+    pub cat: &'static str,
+    /// Specific event name ("bfd.down", "flowmod.batch", ...).
+    pub name: &'static str,
+    /// Span/flow correlation id (barrier token, session index, ...).
+    pub id: u64,
+    /// Numeric payload (batch size, queue depth, counter value, ...).
+    pub v: u64,
+    /// Lazily rendered free-form detail; empty when not provided.
+    pub detail: String,
+}
+
+impl TraceEvent {
+    /// The global total-order key.
+    #[inline]
+    pub fn key(&self) -> (SimTime, u64, u32) {
+        (self.time, self.cause, self.sub)
+    }
+}
+
+/// A bounded flight-recorder ring of trace records.
 #[derive(Debug)]
 pub struct Trace {
     enabled: bool,
     capacity: usize,
-    records: VecDeque<TraceRecord>,
-    dropped: u64,
+    records: VecDeque<TraceEvent>,
+    /// Total records ever recorded (retained + evicted).
+    recorded: u64,
+    // Sub-index tracking: consecutive records from one dispatch share
+    // (time, cause) and get increasing `sub`. A dispatch runs on
+    // exactly one executor, so per-ring tracking is exact.
+    last_time: SimTime,
+    last_cause: u64,
+    next_sub: u32,
 }
 
 impl Trace {
@@ -32,7 +107,10 @@ impl Trace {
             enabled: false,
             capacity: 0,
             records: VecDeque::new(),
-            dropped: 0,
+            recorded: 0,
+            last_time: SimTime::ZERO,
+            last_cause: u64::MAX,
+            next_sub: 0,
         }
     }
 
@@ -42,7 +120,25 @@ impl Trace {
             enabled: true,
             capacity,
             records: VecDeque::with_capacity(capacity.min(4096)),
-            dropped: 0,
+            recorded: 0,
+            last_time: SimTime::ZERO,
+            last_cause: u64::MAX,
+            next_sub: 0,
+        }
+    }
+
+    /// Full-capture mode: nothing is ever evicted.
+    pub fn full() -> Trace {
+        Trace::bounded(usize::MAX)
+    }
+
+    /// An empty ring with the same enablement/capacity as `self`
+    /// (per-shard scratch rings mirroring the world ring).
+    pub fn fork_empty(&self) -> Trace {
+        if self.enabled {
+            Trace::bounded(self.capacity)
+        } else {
+            Trace::disabled()
         }
     }
 
@@ -51,31 +147,56 @@ impl Trace {
         self.enabled
     }
 
-    /// Record a line; `message` is only rendered when enabled.
-    pub fn record(
+    /// The ring bound (`usize::MAX` in full-capture mode).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record one event. `detail` only runs when tracing is enabled.
+    #[allow(clippy::too_many_arguments)] // flat args keep the disabled path branch-only
+    pub fn emit(
         &mut self,
         time: SimTime,
+        cause: u64,
         node: NodeId,
-        category: &'static str,
-        message: impl FnOnce() -> String,
+        phase: TracePhase,
+        cat: &'static str,
+        name: &'static str,
+        id: u64,
+        v: u64,
+        detail: impl FnOnce() -> String,
     ) {
         if !self.enabled {
             return;
         }
+        let sub = if time == self.last_time && cause == self.last_cause {
+            self.next_sub
+        } else {
+            self.last_time = time;
+            self.last_cause = cause;
+            0
+        };
+        self.next_sub = sub + 1;
         if self.records.len() == self.capacity {
             self.records.pop_front();
-            self.dropped += 1;
         }
-        self.records.push_back(TraceRecord {
+        self.recorded += 1;
+        self.records.push_back(TraceEvent {
             time,
+            cause,
+            sub,
             node,
-            category,
-            message: message(),
+            phase,
+            cat,
+            name,
+            id,
+            v,
+            detail: detail(),
         });
     }
 
-    /// The retained records, oldest first.
-    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+    /// The retained records, in processing order.
+    pub fn records(&self) -> impl Iterator<Item = &TraceEvent> {
         self.records.iter()
     }
 
@@ -83,63 +204,292 @@ impl Trace {
     pub fn in_category<'a>(
         &'a self,
         category: &'a str,
-    ) -> impl Iterator<Item = &'a TraceRecord> + 'a {
-        self.records.iter().filter(move |r| r.category == category)
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.records.iter().filter(move |r| r.cat == category)
     }
 
-    /// Number of records evicted by the bound.
+    /// Total records ever recorded (retained + evicted).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Number of records evicted by the ring bound.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.recorded - self.records.len() as u64
+    }
+
+    /// Drain this ring: retained records in order, plus the total
+    /// recorded count. Used by the sharded kernel to hand a window's
+    /// batch back to the world at a barrier.
+    pub fn drain_batch(&mut self) -> (Vec<TraceEvent>, u64) {
+        let recorded = self.recorded;
+        self.recorded = 0;
+        self.last_cause = u64::MAX;
+        self.last_time = SimTime::ZERO;
+        self.next_sub = 0;
+        (self.records.drain(..).collect(), recorded)
+    }
+
+    /// Merge per-shard window batches into this ring.
+    ///
+    /// The batches all cover the same time window (disjoint cause
+    /// keys), and every record in them is newer than anything already
+    /// retained, so sorting the union by `(time, cause, sub)` and
+    /// appending reproduces exactly what a serial run would have
+    /// recorded — including which records the bound evicts.
+    pub fn absorb_batches(&mut self, batches: Vec<(Vec<TraceEvent>, u64)>) {
+        if !self.enabled {
+            return;
+        }
+        let mut all: Vec<TraceEvent> = Vec::new();
+        for (batch, recorded) in batches {
+            // Evicted-on-shard records are evicted in the merged view
+            // too (>= capacity younger same-shard records dominate
+            // them), so the recorded count carries over unchanged.
+            self.recorded += recorded;
+            all.extend(batch);
+        }
+        all.sort_unstable_by_key(|e| e.key());
+        for e in all {
+            if self.records.len() == self.capacity {
+                self.records.pop_front();
+            }
+            self.records.push_back(e);
+        }
+        // Cross-batch appends never continue a dispatch, so reset the
+        // sub tracking; the next direct emit starts a new dispatch.
+        self.last_cause = u64::MAX;
+        self.last_time = SimTime::ZERO;
+        self.next_sub = 0;
     }
 
     /// Render all retained records as lines (for debugging dumps).
     pub fn render(&self) -> String {
         let mut out = String::new();
         for r in &self.records {
-            out.push_str(&format!(
-                "[{}] {} {}: {}\n",
-                r.time, r.node, r.category, r.message
-            ));
+            let _ = writeln!(
+                out,
+                "[{}] {} {}/{} id={} v={} {}",
+                r.time, r.node, r.cat, r.name, r.id, r.v, r.detail
+            );
         }
         out
     }
+
+    /// Byte-reproducible JSONL export: a meta line, then one object per
+    /// record in processing order. Integers only; no floats, no maps.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"meta\":\"sc-trace\",\"recorded\":{},\"dropped\":{}}}",
+            self.recorded,
+            self.dropped()
+        );
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{{\"t_ns\":{},\"cause\":{},\"sub\":{},\"node\":{},\"ph\":\"{}\",\
+                 \"cat\":\"{}\",\"name\":\"{}\",\"id\":{},\"v\":{},\"detail\":\"{}\"}}",
+                r.time.as_nanos(),
+                r.cause,
+                r.sub,
+                r.node.0,
+                r.phase.chrome(),
+                r.cat,
+                r.name,
+                r.id,
+                r.v,
+                escape_json(&r.detail),
+            );
+        }
+        out
+    }
+
+    /// Chrome `trace_event` JSON (load in Perfetto / chrome://tracing).
+    /// `ts` is microseconds rendered as a fixed 3-decimal string from
+    /// integer nanoseconds — byte-reproducible, no float formatting.
+    pub fn to_chrome(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let ns = r.time.as_nanos();
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{}.{:03},\
+                 \"pid\":0,\"tid\":{}",
+                r.name,
+                r.cat,
+                r.phase.chrome(),
+                ns / 1000,
+                ns % 1000,
+                r.node.0,
+            );
+            if r.phase == TracePhase::Instant {
+                out.push_str(",\"s\":\"t\"");
+            }
+            let _ = write!(
+                out,
+                ",\"args\":{{\"cause\":{},\"sub\":{},\"id\":{},\"v\":{}",
+                r.cause, r.sub, r.id, r.v
+            );
+            if !r.detail.is_empty() {
+                let _ = write!(out, ",\"detail\":\"{}\"", escape_json(&r.detail));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (details are our own text, but keep the
+/// exports well-formed whatever they contain).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn ev(t: &mut Trace, ms: u64, cause: u64, name: &'static str) {
+        t.emit(
+            SimTime::from_millis(ms),
+            cause,
+            NodeId(0),
+            TracePhase::Instant,
+            "c",
+            name,
+            0,
+            0,
+            String::new,
+        );
+    }
+
     #[test]
     fn disabled_trace_discards() {
         let mut t = Trace::disabled();
         let mut rendered = false;
-        t.record(SimTime::ZERO, NodeId(0), "x", || {
-            rendered = true;
-            "msg".into()
-        });
-        assert!(!rendered, "message closure must not run when disabled");
+        t.emit(
+            SimTime::ZERO,
+            0,
+            NodeId(0),
+            TracePhase::Instant,
+            "x",
+            "x",
+            0,
+            0,
+            || {
+                rendered = true;
+                "msg".into()
+            },
+        );
+        assert!(!rendered, "detail closure must not run when disabled");
         assert_eq!(t.records().count(), 0);
+        assert_eq!(t.recorded(), 0);
     }
 
     #[test]
     fn bounded_trace_evicts_oldest() {
         let mut t = Trace::bounded(2);
         for i in 0..4u64 {
-            t.record(SimTime::from_millis(i), NodeId(0), "c", || format!("{i}"));
+            ev(&mut t, i, i, "e");
         }
-        let msgs: Vec<&str> = t.records().map(|r| r.message.as_str()).collect();
-        assert_eq!(msgs, vec!["2", "3"]);
+        let times: Vec<u64> = t.records().map(|r| r.time.as_millis()).collect();
+        assert_eq!(times, vec![2, 3]);
         assert_eq!(t.dropped(), 2);
+        assert_eq!(t.recorded(), 4);
     }
 
     #[test]
-    fn category_filter() {
+    fn sub_indices_count_within_a_dispatch() {
         let mut t = Trace::bounded(10);
-        t.record(SimTime::ZERO, NodeId(1), "bgp", || "a".into());
-        t.record(SimTime::ZERO, NodeId(1), "arp", || "b".into());
-        t.record(SimTime::ZERO, NodeId(2), "bgp", || "c".into());
-        assert_eq!(t.in_category("bgp").count(), 2);
-        assert_eq!(t.in_category("arp").count(), 1);
-        assert!(t.render().contains("arp"));
+        ev(&mut t, 1, 7, "a");
+        ev(&mut t, 1, 7, "b");
+        ev(&mut t, 1, 9, "c");
+        ev(&mut t, 2, 9, "d");
+        let subs: Vec<u32> = t.records().map(|r| r.sub).collect();
+        assert_eq!(subs, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn absorb_batches_matches_serial_order_and_eviction() {
+        // Serial reference: one ring sees everything in key order.
+        let mut serial = Trace::bounded(3);
+        let mut shard_a = Trace::bounded(3);
+        let mut shard_b = Trace::bounded(3);
+        // Shard A handles causes 10,30; shard B handles 20,40 — all in
+        // one window at t=1ms, then t=2ms.
+        for (ms, cause) in [(1, 10), (1, 20), (1, 30), (2, 40)] {
+            ev(&mut serial, ms, cause, "e");
+            ev(&mut serial, ms, cause, "e2");
+        }
+        for (ms, cause) in [(1, 10), (1, 30)] {
+            ev(&mut shard_a, ms, cause, "e");
+            ev(&mut shard_a, ms, cause, "e2");
+        }
+        for (ms, cause) in [(1, 20), (2, 40)] {
+            ev(&mut shard_b, ms, cause, "e");
+            ev(&mut shard_b, ms, cause, "e2");
+        }
+        let mut merged = Trace::bounded(3);
+        // Restore order is completion order — deliberately "wrong".
+        merged.absorb_batches(vec![shard_b.drain_batch(), shard_a.drain_batch()]);
+        let got: Vec<_> = merged.records().map(|r| (r.key(), r.name)).collect();
+        let want: Vec<_> = serial.records().map(|r| (r.key(), r.name)).collect();
+        assert_eq!(got, want);
+        assert_eq!(merged.recorded(), serial.recorded());
+        assert_eq!(merged.to_jsonl(), serial.to_jsonl());
+    }
+
+    #[test]
+    fn exports_are_wellformed_and_escape_details() {
+        let mut t = Trace::bounded(10);
+        t.emit(
+            SimTime::from_millis(1),
+            5,
+            NodeId(3),
+            TracePhase::Begin,
+            "program",
+            "flowmod.batch",
+            42,
+            7,
+            || "q=\"x\"\n".into(),
+        );
+        t.emit(
+            SimTime::from_millis(2),
+            6,
+            NodeId(3),
+            TracePhase::End,
+            "program",
+            "flowmod.batch",
+            42,
+            0,
+            String::new,
+        );
+        let jsonl = t.to_jsonl();
+        assert!(jsonl.starts_with("{\"meta\":\"sc-trace\",\"recorded\":2,\"dropped\":0}"));
+        assert!(jsonl.contains("\\\"x\\\"\\n"));
+        let chrome = t.to_chrome();
+        assert!(chrome.contains("\"ph\":\"B\""));
+        assert!(chrome.contains("\"ts\":1000.000"));
+        assert!(chrome.ends_with("],\"displayTimeUnit\":\"ms\"}\n"));
     }
 }

@@ -28,7 +28,8 @@
 use crate::link::{Endpoint, Link, LinkId, LinkParams};
 use crate::node::{Action, Ctx, Node, NodeId, PortId, TimerToken};
 use crate::sched::{make_scheduler, AnyScheduler, Queued, Scheduler, SchedulerKind, TimerWheel};
-use crate::trace::Trace;
+use crate::trace::{Trace, TraceEvent};
+use sc_net::metrics::Registry;
 use sc_net::{Frame, SimDuration, SimTime};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -151,6 +152,9 @@ pub struct World {
     /// Root of every link's per-direction fault stream.
     seed: u64,
     trace: Trace,
+    /// Counters/histograms registry (sc-trace's metrics half). Disabled
+    /// by default; node handlers record through `Ctx::metrics`.
+    metrics: Registry,
     stats: WorldStats,
     started: bool,
     controls: Vec<Option<ControlFn>>,
@@ -186,6 +190,7 @@ impl World {
             links: Vec::new(),
             seed,
             trace: Trace::disabled(),
+            metrics: Registry::default(),
             stats: WorldStats::default(),
             started: false,
             controls: Vec::new(),
@@ -195,9 +200,23 @@ impl World {
         }
     }
 
-    /// Enable a bounded trace (keep the most recent `capacity` records).
+    /// Enable a bounded trace (keep the most recent `capacity` records)
+    /// and the metrics registry.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Trace::bounded(capacity);
+        self.metrics.enable();
+    }
+
+    /// Enable full-capture tracing (nothing evicted) and the registry.
+    pub fn enable_trace_full(&mut self) {
+        self.trace = Trace::full();
+        self.metrics.enable();
+    }
+
+    /// Enable only the metrics registry (counters/histograms without
+    /// the event ring).
+    pub fn enable_metrics(&mut self) {
+        self.metrics.enable();
     }
 
     /// Current virtual time.
@@ -245,6 +264,17 @@ impl World {
     /// The trace buffer.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Mutable registry access (drivers fold node-local counters in
+    /// before exporting).
+    pub fn metrics_mut(&mut self) -> &mut Registry {
+        &mut self.metrics
     }
 
     /// Attach a node; returns its id.
@@ -400,7 +430,8 @@ impl World {
             self.set_link_up(l, true);
         }
         if self.started {
-            self.dispatch(id, |node, ctx| node.on_start(ctx));
+            let cause = self.next_world_key();
+            self.dispatch(id, cause, |node, ctx| node.on_start(ctx));
         }
     }
 
@@ -503,9 +534,17 @@ impl World {
     /// handler. Stream-0 keys sort below every node key, so co-timed
     /// control effects always precede co-timed node traffic.
     fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_world_key();
+        self.queue.push(Queued { time, seq, kind });
+    }
+
+    /// Next origin key on stream 0 (also the causal stamp for dispatches
+    /// the world performs directly, e.g. `on_start`).
+    #[inline]
+    fn next_world_key(&mut self) -> u64 {
         let seq = self.world_ctr;
         self.world_ctr += 1;
-        self.queue.push(Queued { time, seq, kind });
+        seq
     }
 
     /// Next origin key on node `n`'s stream.
@@ -533,28 +572,29 @@ impl World {
         debug_assert!(ev.time >= self.now, "event queue went backwards");
         self.now = ev.time;
         self.stats.events_processed += 1;
-        self.handle(ev.kind);
+        self.handle(ev.seq, ev.kind);
         true
     }
 
     /// Run until the queue is empty or `deadline` is reached; `now` ends
     /// at `min(deadline, drained)`. Events *at* the deadline run.
     ///
-    /// On a multi-shard scheduler (tracing off) this is the parallel
-    /// path: conservative-lookahead windows executed across worker
-    /// threads. Results are identical either way.
+    /// On a multi-shard scheduler this is the parallel path:
+    /// conservative-lookahead windows executed across worker threads.
+    /// Results — including trace output, which per-shard rings record
+    /// and the barrier merge-sorts back into causal order — are
+    /// byte-identical either way.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
         let t0 = self.wall_clock.map(|clock| clock());
-        let windowed = !self.trace.is_enabled()
-            && matches!(&self.queue, AnyScheduler::Sharded(q) if q.wheels.len() > 1);
+        let windowed = matches!(&self.queue, AnyScheduler::Sharded(q) if q.wheels.len() > 1);
         if windowed {
             self.run_windows(deadline);
         } else {
             while let Some(ev) = self.queue.pop_before(deadline) {
                 self.now = ev.time;
                 self.stats.events_processed += 1;
-                self.handle(ev.kind);
+                self.handle(ev.seq, ev.kind);
             }
         }
         self.accumulate_wall(t0);
@@ -601,11 +641,14 @@ impl World {
         }
         self.started = true;
         for i in 0..self.nodes.len() {
-            self.dispatch(NodeId(i), |node, ctx| node.on_start(ctx));
+            let cause = self.next_world_key();
+            self.dispatch(NodeId(i), cause, |node, ctx| node.on_start(ctx));
         }
     }
 
-    fn handle(&mut self, kind: EventKind) {
+    /// Process one event; `cause` is its origin key (the causal stamp
+    /// for every trace record the dispatch emits).
+    fn handle(&mut self, cause: u64, kind: EventKind) {
         match kind {
             EventKind::Deliver { to, frame } => {
                 if !self.nodes[to.node.0].alive {
@@ -613,7 +656,9 @@ impl World {
                     return;
                 }
                 self.stats.frames_delivered += 1;
-                self.dispatch(to.node, |node, ctx| node.on_frame(ctx, to.port, frame));
+                self.dispatch(to.node, cause, |node, ctx| {
+                    node.on_frame(ctx, to.port, frame)
+                });
             }
             EventKind::Emit { from, frame } => {
                 self.emit(from, frame);
@@ -623,13 +668,13 @@ impl World {
                     return;
                 }
                 self.stats.timers_fired += 1;
-                self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
+                self.dispatch(node, cause, |n, ctx| n.on_timer(ctx, token));
             }
             EventKind::LinkStatus { to, up } => {
                 if !self.nodes[to.node.0].alive {
                     return;
                 }
-                self.dispatch(to.node, |n, ctx| n.on_link_status(ctx, to.port, up));
+                self.dispatch(to.node, cause, |n, ctx| n.on_link_status(ctx, to.port, up));
             }
             EventKind::Control(idx) => {
                 let f = self.controls[idx]
@@ -680,7 +725,7 @@ impl World {
     }
 
     /// Invoke a node handler and apply the actions it requested.
-    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx)) {
+    fn dispatch(&mut self, id: NodeId, cause: u64, f: impl FnOnce(&mut dyn Node, &mut Ctx)) {
         let mut node = self.nodes[id.0]
             .node
             .take()
@@ -688,10 +733,12 @@ impl World {
         let mut ctx = Ctx {
             now: self.now,
             node: id,
+            cause,
             // Dispatch never nests (handlers see a Ctx, not the world),
             // so the buffer is free to lend out here.
             actions: std::mem::take(&mut self.action_buf),
             trace: &mut self.trace,
+            metrics: &mut self.metrics,
         };
         f(node.as_mut(), &mut ctx);
         let mut actions = std::mem::take(&mut ctx.actions);
@@ -763,6 +810,10 @@ impl World {
             (0..shards).map(|s| Some(ShardScratch::new(s))).collect();
         let mut active: Vec<usize> = Vec::with_capacity(shards);
         let mut boundary: Vec<Queued> = Vec::new();
+        // Per-window trace batches from the shard rings; merge-sorted
+        // into the world ring at each barrier (completion order of the
+        // workers must not matter).
+        let mut trace_batches: Vec<(Vec<TraceEvent>, u64)> = Vec::new();
         std::thread::scope(|scope| {
             // One worker per non-inline shard, spawned once for the
             // whole run — a window is a channel round-trip, not a
@@ -798,6 +849,7 @@ impl World {
                     // latency change collapsed the horizon): drain the
                     // whole instant on the main thread so control-vs-
                     // event interleaving matches the reference exactly.
+                    self.metrics.inc("kernel.serial_instants");
                     while let Some((t, _)) = self.queue.peek() {
                         if t != t_min {
                             break;
@@ -805,7 +857,7 @@ impl World {
                         let ev = self.queue.pop().expect("peeked event vanished");
                         self.now = ev.time;
                         self.stats.events_processed += 1;
-                        self.handle(ev.kind);
+                        self.handle(ev.seq, ev.kind);
                     }
                     // Controls may add nodes or repartition: refresh.
                     map = self.snapshot_shard_map();
@@ -830,6 +882,15 @@ impl World {
                         }
                     }
                 }
+                if self.metrics.is_enabled() {
+                    self.metrics.inc("kernel.windows");
+                    self.metrics
+                        .observe("kernel.window_ns", (h - t_min).as_nanos());
+                    self.metrics
+                        .observe("kernel.active_shards", active.len() as u64);
+                    self.metrics
+                        .observe("kernel.queue_depth", self.queue.len() as u64);
+                }
                 if active.len() <= 1 {
                     // One busy shard (or an unbounded horizon with all
                     // activity local): no isolation needed — drain on
@@ -837,7 +898,7 @@ impl World {
                     while let Some(ev) = self.queue.pop_before(h) {
                         self.now = ev.time;
                         self.stats.events_processed += 1;
-                        self.handle(ev.kind);
+                        self.handle(ev.seq, ev.kind);
                     }
                 } else {
                     for (j, &s) in active.iter().enumerate().skip(1) {
@@ -849,11 +910,23 @@ impl World {
                     let mut sc0 = scratches[inline].take().expect("scratch in flight");
                     self.fill_scratch(&mut sc0, t_min, h, &map, &members);
                     sc0.run();
-                    self.restore_scratch(&mut sc0, &map, &members, &mut boundary);
+                    self.restore_scratch(
+                        &mut sc0,
+                        &map,
+                        &members,
+                        &mut boundary,
+                        &mut trace_batches,
+                    );
                     scratches[inline] = Some(sc0);
                     for _ in 1..active.len() {
                         let mut sc = done_rx.recv().expect("window worker died");
-                        self.restore_scratch(&mut sc, &map, &members, &mut boundary);
+                        self.restore_scratch(
+                            &mut sc,
+                            &map,
+                            &members,
+                            &mut boundary,
+                            &mut trace_batches,
+                        );
                         let s = sc.my_shard;
                         scratches[s] = Some(sc);
                     }
@@ -862,6 +935,13 @@ impl World {
                     // target any shard.
                     for ev in boundary.drain(..) {
                         self.queue.push(ev);
+                    }
+                    // Merge the window's shard-ring batches into the
+                    // world ring in causal order (worker completion
+                    // order is irrelevant after the sort).
+                    if !trace_batches.is_empty() {
+                        self.trace
+                            .absorb_batches(std::mem::take(&mut trace_batches));
                     }
                 }
                 self.now = h;
@@ -885,6 +965,14 @@ impl World {
         sc.horizon = horizon;
         sc.stats = WorldStats::default();
         sc.shard_of = Arc::clone(map);
+        if sc.trace.is_enabled() != self.trace.is_enabled()
+            || sc.trace.capacity() != self.trace.capacity()
+        {
+            sc.trace = self.trace.fork_empty();
+        }
+        if self.metrics.is_enabled() && !sc.metrics.is_enabled() {
+            sc.metrics.enable();
+        }
         sc.wheel = match &mut self.queue {
             AnyScheduler::Sharded(q) => q.wheels[sc.my_shard].take(),
             _ => unreachable!(),
@@ -909,6 +997,7 @@ impl World {
         map: &Arc<Vec<u32>>,
         members: &[Vec<usize>],
         boundary: &mut Vec<Queued>,
+        trace_batches: &mut Vec<(Vec<TraceEvent>, u64)>,
     ) {
         match &mut self.queue {
             AnyScheduler::Sharded(q) => q.wheels[sc.my_shard] = sc.wheel.take(),
@@ -930,6 +1019,15 @@ impl World {
             }
         }
         self.stats.merge(&sc.stats);
+        if self.metrics.is_enabled() {
+            self.metrics
+                .observe("kernel.shard_window_events", sc.stats.events_processed);
+            self.metrics.merge(&sc.metrics);
+            sc.metrics.clear();
+        }
+        if sc.trace.is_enabled() {
+            trace_batches.push(sc.trace.drain_batch());
+        }
         boundary.append(&mut sc.outbox);
     }
 }
@@ -966,8 +1064,11 @@ struct ShardScratch {
     /// that is the lookahead guarantee.
     outbox: Vec<Queued>,
     action_buf: Vec<Action>,
-    /// Always disabled: tracing forces the serial path.
+    /// Per-shard trace ring: mirrors the world ring's mode, drained at
+    /// every barrier and merge-sorted back into causal order.
     trace: Trace,
+    /// Per-shard metrics delta; additively merged at every barrier.
+    metrics: Registry,
 }
 
 impl ShardScratch {
@@ -984,6 +1085,7 @@ impl ShardScratch {
             outbox: Vec::new(),
             action_buf: Vec::new(),
             trace: Trace::disabled(),
+            metrics: Registry::default(),
         }
     }
 
@@ -1012,11 +1114,11 @@ impl ShardScratch {
             };
             self.now = ev.time;
             self.stats.events_processed += 1;
-            self.handle(ev.kind);
+            self.handle(ev.seq, ev.kind);
         }
     }
 
-    fn handle(&mut self, kind: EventKind) {
+    fn handle(&mut self, cause: u64, kind: EventKind) {
         match kind {
             EventKind::Deliver { to, frame } => {
                 if !self.slot(to.node.0).alive {
@@ -1024,7 +1126,9 @@ impl ShardScratch {
                     return;
                 }
                 self.stats.frames_delivered += 1;
-                self.dispatch(to.node, |node, ctx| node.on_frame(ctx, to.port, frame));
+                self.dispatch(to.node, cause, |node, ctx| {
+                    node.on_frame(ctx, to.port, frame)
+                });
             }
             EventKind::Emit { from, frame } => {
                 self.emit(from, frame);
@@ -1034,13 +1138,13 @@ impl ShardScratch {
                     return;
                 }
                 self.stats.timers_fired += 1;
-                self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
+                self.dispatch(node, cause, |n, ctx| n.on_timer(ctx, token));
             }
             EventKind::LinkStatus { to, up } => {
                 if !self.slot(to.node.0).alive {
                     return;
                 }
-                self.dispatch(to.node, |n, ctx| n.on_link_status(ctx, to.port, up));
+                self.dispatch(to.node, cause, |n, ctx| n.on_link_status(ctx, to.port, up));
             }
             EventKind::Control(_) => {
                 unreachable!("control event routed to a shard wheel")
@@ -1106,7 +1210,7 @@ impl ShardScratch {
         });
     }
 
-    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx)) {
+    fn dispatch(&mut self, id: NodeId, cause: u64, f: impl FnOnce(&mut dyn Node, &mut Ctx)) {
         let mut node = self
             .slot(id.0)
             .node
@@ -1115,8 +1219,10 @@ impl ShardScratch {
         let mut ctx = Ctx {
             now: self.now,
             node: id,
+            cause,
             actions: std::mem::take(&mut self.action_buf),
             trace: &mut self.trace,
+            metrics: &mut self.metrics,
         };
         f(node.as_mut(), &mut ctx);
         let mut actions = std::mem::take(&mut ctx.actions);
@@ -1182,6 +1288,14 @@ mod tests {
             &self.name
         }
         fn on_frame(&mut self, ctx: &mut Ctx, port: PortId, frame: Frame) {
+            ctx.trace_instant(
+                "test",
+                "echo.frame",
+                port.0 as u64,
+                frame.len() as u64,
+                || format!("{:?}", &frame[..frame.len().min(2)]),
+            );
+            ctx.metrics().inc("test.frames");
             self.seen.push((ctx.now(), port, frame.clone()));
             if !frame.is_empty() && frame[0] == b'E' {
                 ctx.send_frame_after(port, frame, self.delay);
@@ -1220,6 +1334,8 @@ mod tests {
         fn on_frame(&mut self, _ctx: &mut Ctx, _port: PortId, _frame: Frame) {}
         fn on_timer(&mut self, ctx: &mut Ctx, _token: TimerToken) {
             self.ticks += 1;
+            ctx.trace_instant("test", "tick", 0, self.ticks as u64, String::new);
+            ctx.metrics().inc("test.ticks");
             ctx.send_frame(self.out_port, vec![b'T', self.ticks as u8]);
             if self.ticks < self.max_ticks {
                 ctx.set_timer_after(self.period, TimerToken(1));
@@ -1546,6 +1662,37 @@ mod tests {
             let (stats, seen) = run(SchedulerKind::Sharded { shards });
             assert_eq!(ref_stats, stats, "stats diverge at {shards} shards");
             assert_eq!(ref_seen, seen, "deliveries diverge at {shards} shards");
+        }
+    }
+
+    /// The sc-trace determinism contract at the kernel level: JSONL and
+    /// Chrome exports (and node-level metrics) are byte-identical across
+    /// the reference executor and the sharded executor at any shard
+    /// count — including ring eviction, exercised by the tight bound.
+    #[test]
+    fn sharded_trace_exports_match_reference() {
+        let run = |kind, capacity| {
+            let (mut w, _) = sharded_world(kind);
+            w.enable_trace(capacity);
+            w.run_until(SimTime::from_millis(10));
+            (
+                w.trace().to_jsonl(),
+                w.trace().to_chrome(),
+                (
+                    w.metrics().counter("test.ticks"),
+                    w.metrics().counter("test.frames"),
+                ),
+            )
+        };
+        for capacity in [usize::MAX, 100] {
+            let (ref_jsonl, ref_chrome, ref_ctrs) = run(SchedulerKind::ReferenceHeap, capacity);
+            assert!(ref_ctrs.0 > 0 && ref_ctrs.1 > 0);
+            for shards in [1usize, 2, 3, 5] {
+                let (jsonl, chrome, ctrs) = run(SchedulerKind::Sharded { shards }, capacity);
+                assert_eq!(ref_jsonl, jsonl, "jsonl diverges at {shards} shards");
+                assert_eq!(ref_chrome, chrome, "chrome diverges at {shards} shards");
+                assert_eq!(ref_ctrs, ctrs, "counters diverge at {shards} shards");
+            }
         }
     }
 
